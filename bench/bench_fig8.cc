@@ -1,0 +1,66 @@
+// Figure 8 reproduction: training throughput of TF-PS, Horovod, and Parallax for the
+// four evaluation models over 1 / 2 / 4 / 8 machines (6 GPUs each).
+//
+// Shape claims (section 6.3): on dense models Parallax tracks Horovod and beats TF-PS;
+// on sparse models Parallax beats both, Horovod scales poorly (flat or declining for
+// LM), and at 8 machines Parallax is ~2.8x (LM) / ~2.0x (NMT) over TF-PS.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/frameworks.h"
+#include "src/models/model_zoo.h"
+
+namespace parallax {
+namespace {
+
+void Run() {
+  PrintHeading("Figure 8: throughput scaling over machines (6 GPUs per machine)");
+  const int machine_counts[] = {1, 2, 4, 8};
+  const Framework frameworks[] = {Framework::kTfPs, Framework::kHorovod,
+                                  Framework::kParallax};
+
+  for (const ModelSpec& model : PaperModels()) {
+    std::printf("\n--- %s (%s) ---\n", model.name.c_str(), model.item_unit.c_str());
+    PrintRow({"machines", "TF-PS", "Horovod", "Parallax", "Px/TF", "Px/Hvd"}, 12);
+    PrintRule(6, 12);
+    double ratio_at_8_tf = 0.0;
+    double ratio_at_8_hvd = 0.0;
+    for (int machines : machine_counts) {
+      ClusterSpec cluster = ClusterSpec::Paper();
+      cluster.num_machines = machines;
+      FrameworkOptions options;
+      options.sparse_partitions = model.name == "NMT" ? 64 : 128;
+      double values[3] = {};
+      for (int f = 0; f < 3; ++f) {
+        values[f] =
+            MeasureFrameworkThroughput(frameworks[f], cluster, model, options);
+      }
+      PrintRow({StrFormat("%d", machines), Thousands(values[0]), Thousands(values[1]),
+                Thousands(values[2]), StrFormat("%.2f", values[2] / values[0]),
+                StrFormat("%.2f", values[2] / values[1])},
+               12);
+      if (machines == 8) {
+        ratio_at_8_tf = values[2] / values[0];
+        ratio_at_8_hvd = values[2] / values[1];
+      }
+    }
+    if (model.name == "LM") {
+      PrintClaim("LM @8 machines Parallax/TF-PS", ratio_at_8_tf, 2.8);
+      PrintClaim("LM @8 machines Parallax/Horovod", ratio_at_8_hvd, 6.02);
+    } else if (model.name == "NMT") {
+      PrintClaim("NMT @8 machines Parallax/TF-PS", ratio_at_8_tf, 2.0);
+      PrintClaim("NMT @8 machines Parallax/Horovod", ratio_at_8_hvd, 3.0);
+    } else {
+      PrintClaim(model.name + " @8 Parallax/TF-PS", ratio_at_8_tf, 1.31);
+      PrintClaim(model.name + " @8 Parallax/Horovod (~1 expected)", ratio_at_8_hvd, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parallax
+
+int main() {
+  parallax::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 9 reproduction: Parallax's normalized throughput (speedup over 1 GPU) at
+// 1 / 6 / 12 / 24 / 48 GPUs for the four models.
+//
+// Shape claims (section 6.3): near-linear scaling for the dense models (~39.8x and
+// ~43.6x at 48 GPUs), sub-linear for the sparse ones (~9.4x LM, ~18.4x NMT) because of
+// their larger variables and lighter computation per word.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/frameworks.h"
+#include "src/models/model_zoo.h"
+
+namespace parallax {
+namespace {
+
+// GPU counts map to clusters: 1 GPU = 1 machine x 1; 6 = 1 x 6; 12 = 2 x 6; etc.
+ClusterSpec ClusterForGpus(int gpus) {
+  ClusterSpec spec = ClusterSpec::Paper();
+  if (gpus == 1) {
+    spec.num_machines = 1;
+    spec.gpus_per_machine = 1;
+  } else {
+    spec.num_machines = gpus / 6;
+    spec.gpus_per_machine = 6;
+  }
+  return spec;
+}
+
+void Run() {
+  PrintHeading("Figure 9: Parallax normalized throughput (speedup over 1 GPU)");
+  const int gpu_counts[] = {1, 6, 12, 24, 48};
+  PrintRow({"Model", "1", "6", "12", "24", "48", "paper@48"}, 12);
+  PrintRule(7, 12);
+
+  const double paper_at_48[] = {39.8, 43.6, 9.4, 18.4};
+  int row = 0;
+  for (const ModelSpec& model : PaperModels()) {
+    FrameworkOptions options;
+    options.sparse_partitions = model.name == "NMT" ? 64 : 128;
+    double base = 0.0;
+    std::vector<std::string> cells = {model.name};
+    double normalized_at_48 = 0.0;
+    for (int gpus : gpu_counts) {
+      double throughput = MeasureFrameworkThroughput(
+          Framework::kParallax, ClusterForGpus(gpus), model, options);
+      if (gpus == 1) {
+        base = throughput;
+      }
+      double normalized = throughput / base;
+      cells.push_back(StrFormat("%.1f", normalized));
+      if (gpus == 48) {
+        normalized_at_48 = normalized;
+      }
+    }
+    cells.push_back(StrFormat("%.1f", paper_at_48[row]));
+    PrintRow(cells, 12);
+    PrintClaim(model.name + " normalized throughput @48 GPUs", normalized_at_48,
+               paper_at_48[row]);
+    ++row;
+  }
+  std::printf(
+      "\nShape check: dense models scale near-linearly; sparse models scale sub-linearly\n"
+      "(large variables + light per-word compute stress communication, section 6.3).\n");
+}
+
+}  // namespace
+}  // namespace parallax
+
+int main() {
+  parallax::Run();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the kernels whose costs the calibration
+// constants model: sparse gradient coalescing, scatter updates, partition split/stitch,
+// the cost-model fit, ring-schedule construction, and task-graph execution throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/comm/collectives.h"
+#include "src/core/cost_model.h"
+#include "src/ps/partition.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+IndexedSlices MakeSlices(int64_t rows, int64_t width, int64_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> indices;
+  indices.reserve(static_cast<size_t>(nnz));
+  for (int64_t i = 0; i < nnz; ++i) {
+    indices.push_back(static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(rows))));
+  }
+  return IndexedSlices(std::move(indices), RandomNormal(TensorShape({nnz, width}), rng),
+                       TensorShape({rows, width}));
+}
+
+void BM_SparseCoalesce(benchmark::State& state) {
+  IndexedSlices slices = MakeSlices(100'000, 64, state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slices.Coalesced());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_SparseCoalesce)->Arg(1'000)->Arg(10'000)->Arg(50'000);
+
+void BM_ScatterSgdUpdate(benchmark::State& state) {
+  Rng rng(2);
+  Tensor params = RandomNormal(TensorShape({100'000, 64}), rng);
+  IndexedSlices grad = MakeSlices(100'000, 64, state.range(0), 3);
+  for (auto _ : state) {
+    ScatterSgdUpdate(params, grad, 0.01f);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_ScatterSgdUpdate)->Arg(1'000)->Arg(10'000);
+
+void BM_SplitSlicesByPartition(benchmark::State& state) {
+  IndexedSlices slices = MakeSlices(100'000, 64, 20'000, 4);
+  RowPartition partition(100'000, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitSlicesByPartition(slices, partition));
+  }
+}
+BENCHMARK(BM_SplitSlicesByPartition)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_StitchPartitions(benchmark::State& state) {
+  Rng rng(5);
+  Tensor value = RandomNormal(TensorShape({100'000, 64}), rng);
+  RowPartition partition(100'000, static_cast<int>(state.range(0)));
+  std::vector<Tensor> pieces = SplitRowsByPartition(value, partition);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StitchPartitions(pieces, partition));
+  }
+}
+BENCHMARK(BM_StitchPartitions)->Arg(8)->Arg(256);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(6);
+  int64_t n = state.range(0);
+  Tensor a = RandomNormal(TensorShape({n, n}), rng);
+  Tensor b = RandomNormal(TensorShape({n, n}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RingAllReduceSchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> machines;
+  for (int m = 0; m < n; ++m) {
+    machines.push_back(m);
+  }
+  std::vector<TaskId> deps(static_cast<size_t>(n), kNoTask);
+  ClusterSpec spec = ClusterSpec::SingleGpuMachines(n);
+  for (auto _ : state) {
+    Cluster cluster(spec);
+    TaskGraph graph;
+    AddRingAllReduce(graph, machines, 100'000'000, deps, CollectiveOptions{});
+    benchmark::DoNotOptimize(graph.Execute(cluster));
+  }
+}
+BENCHMARK(BM_RingAllReduceSchedule)->Arg(8)->Arg(32);
+
+void BM_TaskGraphExecution(benchmark::State& state) {
+  // A PS-shaped DAG: fan-out transfers + serial accumulator chains.
+  const int ranks = 48;
+  const int shards = static_cast<int>(state.range(0));
+  ClusterSpec spec = ClusterSpec::Paper();
+  for (auto _ : state) {
+    Cluster cluster(spec);
+    TaskGraph graph;
+    for (int s = 0; s < shards; ++s) {
+      TaskId acc = kNoTask;
+      for (int r = 0; r < ranks; ++r) {
+        int machine = r / 6;
+        int server = s % 8;
+        TaskId push = machine == server
+                          ? graph.AddLocalTransfer(machine, 100'000)
+                          : graph.AddTransfer(machine, server, 100'000);
+        std::vector<TaskId> deps = {push};
+        if (acc != kNoTask) {
+          deps.push_back(acc);
+        }
+        acc = graph.AddCpuWork(server, 1e-5, std::span<const TaskId>(deps));
+      }
+    }
+    benchmark::DoNotOptimize(graph.Execute(cluster));
+    state.counters["tasks"] = static_cast<double>(graph.num_tasks());
+  }
+}
+BENCHMARK(BM_TaskGraphExecution)->Arg(64)->Arg(256);
+
+void BM_CostModelFit(benchmark::State& state) {
+  std::vector<std::pair<int, double>> samples;
+  for (int p : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    samples.emplace_back(p, 0.05 + 1.2 / p + 0.003 * p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitCostModel(samples));
+  }
+}
+BENCHMARK(BM_CostModelFit);
+
+}  // namespace
+}  // namespace parallax
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table 2 reproduction: PS-architecture training throughput (words/sec) as a function of
+// the sparse-variable partition count, for LM and NMT on 48 GPUs.
+//
+// Shape claims (section 2.2): throughput rises with P well past load-balance needs
+// (parallelized gradient aggregation), peaks near 128 (LM) / 64 (NMT), and falls past
+// the peak (stitch + per-partition overhead); best/worst ~= 1.98x (LM), 1.12x (NMT).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/frameworks.h"
+#include "src/models/model_zoo.h"
+
+namespace parallax {
+namespace {
+
+void Run() {
+  PrintHeading("Table 2: PS throughput vs sparse-variable partition count (48 GPUs)");
+  const ClusterSpec cluster = ClusterSpec::Paper();
+  const int partition_counts[] = {8, 16, 32, 64, 128, 256};
+
+  std::vector<std::string> header = {"Model"};
+  for (int p : partition_counts) {
+    header.push_back(StrFormat("P=%d", p));
+  }
+  PrintRow(header, 11);
+  PrintRule(header.size(), 11);
+
+  for (const ModelSpec& model : {LmSpec(), NmtSpec()}) {
+    std::vector<std::string> cells = {model.name};
+    double best = 0.0;
+    double worst = 1e30;
+    int best_p = 0;
+    for (int p : partition_counts) {
+      FrameworkOptions options;
+      options.sparse_partitions = p;
+      double throughput =
+          MeasureFrameworkThroughput(Framework::kTfPs, cluster, model, options);
+      cells.push_back(Thousands(throughput));
+      if (throughput > best) {
+        best = throughput;
+        best_p = p;
+      }
+      worst = std::min(worst, throughput);
+    }
+    PrintRow(cells, 11);
+    double paper_ratio = model.name == "LM" ? 1.98 : 1.12;
+    PrintClaim(model.name + " best/worst partition-count ratio", best / worst, paper_ratio);
+    std::printf("  best partition count: %d (paper: %s)\n", best_p,
+                model.name == "LM" ? "128" : "64");
+  }
+}
+
+}  // namespace
+}  // namespace parallax
+
+int main() {
+  parallax::Run();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Table 3 reproduction: per-machine network transfer for {dense, sparse} x {PS, AR},
+// for one variable and for m variables, validated by *measuring* NIC byte counters in
+// the simulator against the paper's closed forms (1 worker per machine, the setting of
+// the section 3.1 analysis):
+//
+//              one variable          m variables
+//   PS dense   2w(N-1)  (owner)      4wm(N-1)/N
+//   AR dense   4w(N-1)/N             4wm(N-1)/N
+//   PS sparse  2aw(N-1) (owner)      4awm(N-1)/N
+//   AR sparse  2aw(N-1)              2awm(N-1)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/comm/collectives.h"
+#include "src/core/iteration_sim.h"
+
+namespace parallax {
+namespace {
+
+VariableSync MakeVar(int64_t elements, bool sparse, double alpha, SyncMethod method) {
+  VariableSync sync;
+  sync.spec.name = "v";
+  sync.spec.num_elements = elements;
+  sync.spec.row_elements = 1;
+  sync.spec.is_sparse = sparse;
+  sync.spec.alpha = sparse ? alpha : 1.0;
+  sync.method = method;
+  return sync;
+}
+
+// Measured per-machine NIC bytes (max across machines for "one variable" owner rows,
+// mean for balanced m-variable rows).
+struct Measurement {
+  double owner_bytes;
+  double mean_bytes;
+};
+
+Measurement MeasurePs(int n, int m, int64_t w_elements, bool sparse, double alpha) {
+  ClusterSpec spec = ClusterSpec::SingleGpuMachines(n);
+  std::vector<VariableSync> vars;
+  for (int i = 0; i < m; ++i) {
+    vars.push_back(MakeVar(w_elements, sparse, alpha, SyncMethod::kPs));
+  }
+  IterationSimConfig config;
+  config.include_index_bytes = false;  // the paper's analysis neglects index traffic
+  IterationSimulator sim(spec, vars, 0.01, 2, config);
+  Cluster cluster(spec);
+  sim.SimulateIteration(cluster, 0.0);
+  Measurement result{0.0, 0.0};
+  for (int machine = 0; machine < n; ++machine) {
+    double bytes = static_cast<double>(cluster.NicBytes(machine));
+    result.owner_bytes = std::max(result.owner_bytes, bytes);
+    result.mean_bytes += bytes / n;
+  }
+  return result;
+}
+
+Measurement MeasureArDense(int n, int m, int64_t w_elements) {
+  ClusterSpec spec = ClusterSpec::SingleGpuMachines(n);
+  Cluster cluster(spec);
+  TaskGraph graph;
+  CollectiveOptions options{0.0};
+  std::vector<int> machines;
+  for (int machine = 0; machine < n; ++machine) {
+    machines.push_back(machine);
+  }
+  std::vector<TaskId> deps(static_cast<size_t>(n), kNoTask);
+  for (int i = 0; i < m; ++i) {
+    AddRingAllReduce(graph, machines, w_elements * 4, deps, options);
+  }
+  graph.Execute(cluster);
+  Measurement result{0.0, 0.0};
+  for (int machine = 0; machine < n; ++machine) {
+    double bytes = static_cast<double>(cluster.NicBytes(machine));
+    result.owner_bytes = std::max(result.owner_bytes, bytes);
+    result.mean_bytes += bytes / n;
+  }
+  return result;
+}
+
+Measurement MeasureArSparse(int n, int m, int64_t w_elements, double alpha) {
+  ClusterSpec spec = ClusterSpec::SingleGpuMachines(n);
+  Cluster cluster(spec);
+  TaskGraph graph;
+  CollectiveOptions options{0.0};
+  std::vector<int> machines;
+  for (int machine = 0; machine < n; ++machine) {
+    machines.push_back(machine);
+  }
+  std::vector<TaskId> deps(static_cast<size_t>(n), kNoTask);
+  int64_t block = static_cast<int64_t>(alpha * static_cast<double>(w_elements)) * 4;
+  std::vector<int64_t> blocks(static_cast<size_t>(n), block);
+  for (int i = 0; i < m; ++i) {
+    AddRingAllGatherv(graph, machines, blocks, deps, options);
+  }
+  graph.Execute(cluster);
+  Measurement result{0.0, 0.0};
+  for (int machine = 0; machine < n; ++machine) {
+    double bytes = static_cast<double>(cluster.NicBytes(machine));
+    result.owner_bytes = std::max(result.owner_bytes, bytes);
+    result.mean_bytes += bytes / n;
+  }
+  return result;
+}
+
+void Row(const char* label, double measured, double formula) {
+  std::printf("%-34s measured %14.0f   formula %14.0f   ratio %.4f\n", label, measured,
+              formula, formula > 0 ? measured / formula : 1.0);
+}
+
+void Run() {
+  PrintHeading("Table 3: per-machine network transfer, measured vs closed form");
+  const int n = 8;
+  const int m = 16;
+  const int64_t w_elements = 1'000'000;
+  const double w = static_cast<double>(w_elements) * 4;
+  const double alpha = 0.1;
+  std::printf("N=%d machines (1 worker each), w=%.0f bytes, alpha=%.2f, m=%d variables\n\n",
+              n, w, alpha, m);
+
+  {
+    Measurement one = MeasurePs(n, 1, w_elements, false, 1.0);
+    Row("PS dense, one variable (owner)", one.owner_bytes, 2 * w * (n - 1));
+    Measurement many = MeasurePs(n, m, w_elements, false, 1.0);
+    Row("PS dense, m variables (mean)", many.mean_bytes, 4 * w * m * (n - 1) / n);
+  }
+  {
+    Measurement one = MeasureArDense(n, 1, w_elements);
+    Row("AR dense, one variable", one.mean_bytes, 4 * w * (n - 1) / n);
+    Measurement many = MeasureArDense(n, m, w_elements);
+    Row("AR dense, m variables", many.mean_bytes, 4 * w * m * (n - 1) / n);
+  }
+  {
+    Measurement one = MeasurePs(n, 1, w_elements, true, alpha);
+    Row("PS sparse, one variable (owner)", one.owner_bytes, 2 * alpha * w * (n - 1));
+    Measurement many = MeasurePs(n, m, w_elements, true, alpha);
+    Row("PS sparse, m variables (mean)", many.mean_bytes, 4 * alpha * w * m * (n - 1) / n);
+  }
+  {
+    Measurement one = MeasureArSparse(n, 1, w_elements, alpha);
+    Row("AR sparse, one variable", one.mean_bytes, 2 * alpha * w * (n - 1));
+    Measurement many = MeasureArSparse(n, m, w_elements, alpha);
+    Row("AR sparse, m variables", many.mean_bytes, 2 * alpha * w * m * (n - 1));
+  }
+
+  std::printf(
+      "\nKey asymmetry (section 3.1): the PS one-variable owner moves 2w(N-1) while\n"
+      "every AR machine moves only 4w(N-1)/N — %.1fx less at N=%d. For sparse\n"
+      "variables AR moves N/2x more than a balanced PS: the hybrid rationale.\n",
+      2.0 * w * (n - 1) / (4.0 * w * (n - 1) / n), n);
+}
+
+}  // namespace
+}  // namespace parallax
+
+int main() {
+  parallax::Run();
+  return 0;
+}

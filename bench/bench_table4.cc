@@ -1,0 +1,54 @@
+// Table 4 reproduction: training throughput (words/sec) of AR, NaivePS, OptPS, and the
+// hybrid (HYB = AR + OptPS) on LM and NMT, 8 machines / 48 GPUs.
+//
+// Shape claims (section 6.4): AR < NaivePS < OptPS < HYB on both sparse models; the
+// HYB-over-OptPS gain is larger for NMT (56% dense parameters) than for LM (~99%
+// sparse), because hybridization only improves the dense fraction.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/frameworks.h"
+#include "src/models/model_zoo.h"
+
+namespace parallax {
+namespace {
+
+void Run() {
+  PrintHeading("Table 4: architecture ablation, words/sec on 48 GPUs");
+  PrintRow({"Model", "AR", "NaivePS", "OptPS", "HYB"});
+  PrintRule(5);
+
+  const ClusterSpec cluster = ClusterSpec::Paper();
+  struct PaperRow {
+    const char* name;
+    double ar, naive, opt, hyb;
+  };
+  const PaperRow paper[] = {{"LM", 45.5e3, 98.9e3, 250e3, 274e3},
+                            {"NMT", 68.3e3, 102e3, 116e3, 204e3}};
+
+  int row = 0;
+  for (const ModelSpec& model : {LmSpec(), NmtSpec()}) {
+    FrameworkOptions options;
+    options.sparse_partitions = model.name == "NMT" ? 64 : 128;
+    double ar = MeasureFrameworkThroughput(Framework::kHorovod, cluster, model, options);
+    double naive = MeasureFrameworkThroughput(Framework::kTfPs, cluster, model, options);
+    double opt = MeasureFrameworkThroughput(Framework::kOptPs, cluster, model, options);
+    double hyb = MeasureFrameworkThroughput(Framework::kParallax, cluster, model, options);
+    PrintRow({model.name, Thousands(ar), Thousands(naive), Thousands(opt), Thousands(hyb)});
+    const PaperRow& p = paper[row++];
+    PrintClaim(std::string(model.name) + " NaivePS/AR", naive / ar, p.naive / p.ar);
+    PrintClaim(std::string(model.name) + " OptPS/NaivePS", opt / naive, p.opt / p.naive);
+    PrintClaim(std::string(model.name) + " HYB/OptPS", hyb / opt, p.hyb / p.opt);
+  }
+  std::printf(
+      "\nShape check: ordering AR < NaivePS < OptPS < HYB, and HYB/OptPS larger for NMT\n"
+      "than for LM (hybridization pays where the dense fraction is large, section 6.4).\n");
+}
+
+}  // namespace
+}  // namespace parallax
+
+int main() {
+  parallax::Run();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Capacity-planning scenario: before renting a cluster, sweep framework x machine-count
+// x model on the simulator to pick the cheapest configuration that meets a throughput
+// goal. Exercises the public simulation API (ModelSpec, ClusterSpec, framework presets)
+// without any training — the "what-if" use of the cost model.
+#include <cstdio>
+
+#include "src/base/strings.h"
+#include "src/core/frameworks.h"
+#include "src/models/model_zoo.h"
+
+using namespace parallax;
+
+int main() {
+  const double goal_words_per_sec = 200e3;  // the throughput target for the LM job
+  ModelSpec model = LmSpec();
+  std::printf("planning for %s: goal %.0fk %s\n\n", model.name.c_str(),
+              goal_words_per_sec / 1e3, model.item_unit.c_str());
+  std::printf("%-10s %-12s %-14s %-12s %-10s\n", "machines", "framework", "partitions",
+              "throughput", "meets goal");
+
+  for (int machines : {2, 4, 6, 8, 12, 16}) {
+    ClusterSpec cluster = ClusterSpec::Paper();
+    cluster.num_machines = machines;
+    for (Framework framework : {Framework::kTfPs, Framework::kHorovod, Framework::kParallax}) {
+      FrameworkOptions options;
+      options.sparse_partitions = 16 * machines;  // scale partitions with servers
+      double throughput = MeasureFrameworkThroughput(framework, cluster, model, options);
+      std::printf("%-10d %-12s %-14d %-12s %-10s\n", machines, FrameworkName(framework),
+                  options.sparse_partitions, HumanCount(throughput).c_str(),
+                  throughput >= goal_words_per_sec ? "yes" : "no");
+    }
+  }
+
+  std::printf(
+      "\nReading: with Parallax the goal is met with fewer machines than TF-PS needs —\n"
+      "the economic argument for sparsity-aware synchronization. Horovod never meets it\n"
+      "at any size here (AllGatherv traffic grows with the worker count).\n");
+  return 0;
+}

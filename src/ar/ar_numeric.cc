@@ -1,0 +1,98 @@
+#include "src/ar/ar_numeric.h"
+
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+
+ArNumericEngine::ArNumericEngine(const Graph* graph, int num_ranks, ArNumericConfig config)
+    : graph_(graph), config_(config) {
+  PX_CHECK(graph != nullptr);
+  PX_CHECK_GE(num_ranks, 1);
+  replicas_.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    replicas_.push_back(VariableStore::InitFrom(*graph));
+  }
+}
+
+bool ArNumericEngine::Manages(int variable_index) const {
+  if (config_.managed_variables.empty()) {
+    return true;
+  }
+  for (int v : config_.managed_variables) {
+    if (v == variable_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ArNumericEngine::ApplyStep(const std::vector<StepResult>& per_rank,
+                                float learning_rate) {
+  PX_CHECK_EQ(per_rank.size(), replicas_.size());
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    int key = static_cast<int>(v);
+    if (!Manages(key)) {
+      continue;
+    }
+    if (per_rank.front().grads.find(key) == per_rank.front().grads.end()) {
+      continue;
+    }
+    bool is_sparse = per_rank.front().grads.at(key).is_sparse();
+    if (is_sparse) {
+      std::vector<IndexedSlices> contributions;
+      contributions.reserve(per_rank.size());
+      for (const StepResult& r : per_rank) {
+        contributions.push_back(r.grads.at(key).sparse());
+      }
+      IndexedSlices aggregated =
+          AllGathervAggregate(contributions, config_.sparse_aggregation);
+      GradValue grad = GradValue::MakeSparse(std::move(aggregated));
+      for (VariableStore& replica : replicas_) {
+        replica.ApplySgd(key, grad, learning_rate);
+      }
+    } else {
+      std::vector<Tensor> contributions;
+      contributions.reserve(per_rank.size());
+      for (const StepResult& r : per_rank) {
+        contributions.push_back(r.grads.at(key).dense());
+      }
+      Tensor aggregated = AllReduceAggregate(contributions, config_.dense_aggregation);
+      GradValue grad = GradValue::MakeDense(std::move(aggregated));
+      for (VariableStore& replica : replicas_) {
+        replica.ApplySgd(key, grad, learning_rate);
+      }
+    }
+  }
+  if (!config_.skip_consistency_check) {
+    CheckReplicasConsistent();
+  }
+}
+
+const VariableStore& ArNumericEngine::replica(int rank) const {
+  PX_CHECK_GE(rank, 0);
+  PX_CHECK_LT(static_cast<size_t>(rank), replicas_.size());
+  return replicas_[static_cast<size_t>(rank)];
+}
+
+VariableStore& ArNumericEngine::mutable_replica(int rank) {
+  PX_CHECK_GE(rank, 0);
+  PX_CHECK_LT(static_cast<size_t>(rank), replicas_.size());
+  return replicas_[static_cast<size_t>(rank)];
+}
+
+void ArNumericEngine::CheckReplicasConsistent() const {
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    if (!Manages(static_cast<int>(v))) {
+      continue;
+    }
+    const Tensor& reference = replicas_.front().Get(static_cast<int>(v));
+    for (size_t r = 1; r < replicas_.size(); ++r) {
+      PX_CHECK(AllClose(reference, replicas_[r].Get(static_cast<int>(v)), 0.0f))
+          << "replica divergence on variable " << graph_->variables()[v].name
+          << " at rank " << r << " — identical aggregated gradients must keep replicas "
+          << "bit-identical";
+    }
+  }
+}
+
+}  // namespace parallax

@@ -1,0 +1,53 @@
+// Numeric runtime of the AllReduce architecture (Horovod-style, paper section 2.1):
+// every rank holds a full replica of all variables; dense gradients are AllReduce-summed,
+// sparse gradients are AllGatherv-concatenated, and every replica applies the identical
+// aggregated gradient — so replicas never diverge.
+//
+// The replica-consistency invariant is checked after every step (cheap hash comparison),
+// because it is the correctness property that makes the AR architecture "simple": all
+// workers always have the same variable values (paper section 2.1).
+#ifndef PARALLAX_SRC_AR_AR_NUMERIC_H_
+#define PARALLAX_SRC_AR_AR_NUMERIC_H_
+
+#include <vector>
+
+#include "src/comm/reduce.h"
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+
+namespace parallax {
+
+struct ArNumericConfig {
+  AggregationMethod dense_aggregation = AggregationMethod::kAverage;
+  AggregationMethod sparse_aggregation = AggregationMethod::kAverage;
+  // If true, the post-step replica equality check is skipped (for large models).
+  bool skip_consistency_check = false;
+  // Variable indices this engine owns; empty means all (hybrid routing).
+  std::vector<int> managed_variables;
+};
+
+class ArNumericEngine {
+ public:
+  ArNumericEngine(const Graph* graph, int num_ranks, ArNumericConfig config = {});
+
+  // One synchronous step: aggregates per-rank gradients with collective semantics and
+  // applies the result to every replica.
+  void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate);
+
+  // Rank r's replica (all replicas are identical after any step).
+  const VariableStore& replica(int rank) const;
+  VariableStore& mutable_replica(int rank);
+  int num_ranks() const { return static_cast<int>(replicas_.size()); }
+
+ private:
+  void CheckReplicasConsistent() const;
+  bool Manages(int variable_index) const;
+
+  const Graph* graph_;
+  ArNumericConfig config_;
+  std::vector<VariableStore> replicas_;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_AR_AR_NUMERIC_H_

@@ -1,0 +1,69 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace parallax {
+namespace {
+
+LogSeverity g_min_level = [] {
+  if (const char* env = std::getenv("PARALLAX_LOG_LEVEL"); env != nullptr) {
+    int level = std::atoi(env);
+    if (level >= 0 && level <= 4) {
+      return static_cast<LogSeverity>(level);
+    }
+  }
+  return LogSeverity::kInfo;
+}();
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+// Strips the directory part so log lines stay short.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogSeverity MinLogLevel() { return g_min_level; }
+
+void SetMinLogLevel(LogSeverity severity) { g_min_level = severity; }
+
+namespace internal {
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : file_(file), line_(line), severity_(severity) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_level || severity_ == LogSeverity::kFatal) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_), Basename(file_), line_,
+                 stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+std::string CheckFailureMessage(const char* condition) {
+  return std::string("Check failed: ") + condition;
+}
+
+}  // namespace internal
+}  // namespace parallax

@@ -1,0 +1,92 @@
+// Lightweight logging and invariant-checking facility for the Parallax library.
+//
+// Logging writes to stderr with a severity prefix. PX_CHECK* macros enforce internal
+// invariants; a failed check prints the failing condition with file/line context and
+// aborts, following the "fail fast on broken invariants" rule for systems code.
+#ifndef PARALLAX_SRC_BASE_LOGGING_H_
+#define PARALLAX_SRC_BASE_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace parallax {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns the minimum severity that is emitted. Controlled by MinLogLevel() setter and the
+// PARALLAX_LOG_LEVEL environment variable (0-4); defaults to kInfo.
+LogSeverity MinLogLevel();
+void SetMinLogLevel(LogSeverity severity);
+
+namespace internal {
+
+// Accumulates one log line and flushes it (with prefix) on destruction. Fatal severity
+// aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Discards the streamed message; used when a log statement is compiled in but filtered.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+std::string CheckFailureMessage(const char* condition);
+
+}  // namespace internal
+
+#define PX_LOG(severity)                                                              \
+  ::parallax::internal::LogMessage(__FILE__, __LINE__,                                \
+                                   ::parallax::LogSeverity::k##severity)              \
+      .stream()
+
+#define PX_LOG_IF(severity, condition) \
+  if (!(condition)) {                  \
+  } else                               \
+    PX_LOG(severity)
+
+#define PX_CHECK(condition)                                                          \
+  if (condition) {                                                                   \
+  } else                                                                             \
+    ::parallax::internal::LogMessage(__FILE__, __LINE__,                             \
+                                     ::parallax::LogSeverity::kFatal)                \
+            .stream()                                                                \
+        << ::parallax::internal::CheckFailureMessage(#condition)
+
+#define PX_CHECK_OP(op, a, b)                                                        \
+  PX_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define PX_CHECK_EQ(a, b) PX_CHECK_OP(==, a, b)
+#define PX_CHECK_NE(a, b) PX_CHECK_OP(!=, a, b)
+#define PX_CHECK_LT(a, b) PX_CHECK_OP(<, a, b)
+#define PX_CHECK_LE(a, b) PX_CHECK_OP(<=, a, b)
+#define PX_CHECK_GT(a, b) PX_CHECK_OP(>, a, b)
+#define PX_CHECK_GE(a, b) PX_CHECK_OP(>=, a, b)
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_BASE_LOGGING_H_

@@ -1,0 +1,30 @@
+#include "src/base/rng.h"
+
+#include <algorithm>
+
+namespace parallax {
+
+ZipfSampler::ZipfSampler(int64_t n, double exponent) : n_(n), exponent_(exponent) {
+  PX_CHECK_GT(n, 0);
+  PX_CHECK_GE(exponent, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[static_cast<size_t>(i)] = total;
+  }
+  for (auto& value : cdf_) {
+    value /= total;
+  }
+}
+
+int64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return n_ - 1;
+  }
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+}  // namespace parallax

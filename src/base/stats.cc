@@ -1,0 +1,131 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace parallax {
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) {
+    sum += (v - mean) * (v - mean);
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) { return std::sqrt(Variance(values)); }
+
+double Percentile(std::span<const double> values, double q) {
+  PX_CHECK(!values.empty());
+  PX_CHECK_GE(q, 0.0);
+  PX_CHECK_LE(q, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+bool Solve3x3(std::array<std::array<double, 3>, 3> a, std::array<double, 3> b,
+              std::array<double, 3>& out) {
+  constexpr double kSingularTolerance = 1e-12;
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot][col]) < kSingularTolerance) {
+      return false;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int row = col + 1; row < 3; ++row) {
+      double factor = a[row][col] / a[col][col];
+      for (int k = col; k < 3; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  for (int row = 2; row >= 0; --row) {
+    double sum = b[row];
+    for (int k = row + 1; k < 3; ++k) {
+      sum -= a[row][k] * out[k];
+    }
+    out[row] = sum / a[row][row];
+  }
+  return true;
+}
+
+LeastSquaresFit FitLinear3(std::span<const std::array<double, 3>> features,
+                           std::span<const double> targets) {
+  LeastSquaresFit fit;
+  PX_CHECK_EQ(features.size(), targets.size());
+  if (features.size() < 3) {
+    return fit;
+  }
+  // Normal equations: (X^T X) theta = X^T y.
+  std::array<std::array<double, 3>, 3> xtx = {{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}};
+  std::array<double, 3> xty = {0, 0, 0};
+  for (size_t i = 0; i < features.size(); ++i) {
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        xtx[r][c] += features[i][r] * features[i][c];
+      }
+      xty[r] += features[i][r] * targets[i];
+    }
+  }
+  if (!Solve3x3(xtx, xty, fit.theta)) {
+    return fit;
+  }
+  double se = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    double pred = 0.0;
+    for (int r = 0; r < 3; ++r) {
+      pred += fit.theta[r] * features[i][r];
+    }
+    se += (pred - targets[i]) * (pred - targets[i]);
+  }
+  fit.rmse = std::sqrt(se / static_cast<double>(features.size()));
+  fit.ok = true;
+  return fit;
+}
+
+void RunningStat::Add(double value) {
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace parallax

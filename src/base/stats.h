@@ -1,0 +1,52 @@
+// Small statistics toolbox: summary statistics and the least-squares machinery used by the
+// partition-count cost model (DESIGN.md section "CostModel", paper Eq. 1).
+#ifndef PARALLAX_SRC_BASE_STATS_H_
+#define PARALLAX_SRC_BASE_STATS_H_
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace parallax {
+
+double Mean(std::span<const double> values);
+double Variance(std::span<const double> values);  // population variance
+double StdDev(std::span<const double> values);
+// Linear-interpolated percentile, q in [0, 1]. Input need not be sorted.
+double Percentile(std::span<const double> values, double q);
+
+// Solves the 3x3 linear system a*x = b by Gaussian elimination with partial pivoting.
+// Returns false if the system is singular (within tolerance).
+bool Solve3x3(std::array<std::array<double, 3>, 3> a, std::array<double, 3> b,
+              std::array<double, 3>& out);
+
+struct LeastSquaresFit {
+  std::array<double, 3> theta = {0.0, 0.0, 0.0};
+  double rmse = 0.0;
+  bool ok = false;
+};
+
+// Fits y ~ theta0 * f0(x) + theta1 * f1(x) + theta2 * f2(x) by ordinary least squares,
+// where the caller supplies the design matrix rows (f0, f1, f2 evaluated per sample).
+LeastSquaresFit FitLinear3(std::span<const std::array<double, 3>> features,
+                           std::span<const double> targets);
+
+// Welford online accumulator for streaming mean/variance.
+class RunningStat {
+ public:
+  void Add(double value);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_BASE_STATS_H_

@@ -1,0 +1,100 @@
+// Minimal Status / StatusOr error-reporting types for recoverable failures at API
+// boundaries (configuration parsing, user-facing setup). Internal invariants use PX_CHECK
+// instead; hot paths never construct Status objects.
+#ifndef PARALLAX_SRC_BASE_STATUS_H_
+#define PARALLAX_SRC_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace parallax {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kResourceExhausted = 7,
+};
+
+// Value-type error carrier. Ok statuses are cheap (no message allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value or a non-ok Status. value() checks validity.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}         // NOLINT: implicit by design
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
+    PX_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define PX_RETURN_IF_ERROR(expr)           \
+  do {                                     \
+    ::parallax::Status _status = (expr);   \
+    if (!_status.ok()) return _status;     \
+  } while (false)
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_BASE_STATUS_H_

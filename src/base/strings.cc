@@ -1,0 +1,57 @@
+#include "src/base/strings.h"
+
+#include <cmath>
+
+namespace parallax {
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (std::fabs(bytes) >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.2f %s", bytes, units[unit]);
+}
+
+std::string HumanCount(double count) {
+  if (std::fabs(count) >= 1e9) {
+    return StrFormat("%.1fB", count / 1e9);
+  }
+  if (std::fabs(count) >= 1e6) {
+    return StrFormat("%.1fM", count / 1e6);
+  }
+  if (std::fabs(count) >= 1e3) {
+    return StrFormat("%.1fk", count / 1e3);
+  }
+  return StrFormat("%.0f", count);
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      result += separator;
+    }
+    result += parts[i];
+  }
+  return result;
+}
+
+}  // namespace parallax

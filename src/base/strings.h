@@ -1,0 +1,26 @@
+// String formatting helpers (GCC 12 lacks std::format, so we wrap snprintf).
+#ifndef PARALLAX_SRC_BASE_STRINGS_H_
+#define PARALLAX_SRC_BASE_STRINGS_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace parallax {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count, e.g. "1.50 GB".
+std::string HumanBytes(double bytes);
+
+// Human-readable count with k/M/B suffix, e.g. "98.9k".
+std::string HumanCount(double count);
+
+// Joins items with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& separator);
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_BASE_STRINGS_H_

@@ -1,0 +1,269 @@
+#include "src/comm/collectives.h"
+
+#include <algorithm>
+
+namespace parallax {
+namespace {
+
+// Splits `bytes` into n near-equal chunks (first bytes%n chunks get the extra byte).
+std::vector<int64_t> SplitChunks(int64_t bytes, int n) {
+  std::vector<int64_t> chunks(static_cast<size_t>(n), bytes / n);
+  for (int i = 0; i < static_cast<int>(bytes % n); ++i) {
+    ++chunks[static_cast<size_t>(i)];
+  }
+  return chunks;
+}
+
+// Positive modulus.
+int Mod(int a, int n) { return ((a % n) + n) % n; }
+
+// Wraps a transfer with the per-step overhead; returns the node marking chunk arrival.
+TaskId WithOverhead(TaskGraph& graph, TaskId transfer, const CollectiveOptions& options) {
+  if (options.step_overhead <= 0.0) {
+    return transfer;
+  }
+  return graph.AddDelay(options.step_overhead, {transfer});
+}
+
+std::vector<TaskId> DepsOrEmpty(TaskId dep) {
+  std::vector<TaskId> deps;
+  if (dep != kNoTask) {
+    deps.push_back(dep);
+  }
+  return deps;
+}
+
+}  // namespace
+
+CollectiveSchedule AddRingAllReduce(TaskGraph& graph, const std::vector<int>& machines,
+                                    int64_t bytes, const std::vector<TaskId>& deps,
+                                    const CollectiveOptions& options) {
+  const int n = static_cast<int>(machines.size());
+  PX_CHECK_GT(n, 0);
+  PX_CHECK_EQ(deps.size(), machines.size());
+  CollectiveSchedule schedule;
+  schedule.done.resize(machines.size());
+
+  if (n == 1) {
+    schedule.done[0] = graph.AddBarrier(DepsOrEmpty(deps[0]));
+    schedule.all_done = schedule.done[0];
+    return schedule;
+  }
+
+  std::vector<int64_t> chunks = SplitChunks(bytes, n);
+
+  // arrivals[i] = node after which machine i has received *and reduced* the step's
+  // chunk. Reduce-scatter: step s, machine i sends chunk (i-s) mod n to machine i+1.
+  // The receiver folds its own contribution into the incoming chunk, so every arrival
+  // also gates on the receiver's local-gradient dependency.
+  std::vector<TaskId> prev_arrival(static_cast<size_t>(n), kNoTask);
+  for (int s = 0; s <= n - 2; ++s) {
+    std::vector<TaskId> arrival(static_cast<size_t>(n), kNoTask);
+    for (int i = 0; i < n; ++i) {
+      int chunk = Mod(i - s, n);
+      std::vector<TaskId> send_deps;
+      if (s == 0) {
+        if (deps[static_cast<size_t>(i)] != kNoTask) {
+          send_deps.push_back(deps[static_cast<size_t>(i)]);
+        }
+      } else {
+        send_deps.push_back(prev_arrival[static_cast<size_t>(i)]);
+      }
+      int recv = Mod(i + 1, n);
+      TaskId transfer =
+          graph.AddTransfer(machines[static_cast<size_t>(i)],
+                            machines[static_cast<size_t>(recv)],
+                            chunks[static_cast<size_t>(chunk)],
+                            std::span<const TaskId>(send_deps));
+      TaskId arrived = WithOverhead(graph, transfer, options);
+      if (deps[static_cast<size_t>(recv)] != kNoTask) {
+        arrived = graph.AddBarrier({arrived, deps[static_cast<size_t>(recv)]});
+      }
+      arrival[static_cast<size_t>(recv)] = arrived;
+    }
+    prev_arrival = arrival;
+  }
+
+  // Allgather: step s, machine i sends chunk (i+1-s) mod n to machine i+1. Its first send
+  // is gated on its final reduce-scatter arrival (the chunk it fully reduced).
+  for (int s = 0; s <= n - 2; ++s) {
+    std::vector<TaskId> arrival(static_cast<size_t>(n), kNoTask);
+    for (int i = 0; i < n; ++i) {
+      int chunk = Mod(i + 1 - s, n);
+      std::vector<TaskId> send_deps = {prev_arrival[static_cast<size_t>(i)]};
+      TaskId transfer =
+          graph.AddTransfer(machines[static_cast<size_t>(i)],
+                            machines[static_cast<size_t>(Mod(i + 1, n))],
+                            chunks[static_cast<size_t>(chunk)],
+                            std::span<const TaskId>(send_deps));
+      arrival[static_cast<size_t>(Mod(i + 1, n))] = WithOverhead(graph, transfer, options);
+    }
+    prev_arrival = arrival;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    schedule.done[static_cast<size_t>(i)] =
+        graph.AddBarrier({prev_arrival[static_cast<size_t>(i)]});
+  }
+  schedule.all_done = graph.AddBarrier(std::span<const TaskId>(schedule.done));
+  return schedule;
+}
+
+CollectiveSchedule AddRingAllGatherv(TaskGraph& graph, const std::vector<int>& machines,
+                                     const std::vector<int64_t>& bytes_per_machine,
+                                     const std::vector<TaskId>& deps,
+                                     const CollectiveOptions& options) {
+  const int n = static_cast<int>(machines.size());
+  PX_CHECK_GT(n, 0);
+  PX_CHECK_EQ(deps.size(), machines.size());
+  PX_CHECK_EQ(bytes_per_machine.size(), machines.size());
+  CollectiveSchedule schedule;
+  schedule.done.resize(machines.size());
+
+  if (n == 1) {
+    schedule.done[0] = graph.AddBarrier(DepsOrEmpty(deps[0]));
+    schedule.all_done = schedule.done[0];
+    return schedule;
+  }
+
+  // Step s: machine i forwards block (i-s) mod n to machine i+1.
+  std::vector<TaskId> prev_arrival(static_cast<size_t>(n), kNoTask);
+  for (int s = 0; s <= n - 2; ++s) {
+    std::vector<TaskId> arrival(static_cast<size_t>(n), kNoTask);
+    for (int i = 0; i < n; ++i) {
+      int block = Mod(i - s, n);
+      std::vector<TaskId> send_deps;
+      if (s == 0) {
+        if (deps[static_cast<size_t>(i)] != kNoTask) {
+          send_deps.push_back(deps[static_cast<size_t>(i)]);
+        }
+      } else {
+        send_deps.push_back(prev_arrival[static_cast<size_t>(i)]);
+      }
+      TaskId transfer =
+          graph.AddTransfer(machines[static_cast<size_t>(i)],
+                            machines[static_cast<size_t>(Mod(i + 1, n))],
+                            bytes_per_machine[static_cast<size_t>(block)],
+                            std::span<const TaskId>(send_deps));
+      arrival[static_cast<size_t>(Mod(i + 1, n))] = WithOverhead(graph, transfer, options);
+    }
+    prev_arrival = arrival;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    schedule.done[static_cast<size_t>(i)] =
+        graph.AddBarrier({prev_arrival[static_cast<size_t>(i)]});
+  }
+  schedule.all_done = graph.AddBarrier(std::span<const TaskId>(schedule.done));
+  return schedule;
+}
+
+CollectiveSchedule AddHierarchicalAllReduce(TaskGraph& graph, const RankLayout& layout,
+                                            int64_t bytes, const std::vector<TaskId>& deps,
+                                            const CollectiveOptions& options) {
+  const int num_ranks = layout.num_ranks();
+  PX_CHECK_EQ(deps.size(), static_cast<size_t>(num_ranks));
+  CollectiveSchedule schedule;
+  schedule.done.resize(static_cast<size_t>(num_ranks));
+
+  // Phase 1: intra-machine reduce onto each machine's lead GPU, over PCIe.
+  std::vector<TaskId> machine_ready(static_cast<size_t>(layout.num_machines), kNoTask);
+  for (int m = 0; m < layout.num_machines; ++m) {
+    std::vector<TaskId> local_deps;
+    for (int g = 0; g < layout.gpus_per_machine; ++g) {
+      TaskId dep = deps[static_cast<size_t>(layout.RankOf(m, g))];
+      if (dep != kNoTask) {
+        local_deps.push_back(dep);
+      }
+    }
+    if (layout.gpus_per_machine > 1) {
+      machine_ready[static_cast<size_t>(m)] =
+          graph.AddLocalTransfer(m, bytes, std::span<const TaskId>(local_deps));
+    } else {
+      machine_ready[static_cast<size_t>(m)] =
+          graph.AddBarrier(std::span<const TaskId>(local_deps));
+    }
+  }
+
+  // Phase 2: ring across machines.
+  std::vector<TaskId> ring_done(static_cast<size_t>(layout.num_machines), kNoTask);
+  if (layout.num_machines > 1) {
+    std::vector<int> machines(static_cast<size_t>(layout.num_machines));
+    for (int m = 0; m < layout.num_machines; ++m) {
+      machines[static_cast<size_t>(m)] = m;
+    }
+    CollectiveSchedule ring = AddRingAllReduce(graph, machines, bytes, machine_ready, options);
+    ring_done = ring.done;
+  } else {
+    ring_done = machine_ready;
+  }
+
+  // Phase 3: intra-machine broadcast back to all GPUs.
+  for (int m = 0; m < layout.num_machines; ++m) {
+    TaskId broadcast = ring_done[static_cast<size_t>(m)];
+    if (layout.gpus_per_machine > 1) {
+      broadcast = graph.AddLocalTransfer(m, bytes, {ring_done[static_cast<size_t>(m)]});
+    }
+    for (int g = 0; g < layout.gpus_per_machine; ++g) {
+      schedule.done[static_cast<size_t>(layout.RankOf(m, g))] = broadcast;
+    }
+  }
+  schedule.all_done = graph.AddBarrier(std::span<const TaskId>(schedule.done));
+  return schedule;
+}
+
+CollectiveSchedule AddRankRingAllGatherv(TaskGraph& graph, const RankLayout& layout,
+                                         const std::vector<int64_t>& bytes_per_rank,
+                                         const std::vector<TaskId>& deps,
+                                         const CollectiveOptions& options) {
+  const int r_count = layout.num_ranks();
+  PX_CHECK_EQ(deps.size(), static_cast<size_t>(r_count));
+  PX_CHECK_EQ(bytes_per_rank.size(), static_cast<size_t>(r_count));
+  CollectiveSchedule schedule;
+  schedule.done.resize(static_cast<size_t>(r_count));
+
+  if (r_count == 1) {
+    schedule.done[0] = graph.AddBarrier(DepsOrEmpty(deps[0]));
+    schedule.all_done = schedule.done[0];
+    return schedule;
+  }
+
+  std::vector<TaskId> prev_arrival(static_cast<size_t>(r_count), kNoTask);
+  for (int s = 0; s <= r_count - 2; ++s) {
+    std::vector<TaskId> arrival(static_cast<size_t>(r_count), kNoTask);
+    for (int r = 0; r < r_count; ++r) {
+      int block = Mod(r - s, r_count);
+      int next = Mod(r + 1, r_count);
+      std::vector<TaskId> send_deps;
+      if (s == 0) {
+        if (deps[static_cast<size_t>(r)] != kNoTask) {
+          send_deps.push_back(deps[static_cast<size_t>(r)]);
+        }
+      } else {
+        send_deps.push_back(prev_arrival[static_cast<size_t>(r)]);
+      }
+      int src_machine = layout.MachineOfRank(r);
+      int dst_machine = layout.MachineOfRank(next);
+      TaskId transfer;
+      if (src_machine == dst_machine) {
+        transfer = graph.AddLocalTransfer(src_machine, bytes_per_rank[static_cast<size_t>(block)],
+                                          std::span<const TaskId>(send_deps));
+      } else {
+        transfer = graph.AddTransfer(src_machine, dst_machine,
+                                     bytes_per_rank[static_cast<size_t>(block)],
+                                     std::span<const TaskId>(send_deps));
+      }
+      arrival[static_cast<size_t>(next)] = WithOverhead(graph, transfer, options);
+    }
+    prev_arrival = arrival;
+  }
+
+  for (int r = 0; r < r_count; ++r) {
+    schedule.done[static_cast<size_t>(r)] =
+        graph.AddBarrier({prev_arrival[static_cast<size_t>(r)]});
+  }
+  schedule.all_done = graph.AddBarrier(std::span<const TaskId>(schedule.done));
+  return schedule;
+}
+
+}  // namespace parallax

@@ -1,0 +1,69 @@
+// Collective communication schedules over the simulated cluster, mirroring the
+// NCCL/OpenMPI primitives the paper builds on (section 2.1):
+//
+//  - Ring AllReduce (reduce-scatter + allgather): 2(N-1) steps, each moving w/N bytes per
+//    machine — the schedule behind the paper's 4w(N-1)/N per-machine transfer bound.
+//  - Ring AllGatherv: (N-1) steps, each machine forwarding one participant's block — the
+//    schedule behind the 2*alpha*w*(N-1) bound for sparse gradients.
+//  - Hierarchical AllReduce: intra-machine reduce over PCIe, inter-machine ring over the
+//    NICs, intra-machine broadcast — NCCL's topology-aware composition, which is what
+//    makes "N" in the ring formulas the machine count rather than the GPU count.
+//
+// The builders only *schedule* (emit tasks); the numeric payload semantics live in
+// reduce.h so that at-paper-scale benches can run cost-only while correctness tests push
+// real tensors through identical schedules.
+#ifndef PARALLAX_SRC_COMM_COLLECTIVES_H_
+#define PARALLAX_SRC_COMM_COLLECTIVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/sim/task_graph.h"
+
+namespace parallax {
+
+struct CollectiveOptions {
+  // Fixed per-step launch overhead (kernel launch + protocol), seconds.
+  double step_overhead = 25e-6;
+};
+
+struct CollectiveSchedule {
+  // Completion task per participant, in the order participants were given.
+  std::vector<TaskId> done;
+  // Joint completion barrier.
+  TaskId all_done = kNoTask;
+};
+
+// Ring AllReduce across `machines` (distinct machine ids, ring in the given order) moving
+// `bytes` per machine. deps[i] gates machine i's first send (kNoTask = ready at start).
+CollectiveSchedule AddRingAllReduce(TaskGraph& graph, const std::vector<int>& machines,
+                                    int64_t bytes, const std::vector<TaskId>& deps,
+                                    const CollectiveOptions& options = {});
+
+// Ring AllGatherv across `machines`, where machine i contributes bytes_per_machine[i].
+// After the collective every machine holds every block (concatenation semantics).
+CollectiveSchedule AddRingAllGatherv(TaskGraph& graph, const std::vector<int>& machines,
+                                     const std::vector<int64_t>& bytes_per_machine,
+                                     const std::vector<TaskId>& deps,
+                                     const CollectiveOptions& options = {});
+
+// Hierarchical AllReduce over every rank of `layout`, moving `bytes` per rank replica.
+// deps[rank] gates rank r's contribution. Phases: local reduce (PCIe), inter-machine ring
+// (NIC), local broadcast (PCIe). done[] is indexed by rank.
+CollectiveSchedule AddHierarchicalAllReduce(TaskGraph& graph, const RankLayout& layout,
+                                            int64_t bytes, const std::vector<TaskId>& deps,
+                                            const CollectiveOptions& options = {});
+
+// Ring AllGatherv across every rank of `layout` (the OpenMPI-style rank-level ring the
+// paper inevitably uses for sparse gradients, section 6.1). Adjacent same-machine ranks
+// exchange over PCIe; machine-boundary hops cross the NICs. bytes_per_rank[r] is rank r's
+// block size. done[] is indexed by rank.
+CollectiveSchedule AddRankRingAllGatherv(TaskGraph& graph, const RankLayout& layout,
+                                         const std::vector<int64_t>& bytes_per_rank,
+                                         const std::vector<TaskId>& deps,
+                                         const CollectiveOptions& options = {});
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_COMM_COLLECTIVES_H_

@@ -1,0 +1,82 @@
+#include "src/core/analysis.h"
+
+namespace parallax {
+
+std::unordered_map<int, VariableSparsity> AnalyzeSparsity(const Graph& graph, NodeId loss,
+                                                          std::span<const StepResult> samples) {
+  std::unordered_map<int, GradKind> kinds = graph.AnalyzeGradientKinds(loss);
+  std::unordered_map<int, VariableSparsity> result;
+  for (size_t v = 0; v < graph.variables().size(); ++v) {
+    const VariableDef& def = graph.variables()[v];
+    VariableSparsity info;
+    info.kind = kinds[static_cast<int>(v)];
+    info.num_elements = def.shape.num_elements();
+    info.row_elements = def.shape.rank() >= 1 ? def.shape.row_elements() : 1;
+    if (info.kind == GradKind::kSparse) {
+      double alpha_sum = 0.0;
+      int alpha_count = 0;
+      for (const StepResult& step : samples) {
+        auto it = step.grads.find(static_cast<int>(v));
+        if (it != step.grads.end() && it->second.is_sparse()) {
+          alpha_sum += it->second.sparse().AccessRatio();
+          ++alpha_count;
+        }
+      }
+      info.alpha = alpha_count > 0 ? alpha_sum / alpha_count : 1.0;
+    }
+    result[static_cast<int>(v)] = info;
+  }
+  return result;
+}
+
+std::vector<VariableSpec> ToVariableSpecs(
+    const Graph& graph, const std::unordered_map<int, VariableSparsity>& info) {
+  std::vector<VariableSpec> specs;
+  specs.reserve(graph.variables().size());
+  for (size_t v = 0; v < graph.variables().size(); ++v) {
+    const VariableDef& def = graph.variables()[v];
+    const VariableSparsity& sparsity = info.at(static_cast<int>(v));
+    VariableSpec spec;
+    spec.name = def.name;
+    spec.num_elements = sparsity.num_elements;
+    spec.row_elements = sparsity.row_elements;
+    spec.is_sparse = sparsity.kind == GradKind::kSparse;
+    spec.alpha = spec.is_sparse ? sparsity.alpha : 1.0;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+SyncMethod DecideSyncMethod(const VariableSparsity& info, const HybridOptions& options) {
+  if (info.kind != GradKind::kSparse) {
+    return SyncMethod::kArAllReduce;
+  }
+  if (info.alpha >= options.alpha_dense_threshold) {
+    return SyncMethod::kArAllReduce;
+  }
+  return SyncMethod::kPs;
+}
+
+std::vector<VariableSync> AssignGraphVariables(
+    const Graph& graph, const std::unordered_map<int, VariableSparsity>& info,
+    const HybridOptions& options, int sparse_partitions) {
+  std::vector<VariableSpec> specs = ToVariableSpecs(graph, info);
+  std::vector<VariableSync> assignment;
+  assignment.reserve(specs.size());
+  for (size_t v = 0; v < specs.size(); ++v) {
+    VariableSync sync;
+    sync.spec = specs[v];
+    sync.method = DecideSyncMethod(info.at(static_cast<int>(v)), options);
+    if (sync.method == SyncMethod::kPs && graph.variables()[v].partitioner_scope) {
+      int64_t rows = graph.variables()[v].shape.rank() >= 1
+                         ? graph.variables()[v].shape.dim(0)
+                         : 1;
+      sync.partitions =
+          static_cast<int>(std::min<int64_t>(rows, std::max(sparse_partitions, 1)));
+    }
+    assignment.push_back(std::move(sync));
+  }
+  return assignment;
+}
+
+}  // namespace parallax

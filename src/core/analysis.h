@@ -1,0 +1,55 @@
+// Sparsity analysis and hybrid architecture assignment (paper sections 3.1, 4.2, 5).
+//
+// A variable is sparse iff its gradient is IndexedSlices — determined statically from the
+// graph (how the variable is consumed) and confirmed by runtime samples, which also
+// measure alpha (the per-worker element access ratio). The hybrid assigner then maps
+// dense variables to AllReduce and sparse ones to PS, except sparse variables whose alpha
+// is close to 1, which ride AllReduce as dense payloads.
+#ifndef PARALLAX_SRC_CORE_ANALYSIS_H_
+#define PARALLAX_SRC_CORE_ANALYSIS_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/iteration_sim.h"
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+#include "src/models/model_spec.h"
+
+namespace parallax {
+
+struct VariableSparsity {
+  GradKind kind = GradKind::kNone;
+  // Mean fraction of rows a worker touches per iteration (1.0 for dense), measured over
+  // the provided sample steps; falls back to 1.0 with no samples.
+  double alpha = 1.0;
+  int64_t num_elements = 0;
+  int64_t row_elements = 1;
+};
+
+// Static kind analysis plus alpha measurement from sample backward passes.
+std::unordered_map<int, VariableSparsity> AnalyzeSparsity(const Graph& graph, NodeId loss,
+                                                          std::span<const StepResult> samples);
+
+// Cost-model workload view of a graph's variables (feeds the partition search and the
+// timing plane for runner-managed training).
+std::vector<VariableSpec> ToVariableSpecs(const Graph& graph,
+                                          const std::unordered_map<int, VariableSparsity>& info);
+
+struct HybridOptions {
+  double alpha_dense_threshold = 0.8;
+};
+
+// The per-variable architecture decision.
+SyncMethod DecideSyncMethod(const VariableSparsity& info, const HybridOptions& options);
+
+// Full assignment for a graph: every variable gets a method; partitioner-scoped sparse
+// variables get `sparse_partitions` pieces.
+std::vector<VariableSync> AssignGraphVariables(
+    const Graph& graph, const std::unordered_map<int, VariableSparsity>& info,
+    const HybridOptions& options, int sparse_partitions);
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_CORE_ANALYSIS_H_

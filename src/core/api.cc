@@ -1,0 +1,22 @@
+#include "src/core/api.h"
+
+namespace parallax {
+
+StatusOr<std::unique_ptr<GraphRunner>> GetRunner(const Graph* graph, NodeId loss,
+                                                 const std::string& resource_info,
+                                                 ParallaxConfig config) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("graph must not be null");
+  }
+  StatusOr<ResourceSpec> resources = ParseResourceSpec(resource_info);
+  if (!resources.ok()) {
+    return resources.status();
+  }
+  if (!resources.value().IsHomogeneous()) {
+    return Status::InvalidArgument(
+        "every machine must contribute the same number of GPUs");
+  }
+  return std::make_unique<GraphRunner>(graph, loss, resources.value(), std::move(config));
+}
+
+}  // namespace parallax

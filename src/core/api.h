@@ -1,0 +1,37 @@
+// The 3-call Parallax user API (paper Figure 3): shard the input data, scope variables
+// under a partitioner, and get a runner for the single-GPU graph.
+//
+//   Graph graph;
+//   auto ids = graph.Placeholder("ids", DataType::kInt64);
+//   {
+//     PartitionerScope partitioner(graph);               // parallax.partitioner()
+//     emb = graph.Variable("embedding", init);
+//   }
+//   ... build loss ...
+//   auto runner = GetRunner(&graph, loss, "m0:0,1;m1:0,1", config);   // get_runner
+//   for (...) runner.value()->Step(ShardFeeds(...));                  // run(train_op)
+//
+// Data sharding (parallax.shard) lives with the dataset types in src/data/dataset.h.
+#ifndef PARALLAX_SRC_CORE_API_H_
+#define PARALLAX_SRC_CORE_API_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/core/runner.h"
+
+namespace parallax {
+
+// PartitionerScope (the parallax.partitioner() context) is defined alongside Graph in
+// src/graph/graph.h and re-exported here: it is part of graph *construction*, which is
+// why user code that only builds models does not need the runner layers.
+
+// Builds a runner from a resource-info string ("host:gpu,gpu;host:gpu,gpu").
+StatusOr<std::unique_ptr<GraphRunner>> GetRunner(const Graph* graph, NodeId loss,
+                                                 const std::string& resource_info,
+                                                 ParallaxConfig config = {});
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_CORE_API_H_

@@ -1,0 +1,126 @@
+#include "src/core/cost_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/base/logging.h"
+#include "src/base/stats.h"
+
+namespace parallax {
+
+double CostModelFit::ContinuousOptimum() const {
+  if (theta1 <= 0.0 || theta2 <= 0.0) {
+    return 1.0;
+  }
+  return std::sqrt(theta1 / theta2);
+}
+
+CostModelFit FitCostModel(const std::vector<std::pair<int, double>>& samples) {
+  CostModelFit fit;
+  if (samples.size() < 3) {
+    return fit;
+  }
+  std::vector<std::array<double, 3>> features;
+  std::vector<double> targets;
+  features.reserve(samples.size());
+  targets.reserve(samples.size());
+  for (const auto& [partitions, seconds] : samples) {
+    double p = static_cast<double>(partitions);
+    features.push_back({1.0, 1.0 / p, p});
+    targets.push_back(seconds);
+  }
+  LeastSquaresFit ls = FitLinear3(features, targets);
+  if (!ls.ok) {
+    return fit;
+  }
+  fit.theta0 = ls.theta[0];
+  fit.theta1 = ls.theta[1];
+  fit.theta2 = ls.theta[2];
+  fit.rmse = ls.rmse;
+  fit.ok = true;
+  return fit;
+}
+
+PartitionSearchResult SearchPartitions(const std::function<double(int)>& measure,
+                                       const PartitionSearchOptions& options) {
+  PX_CHECK_GE(options.min_partitions, 1);
+  PX_CHECK_GE(options.max_partitions, options.min_partitions);
+  PartitionSearchResult result;
+
+  auto sample = [&](int partitions) {
+    double seconds = measure(partitions);
+    result.samples.emplace_back(partitions, seconds);
+    return seconds;
+  };
+
+  const int initial = std::clamp(options.initial_partitions, options.min_partitions,
+                                 options.max_partitions);
+  double initial_seconds = sample(initial);
+
+  // Double until iteration time starts increasing (paper section 3.2).
+  double previous = initial_seconds;
+  for (int p = initial * 2; p <= options.max_partitions; p *= 2) {
+    double seconds = sample(p);
+    if (seconds > previous) {
+      break;
+    }
+    previous = seconds;
+  }
+  // Halve from the initial point until it starts increasing.
+  previous = initial_seconds;
+  for (int p = initial / 2; p >= options.min_partitions; p /= 2) {
+    double seconds = sample(p);
+    if (seconds > previous) {
+      break;
+    }
+    previous = seconds;
+  }
+
+  result.fit = FitCostModel(result.samples);
+
+  int sampled_min = result.samples.front().first;
+  int sampled_max = result.samples.front().first;
+  for (const auto& [p, unused] : result.samples) {
+    sampled_min = std::min(sampled_min, p);
+    sampled_max = std::max(sampled_max, p);
+  }
+
+  if (!result.fit.ok) {
+    // Too few samples to fit; fall back to the best measurement.
+    auto best = std::min_element(
+        result.samples.begin(), result.samples.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    result.best_partitions = best->first;
+    result.predicted_seconds = best->second;
+    return result;
+  }
+
+  // The critical point lies inside the sampled interval (convexity), so evaluating the
+  // fitted model there never extrapolates. Candidates: the continuous optimum's integer
+  // neighbours plus every sampled point.
+  std::vector<int> candidates;
+  double continuous = std::clamp(result.fit.ContinuousOptimum(),
+                                 static_cast<double>(sampled_min),
+                                 static_cast<double>(sampled_max));
+  candidates.push_back(std::max(options.min_partitions, static_cast<int>(continuous)));
+  candidates.push_back(
+      std::min(options.max_partitions, static_cast<int>(std::ceil(continuous))));
+  for (const auto& [p, unused] : result.samples) {
+    candidates.push_back(p);
+  }
+  int best = candidates.front();
+  double best_pred = result.fit.Predict(best);
+  for (int candidate : candidates) {
+    double pred = result.fit.Predict(candidate);
+    if (pred < best_pred) {
+      best_pred = pred;
+      best = candidate;
+    }
+  }
+  result.best_partitions = best;
+  result.predicted_seconds = best_pred;
+  return result;
+}
+
+}  // namespace parallax

@@ -1,0 +1,65 @@
+// The sparse-variable partitioning cost model and sampling search (paper section 3.2).
+//
+// Equation 1:   iter_time(P) = theta0 + theta1 * (1/P) + theta2 * P
+//
+//   theta0 — fixed computation/communication independent of the partition count,
+//   theta1 — the cost partitioning parallelizes/amortizes (accumulator serialization),
+//   theta2 — per-partition overhead (stitching, per-piece bookkeeping, extra requests).
+//
+// The search replicates the paper's procedure: start at P = number of machines, measure a
+// short real run (first half discarded as warmup), double P until iteration time starts
+// to increase, then halve from the start point until it increases again. The model is a
+// convex function of P, so the sampled interval brackets the optimum and the fit never
+// extrapolates. The fitted optimum is then snapped to the best predicted integer.
+#ifndef PARALLAX_SRC_CORE_COST_MODEL_H_
+#define PARALLAX_SRC_CORE_COST_MODEL_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace parallax {
+
+struct CostModelFit {
+  double theta0 = 0.0;
+  double theta1 = 0.0;
+  double theta2 = 0.0;
+  double rmse = 0.0;
+  bool ok = false;
+
+  double Predict(double partitions) const {
+    return theta0 + theta1 / partitions + theta2 * partitions;
+  }
+  // Unconstrained continuous minimizer sqrt(theta1/theta2); 1 when degenerate.
+  double ContinuousOptimum() const;
+};
+
+// Least-squares fit of Equation 1 to (partition count, iteration seconds) samples.
+CostModelFit FitCostModel(const std::vector<std::pair<int, double>>& samples);
+
+struct PartitionSearchOptions {
+  // Initial sample point; the paper uses the number of machines.
+  int initial_partitions = 8;
+  int min_partitions = 1;
+  int max_partitions = 4096;
+  // Iterations per sampling run; the paper runs 100 and discards the first 50.
+  int warmup_iterations = 50;
+  int measured_iterations = 50;
+};
+
+struct PartitionSearchResult {
+  int best_partitions = 1;
+  CostModelFit fit;
+  // Every sampling run performed: (P, measured mean iteration seconds).
+  std::vector<std::pair<int, double>> samples;
+  double predicted_seconds = 0.0;
+};
+
+// measure(P) must return the mean iteration time at P partitions (the caller decides how:
+// simulated training for the benches, or any user-supplied profiler).
+PartitionSearchResult SearchPartitions(const std::function<double(int)>& measure,
+                                       const PartitionSearchOptions& options);
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_CORE_COST_MODEL_H_

@@ -1,0 +1,451 @@
+#include "src/core/iteration_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parallax {
+namespace {
+
+int64_t ToBytes(double elements) { return static_cast<int64_t>(elements) * 4; }
+
+}  // namespace
+
+IterationSimulator::IterationSimulator(const ClusterSpec& cluster_spec,
+                                       std::vector<VariableSync> variables,
+                                       double gpu_compute_seconds, int compute_chunks,
+                                       IterationSimConfig config)
+    : cluster_spec_(cluster_spec),
+      variables_(std::move(variables)),
+      gpu_compute_seconds_(gpu_compute_seconds),
+      compute_chunks_(std::max(compute_chunks, 2)),
+      config_(config) {
+  PX_CHECK(!variables_.empty());
+  forward_chunks_ = std::max(1, compute_chunks_ / 2);
+  const int backward_chunks = std::max(1, compute_chunks_ - forward_chunks_);
+  compute_chunks_ = forward_chunks_ + backward_chunks;
+
+  const int num_vars = static_cast<int>(variables_.size());
+  pull_chunk_.resize(static_cast<size_t>(num_vars));
+  grad_chunk_.resize(static_cast<size_t>(num_vars));
+  int server_rr = 0;  // round-robin shard placement across server machines
+  for (int v = 0; v < num_vars; ++v) {
+    // Variables are listed in layer order; the first variable is consumed by the first
+    // forward chunk and its gradient is produced by the last backward chunk.
+    double position = (static_cast<double>(v) + 0.5) / num_vars;
+    pull_chunk_[static_cast<size_t>(v)] =
+        std::min(forward_chunks_ - 1, static_cast<int>(position * forward_chunks_));
+    grad_chunk_[static_cast<size_t>(v)] =
+        forward_chunks_ +
+        std::min(backward_chunks - 1, static_cast<int>((1.0 - position) * backward_chunks));
+
+    const VariableSync& sync = variables_[static_cast<size_t>(v)];
+    PX_CHECK_GE(sync.partitions, 1);
+    if (sync.method == SyncMethod::kPs) {
+      int64_t base = sync.spec.num_elements / sync.partitions;
+      int64_t rem = sync.spec.num_elements % sync.partitions;
+      for (int p = 0; p < sync.partitions; ++p) {
+        Shard shard;
+        shard.var = v;
+        shard.piece = p;
+        shard.server = server_rr++ % cluster_spec_.num_machines;
+        shard.elements = base + (p < rem ? 1 : 0);
+        shards_.push_back(shard);
+      }
+    }
+  }
+}
+
+int64_t IterationSimulator::SparseIndexBytes(int64_t touched_elements,
+                                             int64_t row_elements) const {
+  if (!config_.include_index_bytes) {
+    return 0;
+  }
+  return (touched_elements / std::max<int64_t>(row_elements, 1)) * 8;
+}
+
+int64_t IterationSimulator::PullBytesPerWorker(const Shard& shard) const {
+  const VariableSpec& spec = variables_[static_cast<size_t>(shard.var)].spec;
+  if (!spec.is_sparse) {
+    return shard.elements * 4;
+  }
+  int64_t touched = static_cast<int64_t>(spec.alpha * static_cast<double>(shard.elements));
+  return touched * 4 + SparseIndexBytes(touched, spec.row_elements);
+}
+
+SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_time) {
+  const RankLayout layout = cluster.layout();
+  const int num_ranks = layout.num_ranks();
+  const int gpus = cluster_spec_.gpus_per_machine;
+  const SyncCostParams& costs = config_.costs;
+  const CollectiveOptions collective{costs.collective_step_overhead_seconds};
+
+  TaskGraph graph;
+  std::vector<TaskId> end_tasks;
+
+  // Single-GPU job: the graph runs unmodified — no pulls, no collectives, no servers
+  // (Parallax leaves a 1-GPU graph alone; the local SGD apply rides the GPU).
+  if (num_ranks == 1) {
+    TaskId compute = graph.AddGpuCompute(0, 0, gpu_compute_seconds_);
+    int64_t total_elements = 0;
+    for (const VariableSync& sync : variables_) {
+      total_elements += sync.spec.num_elements;
+    }
+    TaskId apply = graph.AddGpuCompute(
+        0, 0,
+        costs.gpu_dense_apply_seconds_per_element * static_cast<double>(total_elements),
+        {compute});
+    graph.Execute(cluster, start_time);
+    return graph.FinishTime(apply);
+  }
+
+  // ---- Phase 1: PS pulls ----------------------------------------------------------
+  // avail[rank][shard] = task after which the shard's rows are on the rank's machine.
+  //
+  // Pulls are enqueued deepest-layer-first. All pulls issue at the iteration barrier and
+  // share the server's RPC path; under fair multiplexing no variable finishes much
+  // before the whole pull burst drains, so the first forward chunk's variables must not
+  // be allowed to jump the queue — serving them last models the fair-share drain time
+  // on the critical path.
+  std::vector<std::vector<TaskId>> avail(
+      static_cast<size_t>(num_ranks),
+      std::vector<TaskId>(shards_.size(), kNoTask));
+  for (size_t si = shards_.size(); si-- > 0;) {
+    const size_t s = si;
+    const Shard& shard = shards_[s];
+    const VariableSpec& spec = variables_[static_cast<size_t>(shard.var)].spec;
+    if (config_.ps_machine_level_pulls) {
+      // One pull per machine (by its chief worker), local broadcast over PCIe.
+      for (int m = 0; m < cluster_spec_.num_machines; ++m) {
+        int64_t bytes;
+        if (spec.is_sparse) {
+          int64_t touched = static_cast<int64_t>(UnionAlpha(spec.alpha, gpus) *
+                                                 static_cast<double>(shard.elements));
+          bytes = touched * 4 + SparseIndexBytes(touched, spec.row_elements);
+        } else {
+          bytes = shard.elements * 4;
+        }
+        TaskId req = graph.AddCpuWork(shard.server, costs.request_overhead_seconds);
+        TaskId xfer = (m == shard.server)
+                          ? graph.AddLocalTransfer(m, bytes, {req})
+                          : graph.AddTransfer(shard.server, m, bytes, {req});
+        TaskId ready = xfer;
+        if (gpus > 1) {
+          ready = graph.AddLocalTransfer(m, bytes, {xfer});  // broadcast to local GPUs
+        }
+        for (int g = 0; g < gpus; ++g) {
+          avail[static_cast<size_t>(layout.RankOf(m, g))][s] = ready;
+        }
+      }
+    } else {
+      // Naive PS: every worker pulls for itself.
+      for (int r = 0; r < num_ranks; ++r) {
+        int machine = layout.MachineOfRank(r);
+        int64_t bytes = PullBytesPerWorker(shard);
+        TaskId req = graph.AddCpuWork(shard.server, costs.request_overhead_seconds);
+        TaskId xfer = (machine == shard.server)
+                          ? graph.AddLocalTransfer(machine, bytes, {req})
+                          : graph.AddTransfer(shard.server, machine, bytes, {req});
+        avail[static_cast<size_t>(r)][s] = xfer;
+      }
+    }
+  }
+
+  // Per-rank, per-variable readiness gates for the forward pass (stitching partitioned
+  // pulls costs worker CPU proportional to the partition count — the theta2 term).
+  // gate[rank][var].
+  std::vector<std::vector<TaskId>> gate(
+      static_cast<size_t>(num_ranks),
+      std::vector<TaskId>(variables_.size(), kNoTask));
+  for (int v = 0; v < static_cast<int>(variables_.size()); ++v) {
+    if (variables_[static_cast<size_t>(v)].method != SyncMethod::kPs) {
+      continue;  // AR variables are resident replicas: no pull
+    }
+    std::vector<size_t> var_shards;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].var == v) {
+        var_shards.push_back(s);
+      }
+    }
+    for (int r = 0; r < num_ranks; ++r) {
+      std::vector<TaskId> deps;
+      deps.reserve(var_shards.size());
+      for (size_t s : var_shards) {
+        deps.push_back(avail[static_cast<size_t>(r)][s]);
+      }
+      if (var_shards.size() > 1) {
+        gate[static_cast<size_t>(r)][static_cast<size_t>(v)] = graph.AddCpuWork(
+            layout.MachineOfRank(r),
+            costs.stitch_seconds_per_partition * static_cast<double>(var_shards.size()),
+            std::span<const TaskId>(deps));
+      } else {
+        gate[static_cast<size_t>(r)][static_cast<size_t>(v)] =
+            graph.AddBarrier(std::span<const TaskId>(deps));
+      }
+    }
+  }
+
+  // ---- Phase 2: chunked forward + backward compute per rank ------------------------
+  // Each rank's session first dispatches the per-piece ops for this iteration — a
+  // client-serial cost growing linearly in the piece count (theta2 of Equation 1).
+  const double chunk_seconds = gpu_compute_seconds_ / compute_chunks_;
+  const double dispatch_seconds =
+      costs.worker_dispatch_seconds_per_piece * static_cast<double>(shards_.size());
+  std::vector<std::vector<TaskId>> chunk_task(
+      static_cast<size_t>(num_ranks),
+      std::vector<TaskId>(static_cast<size_t>(compute_chunks_), kNoTask));
+  for (int r = 0; r < num_ranks; ++r) {
+    TaskId prev = kNoTask;
+    if (!shards_.empty() && dispatch_seconds > 0.0) {
+      prev = graph.AddCpuWork(layout.MachineOfRank(r), dispatch_seconds);
+    }
+    for (int c = 0; c < compute_chunks_; ++c) {
+      std::vector<TaskId> deps;
+      if (prev != kNoTask) {
+        deps.push_back(prev);
+      }
+      if (c < forward_chunks_) {
+        for (int v = 0; v < static_cast<int>(variables_.size()); ++v) {
+          if (pull_chunk_[static_cast<size_t>(v)] == c &&
+              gate[static_cast<size_t>(r)][static_cast<size_t>(v)] != kNoTask) {
+            deps.push_back(gate[static_cast<size_t>(r)][static_cast<size_t>(v)]);
+          }
+        }
+      }
+      prev = graph.AddGpuCompute(layout.MachineOfRank(r), layout.LocalGpuOfRank(r),
+                                 chunk_seconds, std::span<const TaskId>(deps));
+      chunk_task[static_cast<size_t>(r)][static_cast<size_t>(c)] = prev;
+    }
+    end_tasks.push_back(prev);
+  }
+
+  // ---- Phase 3a: AR dense groups (bucket by producing chunk = Horovod tensor fusion) --
+  for (int c = forward_chunks_; c < compute_chunks_; ++c) {
+    int64_t group_elements = 0;
+    for (int v = 0; v < static_cast<int>(variables_.size()); ++v) {
+      if (grad_chunk_[static_cast<size_t>(v)] == c &&
+          variables_[static_cast<size_t>(v)].method == SyncMethod::kArAllReduce) {
+        group_elements += variables_[static_cast<size_t>(v)].spec.num_elements;
+      }
+    }
+    if (group_elements == 0) {
+      continue;
+    }
+    std::vector<TaskId> deps(static_cast<size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      deps[static_cast<size_t>(r)] = chunk_task[static_cast<size_t>(r)][static_cast<size_t>(c)];
+    }
+    CollectiveSchedule schedule = AddHierarchicalAllReduce(
+        graph, layout, group_elements * 4, deps, collective);
+    for (int r = 0; r < num_ranks; ++r) {
+      TaskId apply = graph.AddGpuCompute(
+          layout.MachineOfRank(r), layout.LocalGpuOfRank(r),
+          costs.gpu_dense_apply_seconds_per_element * static_cast<double>(group_elements),
+          {schedule.done[static_cast<size_t>(r)]});
+      end_tasks.push_back(apply);
+    }
+  }
+
+  // ---- Phase 3b: AR AllGatherv per sparse variable ---------------------------------
+  for (int v = 0; v < static_cast<int>(variables_.size()); ++v) {
+    const VariableSync& sync = variables_[static_cast<size_t>(v)];
+    if (sync.method != SyncMethod::kArAllGatherv) {
+      continue;
+    }
+    int64_t touched = static_cast<int64_t>(sync.spec.alpha *
+                                           static_cast<double>(sync.spec.num_elements));
+    int64_t block_bytes = touched * 4 + SparseIndexBytes(touched, sync.spec.row_elements);
+    int64_t gathered_elements = touched * num_ranks;
+    std::vector<TaskId> deps(static_cast<size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      deps[static_cast<size_t>(r)] =
+          chunk_task[static_cast<size_t>(r)][static_cast<size_t>(
+              grad_chunk_[static_cast<size_t>(v)])];
+    }
+    std::vector<TaskId> done(static_cast<size_t>(num_ranks), kNoTask);
+    // OpenMPI tuned-collective behavior: large blocks ride the bandwidth-efficient ring;
+    // smaller ones take the broadcast-style path (calibration.h).
+    bool use_ring = config_.gatherv_algorithm == GathervAlgorithm::kRing ||
+                    block_bytes >= costs.gatherv_ring_threshold_bytes;
+    if (use_ring) {
+      std::vector<int64_t> blocks(static_cast<size_t>(num_ranks), block_bytes);
+      CollectiveSchedule schedule =
+          AddRankRingAllGatherv(graph, layout, blocks, deps, collective);
+      done = schedule.done;
+    } else {
+      // Broadcast (OpenMPI-style): every rank ships its block to every other rank.
+      // Cross-machine hops are inflated by the OpenMPI effective-bandwidth derate
+      // (calibration.h); intra-machine hops ride shared memory / PCIe at full speed.
+      int64_t inflated_bytes = static_cast<int64_t>(
+          static_cast<double>(block_bytes) * costs.gatherv_cross_machine_inflation);
+      std::vector<std::vector<TaskId>> arrivals(static_cast<size_t>(num_ranks));
+      for (int src = 0; src < num_ranks; ++src) {
+        for (int dst = 0; dst < num_ranks; ++dst) {
+          if (src == dst) {
+            continue;
+          }
+          int src_m = layout.MachineOfRank(src);
+          int dst_m = layout.MachineOfRank(dst);
+          TaskId xfer =
+              (src_m == dst_m)
+                  ? graph.AddLocalTransfer(src_m, block_bytes,
+                                           {deps[static_cast<size_t>(src)]})
+                  : graph.AddTransfer(src_m, dst_m, inflated_bytes,
+                                      {deps[static_cast<size_t>(src)]});
+          arrivals[static_cast<size_t>(dst)].push_back(xfer);
+        }
+      }
+      for (int r = 0; r < num_ranks; ++r) {
+        arrivals[static_cast<size_t>(r)].push_back(deps[static_cast<size_t>(r)]);
+        done[static_cast<size_t>(r)] =
+            graph.AddBarrier(std::span<const TaskId>(arrivals[static_cast<size_t>(r)]));
+      }
+    }
+    for (int r = 0; r < num_ranks; ++r) {
+      TaskId apply = graph.AddGpuCompute(
+          layout.MachineOfRank(r), layout.LocalGpuOfRank(r),
+          costs.gpu_sparse_apply_seconds_per_element *
+              static_cast<double>(gathered_elements),
+          {done[static_cast<size_t>(r)]});
+      end_tasks.push_back(apply);
+    }
+  }
+
+  // ---- Phase 4: PS pushes, accumulator chains, updates ------------------------------
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    const VariableSync& sync = variables_[static_cast<size_t>(shard.var)];
+    const VariableSpec& spec = sync.spec;
+    const int producing_chunk = grad_chunk_[static_cast<size_t>(shard.var)];
+    int64_t touched_per_rank =
+        spec.is_sparse
+            ? static_cast<int64_t>(spec.alpha * static_cast<double>(shard.elements))
+            : shard.elements;
+
+    TaskId acc_tail = kNoTask;
+    if (config_.ps_local_aggregation) {
+      // Gather local GPUs' gradients over PCIe, coalesce on the machine's cores, push
+      // one machine-level gradient; the server's accumulator chains over machines.
+      for (int m = 0; m < cluster_spec_.num_machines; ++m) {
+        std::vector<TaskId> local_deps;
+        for (int g = 0; g < gpus; ++g) {
+          local_deps.push_back(chunk_task[static_cast<size_t>(layout.RankOf(m, g))]
+                                         [static_cast<size_t>(producing_chunk)]);
+        }
+        int64_t per_rank_bytes = PullBytesPerWorker(shard);
+        TaskId ready;
+        if (gpus > 1) {
+          TaskId local_gather = graph.AddLocalTransfer(
+              m, per_rank_bytes * gpus, std::span<const TaskId>(local_deps));
+          if (spec.is_sparse) {
+            // Coalescing local sparse gradients walks indices on the host CPU.
+            double agg_seconds = costs.sparse_agg_seconds_per_element *
+                                 static_cast<double>(touched_per_rank * gpus);
+            ready = graph.AddCpuWork(m, agg_seconds, {local_gather});
+          } else {
+            // Dense local reduction is a vectorized sum folded into the gather
+            // (GPU/SIMD-assisted); the PCIe crossing above is the cost.
+            ready = local_gather;
+          }
+        } else {
+          ready = graph.AddBarrier(std::span<const TaskId>(local_deps));
+        }
+        int64_t push_bytes;
+        double acc_elements;
+        if (spec.is_sparse) {
+          int64_t machine_touched = static_cast<int64_t>(
+              UnionAlpha(spec.alpha, gpus) * static_cast<double>(shard.elements));
+          push_bytes =
+              machine_touched * 4 + SparseIndexBytes(machine_touched, spec.row_elements);
+          acc_elements = static_cast<double>(machine_touched);
+        } else {
+          push_bytes = shard.elements * 4;
+          acc_elements = static_cast<double>(shard.elements);
+        }
+        TaskId push = (m == shard.server)
+                          ? graph.AddLocalTransfer(m, push_bytes, {ready})
+                          : graph.AddTransfer(m, shard.server, push_bytes, {ready});
+        double acc_seconds =
+            costs.request_overhead_seconds +
+            (spec.is_sparse ? costs.sparse_agg_seconds_per_element
+                            : costs.dense_agg_seconds_per_element) *
+                acc_elements;
+        std::vector<TaskId> acc_deps = {push};
+        if (acc_tail != kNoTask) {
+          acc_deps.push_back(acc_tail);
+        }
+        acc_tail = graph.AddCpuWork(shard.server, acc_seconds,
+                                    std::span<const TaskId>(acc_deps));
+      }
+    } else {
+      for (int r = 0; r < num_ranks; ++r) {
+        int machine = layout.MachineOfRank(r);
+        int64_t push_bytes = PullBytesPerWorker(shard);
+        TaskId grad_ready =
+            chunk_task[static_cast<size_t>(r)][static_cast<size_t>(producing_chunk)];
+        TaskId push = (machine == shard.server)
+                          ? graph.AddLocalTransfer(machine, push_bytes, {grad_ready})
+                          : graph.AddTransfer(machine, shard.server, push_bytes,
+                                              {grad_ready});
+        double acc_seconds =
+            costs.request_overhead_seconds +
+            (spec.is_sparse ? costs.sparse_agg_seconds_per_element
+                            : costs.dense_agg_seconds_per_element) *
+                static_cast<double>(touched_per_rank);
+        std::vector<TaskId> acc_deps = {push};
+        if (acc_tail != kNoTask) {
+          acc_deps.push_back(acc_tail);
+        }
+        acc_tail = graph.AddCpuWork(shard.server, acc_seconds,
+                                    std::span<const TaskId>(acc_deps));
+      }
+    }
+
+    // Update op, colocated with the shard (transformation placement rule). Sparse
+    // updates pay for the touched-row scatter plus a full traversal of the piece
+    // (accumulator flush + variable write) — the piece-size term partitioning divides.
+    double update_elements =
+        spec.is_sparse ? UnionAlpha(spec.alpha, num_ranks) * static_cast<double>(shard.elements)
+                       : static_cast<double>(shard.elements);
+    double update_seconds =
+        costs.partition_overhead_seconds +
+        (spec.is_sparse ? costs.sparse_update_seconds_per_element
+                        : costs.dense_update_seconds_per_element) *
+            update_elements;
+    if (spec.is_sparse) {
+      update_seconds +=
+          costs.sparse_flush_seconds_per_element * static_cast<double>(shard.elements);
+    }
+    TaskId update = graph.AddCpuWork(shard.server, update_seconds, {acc_tail});
+    end_tasks.push_back(update);
+  }
+
+  // ---- Iteration barrier (chief-worker notification through shared queues) ----------
+  TaskId barrier = graph.AddBarrier(std::span<const TaskId>(end_tasks));
+  TaskResult result = graph.Execute(cluster, start_time);
+  return graph.FinishTime(barrier) == 0.0 ? result.finish_time : graph.FinishTime(barrier);
+}
+
+std::vector<double> IterationSimulator::RunIterations(int iterations) {
+  Cluster cluster(cluster_spec_);
+  std::vector<double> durations;
+  durations.reserve(static_cast<size_t>(iterations));
+  SimTime t = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    SimTime finish = SimulateIteration(cluster, t);
+    durations.push_back(finish - t);
+    t = finish;
+  }
+  return durations;
+}
+
+double IterationSimulator::MeasureIterationSeconds(int warmup, int measure) {
+  PX_CHECK_GT(measure, 0);
+  std::vector<double> durations = RunIterations(warmup + measure);
+  double sum = 0.0;
+  for (int i = warmup; i < warmup + measure; ++i) {
+    sum += durations[static_cast<size_t>(i)];
+  }
+  return sum / measure;
+}
+
+}  // namespace parallax

@@ -1,0 +1,120 @@
+// Unified per-iteration timing simulation for every synchronization architecture.
+//
+// One synchronous training iteration is described as a task DAG over the simulated
+// cluster (sim/task_graph.h):
+//
+//   pulls (PS variables) ──▶ forward chunks ──▶ backward chunks ──▶ per-variable sync
+//                                                                    │
+//     PS path: push → accumulator chain (serial per shard) → update op on the server
+//     AR path: hierarchical ring AllReduce (dense) / AllGatherv (sparse) → GPU apply
+//
+// Because each variable carries its own SyncMethod, the PS-only (TF-PS), AR-only
+// (Horovod) and hybrid (Parallax) architectures are all instances of the same builder —
+// exactly the framing of the paper's section 3.1/4.3: the hybrid graph is the composition
+// of the per-variable-kind transformation rules.
+//
+// What emerges mechanistically (nothing here is closed-form):
+//  - PS incast at the owning server's NIC (section 3.1's asymmetry argument),
+//  - serialization of sparse gradient accumulation per shard — the cost that
+//    partitioning parallelizes (section 3.2),
+//  - per-partition overheads (requests, bookkeeping, stitch) — the theta2 * P term,
+//  - communication/computation overlap from chunked forward/backward,
+//  - ring pipelining and the N-1/N factors of Table 3 (validated by bench_table3).
+#ifndef PARALLAX_SRC_CORE_ITERATION_SIM_H_
+#define PARALLAX_SRC_CORE_ITERATION_SIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/comm/collectives.h"
+#include "src/models/calibration.h"
+#include "src/models/model_spec.h"
+#include "src/sim/cluster.h"
+#include "src/sim/task_graph.h"
+
+namespace parallax {
+
+// How one variable's gradients are synchronized.
+enum class SyncMethod : uint8_t {
+  kPs,            // parameter server shard(s): pull / push / accumulate / update
+  kArAllReduce,   // dense ring AllReduce (also used for sparse-treated-as-dense)
+  kArAllGatherv,  // sparse AllGatherv across ranks
+};
+
+// AllGatherv algorithm. kRing is the bandwidth-optimal schedule; kBroadcast models the
+// OpenMPI fallback the paper had to use ("we inevitably use OpenMPI for AllGatherv,
+// which is not provided by NCCL", section 6.1): every rank sends its block to every
+// other rank, which floods the receiving NICs at scale.
+enum class GathervAlgorithm : uint8_t {
+  kRing,
+  kBroadcast,
+};
+
+struct VariableSync {
+  VariableSpec spec;
+  SyncMethod method = SyncMethod::kPs;
+  int partitions = 1;  // PS only; >1 splits the shard row-wise across servers
+};
+
+struct IterationSimConfig {
+  // OptPS: aggregate gradients within each machine before pushing (one push per machine
+  // instead of one per GPU) — paper's local aggregation.
+  bool ps_local_aggregation = false;
+  // OptPS: pull each shard once per machine and broadcast locally over PCIe, instead of
+  // once per GPU worker — paper's smart placement of read operations.
+  bool ps_machine_level_pulls = false;
+  GathervAlgorithm gatherv_algorithm = GathervAlgorithm::kBroadcast;
+  // Account 8 bytes/row of index traffic for sparse transfers (the paper's analysis
+  // neglects it; Table 3 validation turns it off).
+  bool include_index_bytes = true;
+  SyncCostParams costs;
+};
+
+class IterationSimulator {
+ public:
+  IterationSimulator(const ClusterSpec& cluster_spec, std::vector<VariableSync> variables,
+                     double gpu_compute_seconds, int compute_chunks,
+                     IterationSimConfig config);
+
+  // Builds and executes one iteration DAG. Resource state in `cluster` carries over
+  // between calls, so pipelining across iterations reaches steady state naturally.
+  SimTime SimulateIteration(Cluster& cluster, SimTime start_time);
+
+  // Runs `iterations` iterations on a fresh cluster; returns each iteration's duration.
+  std::vector<double> RunIterations(int iterations);
+
+  // Mean iteration time over `measure` iterations after `warmup` discarded ones —
+  // the paper's sampling discipline (run 100, discard the first 50; section 3.2).
+  double MeasureIterationSeconds(int warmup, int measure);
+
+  const ClusterSpec& cluster_spec() const { return cluster_spec_; }
+
+ private:
+  // A PS shard: one partition of one PS variable, owned by one server machine.
+  struct Shard {
+    int var = 0;           // index into variables_
+    int piece = 0;         // partition index within the variable
+    int server = 0;        // owning machine
+    int64_t elements = 0;  // elements stored in this piece
+  };
+
+  int64_t PullBytesPerWorker(const Shard& shard) const;
+  int64_t SparseIndexBytes(int64_t touched_elements, int64_t row_elements) const;
+
+  ClusterSpec cluster_spec_;
+  std::vector<VariableSync> variables_;
+  double gpu_compute_seconds_;
+  int compute_chunks_;
+  IterationSimConfig config_;
+
+  std::vector<Shard> shards_;
+  // Per variable: the forward chunk that needs it and the backward chunk that produces
+  // its gradient (global chunk indices into the per-rank compute chain).
+  std::vector<int> pull_chunk_;
+  std::vector<int> grad_chunk_;
+  int forward_chunks_ = 1;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_CORE_ITERATION_SIM_H_

@@ -1,0 +1,39 @@
+// Resource specification — the paper's resource_info_file (section 4.1): which machines
+// participate and which GPUs each contributes. Parsed from "host:gpu,gpu;host:gpu" text.
+#ifndef PARALLAX_SRC_CORE_RESOURCES_H_
+#define PARALLAX_SRC_CORE_RESOURCES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sim/cluster.h"
+
+namespace parallax {
+
+struct MachineInfo {
+  std::string hostname;
+  std::vector<int> gpu_ids;
+};
+
+struct ResourceSpec {
+  std::vector<MachineInfo> machines;
+
+  static ResourceSpec Homogeneous(int num_machines, int gpus_per_machine);
+
+  int num_machines() const { return static_cast<int>(machines.size()); }
+  int total_gpus() const;
+  // True when every machine contributes the same number of GPUs (required by the
+  // simulator's rank layout; heterogeneous counts are future work, as in the paper).
+  bool IsHomogeneous() const;
+
+  // Maps onto the simulated cluster, inheriting hardware parameters from `base`.
+  ClusterSpec ToClusterSpec(const ClusterSpec& base = ClusterSpec::Paper()) const;
+};
+
+// Parses "host1:0,1,2;host2:0,1,2". Errors on empty machines or malformed ids.
+StatusOr<ResourceSpec> ParseResourceSpec(const std::string& text);
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_CORE_RESOURCES_H_

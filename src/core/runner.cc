@@ -1,0 +1,167 @@
+#include "src/core/runner.h"
+
+#include "src/base/strings.h"
+
+namespace parallax {
+
+GraphRunner::GraphRunner(const Graph* graph, NodeId loss, const ResourceSpec& resources,
+                         ParallaxConfig config)
+    : graph_(graph),
+      loss_(loss),
+      resources_(resources),
+      config_(std::move(config)),
+      executor_(graph) {
+  PX_CHECK(graph != nullptr);
+  PX_CHECK(resources_.IsHomogeneous())
+      << "every machine must contribute the same number of GPUs";
+}
+
+void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_feeds) {
+  // 1. Sample backward passes on the initial values to classify variables and measure
+  //    alpha (section 5: gradient type identifies sparsity).
+  VariableStore initial = VariableStore::InitFrom(*graph_);
+  std::vector<StepResult> samples;
+  size_t sample_count = std::min<size_t>(per_rank_feeds.size(), 4);
+  samples.reserve(sample_count);
+  for (size_t r = 0; r < sample_count; ++r) {
+    samples.push_back(executor_.RunStep(initial, per_rank_feeds[r], loss_));
+  }
+  auto sparsity = AnalyzeSparsity(*graph_, loss_, samples);
+
+  ClusterSpec cluster_spec = resources_.ToClusterSpec(config_.hardware);
+  HybridOptions hybrid{config_.alpha_dense_threshold};
+
+  // 2. Partition search over the simulated training loop (section 3.2). The measure
+  //    function runs short training at candidate P; Equation 1 is fitted over the
+  //    samples and the best predicted P is adopted.
+  bool has_partitioned_sparse = false;
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    if (graph_->variables()[v].partitioner_scope &&
+        sparsity.at(static_cast<int>(v)).kind == GradKind::kSparse) {
+      has_partitioned_sparse = true;
+    }
+  }
+  chosen_partitions_ = config_.manual_partitions;
+  if (config_.auto_partition && has_partitioned_sparse) {
+    PartitionSearchOptions search = config_.search;
+    search.initial_partitions = cluster_spec.num_machines;
+    IterationSimConfig sim_config;
+    sim_config.ps_local_aggregation = config_.local_aggregation;
+    sim_config.ps_machine_level_pulls = config_.local_aggregation;
+    sim_config.costs = config_.costs;
+    auto measure = [&](int partitions) {
+      std::vector<VariableSync> candidate =
+          AssignGraphVariables(*graph_, sparsity, hybrid, partitions);
+      IterationSimulator sim(cluster_spec, candidate, config_.gpu_compute_seconds,
+                             config_.compute_chunks, sim_config);
+      return sim.MeasureIterationSeconds(search.warmup_iterations,
+                                         search.measured_iterations);
+    };
+    search_result_ = SearchPartitions(measure, search);
+    chosen_partitions_ = search_result_->best_partitions;
+    PX_LOG(Info) << "partition search: P=" << chosen_partitions_ << " after "
+                 << search_result_->samples.size() << " sampling runs";
+  }
+
+  // 3.+4. Final assignment and graph transformation.
+  assignment_ = AssignGraphVariables(*graph_, sparsity, hybrid, chosen_partitions_);
+  distributed_graph_.emplace(
+      TransformGraph(*graph_, assignment_, resources_, config_.local_aggregation));
+
+  // 5. Numeric engines for the two variable families.
+  std::vector<int> ps_vars;
+  std::vector<int> ar_vars;
+  for (size_t v = 0; v < assignment_.size(); ++v) {
+    (assignment_[v].method == SyncMethod::kPs ? ps_vars : ar_vars)
+        .push_back(static_cast<int>(v));
+  }
+  PsNumericConfig ps_config;
+  ps_config.sparse_partitions = chosen_partitions_;
+  ps_config.local_aggregation = config_.local_aggregation;
+  ps_config.dense_aggregation = config_.dense_aggregation;
+  ps_config.sparse_aggregation = config_.sparse_aggregation;
+  ps_config.ranks_per_machine = cluster_spec.gpus_per_machine;
+  ps_config.managed_variables = ps_vars;
+  ps_engine_ = std::make_unique<PsNumericEngine>(graph_, ps_config);
+
+  ArNumericConfig ar_config;
+  ar_config.dense_aggregation = config_.dense_aggregation;
+  ar_config.sparse_aggregation = config_.sparse_aggregation;
+  ar_config.managed_variables = ar_vars;
+  ar_engine_ = std::make_unique<ArNumericEngine>(graph_, num_ranks(), ar_config);
+
+  // Timing plane for this training job.
+  IterationSimConfig sim_config;
+  sim_config.ps_local_aggregation = config_.local_aggregation;
+  sim_config.ps_machine_level_pulls = config_.local_aggregation;
+  sim_config.costs = config_.costs;
+  timing_ = std::make_unique<IterationSimulator>(cluster_spec, assignment_,
+                                                 config_.gpu_compute_seconds,
+                                                 config_.compute_chunks, sim_config);
+  cluster_ = std::make_unique<Cluster>(cluster_spec);
+  initialized_ = true;
+}
+
+float GraphRunner::Step(const std::vector<FeedMap>& per_rank_feeds) {
+  PX_CHECK_EQ(static_cast<int>(per_rank_feeds.size()), num_ranks())
+      << "one feed shard per GPU replica";
+  if (!initialized_) {
+    InitializeFromSamples(per_rank_feeds);
+  }
+
+  // Every replica computes on its shard against its current view.
+  VariableStore ps_values = ps_engine_->CurrentValues();
+  std::vector<StepResult> per_rank;
+  per_rank.reserve(per_rank_feeds.size());
+  float loss_sum = 0.0f;
+  for (int r = 0; r < num_ranks(); ++r) {
+    VariableStore view = ar_engine_->replica(r).Clone();
+    for (size_t v = 0; v < assignment_.size(); ++v) {
+      if (assignment_[v].method == SyncMethod::kPs) {
+        view.Set(static_cast<int>(v), ps_values.Get(static_cast<int>(v)));
+      }
+    }
+    StepResult result =
+        executor_.RunStep(view, per_rank_feeds[static_cast<size_t>(r)], loss_);
+    loss_sum += result.loss;
+    per_rank.push_back(std::move(result));
+  }
+
+  // Synchronize: sparse through the PS engine, dense through AR.
+  ps_engine_->ApplyStep(per_rank, config_.learning_rate);
+  ar_engine_->ApplyStep(per_rank, config_.learning_rate);
+
+  // Advance the simulated clock by this iteration's makespan.
+  simulated_seconds_ = timing_->SimulateIteration(*cluster_, simulated_seconds_);
+  ++iterations_;
+  return loss_sum / static_cast<float>(num_ranks());
+}
+
+Tensor GraphRunner::Evaluate(const FeedMap& feeds, NodeId fetch) {
+  PX_CHECK(initialized_) << "Evaluate before the first Step";
+  return executor_.RunForward(WorkerView(), feeds, fetch);
+}
+
+const std::vector<VariableSync>& GraphRunner::assignment() const {
+  PX_CHECK(initialized_);
+  return assignment_;
+}
+
+const DistributedGraph& GraphRunner::distributed_graph() const {
+  PX_CHECK(initialized_);
+  return *distributed_graph_;
+}
+
+VariableStore GraphRunner::WorkerView() const {
+  PX_CHECK(initialized_);
+  VariableStore view = ar_engine_->replica(0).Clone();
+  VariableStore ps_values = ps_engine_->CurrentValues();
+  for (size_t v = 0; v < assignment_.size(); ++v) {
+    if (assignment_[v].method == SyncMethod::kPs) {
+      view.Set(static_cast<int>(v), ps_values.Get(static_cast<int>(v)));
+    }
+  }
+  return view;
+}
+
+}  // namespace parallax

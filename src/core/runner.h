@@ -1,0 +1,104 @@
+// ParallaxRunner — the runtime behind the get_runner API (paper sections 4.1, 4.2).
+//
+// Given a single-GPU graph, a loss node, and a resource specification, the runner:
+//   1. samples a backward pass to classify variables (dense / sparse) and measure alpha,
+//   2. runs the partition search for partitioner-scoped sparse variables (section 3.2),
+//   3. assigns each variable a synchronization architecture (hybrid rule, section 3.1),
+//   4. transforms the graph (section 4.3) — the resulting DistributedGraph is inspectable,
+//   5. trains: each Step() executes every GPU replica's forward/backward on its shard of
+//      the batch (numerics are real), synchronizes gradients through the PS/AR numeric
+//      engines, and advances the simulated clock by the iteration's task-graph makespan.
+//
+// The runner therefore produces both a *learning curve* (real losses/parameters) and a
+// *time axis* (simulated seconds) — the two ingredients of the paper's Figure 7.
+#ifndef PARALLAX_SRC_CORE_RUNNER_H_
+#define PARALLAX_SRC_CORE_RUNNER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/ar/ar_numeric.h"
+#include "src/core/analysis.h"
+#include "src/core/cost_model.h"
+#include "src/core/iteration_sim.h"
+#include "src/core/resources.h"
+#include "src/core/transform.h"
+#include "src/graph/executor.h"
+#include "src/ps/ps_numeric.h"
+
+namespace parallax {
+
+struct ParallaxConfig {
+  AggregationMethod dense_aggregation = AggregationMethod::kAverage;
+  AggregationMethod sparse_aggregation = AggregationMethod::kAverage;
+  // Use local (per-machine) aggregation and machine-level pulls for PS variables.
+  bool local_aggregation = true;
+  double alpha_dense_threshold = 0.8;
+  // Automatic partition search for partitioner-scoped variables; when disabled,
+  // manual_partitions is applied directly.
+  bool auto_partition = true;
+  int manual_partitions = 1;
+  PartitionSearchOptions search{.initial_partitions = 8,
+                                .min_partitions = 1,
+                                .max_partitions = 1024,
+                                .warmup_iterations = 10,
+                                .measured_iterations = 10};
+  // Compute profile of one replica's fwd+bwd for the timing plane.
+  double gpu_compute_seconds = 4e-3;
+  int compute_chunks = 4;
+  float learning_rate = 0.1f;
+  // Hardware parameters (bandwidths, cores); machine/GPU counts come from ResourceSpec.
+  ClusterSpec hardware = ClusterSpec::Paper();
+  SyncCostParams costs;
+};
+
+class GraphRunner {
+ public:
+  GraphRunner(const Graph* graph, NodeId loss, const ResourceSpec& resources,
+              ParallaxConfig config);
+
+  // One synchronous data-parallel step; per_rank_feeds[r] is rank r's mini-batch shard.
+  // Returns the mean loss across replicas.
+  float Step(const std::vector<FeedMap>& per_rank_feeds);
+
+  // Forward evaluation of `fetch` on the chief's current variable view.
+  Tensor Evaluate(const FeedMap& feeds, NodeId fetch);
+
+  // ---- introspection ----
+  int num_ranks() const { return resources_.total_gpus(); }
+  const std::vector<VariableSync>& assignment() const;
+  const DistributedGraph& distributed_graph() const;
+  int chosen_sparse_partitions() const { return chosen_partitions_; }
+  const std::optional<PartitionSearchResult>& partition_search() const { return search_result_; }
+  double simulated_seconds() const { return simulated_seconds_; }
+  int64_t iterations() const { return iterations_; }
+  // The chief worker's view of all variables (PS materialized + AR replica values).
+  VariableStore WorkerView() const;
+
+ private:
+  void InitializeFromSamples(const std::vector<FeedMap>& per_rank_feeds);
+
+  const Graph* graph_;
+  NodeId loss_;
+  ResourceSpec resources_;
+  ParallaxConfig config_;
+  Executor executor_;
+
+  bool initialized_ = false;
+  std::vector<VariableSync> assignment_;
+  std::optional<DistributedGraph> distributed_graph_;
+  std::optional<PartitionSearchResult> search_result_;
+  int chosen_partitions_ = 1;
+
+  std::unique_ptr<PsNumericEngine> ps_engine_;
+  std::unique_ptr<ArNumericEngine> ar_engine_;
+  std::unique_ptr<IterationSimulator> timing_;
+  std::unique_ptr<Cluster> cluster_;
+  double simulated_seconds_ = 0.0;
+  int64_t iterations_ = 0;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_CORE_RUNNER_H_

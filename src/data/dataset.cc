@@ -1,0 +1,45 @@
+#include "src/data/dataset.h"
+
+#include "src/base/logging.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+
+std::vector<Tensor> ShardTensor(const Tensor& batch, int num_shards) {
+  PX_CHECK_GE(batch.shape().rank(), 1);
+  PX_CHECK_GE(num_shards, 1);
+  int64_t rows = batch.shape().dim(0);
+  PX_CHECK_GE(rows, static_cast<int64_t>(num_shards)) << "fewer rows than shards";
+  int64_t base = rows / num_shards;
+  int64_t rem = rows % num_shards;
+  std::vector<Tensor> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  int64_t begin = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    int64_t extent = base + (s < rem ? 1 : 0);
+    shards.push_back(SliceRows(batch, begin, begin + extent));
+    begin += extent;
+  }
+  return shards;
+}
+
+std::vector<FeedMap> ShardFeeds(const FeedMap& feeds, int num_shards) {
+  PX_CHECK(!feeds.empty());
+  std::vector<FeedMap> result(static_cast<size_t>(num_shards));
+  int64_t expected_rows = -1;
+  for (const auto& [node, tensor] : feeds) {
+    PX_CHECK_GE(tensor.shape().rank(), 1);
+    if (expected_rows < 0) {
+      expected_rows = tensor.shape().dim(0);
+    }
+    PX_CHECK_EQ(tensor.shape().dim(0), expected_rows)
+        << "all feeds must share the batch dimension";
+    std::vector<Tensor> shards = ShardTensor(tensor, num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      result[static_cast<size_t>(s)][node] = std::move(shards[static_cast<size_t>(s)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace parallax

@@ -1,0 +1,22 @@
+// Data sharding for data-parallel training — the parallax.shard API (Figure 3 line 6):
+// a global batch is split into disjoint per-rank shards along the batch dimension.
+#ifndef PARALLAX_SRC_DATA_DATASET_H_
+#define PARALLAX_SRC_DATA_DATASET_H_
+
+#include <vector>
+
+#include "src/graph/executor.h"
+#include "src/tensor/tensor.h"
+
+namespace parallax {
+
+// Splits `batch` (any rank-1+ tensor, float or int) into `num_shards` near-equal row
+// ranges; the first rows%num_shards shards get one extra row.
+std::vector<Tensor> ShardTensor(const Tensor& batch, int num_shards);
+
+// Shards every feed along dim 0. All feeds must have the same dim-0 extent.
+std::vector<FeedMap> ShardFeeds(const FeedMap& feeds, int num_shards);
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_DATA_DATASET_H_

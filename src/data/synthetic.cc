@@ -1,0 +1,75 @@
+#include "src/data/synthetic.h"
+
+#include <numeric>
+
+#include "src/base/logging.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+
+ZipfBigramText::ZipfBigramText(Options options)
+    : options_(options), sampler_(options.vocab_size, options.zipf_exponent) {
+  PX_CHECK_GT(options_.vocab_size, 1);
+  permutation_.resize(static_cast<size_t>(options_.vocab_size));
+  std::iota(permutation_.begin(), permutation_.end(), 0);
+  // Fisher-Yates with the dataset's own deterministic stream.
+  Rng rng(options_.seed);
+  for (int64_t i = options_.vocab_size - 1; i > 0; --i) {
+    int64_t j = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(i + 1)));
+    std::swap(permutation_[static_cast<size_t>(i)], permutation_[static_cast<size_t>(j)]);
+  }
+}
+
+TokenBatch ZipfBigramText::Sample(int64_t n, Rng& rng) const {
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t id = sampler_.Sample(rng);
+    ids[static_cast<size_t>(i)] = id;
+    if (rng.NextDouble() < options_.noise) {
+      labels[static_cast<size_t>(i)] = sampler_.Sample(rng);
+    } else {
+      labels[static_cast<size_t>(i)] = permutation_[static_cast<size_t>(id)];
+    }
+  }
+  TokenBatch batch;
+  batch.ids = Tensor::FromIndices(std::move(ids), TensorShape({n}));
+  batch.labels = Tensor::FromIndices(std::move(labels), TensorShape({n}));
+  return batch;
+}
+
+int64_t ZipfBigramText::TrueNext(int64_t id) const {
+  PX_CHECK_GE(id, 0);
+  PX_CHECK_LT(id, options_.vocab_size);
+  return permutation_[static_cast<size_t>(id)];
+}
+
+ClusteredImages::ClusteredImages(Options options) : options_(options) {
+  Rng rng(options_.seed);
+  centers_ = RandomNormal(TensorShape({options_.num_classes, options_.feature_dims}), rng,
+                          1.0f);
+}
+
+ImageBatch ClusteredImages::Sample(int64_t n, Rng& rng) const {
+  Tensor features = Tensor::Zeros(TensorShape({n, options_.feature_dims}));
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  auto f = features.mutable_floats();
+  auto c = centers_.floats();
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t label = static_cast<int64_t>(rng.NextBounded(
+        static_cast<uint64_t>(options_.num_classes)));
+    labels[static_cast<size_t>(i)] = label;
+    for (int64_t d = 0; d < options_.feature_dims; ++d) {
+      f[static_cast<size_t>(i * options_.feature_dims + d)] =
+          c[static_cast<size_t>(label * options_.feature_dims + d)] +
+          static_cast<float>(rng.NextGaussian()) *
+              static_cast<float>(options_.cluster_stddev);
+    }
+  }
+  ImageBatch batch;
+  batch.features = std::move(features);
+  batch.labels = Tensor::FromIndices(std::move(labels), TensorShape({n}));
+  return batch;
+}
+
+}  // namespace parallax

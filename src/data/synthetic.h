@@ -1,0 +1,77 @@
+// Synthetic datasets standing in for One Billion Word / WMT / ImageNet (DESIGN.md
+// substitution table). What matters to Parallax is the *access pattern*:
+//
+//  - ZipfBigramText: token ids drawn from a Zipf distribution (a hot head plus a long
+//    tail, like natural vocabulary), with a learnable noisy-bigram structure (the next
+//    token is a fixed permutation of the current one with probability 1 - noise). The
+//    Zipf head/tail shape is what gives embedding gradients their realistic per-batch
+//    alpha, and the permutation gives models something real to learn for Figure 7.
+//  - ClusteredImages: Gaussian clusters in feature space, one per class — a dense
+//    classification task for the image-model convergence surrogate.
+#ifndef PARALLAX_SRC_DATA_SYNTHETIC_H_
+#define PARALLAX_SRC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace parallax {
+
+struct TokenBatch {
+  Tensor ids;     // int64 [n]
+  Tensor labels;  // int64 [n]
+};
+
+class ZipfBigramText {
+ public:
+  struct Options {
+    int64_t vocab_size = 2000;
+    double zipf_exponent = 1.05;
+    // Probability that the label is random (not the permutation of the id).
+    double noise = 0.1;
+    uint64_t seed = 7;
+  };
+
+  explicit ZipfBigramText(Options options);
+
+  TokenBatch Sample(int64_t n, Rng& rng) const;
+  // The ground-truth next token for `id` (for accuracy metrics).
+  int64_t TrueNext(int64_t id) const;
+  int64_t vocab_size() const { return options_.vocab_size; }
+
+ private:
+  Options options_;
+  ZipfSampler sampler_;
+  std::vector<int64_t> permutation_;
+};
+
+struct ImageBatch {
+  Tensor features;  // float [n, dims]
+  Tensor labels;    // int64 [n]
+};
+
+class ClusteredImages {
+ public:
+  struct Options {
+    int64_t feature_dims = 32;
+    int64_t num_classes = 10;
+    double cluster_stddev = 0.35;
+    uint64_t seed = 11;
+  };
+
+  explicit ClusteredImages(Options options);
+
+  ImageBatch Sample(int64_t n, Rng& rng) const;
+  int64_t num_classes() const { return options_.num_classes; }
+  int64_t feature_dims() const { return options_.feature_dims; }
+
+ private:
+  Options options_;
+  Tensor centers_;  // [num_classes, feature_dims]
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_DATA_SYNTHETIC_H_

@@ -1,0 +1,109 @@
+#include "src/graph/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "src/base/strings.h"
+
+namespace parallax {
+namespace {
+
+constexpr uint64_t kMagic = 0x70784c4158ull;  // "pxLAX"
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) {
+      std::fclose(file);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU64(std::FILE* file, uint64_t value) {
+  return std::fwrite(&value, sizeof(value), 1, file) == 1;
+}
+
+bool ReadU64(std::FILE* file, uint64_t& value) {
+  return std::fread(&value, sizeof(value), 1, file) == 1;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Graph& graph, const VariableStore& store,
+                      const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open checkpoint for writing: " + path);
+  }
+  if (!WriteU64(file.get(), kMagic) ||
+      !WriteU64(file.get(), graph.variables().size())) {
+    return Status::Internal("checkpoint header write failed");
+  }
+  for (size_t v = 0; v < graph.variables().size(); ++v) {
+    const Tensor& value = store.Get(static_cast<int>(v));
+    const TensorShape& shape = value.shape();
+    if (!WriteU64(file.get(), v) ||
+        !WriteU64(file.get(), static_cast<uint64_t>(shape.rank()))) {
+      return Status::Internal("checkpoint variable header write failed");
+    }
+    for (int d = 0; d < shape.rank(); ++d) {
+      if (!WriteU64(file.get(), static_cast<uint64_t>(shape.dim(d)))) {
+        return Status::Internal("checkpoint dims write failed");
+      }
+    }
+    auto data = value.floats();
+    if (std::fwrite(data.data(), sizeof(float), data.size(), file.get()) != data.size()) {
+      return Status::Internal("checkpoint data write failed");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<VariableStore> LoadCheckpoint(const Graph& graph, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("checkpoint not found: " + path);
+  }
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadU64(file.get(), magic) || magic != kMagic || !ReadU64(file.get(), count)) {
+    return Status::InvalidArgument("not a Parallax checkpoint: " + path);
+  }
+  if (count != graph.variables().size()) {
+    return Status::FailedPrecondition(
+        StrFormat("checkpoint holds %llu variables, graph has %zu",
+                  static_cast<unsigned long long>(count), graph.variables().size()));
+  }
+  VariableStore store;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t index = 0;
+    uint64_t rank = 0;
+    if (!ReadU64(file.get(), index) || !ReadU64(file.get(), rank) || rank > 16) {
+      return Status::InvalidArgument("corrupt checkpoint variable header");
+    }
+    std::vector<int64_t> dims(static_cast<size_t>(rank));
+    for (uint64_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!ReadU64(file.get(), dim)) {
+        return Status::InvalidArgument("corrupt checkpoint dims");
+      }
+      dims[static_cast<size_t>(d)] = static_cast<int64_t>(dim);
+    }
+    TensorShape shape(dims);
+    if (index >= graph.variables().size() ||
+        !(graph.variables()[static_cast<size_t>(index)].shape == shape)) {
+      return Status::FailedPrecondition("checkpoint shape mismatch for variable " +
+                                        std::to_string(index));
+    }
+    Tensor value = Tensor::Zeros(shape);
+    auto data = value.mutable_floats();
+    if (std::fread(data.data(), sizeof(float), data.size(), file.get()) != data.size()) {
+      return Status::InvalidArgument("corrupt checkpoint data");
+    }
+    store.Set(static_cast<int>(index), std::move(value));
+  }
+  return store;
+}
+
+}  // namespace parallax

@@ -1,0 +1,23 @@
+// Variable checkpointing — the "file path to save trained variables" of the paper's
+// ParallaxConfig (section 4.1). A checkpoint is a simple self-describing binary file:
+// magic, variable count, then per variable: index, rank, dims, float data.
+#ifndef PARALLAX_SRC_GRAPH_CHECKPOINT_H_
+#define PARALLAX_SRC_GRAPH_CHECKPOINT_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/graph/executor.h"
+
+namespace parallax {
+
+// Writes every variable of `store` (indices [0, graph.variables().size())) to `path`.
+Status SaveCheckpoint(const Graph& graph, const VariableStore& store,
+                      const std::string& path);
+
+// Reads a checkpoint written by SaveCheckpoint. Shapes must match the graph's variables.
+StatusOr<VariableStore> LoadCheckpoint(const Graph& graph, const std::string& path);
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_GRAPH_CHECKPOINT_H_

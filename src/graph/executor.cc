@@ -1,0 +1,336 @@
+#include "src/graph/executor.h"
+
+#include <algorithm>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+
+GradValue GradValue::MakeDense(Tensor tensor) {
+  GradValue g;
+  g.is_sparse_ = false;
+  g.dense_ = std::move(tensor);
+  return g;
+}
+
+GradValue GradValue::MakeSparse(IndexedSlices slices) {
+  GradValue g;
+  g.is_sparse_ = true;
+  g.sparse_ = std::move(slices);
+  return g;
+}
+
+const Tensor& GradValue::dense() const {
+  PX_CHECK(!is_sparse_);
+  return dense_;
+}
+
+const IndexedSlices& GradValue::sparse() const {
+  PX_CHECK(is_sparse_);
+  return sparse_;
+}
+
+Tensor& GradValue::mutable_dense() {
+  PX_CHECK(!is_sparse_);
+  return dense_;
+}
+
+IndexedSlices& GradValue::mutable_sparse() {
+  PX_CHECK(is_sparse_);
+  return sparse_;
+}
+
+int64_t GradValue::WireBytes() const {
+  if (is_sparse_) {
+    return sparse_.WireBytes();
+  }
+  return dense_.num_elements() * static_cast<int64_t>(sizeof(float));
+}
+
+void GradValue::Scale(float factor) {
+  if (is_sparse_) {
+    sparse_.Scale(factor);
+  } else {
+    ScaleInPlace(dense_, factor);
+  }
+}
+
+Tensor GradValue::ToDense(const TensorShape& dense_shape) const {
+  if (is_sparse_) {
+    PX_CHECK(sparse_.dense_shape() == dense_shape);
+    return sparse_.ToDense();
+  }
+  PX_CHECK(dense_.shape() == dense_shape);
+  return dense_.Clone();
+}
+
+VariableStore VariableStore::InitFrom(const Graph& graph) {
+  VariableStore store;
+  for (size_t i = 0; i < graph.variables().size(); ++i) {
+    store.values_[static_cast<int>(i)] = graph.variables()[i].initial_value.Clone();
+  }
+  return store;
+}
+
+const Tensor& VariableStore::Get(int variable_index) const {
+  auto it = values_.find(variable_index);
+  PX_CHECK(it != values_.end()) << "variable " << variable_index << " not in store";
+  return it->second;
+}
+
+Tensor& VariableStore::GetMutable(int variable_index) {
+  auto it = values_.find(variable_index);
+  PX_CHECK(it != values_.end()) << "variable " << variable_index << " not in store";
+  return it->second;
+}
+
+void VariableStore::Set(int variable_index, Tensor value) {
+  values_[variable_index] = std::move(value);
+}
+
+bool VariableStore::Contains(int variable_index) const {
+  return values_.find(variable_index) != values_.end();
+}
+
+void VariableStore::ApplySgd(int variable_index, const GradValue& grad, float learning_rate) {
+  Tensor& value = GetMutable(variable_index);
+  if (grad.is_sparse()) {
+    ScatterSgdUpdate(value, grad.sparse(), learning_rate);
+  } else {
+    AxpyInPlace(value, -learning_rate, grad.dense());
+  }
+}
+
+VariableStore VariableStore::Clone() const {
+  VariableStore copy;
+  for (const auto& [index, value] : values_) {
+    copy.values_[index] = value.Clone();
+  }
+  return copy;
+}
+
+void Executor::Forward(const VariableStore& variables, const FeedMap& feeds, NodeId fetch,
+                       std::vector<Tensor>& values, std::vector<bool>& computed) const {
+  const auto& nodes = graph_->nodes();
+  values.assign(nodes.size(), Tensor());
+  computed.assign(nodes.size(), false);
+
+  // Needed set: backward closure of fetch (node inputs always precede the node).
+  std::vector<bool> needed(nodes.size(), false);
+  needed[static_cast<size_t>(fetch)] = true;
+  for (NodeId id = fetch; id >= 0; --id) {
+    if (!needed[static_cast<size_t>(id)]) {
+      continue;
+    }
+    for (NodeId input : nodes[static_cast<size_t>(id)].inputs) {
+      needed[static_cast<size_t>(input)] = true;
+    }
+  }
+
+  for (NodeId id = 0; id <= fetch; ++id) {
+    if (!needed[static_cast<size_t>(id)]) {
+      continue;
+    }
+    const Node& n = nodes[static_cast<size_t>(id)];
+    auto in = [&](size_t slot) -> const Tensor& {
+      return values[static_cast<size_t>(n.inputs[slot])];
+    };
+    Tensor out;
+    switch (n.type) {
+      case OpType::kPlaceholder: {
+        auto it = feeds.find(id);
+        PX_CHECK(it != feeds.end()) << "missing feed for placeholder " << n.name;
+        out = it->second;
+        break;
+      }
+      case OpType::kVariable:
+        out = variables.Get(n.variable_index);
+        break;
+      case OpType::kMatMul:
+        out = MatMul(in(0), in(1));
+        break;
+      case OpType::kBiasAdd: {
+        const Tensor& x = in(0);
+        const Tensor& bias = in(1);
+        PX_CHECK_EQ(bias.shape().rank(), 1);
+        PX_CHECK_EQ(x.shape().dim(1), bias.shape().dim(0));
+        out = x.Clone();
+        auto data = out.mutable_floats();
+        auto b = bias.floats();
+        int64_t rows = x.shape().dim(0);
+        int64_t cols = x.shape().dim(1);
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            data[static_cast<size_t>(r * cols + c)] += b[static_cast<size_t>(c)];
+          }
+        }
+        break;
+      }
+      case OpType::kTanh:
+        out = parallax::Tanh(in(0));
+        break;
+      case OpType::kRelu:
+        out = parallax::Relu(in(0));
+        break;
+      case OpType::kConcatCols:
+        out = ConcatColsPair(in(0), in(1));
+        break;
+      case OpType::kGather:
+        out = GatherRows(in(0), in(1).ints());
+        break;
+      case OpType::kGatherDotT: {
+        Tensor selected = GatherRows(in(1), in(2).ints());
+        out = MatMulTransposeB(in(0), selected);
+        break;
+      }
+      case OpType::kSoftmaxXentMean: {
+        float loss = SoftmaxCrossEntropy(in(0), in(1), nullptr);
+        out = Tensor::Scalar(loss);
+        break;
+      }
+    }
+    values[static_cast<size_t>(id)] = std::move(out);
+    computed[static_cast<size_t>(id)] = true;
+  }
+}
+
+Tensor Executor::RunForward(const VariableStore& variables, const FeedMap& feeds,
+                            NodeId fetch) const {
+  std::vector<Tensor> values;
+  std::vector<bool> computed;
+  Forward(variables, feeds, fetch, values, computed);
+  return values[static_cast<size_t>(fetch)];
+}
+
+StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feeds,
+                             NodeId loss) const {
+  const auto& nodes = graph_->nodes();
+  PX_CHECK(nodes[static_cast<size_t>(loss)].type == OpType::kSoftmaxXentMean)
+      << "loss must be a SoftmaxXentMean node";
+
+  std::vector<Tensor> values;
+  std::vector<bool> computed;
+  Forward(variables, feeds, loss, values, computed);
+
+  StepResult result;
+  result.loss = values[static_cast<size_t>(loss)].at(0);
+
+  // Per-node dense upstream gradients; sparse variable gradients accumulate separately.
+  std::vector<Tensor> node_grad(nodes.size());
+  std::vector<bool> has_grad(nodes.size(), false);
+  std::unordered_map<int, std::vector<IndexedSlices>> sparse_grads;  // var_index -> slices
+
+  auto accumulate = [&](NodeId id, Tensor grad) {
+    size_t i = static_cast<size_t>(id);
+    if (has_grad[i]) {
+      AddInPlace(node_grad[i], grad);
+    } else {
+      node_grad[i] = std::move(grad);
+      has_grad[i] = true;
+    }
+  };
+
+  for (NodeId id = loss; id >= 0; --id) {
+    size_t i = static_cast<size_t>(id);
+    if (!computed[i]) {
+      continue;
+    }
+    const Node& n = nodes[i];
+    if (n.type == OpType::kSoftmaxXentMean) {
+      // Seed: d(loss)/d(logits); upstream of the loss node itself is 1 (it is the fetch).
+      PX_CHECK_EQ(id, loss) << "interior SoftmaxXentMean nodes are not differentiable here";
+      Tensor grad_logits;
+      SoftmaxCrossEntropy(values[static_cast<size_t>(n.inputs[0])],
+                          values[static_cast<size_t>(n.inputs[1])], &grad_logits);
+      accumulate(n.inputs[0], std::move(grad_logits));
+      continue;
+    }
+    if (!has_grad[i]) {
+      continue;  // node does not influence the loss
+    }
+    const Tensor& g = node_grad[i];
+    switch (n.type) {
+      case OpType::kPlaceholder:
+      case OpType::kVariable:
+        break;  // terminal; variable grads are collected below
+      case OpType::kMatMul: {
+        const Tensor& a = values[static_cast<size_t>(n.inputs[0])];
+        const Tensor& b = values[static_cast<size_t>(n.inputs[1])];
+        accumulate(n.inputs[0], MatMulTransposeB(g, b));
+        accumulate(n.inputs[1], MatMulTransposeA(a, g));
+        break;
+      }
+      case OpType::kBiasAdd:
+        accumulate(n.inputs[0], g.Clone());
+        accumulate(n.inputs[1], ColumnSum(g));
+        break;
+      case OpType::kTanh:
+        accumulate(n.inputs[0], TanhGrad(values[i], g));
+        break;
+      case OpType::kRelu:
+        accumulate(n.inputs[0], ReluGrad(values[static_cast<size_t>(n.inputs[0])], g));
+        break;
+      case OpType::kConcatCols: {
+        int64_t pa = values[static_cast<size_t>(n.inputs[0])].shape().dim(1);
+        int64_t total = g.shape().dim(1);
+        accumulate(n.inputs[0], SliceCols(g, 0, pa));
+        accumulate(n.inputs[1], SliceCols(g, pa, total));
+        break;
+      }
+      case OpType::kGather: {
+        const Node& var_node = nodes[static_cast<size_t>(n.inputs[0])];
+        const Tensor& ids = values[static_cast<size_t>(n.inputs[1])];
+        std::vector<int64_t> indices(ids.ints().begin(), ids.ints().end());
+        sparse_grads[var_node.variable_index].emplace_back(std::move(indices), g.Clone(),
+                                                           var_node.shape);
+        break;
+      }
+      case OpType::kGatherDotT: {
+        const Tensor& x = values[static_cast<size_t>(n.inputs[0])];
+        const Node& var_node = nodes[static_cast<size_t>(n.inputs[1])];
+        const Tensor& var_value = values[static_cast<size_t>(n.inputs[1])];
+        const Tensor& ids = values[static_cast<size_t>(n.inputs[2])];
+        // out = x . selected^T  =>  dx = g . selected ; dselected = g^T . x
+        Tensor selected = GatherRows(var_value, ids.ints());
+        accumulate(n.inputs[0], MatMul(g, selected));
+        std::vector<int64_t> indices(ids.ints().begin(), ids.ints().end());
+        sparse_grads[var_node.variable_index].emplace_back(std::move(indices),
+                                                           MatMulTransposeA(g, x),
+                                                           var_node.shape);
+        break;
+      }
+      case OpType::kSoftmaxXentMean:
+        break;  // handled above
+    }
+  }
+
+  // Collect per-variable gradients: dense upstream on the variable node, plus any sparse
+  // contributions. A variable with both becomes dense (matching GradKind analysis).
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    const VariableDef& def = graph_->variables()[v];
+    size_t node_index = static_cast<size_t>(def.node);
+    bool dense_present = has_grad[node_index];
+    auto sparse_it = sparse_grads.find(static_cast<int>(v));
+    bool sparse_present = sparse_it != sparse_grads.end();
+    if (!dense_present && !sparse_present) {
+      continue;
+    }
+    if (dense_present && !sparse_present) {
+      result.grads.emplace(static_cast<int>(v), GradValue::MakeDense(node_grad[node_index]));
+    } else if (!dense_present && sparse_present) {
+      IndexedSlices combined = sparse_it->second.size() == 1
+                                   ? std::move(sparse_it->second.front())
+                                   : IndexedSlices::Concat(sparse_it->second);
+      result.grads.emplace(static_cast<int>(v), GradValue::MakeSparse(std::move(combined)));
+    } else {
+      Tensor dense = node_grad[node_index].Clone();
+      for (const IndexedSlices& slices : sparse_it->second) {
+        ScatterAddInPlace(dense, slices);
+      }
+      result.grads.emplace(static_cast<int>(v), GradValue::MakeDense(std::move(dense)));
+    }
+  }
+  return result;
+}
+
+}  // namespace parallax

@@ -1,0 +1,100 @@
+// Single-device forward/backward execution of a Graph — the reference semantics that
+// every distributed engine must match (the paper's transparency guarantee: the
+// transformed multi-GPU graph computes "correct variable updates as done in a single-GPU
+// code", section 5).
+//
+// RunStep evaluates the forward pass, then reverse-mode autodiff. Gradients for variables
+// reached only through gather-style ops come back as IndexedSlices; all others are dense
+// tensors. This mirrors TensorFlow's automatic differentiation typing, which is the
+// mechanism Parallax uses to identify sparse variables.
+#ifndef PARALLAX_SRC_GRAPH_EXECUTOR_H_
+#define PARALLAX_SRC_GRAPH_EXECUTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/tensor/indexed_slices.h"
+#include "src/tensor/tensor.h"
+
+namespace parallax {
+
+// A gradient value: dense tensor or IndexedSlices — the runtime counterpart of GradKind.
+class GradValue {
+ public:
+  static GradValue MakeDense(Tensor tensor);
+  static GradValue MakeSparse(IndexedSlices slices);
+
+  bool is_sparse() const { return is_sparse_; }
+  const Tensor& dense() const;
+  const IndexedSlices& sparse() const;
+  Tensor& mutable_dense();
+  IndexedSlices& mutable_sparse();
+
+  // Bytes this gradient occupies on the wire.
+  int64_t WireBytes() const;
+  // Scales values by factor (gradient averaging).
+  void Scale(float factor);
+  // Densifies a sparse gradient (for equivalence checks / mixed accumulation).
+  Tensor ToDense(const TensorShape& dense_shape) const;
+
+ private:
+  bool is_sparse_ = false;
+  Tensor dense_;
+  IndexedSlices sparse_;
+};
+
+// Variable name/index -> current value. Each simulated process owns one store (AR
+// replicas, PS server shards, the single-device reference).
+class VariableStore {
+ public:
+  VariableStore() = default;
+
+  // Clones every variable's initial value from the graph.
+  static VariableStore InitFrom(const Graph& graph);
+
+  const Tensor& Get(int variable_index) const;
+  Tensor& GetMutable(int variable_index);
+  void Set(int variable_index, Tensor value);
+  bool Contains(int variable_index) const;
+  size_t size() const { return values_.size(); }
+
+  // In-place SGD update: value -= lr * grad (scatter-update for sparse gradients).
+  void ApplySgd(int variable_index, const GradValue& grad, float learning_rate);
+
+  // Deep copy.
+  VariableStore Clone() const;
+
+ private:
+  std::unordered_map<int, Tensor> values_;
+};
+
+using FeedMap = std::unordered_map<NodeId, Tensor>;
+
+struct StepResult {
+  float loss = 0.0f;
+  // variable_index -> gradient. Variables not reached by the loss are absent.
+  std::unordered_map<int, GradValue> grads;
+};
+
+class Executor {
+ public:
+  explicit Executor(const Graph* graph) : graph_(graph) { PX_CHECK(graph != nullptr); }
+
+  // Forward evaluation of `fetch` given placeholder feeds and variable values.
+  Tensor RunForward(const VariableStore& variables, const FeedMap& feeds, NodeId fetch) const;
+
+  // Forward + backward from the scalar `loss` node.
+  StepResult RunStep(const VariableStore& variables, const FeedMap& feeds, NodeId loss) const;
+
+ private:
+  // Evaluates all nodes needed for `fetch`; out param holds per-node values.
+  void Forward(const VariableStore& variables, const FeedMap& feeds, NodeId fetch,
+               std::vector<Tensor>& values, std::vector<bool>& computed) const;
+
+  const Graph* graph_;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_GRAPH_EXECUTOR_H_

@@ -1,0 +1,262 @@
+#include "src/graph/graph.h"
+
+#include "src/base/strings.h"
+
+namespace parallax {
+
+PartitionerScope::PartitionerScope(Graph& graph) : graph_(graph) {
+  graph_.EnterPartitionerScope();
+}
+
+PartitionerScope::~PartitionerScope() { graph_.ExitPartitionerScope(); }
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kPlaceholder:
+      return "Placeholder";
+    case OpType::kVariable:
+      return "Variable";
+    case OpType::kMatMul:
+      return "MatMul";
+    case OpType::kBiasAdd:
+      return "BiasAdd";
+    case OpType::kTanh:
+      return "Tanh";
+    case OpType::kRelu:
+      return "Relu";
+    case OpType::kConcatCols:
+      return "ConcatCols";
+    case OpType::kGather:
+      return "Gather";
+    case OpType::kGatherDotT:
+      return "GatherDotT";
+    case OpType::kSoftmaxXentMean:
+      return "SoftmaxXentMean";
+  }
+  return "Unknown";
+}
+
+NodeId Graph::AddNode(Node node) {
+  for (NodeId input : node.inputs) {
+    PX_CHECK_GE(input, 0);
+    PX_CHECK_LT(static_cast<size_t>(input), nodes_.size())
+        << "inputs must be created before the consuming op";
+  }
+  if (node.name.empty()) {
+    node.name = StrFormat("%s_%zu", OpTypeName(node.type), nodes_.size());
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Graph::CheckIsFloat(NodeId id) const {
+  PX_CHECK(node(id).dtype == DataType::kFloat32)
+      << "node " << node(id).name << " must be float32";
+}
+
+NodeId Graph::Placeholder(const std::string& name, DataType dtype) {
+  Node n;
+  n.type = OpType::kPlaceholder;
+  n.name = name;
+  n.dtype = dtype;
+  return AddNode(std::move(n));
+}
+
+NodeId Graph::Variable(const std::string& name, Tensor initial_value) {
+  PX_CHECK(initial_value.is_float()) << "variables are float32";
+  Node n;
+  n.type = OpType::kVariable;
+  n.name = name;
+  n.shape = initial_value.shape();
+  n.variable_index = static_cast<int>(variables_.size());
+  NodeId id = AddNode(std::move(n));
+  VariableDef def;
+  def.name = name;
+  def.node = id;
+  def.shape = initial_value.shape();
+  def.initial_value = std::move(initial_value);
+  def.partitioner_scope = current_partitioner_id_ >= 0;
+  def.partitioner_id = current_partitioner_id_;
+  variables_.push_back(std::move(def));
+  return id;
+}
+
+NodeId Graph::MatMul(NodeId a, NodeId b, const std::string& name) {
+  CheckIsFloat(a);
+  CheckIsFloat(b);
+  Node n;
+  n.type = OpType::kMatMul;
+  n.name = name;
+  n.inputs = {a, b};
+  return AddNode(std::move(n));
+}
+
+NodeId Graph::BiasAdd(NodeId x, NodeId bias, const std::string& name) {
+  CheckIsFloat(x);
+  CheckIsFloat(bias);
+  Node n;
+  n.type = OpType::kBiasAdd;
+  n.name = name;
+  n.inputs = {x, bias};
+  return AddNode(std::move(n));
+}
+
+NodeId Graph::Tanh(NodeId x, const std::string& name) {
+  CheckIsFloat(x);
+  Node n;
+  n.type = OpType::kTanh;
+  n.name = name;
+  n.inputs = {x};
+  return AddNode(std::move(n));
+}
+
+NodeId Graph::Relu(NodeId x, const std::string& name) {
+  CheckIsFloat(x);
+  Node n;
+  n.type = OpType::kRelu;
+  n.name = name;
+  n.inputs = {x};
+  return AddNode(std::move(n));
+}
+
+NodeId Graph::ConcatCols(NodeId a, NodeId b, const std::string& name) {
+  CheckIsFloat(a);
+  CheckIsFloat(b);
+  Node n;
+  n.type = OpType::kConcatCols;
+  n.name = name;
+  n.inputs = {a, b};
+  return AddNode(std::move(n));
+}
+
+NodeId Graph::Gather(NodeId variable, NodeId indices, const std::string& name) {
+  PX_CHECK(node(variable).type == OpType::kVariable)
+      << "Gather input 0 must be a variable (sparse access is what defines a sparse "
+         "variable, paper section 2.2)";
+  PX_CHECK(node(indices).dtype == DataType::kInt64) << "Gather indices must be int64";
+  Node n;
+  n.type = OpType::kGather;
+  n.name = name;
+  n.inputs = {variable, indices};
+  return AddNode(std::move(n));
+}
+
+NodeId Graph::GatherDotT(NodeId x, NodeId variable, NodeId indices, const std::string& name) {
+  CheckIsFloat(x);
+  PX_CHECK(node(variable).type == OpType::kVariable)
+      << "GatherDotT input 1 must be a variable";
+  PX_CHECK(node(indices).dtype == DataType::kInt64) << "GatherDotT indices must be int64";
+  Node n;
+  n.type = OpType::kGatherDotT;
+  n.name = name;
+  n.inputs = {x, variable, indices};
+  return AddNode(std::move(n));
+}
+
+NodeId Graph::SoftmaxXentMean(NodeId logits, NodeId labels, const std::string& name) {
+  CheckIsFloat(logits);
+  PX_CHECK(node(labels).dtype == DataType::kInt64) << "labels must be int64";
+  Node n;
+  n.type = OpType::kSoftmaxXentMean;
+  n.name = name;
+  n.inputs = {logits, labels};
+  return AddNode(std::move(n));
+}
+
+int Graph::EnterPartitionerScope() {
+  PX_CHECK_LT(current_partitioner_id_, 0) << "partitioner scopes do not nest";
+  current_partitioner_id_ = next_partitioner_id_++;
+  return current_partitioner_id_;
+}
+
+void Graph::ExitPartitionerScope() {
+  PX_CHECK_GE(current_partitioner_id_, 0) << "no open partitioner scope";
+  current_partitioner_id_ = -1;
+}
+
+const Node& Graph::node(NodeId id) const {
+  PX_CHECK_GE(id, 0);
+  PX_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const VariableDef& Graph::variable(int index) const {
+  PX_CHECK_GE(index, 0);
+  PX_CHECK_LT(static_cast<size_t>(index), variables_.size());
+  return variables_[static_cast<size_t>(index)];
+}
+
+std::unordered_map<int, GradKind> Graph::AnalyzeGradientKinds(NodeId loss) const {
+  // Mark nodes on a path to the loss (backward reachability over the DAG).
+  std::vector<bool> reaches_loss(nodes_.size(), false);
+  reaches_loss[static_cast<size_t>(loss)] = true;
+  for (NodeId id = loss; id >= 0; --id) {
+    if (!reaches_loss[static_cast<size_t>(id)]) {
+      continue;
+    }
+    for (NodeId input : nodes_[static_cast<size_t>(id)].inputs) {
+      reaches_loss[static_cast<size_t>(input)] = true;
+    }
+  }
+
+  std::unordered_map<int, GradKind> kinds;
+  for (size_t var_index = 0; var_index < variables_.size(); ++var_index) {
+    const VariableDef& def = variables_[var_index];
+    bool used_sparse = false;
+    bool used_dense = false;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      if (!reaches_loss[i]) {
+        continue;
+      }
+      for (size_t slot = 0; slot < n.inputs.size(); ++slot) {
+        if (n.inputs[slot] != def.node) {
+          continue;
+        }
+        bool sparse_slot = (n.type == OpType::kGather && slot == 0) ||
+                           (n.type == OpType::kGatherDotT && slot == 1);
+        if (sparse_slot) {
+          used_sparse = true;
+        } else {
+          used_dense = true;
+        }
+      }
+    }
+    GradKind kind = GradKind::kNone;
+    if (used_dense) {
+      kind = GradKind::kDense;  // any dense use makes the combined gradient dense
+    } else if (used_sparse) {
+      kind = GradKind::kSparse;
+    }
+    kinds[static_cast<int>(var_index)] = kind;
+  }
+  return kinds;
+}
+
+std::vector<NodeId> Graph::PlaceholderIds() const {
+  std::vector<NodeId> ids;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == OpType::kPlaceholder) {
+      ids.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return ids;
+}
+
+std::string Graph::DebugString() const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    out += StrFormat("%3zu: %-16s %-24s inputs=[", i, OpTypeName(n.type), n.name.c_str());
+    for (size_t j = 0; j < n.inputs.size(); ++j) {
+      if (j > 0) {
+        out += ", ";
+      }
+      out += StrFormat("%d", n.inputs[j]);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace parallax

@@ -1,0 +1,142 @@
+// Single-device dataflow graph IR — the stand-in for TensorFlow's GraphDef.
+//
+// Users (and the model zoo) build a *single-GPU* computation graph exactly as in the
+// paper's Figure 3: placeholders for a mini-batch, variables, forward ops, and one scalar
+// loss. Reverse-mode autodiff is provided by the executor; what the graph itself carries —
+// and what Parallax's transformation consumes — is the *static* structure:
+//
+//  - the variable table,
+//  - the variable -> gradient-kind mapping (dense tensor vs IndexedSlices), derived from
+//    how each variable is consumed (Gather-style access => sparse), mirroring how
+//    TensorFlow types gradient tensors during automatic differentiation (paper section 5),
+//  - which variables were declared inside a partitioner() scope (partitioning targets).
+//
+// The op set is intentionally compact but sufficient to express embedding-based sparse
+// models (language model, translation) and dense MLP classifiers end to end.
+#ifndef PARALLAX_SRC_GRAPH_GRAPH_H_
+#define PARALLAX_SRC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace parallax {
+
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class OpType : uint8_t {
+  kPlaceholder,
+  kVariable,
+  kMatMul,              // [m,k] x [k,n] -> [m,n]
+  kBiasAdd,             // [m,n] + [n] -> [m,n]
+  kTanh,
+  kRelu,
+  kConcatCols,          // [m,p] ++ [m,q] -> [m,p+q]
+  kGather,              // (var [V,D...], ids [m]) -> [m,D...]; sparse access
+  kGatherDotT,          // (x [m,D], var [V,D], ids [n]) -> [m,n]; sampled-softmax access
+  kSoftmaxXentMean,     // (logits [m,n], labels [m]) -> scalar mean cross-entropy
+};
+
+const char* OpTypeName(OpType type);
+
+// How a variable's gradient is represented — TensorFlow's Tensor vs IndexedSlices split.
+// This is the signal Parallax's sparsity analyzer keys on.
+enum class GradKind : uint8_t {
+  kNone,     // variable unused by the loss
+  kDense,    // gradient is a dense tensor
+  kSparse,   // gradient is IndexedSlices (variable accessed only through gathers)
+};
+
+struct Node {
+  OpType type;
+  std::string name;
+  std::vector<NodeId> inputs;
+  DataType dtype = DataType::kFloat32;
+  // Static shape, where known (variables always; op outputs where batch-independent).
+  TensorShape shape;
+  // kVariable only: index into Graph::variables().
+  int variable_index = -1;
+};
+
+struct VariableDef {
+  std::string name;
+  NodeId node = kNoNode;
+  TensorShape shape;
+  Tensor initial_value;
+  // True if declared inside a Partitioner scope (Figure 3 line 9); identifies the
+  // variables whose partition count Parallax auto-tunes.
+  bool partitioner_scope = false;
+  int partitioner_id = -1;  // which partitioner scope, -1 if none
+};
+
+class Graph;
+
+// RAII partitioner scope — the parallax.partitioner() context of Figure 3: variables
+// declared while the scope is alive become automatic partitioning targets. Scopes do not
+// nest; create several sequential scopes to partition variable groups at different
+// granularities (paper section 4.1).
+class PartitionerScope {
+ public:
+  explicit PartitionerScope(Graph& graph);
+  ~PartitionerScope();
+
+  PartitionerScope(const PartitionerScope&) = delete;
+  PartitionerScope& operator=(const PartitionerScope&) = delete;
+
+ private:
+  Graph& graph_;
+};
+
+class Graph {
+ public:
+  // ---- construction (the user-facing "single-GPU code") ----
+  NodeId Placeholder(const std::string& name, DataType dtype);
+  NodeId Variable(const std::string& name, Tensor initial_value);
+  NodeId MatMul(NodeId a, NodeId b, const std::string& name = "");
+  NodeId BiasAdd(NodeId x, NodeId bias, const std::string& name = "");
+  NodeId Tanh(NodeId x, const std::string& name = "");
+  NodeId Relu(NodeId x, const std::string& name = "");
+  NodeId ConcatCols(NodeId a, NodeId b, const std::string& name = "");
+  NodeId Gather(NodeId variable, NodeId indices, const std::string& name = "");
+  NodeId GatherDotT(NodeId x, NodeId variable, NodeId indices, const std::string& name = "");
+  NodeId SoftmaxXentMean(NodeId logits, NodeId labels, const std::string& name = "");
+
+  // Scopes subsequent Variable() declarations as partitioning targets. Each EnterPartitioner
+  // opens a fresh scope (its id is returned); Exit closes it. RAII wrapper in core/api.h.
+  int EnterPartitionerScope();
+  void ExitPartitionerScope();
+
+  // ---- introspection (what Parallax's transformation reads) ----
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(NodeId id) const;
+  const std::vector<VariableDef>& variables() const { return variables_; }
+  const VariableDef& variable(int index) const;
+  int num_partitioner_scopes() const { return next_partitioner_id_; }
+
+  // The variable -> gradient-kind map for gradients of `loss`, derived statically: a
+  // variable has a sparse gradient iff every use on a path to the loss goes through a
+  // gather-style access (kGather input 0 / kGatherDotT input 1).
+  std::unordered_map<int, GradKind> AnalyzeGradientKinds(NodeId loss) const;
+
+  // All placeholder node ids, in creation order (the input signature of the graph).
+  std::vector<NodeId> PlaceholderIds() const;
+
+  std::string DebugString() const;
+
+ private:
+  NodeId AddNode(Node node);
+  void CheckIsFloat(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<VariableDef> variables_;
+  int current_partitioner_id_ = -1;
+  int next_partitioner_id_ = 0;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_GRAPH_GRAPH_H_

@@ -1,0 +1,71 @@
+#include "src/models/model_spec.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace parallax {
+
+int64_t VariableSpec::worker_elements() const {
+  if (!is_sparse) {
+    return num_elements;
+  }
+  return static_cast<int64_t>(static_cast<double>(num_elements) * alpha);
+}
+
+int64_t VariableSpec::worker_grad_bytes() const {
+  int64_t value_bytes = worker_elements() * 4;
+  if (!is_sparse) {
+    return value_bytes;
+  }
+  int64_t rows = worker_elements() / std::max<int64_t>(row_elements, 1);
+  return value_bytes + rows * 8;  // int64 index per touched row
+}
+
+int64_t ModelSpec::TotalElements() const {
+  int64_t total = 0;
+  for (const VariableSpec& v : variables) {
+    total += v.num_elements;
+  }
+  return total;
+}
+
+int64_t ModelSpec::DenseElements() const {
+  int64_t total = 0;
+  for (const VariableSpec& v : variables) {
+    if (!v.is_sparse) {
+      total += v.num_elements;
+    }
+  }
+  return total;
+}
+
+int64_t ModelSpec::SparseElements() const {
+  int64_t total = 0;
+  for (const VariableSpec& v : variables) {
+    if (v.is_sparse) {
+      total += v.num_elements;
+    }
+  }
+  return total;
+}
+
+double ModelSpec::AlphaModel() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const VariableSpec& v : variables) {
+    weighted += static_cast<double>(v.num_elements) * v.alpha;
+    total += static_cast<double>(v.num_elements);
+  }
+  PX_CHECK_GT(total, 0.0);
+  return weighted / total;
+}
+
+double UnionAlpha(double alpha, int n) {
+  PX_CHECK_GE(alpha, 0.0);
+  PX_CHECK_LE(alpha, 1.0);
+  PX_CHECK_GE(n, 1);
+  return 1.0 - std::pow(1.0 - alpha, n);
+}
+
+}  // namespace parallax

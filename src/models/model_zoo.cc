@@ -1,0 +1,190 @@
+#include "src/models/model_zoo.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace parallax {
+namespace {
+
+// Adds `count` dense variables of `elements_each` named name_0..name_{count-1}.
+void AddDense(ModelSpec& spec, const std::string& name, int count, int64_t elements_each) {
+  for (int i = 0; i < count; ++i) {
+    VariableSpec v;
+    v.name = StrFormat("%s_%d", name.c_str(), i);
+    v.num_elements = elements_each;
+    v.is_sparse = false;
+    v.alpha = 1.0;
+    spec.variables.push_back(std::move(v));
+  }
+}
+
+void AddSparse(ModelSpec& spec, const std::string& name, int64_t rows, int64_t row_elements,
+               double alpha) {
+  VariableSpec v;
+  v.name = name;
+  v.num_elements = rows * row_elements;
+  v.row_elements = row_elements;
+  v.is_sparse = true;
+  v.alpha = alpha;
+  spec.variables.push_back(std::move(v));
+}
+
+}  // namespace
+
+ModelSpec ResNet50Spec() {
+  // 23.8M parameters across ~161 variables; the largest is the 2048x1000 FC layer
+  // (2.05M elements, the paper's "largest variable in the dense model" example).
+  ModelSpec spec;
+  spec.name = "ResNet-50";
+  AddDense(spec, "conv1", 1, 9'408);                 // 7x7x3x64
+  AddDense(spec, "stage1_conv", 9, 36'928);          // 3x3x64x64-class blocks
+  AddDense(spec, "stage2_conv", 12, 147'584);        // 3x3x128x128-class blocks
+  AddDense(spec, "stage3_conv", 18, 590'080);        // 3x3x256x256-class blocks
+  AddDense(spec, "stage4_conv", 9, 820'000);         // 3x3x512x512-class blocks (approx)
+  AddDense(spec, "bottleneck_1x1", 52, 16'384);      // 1x1 projections
+  AddDense(spec, "batchnorm", 53, 4'096);            // scale+shift pairs
+  AddDense(spec, "shortcut", 4, 131'072);
+  AddDense(spec, "head_misc", 2, 60'598);
+  AddDense(spec, "fc", 1, 2'049'000);                // 2048x1000 + bias
+  spec.gpu_compute_seconds = 0.330;
+  spec.compute_chunks = 16;
+  spec.items_per_iteration_per_gpu = 64;  // batch size per GPU (section 6.1)
+  spec.item_unit = "images/sec";
+  PX_CHECK_GE(spec.TotalElements(), 23'000'000);
+  PX_CHECK_LE(spec.TotalElements(), 24'500'000);
+  return spec;
+}
+
+ModelSpec InceptionV3Spec() {
+  // 25.6M parameters across ~196 variables; largest is the 2048x1000 FC layer.
+  ModelSpec spec;
+  spec.name = "Inception-v3";
+  AddDense(spec, "stem_conv", 5, 100'000);
+  AddDense(spec, "inception_a", 30, 80'000);
+  AddDense(spec, "inception_b", 50, 160'000);
+  AddDense(spec, "inception_c", 40, 220'000);
+  AddDense(spec, "reduction", 10, 340'000);
+  AddDense(spec, "batchnorm", 58, 4'096);
+  AddDense(spec, "aux_head", 2, 150'000);
+  AddDense(spec, "fc", 1, 2'049'000);
+  spec.gpu_compute_seconds = 0.455;
+  spec.compute_chunks = 16;
+  spec.items_per_iteration_per_gpu = 64;
+  spec.item_unit = "images/sec";
+  PX_CHECK_GE(spec.TotalElements(), 25'000'000);
+  PX_CHECK_LE(spec.TotalElements(), 26'200'000);
+  return spec;
+}
+
+ModelSpec LmSpec() {
+  // Jozefowicz et al. big-LSTM LM: one LSTM layer (2048 units, 512 projection) plus
+  // input embedding and sampled-softmax output embedding over a ~794K-word vocabulary
+  // (One Billion Word benchmark, 800K vocab per section 6.1). Sparse: 813.3M elements.
+  // Dense: 9.4M. alpha_model = 0.02 => per-sparse-variable alpha 0.00866
+  // (0.0114 dense weight at alpha 1 + 0.9886 sparse weight at 0.00866 = 0.02).
+  ModelSpec spec;
+  spec.name = "LM";
+  AddDense(spec, "lstm_kernel", 1, 8'388'608);   // (512+1536)x4x... gate weights
+  AddDense(spec, "projection", 1, 1'048'576);    // 2048x512
+  AddDense(spec, "bias", 1, 8'192);
+  AddSparse(spec, "embedding", 794'238, 512, 0.00866);
+  AddSparse(spec, "softmax_w", 794'238, 512, 0.00866);
+  spec.gpu_compute_seconds = 0.088;  // from Figure 9: 1-GPU LM = 274k/9.4 = 29k words/s
+  spec.compute_chunks = 8;
+  spec.items_per_iteration_per_gpu = 2560;  // 128 sequences x 20-step unroll, words
+  spec.item_unit = "words/sec";
+  PX_CHECK_GE(spec.SparseElements(), 810'000'000);
+  PX_CHECK_LE(spec.SparseElements(), 816'000'000);
+  double alpha = spec.AlphaModel();
+  PX_CHECK_GE(alpha, 0.018);
+  PX_CHECK_LE(alpha, 0.022);
+  return spec;
+}
+
+ModelSpec NmtSpec() {
+  // GNMT-style translator: 8-layer decoder + bidirectional encoder LSTMs of 1024 units,
+  // attention, and source/target embeddings over a ~36.6K wordpiece vocabulary.
+  // Dense 94.1M, sparse 74.9M; alpha_model 0.65 => per-embedding alpha 0.2099.
+  ModelSpec spec;
+  spec.name = "NMT";
+  AddDense(spec, "encoder_lstm", 9, 6'300'000);   // bi-directional bottom + 7 stacked
+  AddDense(spec, "decoder_lstm", 8, 4'200'000);
+  AddDense(spec, "attention", 3, 1'100'000);
+  AddDense(spec, "output_proj", 1, 99'000);
+  spec.variables.back().name = "output_proj_bias";
+  AddSparse(spec, "embedding_src", 36'572, 1024, 0.2099);
+  AddSparse(spec, "embedding_tgt", 36'572, 1024, 0.2099);
+  spec.gpu_compute_seconds = 0.290;  // from Figure 9: 1-GPU NMT = 204k/18.4 = 11k words/s
+  spec.compute_chunks = 12;
+  spec.items_per_iteration_per_gpu = 3200;  // 128 sentences x ~25 tokens, words
+  spec.item_unit = "words/sec";
+  PX_CHECK_GE(spec.DenseElements(), 93'000'000);
+  PX_CHECK_LE(spec.DenseElements(), 95'500'000);
+  PX_CHECK_GE(spec.SparseElements(), 74'000'000);
+  PX_CHECK_LE(spec.SparseElements(), 75'500'000);
+  double alpha = spec.AlphaModel();
+  PX_CHECK_GE(alpha, 0.63);
+  PX_CHECK_LE(alpha, 0.67);
+  return spec;
+}
+
+ModelSpec ConstructedLmSpec(int length) {
+  // Section 6.6's sparsity-sweep model: an LM with dense LSTM weights and a smaller
+  // vocabulary, where alpha_model is controlled by the words-per-instance `length` at a
+  // fixed batch size of 128 sequences. The alpha_model values below are the paper's
+  // Table 6 row labels.
+  double alpha_model = 0.0;
+  switch (length) {
+    case 120:
+      alpha_model = 1.0;
+      break;
+    case 60:
+      alpha_model = 0.52;
+      break;
+    case 30:
+      alpha_model = 0.28;
+      break;
+    case 15:
+      alpha_model = 0.16;
+      break;
+    case 8:
+      alpha_model = 0.1;
+      break;
+    case 4:
+      alpha_model = 0.07;
+      break;
+    case 1:
+      alpha_model = 0.04;
+      break;
+    default:
+      PX_LOG(Fatal) << "unsupported Table 6 length: " << length;
+  }
+  ModelSpec spec;
+  spec.name = StrFormat("ConstructedLM(len=%d)", length);
+  AddDense(spec, "lstm_kernel", 1, 3'500'000);
+  AddDense(spec, "projection", 1, 500'000);
+  // Vocabulary 100K, embedding width 1024, input + output embeddings.
+  const int64_t rows = 100'000;
+  const int64_t width = 1024;
+  const double dense_elements = 4'000'000.0;
+  const double sparse_elements = static_cast<double>(2 * rows * width);
+  const double dense_fraction = dense_elements / (dense_elements + sparse_elements);
+  double alpha_sparse = (alpha_model - dense_fraction) / (1.0 - dense_fraction);
+  PX_CHECK_GT(alpha_sparse, 0.0) << "alpha_model below the dense floor";
+  AddSparse(spec, "embedding", rows, width, alpha_sparse);
+  AddSparse(spec, "softmax_w", rows, width, alpha_sparse);
+  // Compute scales with the tokens processed; ~55us of GPU time per word.
+  spec.items_per_iteration_per_gpu = 128.0 * length;
+  spec.gpu_compute_seconds = 55e-6 * spec.items_per_iteration_per_gpu;
+  spec.compute_chunks = 8;
+  spec.item_unit = "words/sec";
+  return spec;
+}
+
+std::vector<ModelSpec> PaperModels() {
+  return {ResNet50Spec(), InceptionV3Spec(), LmSpec(), NmtSpec()};
+}
+
+}  // namespace parallax

@@ -1,0 +1,32 @@
+// Variable manifests for the paper's four evaluation models (Table 1) plus the
+// constructed variable-sparsity LM of Table 6.
+//
+// Element counts match Table 1: ResNet-50 23.8M dense; Inception-v3 25.6M dense;
+// LM 9.4M dense + 813.3M sparse (alpha_model 0.02); NMT 94.1M dense + 74.9M sparse
+// (alpha_model 0.65). Per-variable alphas are chosen so the element-weighted average
+// reproduces the paper's alpha_model exactly (dense variables have alpha = 1).
+#ifndef PARALLAX_SRC_MODELS_MODEL_ZOO_H_
+#define PARALLAX_SRC_MODELS_MODEL_ZOO_H_
+
+#include "src/models/model_spec.h"
+
+namespace parallax {
+
+ModelSpec ResNet50Spec();
+ModelSpec InceptionV3Spec();
+ModelSpec LmSpec();
+ModelSpec NmtSpec();
+
+// The Table 6 experiment model: an LM with a smaller vocabulary whose sparse-variable
+// access ratio is controlled by the number of words per data instance (`length`), batch
+// size fixed at 128 sequences. Returns a spec whose AlphaModel() lands on the paper's
+// value for that length (1.0, 0.52, 0.28, 0.16, 0.1, 0.07, 0.04 for lengths
+// 120, 60, 30, 15, 8, 4, 1).
+ModelSpec ConstructedLmSpec(int length);
+
+// All four Table-1 models, in the paper's row order.
+std::vector<ModelSpec> PaperModels();
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_MODELS_MODEL_ZOO_H_

@@ -1,0 +1,240 @@
+#include "src/models/trainable.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+Tensor Arange(int64_t n) {
+  std::vector<int64_t> values(static_cast<size_t>(n));
+  std::iota(values.begin(), values.end(), 0);
+  return Tensor::FromIndices(std::move(values), TensorShape({n}));
+}
+
+int64_t ArgMaxRow(std::span<const float> row) {
+  int64_t best = 0;
+  for (size_t j = 1; j < row.size(); ++j) {
+    if (row[j] > row[static_cast<size_t>(best)]) {
+      best = static_cast<int64_t>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+WordLmModel::WordLmModel(Options options)
+    : options_(options),
+      text_({.vocab_size = options.vocab_size,
+             .zipf_exponent = options.zipf_exponent,
+             .noise = options.label_noise,
+             .seed = options.seed}) {
+  Rng init_rng(options_.seed ^ 0xabcdefULL);
+  ids_ph_ = graph_.Placeholder("ids", DataType::kInt64);
+  candidates_ph_ = graph_.Placeholder("candidates", DataType::kInt64);
+  ce_labels_ph_ = graph_.Placeholder("ce_labels", DataType::kInt64);
+
+  NodeId emb;
+  NodeId out_emb;
+  {
+    PartitionerScope partitioner(graph_);
+    emb = graph_.Variable(
+        "embedding", RandomNormal(TensorShape({options_.vocab_size, options_.embedding_dim}),
+                                  init_rng, 0.1f));
+    out_emb = graph_.Variable(
+        "softmax_emb", RandomNormal(TensorShape({options_.vocab_size, options_.hidden_dim}),
+                                    init_rng, 0.1f));
+  }
+  NodeId w1 = graph_.Variable(
+      "w1", GlorotUniform(TensorShape({options_.embedding_dim, options_.hidden_dim}),
+                          init_rng));
+  NodeId b1 = graph_.Variable("b1", Tensor::Zeros(TensorShape({options_.hidden_dim})));
+
+  NodeId h0 = graph_.Gather(emb, ids_ph_, "embed_lookup");
+  NodeId h1 = graph_.Tanh(graph_.BiasAdd(graph_.MatMul(h0, w1), b1), "hidden");
+  logits_ = graph_.GatherDotT(h1, out_emb, candidates_ph_, "sampled_logits");
+  loss_ = graph_.SoftmaxXentMean(logits_, ce_labels_ph_, "loss");
+}
+
+std::vector<FeedMap> WordLmModel::TrainShards(int num_ranks, Rng& rng) const {
+  std::vector<FeedMap> shards;
+  shards.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    TokenBatch batch = text_.Sample(options_.batch_per_rank, rng);
+    FeedMap feeds;
+    feeds[ids_ph_] = batch.ids;
+    // In-batch candidate sampling: the label tokens are the logit classes and the
+    // cross-entropy target is each row's own position.
+    feeds[candidates_ph_] = batch.labels;
+    feeds[ce_labels_ph_] = Arange(options_.batch_per_rank);
+    shards.push_back(std::move(feeds));
+  }
+  return shards;
+}
+
+double WordLmModel::EvalPerplexity(const VariableStore& variables, int batches,
+                                   Rng& rng) const {
+  Executor executor(&graph_);
+  double loss_sum = 0.0;
+  for (int b = 0; b < batches; ++b) {
+    TokenBatch batch = text_.Sample(options_.batch_per_rank, rng);
+    FeedMap feeds;
+    feeds[ids_ph_] = batch.ids;
+    feeds[candidates_ph_] = Arange(options_.vocab_size);  // exact full softmax
+    feeds[ce_labels_ph_] = batch.labels;
+    loss_sum += executor.RunForward(variables, feeds, loss_).at(0);
+  }
+  return std::exp(loss_sum / batches);
+}
+
+NmtSurrogateModel::NmtSurrogateModel(Options options)
+    : options_(options),
+      text_({.vocab_size = options.vocab_size,
+             .zipf_exponent = options.zipf_exponent,
+             .noise = options.label_noise,
+             .seed = options.seed}) {
+  Rng init_rng(options_.seed ^ 0xfeedULL);
+  src_ph_ = graph_.Placeholder("src_ids", DataType::kInt64);
+  prev_ph_ = graph_.Placeholder("prev_ids", DataType::kInt64);
+  candidates_ph_ = graph_.Placeholder("candidates", DataType::kInt64);
+  ce_labels_ph_ = graph_.Placeholder("ce_labels", DataType::kInt64);
+
+  NodeId emb_src;
+  NodeId emb_tgt;
+  NodeId emb_out;
+  {
+    PartitionerScope partitioner(graph_);
+    emb_src = graph_.Variable(
+        "emb_enc", RandomNormal(TensorShape({options_.vocab_size, options_.embedding_dim}),
+                                init_rng, 0.1f));
+    emb_tgt = graph_.Variable(
+        "emb_dec", RandomNormal(TensorShape({options_.vocab_size, options_.embedding_dim}),
+                                init_rng, 0.1f));
+    emb_out = graph_.Variable(
+        "emb_out", RandomNormal(TensorShape({options_.vocab_size, options_.hidden_dim}),
+                                init_rng, 0.1f));
+  }
+  NodeId w1 = graph_.Variable(
+      "w1", GlorotUniform(TensorShape({2 * options_.embedding_dim, options_.hidden_dim}),
+                          init_rng));
+  NodeId b1 = graph_.Variable("b1", Tensor::Zeros(TensorShape({options_.hidden_dim})));
+
+  NodeId enc = graph_.Gather(emb_src, src_ph_, "encoder_lookup");
+  NodeId dec = graph_.Gather(emb_tgt, prev_ph_, "decoder_lookup");
+  NodeId joined = graph_.ConcatCols(enc, dec, "enc_dec_concat");
+  NodeId h = graph_.Tanh(graph_.BiasAdd(graph_.MatMul(joined, w1), b1), "hidden");
+  logits_ = graph_.GatherDotT(h, emb_out, candidates_ph_, "sampled_logits");
+  loss_ = graph_.SoftmaxXentMean(logits_, ce_labels_ph_, "loss");
+}
+
+std::vector<FeedMap> NmtSurrogateModel::TrainShards(int num_ranks, Rng& rng) const {
+  std::vector<FeedMap> shards;
+  shards.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    TokenBatch source = text_.Sample(options_.batch_per_rank, rng);
+    TokenBatch prefix = text_.Sample(options_.batch_per_rank, rng);
+    FeedMap feeds;
+    feeds[src_ph_] = source.ids;
+    feeds[prev_ph_] = prefix.ids;
+    feeds[candidates_ph_] = source.labels;  // "translations" of the source tokens
+    feeds[ce_labels_ph_] = Arange(options_.batch_per_rank);
+    shards.push_back(std::move(feeds));
+  }
+  return shards;
+}
+
+double NmtSurrogateModel::EvalTokenAccuracy(const VariableStore& variables, int batches,
+                                            Rng& rng) const {
+  Executor executor(&graph_);
+  int64_t correct = 0;
+  int64_t total = 0;
+  for (int b = 0; b < batches; ++b) {
+    TokenBatch source = text_.Sample(options_.batch_per_rank, rng);
+    TokenBatch prefix = text_.Sample(options_.batch_per_rank, rng);
+    FeedMap feeds;
+    feeds[src_ph_] = source.ids;
+    feeds[prev_ph_] = prefix.ids;
+    feeds[candidates_ph_] = Arange(options_.vocab_size);
+    feeds[ce_labels_ph_] = source.labels;
+    Tensor logits = executor.RunForward(variables, feeds, logits_);
+    auto values = logits.floats();
+    int64_t rows = logits.shape().dim(0);
+    int64_t cols = logits.shape().dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      int64_t predicted =
+          ArgMaxRow(values.subspan(static_cast<size_t>(r * cols), static_cast<size_t>(cols)));
+      if (predicted == text_.TrueNext(source.ids.ints()[static_cast<size_t>(r)])) {
+        ++correct;
+      }
+      ++total;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+MlpClassifierModel::MlpClassifierModel(Options options)
+    : options_(options),
+      images_({.feature_dims = options.feature_dims,
+               .num_classes = options.num_classes,
+               .seed = options.seed}) {
+  Rng init_rng(options_.seed ^ 0xc1a55ULL);
+  features_ph_ = graph_.Placeholder("features", DataType::kFloat32);
+  labels_ph_ = graph_.Placeholder("labels", DataType::kInt64);
+
+  NodeId w1 = graph_.Variable(
+      "w1", GlorotUniform(TensorShape({options_.feature_dims, options_.hidden_dim}),
+                          init_rng));
+  NodeId b1 = graph_.Variable("b1", Tensor::Zeros(TensorShape({options_.hidden_dim})));
+  NodeId w2 = graph_.Variable(
+      "w2", GlorotUniform(TensorShape({options_.hidden_dim, options_.num_classes}),
+                          init_rng));
+  NodeId b2 = graph_.Variable("b2", Tensor::Zeros(TensorShape({options_.num_classes})));
+
+  NodeId h = graph_.Relu(graph_.BiasAdd(graph_.MatMul(features_ph_, w1), b1), "hidden");
+  logits_ = graph_.BiasAdd(graph_.MatMul(h, w2), b2, "logits");
+  loss_ = graph_.SoftmaxXentMean(logits_, labels_ph_, "loss");
+}
+
+std::vector<FeedMap> MlpClassifierModel::TrainShards(int num_ranks, Rng& rng) const {
+  std::vector<FeedMap> shards;
+  shards.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    ImageBatch batch = images_.Sample(options_.batch_per_rank, rng);
+    FeedMap feeds;
+    feeds[features_ph_] = batch.features;
+    feeds[labels_ph_] = batch.labels;
+    shards.push_back(std::move(feeds));
+  }
+  return shards;
+}
+
+double MlpClassifierModel::EvalTop1Error(const VariableStore& variables, int batches,
+                                         Rng& rng) const {
+  Executor executor(&graph_);
+  int64_t wrong = 0;
+  int64_t total = 0;
+  for (int b = 0; b < batches; ++b) {
+    ImageBatch batch = images_.Sample(options_.batch_per_rank, rng);
+    FeedMap feeds;
+    feeds[features_ph_] = batch.features;
+    feeds[labels_ph_] = batch.labels;
+    Tensor logits = executor.RunForward(variables, feeds, logits_);
+    auto values = logits.floats();
+    int64_t rows = logits.shape().dim(0);
+    int64_t cols = logits.shape().dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      int64_t predicted =
+          ArgMaxRow(values.subspan(static_cast<size_t>(r * cols), static_cast<size_t>(cols)));
+      if (predicted != batch.labels.ints()[static_cast<size_t>(r)]) {
+        ++wrong;
+      }
+      ++total;
+    }
+  }
+  return 100.0 * static_cast<double>(wrong) / static_cast<double>(total);
+}
+
+}  // namespace parallax

@@ -1,0 +1,131 @@
+// Small *really trainable* models for the convergence experiments (Figure 7), built on
+// the graph IR so their gradients carry genuine dense/IndexedSlices typing:
+//
+//  - WordLmModel: embedding -> hidden layer -> sampled-softmax output embedding. Both
+//    embeddings get sparse gradients (like the paper's LM, where ~99% of parameters are
+//    the two vocabulary-sized matrices). Metric: true perplexity over the full vocabulary.
+//  - NmtSurrogateModel: source + target-prefix embeddings -> hidden -> sampled-softmax
+//    output embedding (a compact stand-in for the 8-layer GNMT; same dense/sparse
+//    variable mix). Metric: next-token accuracy (stand-in for BLEU; see DESIGN.md).
+//  - MlpClassifierModel: dense-only classifier on clustered features (the ResNet-50
+//    convergence surrogate). Metric: top-1 error.
+//
+// The sampled-softmax trick: the output-embedding rows used as logit classes come in
+// through an int64 placeholder. During training it carries the batch's label tokens
+// (in-batch candidates, cross-entropy target = row position); during evaluation it
+// carries the whole vocabulary, making the loss an exact full-softmax cross-entropy.
+// This is what makes the output embedding's gradient IndexedSlices, exactly like
+// TensorFlow's sampled_softmax_loss in the paper's LM.
+#ifndef PARALLAX_SRC_MODELS_TRAINABLE_H_
+#define PARALLAX_SRC_MODELS_TRAINABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/data/synthetic.h"
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+
+namespace parallax {
+
+class WordLmModel {
+ public:
+  struct Options {
+    int64_t vocab_size = 1200;
+    int64_t embedding_dim = 32;
+    int64_t hidden_dim = 48;
+    int64_t batch_per_rank = 32;
+    double zipf_exponent = 1.05;
+    double label_noise = 0.05;
+    uint64_t seed = 13;
+  };
+
+  explicit WordLmModel(Options options);
+
+  Graph* graph() { return &graph_; }
+  NodeId loss() const { return loss_; }
+
+  // Per-rank training feeds (each rank gets batch_per_rank fresh examples).
+  std::vector<FeedMap> TrainShards(int num_ranks, Rng& rng) const;
+  // Exact perplexity over the full vocabulary on held-out batches.
+  double EvalPerplexity(const VariableStore& variables, int batches, Rng& rng) const;
+
+  int variable_count() const { return static_cast<int>(graph_.variables().size()); }
+
+ private:
+  Options options_;
+  ZipfBigramText text_;
+  Graph graph_;
+  NodeId ids_ph_ = kNoNode;
+  NodeId candidates_ph_ = kNoNode;
+  NodeId ce_labels_ph_ = kNoNode;
+  NodeId logits_ = kNoNode;
+  NodeId loss_ = kNoNode;
+};
+
+class NmtSurrogateModel {
+ public:
+  struct Options {
+    int64_t vocab_size = 900;
+    int64_t embedding_dim = 24;
+    int64_t hidden_dim = 48;
+    int64_t batch_per_rank = 32;
+    double zipf_exponent = 1.0;
+    double label_noise = 0.05;
+    uint64_t seed = 17;
+  };
+
+  explicit NmtSurrogateModel(Options options);
+
+  Graph* graph() { return &graph_; }
+  NodeId loss() const { return loss_; }
+
+  std::vector<FeedMap> TrainShards(int num_ranks, Rng& rng) const;
+  // Fraction of held-out tokens predicted exactly (argmax over the full vocabulary).
+  double EvalTokenAccuracy(const VariableStore& variables, int batches, Rng& rng) const;
+
+ private:
+  Options options_;
+  ZipfBigramText text_;
+  Graph graph_;
+  NodeId src_ph_ = kNoNode;
+  NodeId prev_ph_ = kNoNode;
+  NodeId candidates_ph_ = kNoNode;
+  NodeId ce_labels_ph_ = kNoNode;
+  NodeId logits_ = kNoNode;
+  NodeId loss_ = kNoNode;
+};
+
+class MlpClassifierModel {
+ public:
+  struct Options {
+    int64_t feature_dims = 32;
+    int64_t num_classes = 10;
+    int64_t hidden_dim = 64;
+    int64_t batch_per_rank = 32;
+    uint64_t seed = 19;
+  };
+
+  explicit MlpClassifierModel(Options options);
+
+  Graph* graph() { return &graph_; }
+  NodeId loss() const { return loss_; }
+
+  std::vector<FeedMap> TrainShards(int num_ranks, Rng& rng) const;
+  // Top-1 error (%) on held-out batches.
+  double EvalTop1Error(const VariableStore& variables, int batches, Rng& rng) const;
+
+ private:
+  Options options_;
+  ClusteredImages images_;
+  Graph graph_;
+  NodeId features_ph_ = kNoNode;
+  NodeId labels_ph_ = kNoNode;
+  NodeId logits_ = kNoNode;
+  NodeId loss_ = kNoNode;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_MODELS_TRAINABLE_H_

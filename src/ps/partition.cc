@@ -1,0 +1,87 @@
+#include "src/ps/partition.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+
+RowPartition::RowPartition(int64_t num_rows, int num_partitions)
+    : num_rows_(num_rows), num_partitions_(num_partitions) {
+  PX_CHECK_GT(num_rows, 0);
+  PX_CHECK_GT(num_partitions, 0);
+  PX_CHECK_LE(static_cast<int64_t>(num_partitions), num_rows)
+      << "more partitions than rows";
+  base_rows_ = num_rows / num_partitions;
+  remainder_ = num_rows % num_partitions;
+}
+
+int64_t RowPartition::RowBegin(int partition) const {
+  PX_CHECK_GE(partition, 0);
+  PX_CHECK_LE(partition, num_partitions_);
+  int64_t p = partition;
+  // First `remainder_` pieces hold base+1 rows.
+  return p * base_rows_ + std::min<int64_t>(p, remainder_);
+}
+
+int RowPartition::PartitionOfRow(int64_t row) const {
+  PX_CHECK_GE(row, 0);
+  PX_CHECK_LT(row, num_rows_);
+  // Rows [0, remainder*(base+1)) live in the larger pieces.
+  int64_t large_span = remainder_ * (base_rows_ + 1);
+  if (row < large_span) {
+    return static_cast<int>(row / (base_rows_ + 1));
+  }
+  return static_cast<int>(remainder_ + (row - large_span) / base_rows_);
+}
+
+std::vector<IndexedSlices> SplitSlicesByPartition(const IndexedSlices& slices,
+                                                  const RowPartition& partition) {
+  const int p_count = partition.num_partitions();
+  const int64_t row = slices.row_elements();
+  std::vector<std::vector<int64_t>> piece_indices(static_cast<size_t>(p_count));
+  std::vector<std::vector<int64_t>> piece_source_rows(static_cast<size_t>(p_count));
+  for (int64_t i = 0; i < slices.nnz_rows(); ++i) {
+    int64_t global_row = slices.indices()[static_cast<size_t>(i)];
+    int p = partition.PartitionOfRow(global_row);
+    piece_indices[static_cast<size_t>(p)].push_back(global_row - partition.RowBegin(p));
+    piece_source_rows[static_cast<size_t>(p)].push_back(i);
+  }
+  auto values = slices.values().floats();
+  std::vector<IndexedSlices> pieces;
+  pieces.reserve(static_cast<size_t>(p_count));
+  for (int p = 0; p < p_count; ++p) {
+    int64_t nnz = static_cast<int64_t>(piece_indices[static_cast<size_t>(p)].size());
+    Tensor piece_values =
+        Tensor::Zeros(slices.values().shape().WithDim0(nnz));
+    auto dst = piece_values.mutable_floats();
+    for (int64_t i = 0; i < nnz; ++i) {
+      int64_t src_row = piece_source_rows[static_cast<size_t>(p)][static_cast<size_t>(i)];
+      std::copy_n(values.begin() + static_cast<ptrdiff_t>(src_row * row), row,
+                  dst.begin() + static_cast<ptrdiff_t>(i * row));
+    }
+    TensorShape piece_shape = slices.dense_shape().WithDim0(partition.RowsIn(p));
+    pieces.emplace_back(std::move(piece_indices[static_cast<size_t>(p)]),
+                        std::move(piece_values), std::move(piece_shape));
+  }
+  return pieces;
+}
+
+std::vector<Tensor> SplitRowsByPartition(const Tensor& value, const RowPartition& partition) {
+  std::vector<Tensor> pieces;
+  pieces.reserve(static_cast<size_t>(partition.num_partitions()));
+  for (int p = 0; p < partition.num_partitions(); ++p) {
+    pieces.push_back(SliceRows(value, partition.RowBegin(p), partition.RowBegin(p + 1)));
+  }
+  return pieces;
+}
+
+Tensor StitchPartitions(const std::vector<Tensor>& pieces, const RowPartition& partition) {
+  PX_CHECK_EQ(static_cast<int>(pieces.size()), partition.num_partitions());
+  Tensor full = ConcatRows(pieces);
+  PX_CHECK_EQ(full.shape().dim(0), partition.num_rows());
+  return full;
+}
+
+}  // namespace parallax

@@ -1,0 +1,33 @@
+#include "src/ps/ps_async.h"
+
+namespace parallax {
+
+namespace {
+
+PsNumericConfig ForAsync(PsNumericConfig config) {
+  // No accumulators, no per-machine grouping: every push stands alone.
+  config.local_aggregation = false;
+  config.ranks_per_machine = 1;
+  // A single push *is* the whole contribution; averaging would shrink it.
+  config.dense_aggregation = AggregationMethod::kSum;
+  config.sparse_aggregation = AggregationMethod::kSum;
+  return config;
+}
+
+}  // namespace
+
+AsyncPsEngine::AsyncPsEngine(const Graph* graph, PsNumericConfig config)
+    : engine_(graph, ForAsync(std::move(config))) {}
+
+void AsyncPsEngine::PushGradients(const StepResult& grads, float learning_rate) {
+  // One contributor, applied immediately: the degenerate single-rank synchronous step
+  // *is* the asynchronous update (sum over one worker, no waiting).
+  std::vector<StepResult> single;
+  single.push_back(grads);
+  engine_.ApplyStep(single, learning_rate);
+  ++pushes_applied_;
+}
+
+VariableStore AsyncPsEngine::CurrentValues() const { return engine_.CurrentValues(); }
+
+}  // namespace parallax

@@ -1,0 +1,37 @@
+// Asynchronous parameter-server training (paper section 2.1: "Parallax supports both
+// synchronous and asynchronous training").
+//
+// In asynchronous mode there are no accumulators and no chief barrier: each worker's
+// gradient is applied to the shared variables the moment it arrives, and workers read
+// whatever values the servers currently hold. Updates are therefore computed against
+// *stale* parameters — the staleness the paper cites as the reason most users train
+// synchronously (section 2.1's accuracy discussion). The engine exposes the arrival
+// order explicitly so tests can reproduce any interleaving deterministically.
+#ifndef PARALLAX_SRC_PS_PS_ASYNC_H_
+#define PARALLAX_SRC_PS_PS_ASYNC_H_
+
+#include "src/ps/ps_numeric.h"
+
+namespace parallax {
+
+class AsyncPsEngine {
+ public:
+  AsyncPsEngine(const Graph* graph, PsNumericConfig config);
+
+  // Applies one worker's gradients immediately (no aggregation, no barrier). The
+  // learning rate is applied per push, matching TF's asynchronous replica semantics.
+  void PushGradients(const StepResult& grads, float learning_rate);
+
+  // What a worker pulling right now would observe.
+  VariableStore CurrentValues() const;
+
+  int64_t pushes_applied() const { return pushes_applied_; }
+
+ private:
+  PsNumericEngine engine_;  // reuses shard storage; async path bypasses accumulators
+  int64_t pushes_applied_ = 0;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_PS_PS_ASYNC_H_

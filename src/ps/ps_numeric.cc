@@ -1,0 +1,165 @@
+#include "src/ps/ps_numeric.h"
+
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+
+PsVariable::PsVariable(Tensor initial, int partitions) : shape_(initial.shape()) {
+  if (partitions > 1) {
+    PX_CHECK_GE(shape_.rank(), 1);
+    partition_.emplace(shape_.dim(0), partitions);
+    pieces_ = SplitRowsByPartition(initial, *partition_);
+  } else {
+    pieces_.push_back(initial.Clone());
+  }
+}
+
+Tensor PsVariable::Materialize() const {
+  if (!partition_) {
+    return pieces_.front().Clone();
+  }
+  return StitchPartitions(pieces_, *partition_);
+}
+
+void PsVariable::ApplyDenseSgd(const Tensor& grad, float learning_rate) {
+  PX_CHECK(grad.shape() == shape_);
+  if (!partition_) {
+    AxpyInPlace(pieces_.front(), -learning_rate, grad);
+    return;
+  }
+  std::vector<Tensor> grad_pieces = SplitRowsByPartition(grad, *partition_);
+  for (size_t p = 0; p < pieces_.size(); ++p) {
+    AxpyInPlace(pieces_[p], -learning_rate, grad_pieces[p]);
+  }
+}
+
+void PsVariable::ApplySparseSgd(const IndexedSlices& grad, float learning_rate) {
+  PX_CHECK(grad.dense_shape() == shape_);
+  if (!partition_) {
+    ScatterSgdUpdate(pieces_.front(), grad, learning_rate);
+    return;
+  }
+  std::vector<IndexedSlices> grad_pieces = SplitSlicesByPartition(grad, *partition_);
+  for (size_t p = 0; p < pieces_.size(); ++p) {
+    if (grad_pieces[p].nnz_rows() > 0) {
+      ScatterSgdUpdate(pieces_[p], grad_pieces[p], learning_rate);
+    }
+  }
+}
+
+PsNumericEngine::PsNumericEngine(const Graph* graph, PsNumericConfig config)
+    : graph_(graph), config_(config) {
+  PX_CHECK(graph != nullptr);
+  PX_CHECK_GE(config_.sparse_partitions, 1);
+  PX_CHECK_GE(config_.ranks_per_machine, 1);
+  for (const VariableDef& def : graph->variables()) {
+    // Only partitioner-scoped variables are split (Figure 3 line 9); TF would refuse to
+    // partition a variable of fewer rows than pieces, and so do we.
+    int partitions = 1;
+    if (def.partitioner_scope && def.shape.rank() >= 1 &&
+        def.shape.dim(0) >= config_.sparse_partitions) {
+      partitions = config_.sparse_partitions;
+    }
+    variables_.emplace_back(def.initial_value, partitions);
+  }
+}
+
+bool PsNumericEngine::Manages(int variable_index) const {
+  if (config_.managed_variables.empty()) {
+    return true;
+  }
+  for (int v : config_.managed_variables) {
+    if (v == variable_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Tensor PsNumericEngine::AggregateDense(const std::vector<Tensor>& contributions) const {
+  Tensor sum = AllReduceSum(contributions);
+  if (config_.dense_aggregation == AggregationMethod::kAverage) {
+    ScaleInPlace(sum, 1.0f / static_cast<float>(contributions.size()));
+  }
+  return sum;
+}
+
+IndexedSlices PsNumericEngine::AggregateSparse(
+    const std::vector<IndexedSlices>& contributions) const {
+  IndexedSlices sum = IndexedSlices::Sum(contributions);
+  if (config_.sparse_aggregation == AggregationMethod::kAverage) {
+    sum.Scale(1.0f / static_cast<float>(contributions.size()));
+  }
+  return sum;
+}
+
+void PsNumericEngine::ApplyStep(const std::vector<StepResult>& per_rank,
+                                float learning_rate) {
+  PX_CHECK(!per_rank.empty());
+  const int num_ranks = static_cast<int>(per_rank.size());
+  const int ranks_per_machine = config_.local_aggregation ? config_.ranks_per_machine : 1;
+  PX_CHECK_EQ(num_ranks % ranks_per_machine, 0)
+      << "ranks must fill machines evenly for local aggregation";
+
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    int key = static_cast<int>(v);
+    if (!Manages(key)) {
+      continue;
+    }
+    // Collect contributions; every rank must agree on whether the gradient exists and
+    // whether it is sparse (same graph on every replica).
+    if (per_rank.front().grads.find(key) == per_rank.front().grads.end()) {
+      for (const StepResult& r : per_rank) {
+        PX_CHECK(r.grads.find(key) == r.grads.end()) << "inconsistent gradient presence";
+      }
+      continue;
+    }
+    bool is_sparse = per_rank.front().grads.at(key).is_sparse();
+    if (is_sparse) {
+      // Two-level aggregation: local (per machine) coalesced sums, then the global
+      // accumulator sums the machine contributions. Without local aggregation the
+      // accumulator sums the per-rank gradients directly.
+      std::vector<IndexedSlices> global_inputs;
+      for (int base = 0; base < num_ranks; base += ranks_per_machine) {
+        std::vector<IndexedSlices> local;
+        local.reserve(static_cast<size_t>(ranks_per_machine));
+        for (int r = base; r < base + ranks_per_machine; ++r) {
+          local.push_back(per_rank[static_cast<size_t>(r)].grads.at(key).sparse());
+        }
+        global_inputs.push_back(local.size() == 1 ? local.front() : IndexedSlices::Sum(local));
+      }
+      IndexedSlices aggregated = IndexedSlices::Sum(global_inputs);
+      if (config_.sparse_aggregation == AggregationMethod::kAverage) {
+        aggregated.Scale(1.0f / static_cast<float>(num_ranks));
+      }
+      variables_[v].ApplySparseSgd(aggregated, learning_rate);
+    } else {
+      std::vector<Tensor> global_inputs;
+      for (int base = 0; base < num_ranks; base += ranks_per_machine) {
+        std::vector<Tensor> local;
+        local.reserve(static_cast<size_t>(ranks_per_machine));
+        for (int r = base; r < base + ranks_per_machine; ++r) {
+          local.push_back(per_rank[static_cast<size_t>(r)].grads.at(key).dense());
+        }
+        global_inputs.push_back(local.size() == 1 ? local.front() : AllReduceSum(local));
+      }
+      Tensor aggregated = AllReduceSum(global_inputs);
+      if (config_.dense_aggregation == AggregationMethod::kAverage) {
+        ScaleInPlace(aggregated, 1.0f / static_cast<float>(num_ranks));
+      }
+      variables_[v].ApplyDenseSgd(aggregated, learning_rate);
+    }
+  }
+}
+
+VariableStore PsNumericEngine::CurrentValues() const {
+  VariableStore store;
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (Manages(static_cast<int>(v))) {
+      store.Set(static_cast<int>(v), variables_[v].Materialize());
+    }
+  }
+  return store;
+}
+
+}  // namespace parallax

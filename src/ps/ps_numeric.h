@@ -1,0 +1,88 @@
+// Numeric runtime of the Parameter Server architecture: partitioned variable shards,
+// synchronous gradient accumulators, optional per-machine local aggregation, and
+// chief-triggered updates (paper sections 4.3 and 5).
+//
+// This engine computes the *values* PS training produces — the timing plane lives in
+// core/iteration_sim.h. The protocol structure matches the paper's optimized PS:
+//   1. each worker pushes its gradient (or each machine pushes a locally-aggregated one),
+//   2. per-shard accumulators sum contributions in deterministic arrival order,
+//   3. once every expected contribution arrived, the chief worker triggers the update op
+//      colocated with the shard,
+//   4. workers observe the new values (the shared-queue notification barrier).
+#ifndef PARALLAX_SRC_PS_PS_NUMERIC_H_
+#define PARALLAX_SRC_PS_PS_NUMERIC_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/comm/reduce.h"
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+#include "src/ps/partition.h"
+
+namespace parallax {
+
+struct PsNumericConfig {
+  // Partition count applied to every partitioner-scoped variable with a sparse gradient.
+  int sparse_partitions = 1;
+  // Aggregate per machine before pushing (OptPS / Parallax local aggregation).
+  bool local_aggregation = false;
+  // How gradients combine across workers.
+  AggregationMethod dense_aggregation = AggregationMethod::kAverage;
+  AggregationMethod sparse_aggregation = AggregationMethod::kAverage;
+  // Ranks per machine (for local aggregation grouping).
+  int ranks_per_machine = 1;
+  // Variable indices this engine owns; empty means all (the hybrid runner assigns only
+  // the PS-routed subset here and the AR-routed subset to the AR engine).
+  std::vector<int> managed_variables;
+};
+
+// One variable as the servers store it: whole (dense or unpartitioned) or row-partitioned.
+class PsVariable {
+ public:
+  PsVariable(Tensor initial, int partitions);
+
+  // Full current value (stitched) — what a worker pull materializes.
+  Tensor Materialize() const;
+
+  void ApplyDenseSgd(const Tensor& grad, float learning_rate);
+  // Splits the aggregated sparse gradient by partition and scatter-updates each piece —
+  // the per-piece update ops the transformation colocates with the shards.
+  void ApplySparseSgd(const IndexedSlices& grad, float learning_rate);
+
+  int num_partitions() const { return partition_ ? partition_->num_partitions() : 1; }
+
+ private:
+  TensorShape shape_;
+  std::optional<RowPartition> partition_;
+  std::vector<Tensor> pieces_;  // one entry when unpartitioned
+};
+
+// The server group: every variable's shards plus the synchronous aggregation logic.
+class PsNumericEngine {
+ public:
+  PsNumericEngine(const Graph* graph, PsNumericConfig config);
+
+  // One synchronous training step given each rank's backward results (all ranks must
+  // report a gradient for the same variable set). Applies SGD with `learning_rate`.
+  void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate);
+
+  // Current full values, as workers observe them after the chief's notification.
+  VariableStore CurrentValues() const;
+
+  const PsNumericConfig& config() const { return config_; }
+
+ private:
+  // Accumulates dense contributions in arrival order, then scales per config.
+  Tensor AggregateDense(const std::vector<Tensor>& contributions) const;
+  IndexedSlices AggregateSparse(const std::vector<IndexedSlices>& contributions) const;
+  bool Manages(int variable_index) const;
+
+  const Graph* graph_;
+  PsNumericConfig config_;
+  std::vector<PsVariable> variables_;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_PS_PS_NUMERIC_H_

@@ -1,0 +1,28 @@
+#include "src/sim/cluster.h"
+
+namespace parallax {
+
+Cluster::Cluster(const ClusterSpec& spec) : spec_(spec) {
+  PX_CHECK_GT(spec.num_machines, 0);
+  PX_CHECK_GT(spec.gpus_per_machine, 0);
+  machines_.reserve(static_cast<size_t>(spec.num_machines));
+  for (int m = 0; m < spec.num_machines; ++m) {
+    machines_.emplace_back(spec);
+  }
+}
+
+int64_t Cluster::NicBytes(int m) const {
+  const MachineSim& machine_sim = machine(m);
+  return machine_sim.nic_in.total_bytes() + machine_sim.nic_out.total_bytes();
+}
+
+void Cluster::ResetByteAccounting() {
+  for (MachineSim& m : machines_) {
+    m.nic_in.ResetAccounting();
+    m.nic_out.ResetAccounting();
+    m.pcie_in.ResetAccounting();
+    m.pcie_out.ResetAccounting();
+  }
+}
+
+}  // namespace parallax

@@ -1,0 +1,196 @@
+// Deterministic cluster model: machines with full-duplex NICs, PCIe-class intra-machine
+// links, a CPU core pool, and GPU compute devices.
+//
+// This is the substitute for the paper's physical testbed (8 machines x 6 TITAN Xp,
+// 100 Gbps InfiniBand). Resources are modeled as queueing servers in *virtual time*:
+//  - LinkQueue: FIFO byte server. A transfer occupies the sender's out-link and the
+//    receiver's in-link simultaneously (cut-through), serializing with other traffic on
+//    either link. Many-to-one traffic therefore queues at the receiver's in-link, which is
+//    exactly the PS incast asymmetry the paper analyzes in section 3.1.
+//  - CorePool: k-server queue; CPU work items (gradient aggregation, update ops, request
+//    handling) occupy one core each, so partition-level parallelism and core contention
+//    emerge naturally (section 3.2).
+//  - GpuDevice: serialized compute device for forward/backward chunks.
+//
+// All scheduling is deterministic given the order of Schedule() calls; the TaskGraph
+// executor (task_graph.h) fixes that order by (ready_time, insertion id).
+#ifndef PARALLAX_SRC_SIM_CLUSTER_H_
+#define PARALLAX_SRC_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace parallax {
+
+using SimTime = double;  // seconds of virtual time
+
+// FIFO byte server with fixed bandwidth and propagation latency.
+class LinkQueue {
+ public:
+  LinkQueue(double bandwidth_bytes_per_sec, double latency_sec)
+      : bandwidth_(bandwidth_bytes_per_sec), latency_(latency_sec) {
+    PX_CHECK_GT(bandwidth_, 0.0);
+    PX_CHECK_GE(latency_, 0.0);
+  }
+
+  // Returns the serialization-complete time for a transfer that becomes ready at `ready`.
+  // (Propagation latency is added by the caller once per hop, not per link end.)
+  SimTime ScheduleSerialization(SimTime ready, int64_t bytes) {
+    SimTime start = std::max(ready, busy_until_);
+    busy_until_ = start + static_cast<double>(bytes) / bandwidth_;
+    total_bytes_ += bytes;
+    return busy_until_;
+  }
+
+  // Earliest time the link is free at or after `ready`.
+  SimTime FreeAt(SimTime ready) const { return std::max(ready, busy_until_); }
+
+  double latency() const { return latency_; }
+  double bandwidth() const { return bandwidth_; }
+  int64_t total_bytes() const { return total_bytes_; }
+  SimTime busy_until() const { return busy_until_; }
+
+  void ResetAccounting() { total_bytes_ = 0; }
+
+ private:
+  double bandwidth_;
+  double latency_;
+  SimTime busy_until_ = 0.0;
+  int64_t total_bytes_ = 0;
+};
+
+// k-server queue for CPU work. Each work item runs on one core.
+class CorePool {
+ public:
+  explicit CorePool(int num_cores) : core_free_(static_cast<size_t>(num_cores), 0.0) {
+    PX_CHECK_GT(num_cores, 0);
+  }
+
+  SimTime Schedule(SimTime ready, double duration) {
+    // Earliest-free core (deterministic: lowest index among ties).
+    size_t best = 0;
+    for (size_t i = 1; i < core_free_.size(); ++i) {
+      if (core_free_[i] < core_free_[best]) {
+        best = i;
+      }
+    }
+    SimTime start = std::max(ready, core_free_[best]);
+    core_free_[best] = start + duration;
+    total_busy_ += duration;
+    return core_free_[best];
+  }
+
+  int num_cores() const { return static_cast<int>(core_free_.size()); }
+  double total_busy() const { return total_busy_; }
+
+ private:
+  std::vector<SimTime> core_free_;
+  double total_busy_ = 0.0;
+};
+
+// Serialized compute device.
+class GpuDevice {
+ public:
+  SimTime Schedule(SimTime ready, double duration) {
+    SimTime start = std::max(ready, busy_until_);
+    busy_until_ = start + duration;
+    total_busy_ += duration;
+    return busy_until_;
+  }
+
+  SimTime busy_until() const { return busy_until_; }
+  double total_busy() const { return total_busy_; }
+
+ private:
+  SimTime busy_until_ = 0.0;
+  double total_busy_ = 0.0;
+};
+
+// Static description of the simulated cluster. Defaults model the paper's testbed.
+struct ClusterSpec {
+  int num_machines = 8;
+  int gpus_per_machine = 6;
+  int cores_per_machine = 36;          // 2x 18-core Xeon E5-2695
+  double nic_bandwidth = 12.5e9;       // 100 Gbps InfiniBand, bytes/sec per direction
+  double nic_latency = 5e-6;           // 5 us
+  double pcie_bandwidth = 12.0e9;      // intra-machine GPU<->host, bytes/sec
+  double pcie_latency = 2e-6;          // 2 us
+
+  int total_gpus() const { return num_machines * gpus_per_machine; }
+
+  static ClusterSpec Paper() { return ClusterSpec{}; }
+  // n machines with one GPU each: the 1-worker-per-machine setting of the paper's
+  // section 3.1 analysis (used to validate Table 3's closed forms).
+  static ClusterSpec SingleGpuMachines(int n) {
+    ClusterSpec spec;
+    spec.num_machines = n;
+    spec.gpus_per_machine = 1;
+    return spec;
+  }
+};
+
+// Global rank <-> (machine, local gpu) mapping. Ranks are laid out machine-major, which
+// is also how ring orders group ranks so rings cross each NIC exactly once per direction.
+struct RankLayout {
+  int num_machines = 0;
+  int gpus_per_machine = 0;
+
+  int num_ranks() const { return num_machines * gpus_per_machine; }
+  int MachineOfRank(int rank) const { return rank / gpus_per_machine; }
+  int LocalGpuOfRank(int rank) const { return rank % gpus_per_machine; }
+  int RankOf(int machine, int local_gpu) const { return machine * gpus_per_machine + local_gpu; }
+};
+
+// Per-machine mutable resources.
+struct MachineSim {
+  MachineSim(const ClusterSpec& spec)
+      : nic_in(spec.nic_bandwidth, spec.nic_latency),
+        nic_out(spec.nic_bandwidth, spec.nic_latency),
+        pcie_in(spec.pcie_bandwidth, spec.pcie_latency),
+        pcie_out(spec.pcie_bandwidth, spec.pcie_latency),
+        cores(spec.cores_per_machine),
+        gpus(static_cast<size_t>(spec.gpus_per_machine)) {}
+
+  LinkQueue nic_in;
+  LinkQueue nic_out;
+  LinkQueue pcie_in;
+  LinkQueue pcie_out;
+  CorePool cores;
+  std::vector<GpuDevice> gpus;
+};
+
+// The live cluster: resource state plus byte accounting.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterSpec& spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  RankLayout layout() const { return RankLayout{spec_.num_machines, spec_.gpus_per_machine}; }
+
+  MachineSim& machine(int m) {
+    PX_CHECK_GE(m, 0);
+    PX_CHECK_LT(m, static_cast<int>(machines_.size()));
+    return machines_[static_cast<size_t>(m)];
+  }
+  const MachineSim& machine(int m) const {
+    PX_CHECK_GE(m, 0);
+    PX_CHECK_LT(m, static_cast<int>(machines_.size()));
+    return machines_[static_cast<size_t>(m)];
+  }
+  int num_machines() const { return spec_.num_machines; }
+
+  // Total NIC bytes (in + out) that crossed machine m's network interface.
+  int64_t NicBytes(int m) const;
+  void ResetByteAccounting();
+
+ private:
+  ClusterSpec spec_;
+  std::vector<MachineSim> machines_;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_SIM_CLUSTER_H_

@@ -1,0 +1,160 @@
+#include "src/sim/task_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace parallax {
+
+TaskId TaskGraph::AddTask(Task task, std::span<const TaskId> deps) {
+  TaskId id = static_cast<TaskId>(tasks_.size());
+  task.deps_remaining = 0;
+  for (TaskId dep : deps) {
+    PX_CHECK_GE(dep, 0);
+    PX_CHECK_LT(dep, id) << "dependencies must be created before dependents";
+    tasks_[static_cast<size_t>(dep)].children.push_back(id);
+    ++task.deps_remaining;
+  }
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+TaskId TaskGraph::AddGpuCompute(int machine, int gpu, double seconds,
+                                std::span<const TaskId> deps) {
+  Task t;
+  t.kind = TaskKind::kGpuCompute;
+  t.machine = machine;
+  t.gpu = gpu;
+  t.seconds = seconds;
+  return AddTask(std::move(t), deps);
+}
+
+TaskId TaskGraph::AddCpuWork(int machine, double seconds, std::span<const TaskId> deps) {
+  Task t;
+  t.kind = TaskKind::kCpuWork;
+  t.machine = machine;
+  t.seconds = seconds;
+  return AddTask(std::move(t), deps);
+}
+
+TaskId TaskGraph::AddTransfer(int src_machine, int dst_machine, int64_t bytes,
+                              std::span<const TaskId> deps) {
+  PX_CHECK_NE(src_machine, dst_machine)
+      << "same-machine traffic must use AddLocalTransfer (local communication is "
+         "NIC-free, as in the paper's section 3.1 analysis)";
+  Task t;
+  t.kind = TaskKind::kTransfer;
+  t.machine = src_machine;
+  t.dst_machine = dst_machine;
+  t.bytes = bytes;
+  return AddTask(std::move(t), deps);
+}
+
+TaskId TaskGraph::AddLocalTransfer(int machine, int64_t bytes, std::span<const TaskId> deps) {
+  Task t;
+  t.kind = TaskKind::kLocalTransfer;
+  t.machine = machine;
+  t.bytes = bytes;
+  return AddTask(std::move(t), deps);
+}
+
+TaskId TaskGraph::AddDelay(double seconds, std::span<const TaskId> deps) {
+  Task t;
+  t.kind = TaskKind::kDelay;
+  t.seconds = seconds;
+  return AddTask(std::move(t), deps);
+}
+
+TaskId TaskGraph::AddBarrier(std::span<const TaskId> deps) {
+  Task t;
+  t.kind = TaskKind::kBarrier;
+  return AddTask(std::move(t), deps);
+}
+
+TaskResult TaskGraph::Execute(Cluster& cluster, SimTime start_time) {
+  PX_CHECK(!executed_) << "TaskGraph::Execute may only be called once";
+  executed_ = true;
+
+  // Min-heap of ready tasks ordered by (ready_time, id): the deterministic service order.
+  using Entry = std::pair<SimTime, TaskId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].deps_remaining == 0) {
+      tasks_[i].ready_time = start_time;
+      ready.emplace(start_time, static_cast<TaskId>(i));
+    }
+  }
+
+  size_t scheduled = 0;
+  SimTime last_finish = start_time;
+  while (!ready.empty()) {
+    auto [ready_time, id] = ready.top();
+    ready.pop();
+    Task& task = tasks_[static_cast<size_t>(id)];
+    SimTime finish = ready_time;
+    switch (task.kind) {
+      case TaskKind::kGpuCompute: {
+        MachineSim& m = cluster.machine(task.machine);
+        PX_CHECK_LT(static_cast<size_t>(task.gpu), m.gpus.size());
+        finish = m.gpus[static_cast<size_t>(task.gpu)].Schedule(ready_time, task.seconds);
+        break;
+      }
+      case TaskKind::kCpuWork: {
+        finish = cluster.machine(task.machine).cores.Schedule(ready_time, task.seconds);
+        break;
+      }
+      case TaskKind::kTransfer: {
+        // Store-and-forward: the transfer serializes through the sender's out-link, then
+        // through the receiver's in-link, each a FIFO byte queue. The two queues are
+        // decoupled (no mutual reservation), so many-to-many traffic has no artificial
+        // convoy stalls while incast still queues honestly at the receiver. One
+        // propagation latency per hop.
+        LinkQueue& out = cluster.machine(task.machine).nic_out;
+        LinkQueue& in = cluster.machine(task.dst_machine).nic_in;
+        SimTime out_done = out.ScheduleSerialization(ready_time, task.bytes);
+        SimTime in_done = in.ScheduleSerialization(out_done, task.bytes);
+        finish = in_done + out.latency();
+        break;
+      }
+      case TaskKind::kLocalTransfer: {
+        LinkQueue& out = cluster.machine(task.machine).pcie_out;
+        LinkQueue& in = cluster.machine(task.machine).pcie_in;
+        SimTime out_done = out.ScheduleSerialization(ready_time, task.bytes);
+        SimTime in_done = in.ScheduleSerialization(out_done, task.bytes);
+        finish = in_done + out.latency();
+        break;
+      }
+      case TaskKind::kDelay:
+        finish = ready_time + task.seconds;
+        break;
+      case TaskKind::kBarrier:
+        finish = ready_time;
+        break;
+    }
+    task.finish_time = finish;
+    last_finish = std::max(last_finish, finish);
+    ++scheduled;
+    for (TaskId child_id : task.children) {
+      Task& child = tasks_[static_cast<size_t>(child_id)];
+      child.ready_time = std::max(child.ready_time, finish);
+      if (--child.deps_remaining == 0) {
+        ready.emplace(std::max(child.ready_time, start_time), child_id);
+      }
+    }
+  }
+  PX_CHECK_EQ(scheduled, tasks_.size()) << "task graph contains unreachable tasks";
+
+  TaskResult result;
+  result.finish_time = last_finish;
+  result.makespan = last_finish - start_time;
+  return result;
+}
+
+SimTime TaskGraph::FinishTime(TaskId id) const {
+  PX_CHECK(executed_);
+  PX_CHECK_GE(id, 0);
+  PX_CHECK_LT(static_cast<size_t>(id), tasks_.size());
+  return tasks_[static_cast<size_t>(id)].finish_time;
+}
+
+}  // namespace parallax

@@ -1,0 +1,103 @@
+// Dependency-driven virtual-time execution of one training iteration.
+//
+// Engines (PS / AR / hybrid) describe an iteration as a DAG of resource-consuming tasks:
+// GPU compute chunks, CPU work items, network transfers, local (PCIe) transfers, and pure
+// delays. Execute() schedules tasks against a Cluster in deterministic order — tasks are
+// processed by (ready_time, insertion id) — and returns the makespan. Overlap of
+// communication with computation, incast queueing, ring pipelining, and CPU-side
+// aggregation parallelism all emerge from the DAG structure plus the FIFO resource
+// queues; nothing is closed-form.
+#ifndef PARALLAX_SRC_SIM_TASK_GRAPH_H_
+#define PARALLAX_SRC_SIM_TASK_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace parallax {
+
+using TaskId = int32_t;
+inline constexpr TaskId kNoTask = -1;
+
+enum class TaskKind : uint8_t {
+  kGpuCompute,     // occupies machine.gpus[gpu]
+  kCpuWork,        // occupies one core of machine.cores
+  kTransfer,       // src machine NIC out + dst machine NIC in (cut-through)
+  kLocalTransfer,  // machine PCIe out + in (GPU<->host or GPU<->GPU staging)
+  kDelay,          // fixed latency, no resource
+  kBarrier,        // zero-cost join node
+};
+
+struct TaskResult {
+  SimTime makespan = 0.0;       // finish of the last task, relative to start time
+  SimTime finish_time = 0.0;    // absolute virtual finish time
+};
+
+class TaskGraph {
+ public:
+  TaskId AddGpuCompute(int machine, int gpu, double seconds, std::span<const TaskId> deps);
+  TaskId AddCpuWork(int machine, double seconds, std::span<const TaskId> deps);
+  TaskId AddTransfer(int src_machine, int dst_machine, int64_t bytes,
+                     std::span<const TaskId> deps);
+  TaskId AddLocalTransfer(int machine, int64_t bytes, std::span<const TaskId> deps);
+  TaskId AddDelay(double seconds, std::span<const TaskId> deps);
+  TaskId AddBarrier(std::span<const TaskId> deps);
+
+  // Convenience overloads for brace-list dependencies.
+  TaskId AddGpuCompute(int machine, int gpu, double seconds,
+                       std::initializer_list<TaskId> deps = {}) {
+    return AddGpuCompute(machine, gpu, seconds, std::span<const TaskId>(deps));
+  }
+  TaskId AddCpuWork(int machine, double seconds, std::initializer_list<TaskId> deps = {}) {
+    return AddCpuWork(machine, seconds, std::span<const TaskId>(deps));
+  }
+  TaskId AddTransfer(int src_machine, int dst_machine, int64_t bytes,
+                     std::initializer_list<TaskId> deps = {}) {
+    return AddTransfer(src_machine, dst_machine, bytes, std::span<const TaskId>(deps));
+  }
+  TaskId AddLocalTransfer(int machine, int64_t bytes, std::initializer_list<TaskId> deps = {}) {
+    return AddLocalTransfer(machine, bytes, std::span<const TaskId>(deps));
+  }
+  TaskId AddDelay(double seconds, std::initializer_list<TaskId> deps = {}) {
+    return AddDelay(seconds, std::span<const TaskId>(deps));
+  }
+  TaskId AddBarrier(std::initializer_list<TaskId> deps = {}) {
+    return AddBarrier(std::span<const TaskId>(deps));
+  }
+
+  size_t num_tasks() const { return tasks_.size(); }
+
+  // Runs the DAG against the cluster starting at `start_time`. Every task must be
+  // reachable (no dependency cycles by construction: deps must precede the task).
+  // May be called once per graph instance.
+  TaskResult Execute(Cluster& cluster, SimTime start_time = 0.0);
+
+  // Valid after Execute(): absolute finish time of a task.
+  SimTime FinishTime(TaskId id) const;
+
+ private:
+  struct Task {
+    TaskKind kind;
+    int machine = 0;
+    int gpu = 0;
+    int dst_machine = 0;
+    int64_t bytes = 0;
+    double seconds = 0.0;
+    int32_t deps_remaining = 0;
+    SimTime ready_time = 0.0;
+    SimTime finish_time = 0.0;
+    std::vector<TaskId> children;
+  };
+
+  TaskId AddTask(Task task, std::span<const TaskId> deps);
+
+  std::vector<Task> tasks_;
+  bool executed_ = false;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_SIM_TASK_GRAPH_H_

@@ -1,0 +1,118 @@
+#include "src/tensor/indexed_slices.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_set>
+
+#include "src/base/strings.h"
+
+namespace parallax {
+
+IndexedSlices::IndexedSlices(std::vector<int64_t> indices, Tensor values,
+                             TensorShape dense_shape)
+    : indices_(std::move(indices)),
+      values_(std::move(values)),
+      dense_shape_(std::move(dense_shape)) {
+  PX_CHECK_GE(dense_shape_.rank(), 1);
+  PX_CHECK_EQ(values_.shape().dim(0), static_cast<int64_t>(indices_.size()));
+  PX_CHECK_EQ(values_.shape().row_elements(), dense_shape_.row_elements());
+  for (int64_t index : indices_) {
+    PX_CHECK_GE(index, 0);
+    PX_CHECK_LT(index, dense_shape_.dim(0));
+  }
+}
+
+int64_t IndexedSlices::WireBytes() const {
+  return nnz_rows() * row_elements() * static_cast<int64_t>(sizeof(float)) +
+         nnz_rows() * static_cast<int64_t>(sizeof(int64_t));
+}
+
+Tensor IndexedSlices::ToDense() const {
+  Tensor dense = Tensor::Zeros(dense_shape_);
+  auto out = dense.mutable_floats();
+  auto in = values_.floats();
+  int64_t row = row_elements();
+  for (int64_t i = 0; i < nnz_rows(); ++i) {
+    int64_t base = indices_[static_cast<size_t>(i)] * row;
+    for (int64_t j = 0; j < row; ++j) {
+      out[static_cast<size_t>(base + j)] += in[static_cast<size_t>(i * row + j)];
+    }
+  }
+  return dense;
+}
+
+IndexedSlices IndexedSlices::Coalesced() const {
+  int64_t row = row_elements();
+  // Deterministic order: sorted unique indices.
+  std::map<int64_t, int64_t> first_slot;  // index -> output slot
+  for (int64_t index : indices_) {
+    first_slot.emplace(index, 0);
+  }
+  std::vector<int64_t> out_indices;
+  out_indices.reserve(first_slot.size());
+  for (auto& [index, slot] : first_slot) {
+    slot = static_cast<int64_t>(out_indices.size());
+    out_indices.push_back(index);
+  }
+  Tensor out_values = Tensor::Zeros(
+      values_.shape().WithDim0(static_cast<int64_t>(out_indices.size())));
+  auto out = out_values.mutable_floats();
+  auto in = values_.floats();
+  for (int64_t i = 0; i < nnz_rows(); ++i) {
+    int64_t slot = first_slot[indices_[static_cast<size_t>(i)]];
+    for (int64_t j = 0; j < row; ++j) {
+      out[static_cast<size_t>(slot * row + j)] += in[static_cast<size_t>(i * row + j)];
+    }
+  }
+  return IndexedSlices(std::move(out_indices), std::move(out_values), dense_shape_);
+}
+
+IndexedSlices IndexedSlices::Sum(const std::vector<IndexedSlices>& slices) {
+  PX_CHECK(!slices.empty());
+  return Concat(slices).Coalesced();
+}
+
+IndexedSlices IndexedSlices::Concat(const std::vector<IndexedSlices>& slices) {
+  PX_CHECK(!slices.empty());
+  const TensorShape& dense_shape = slices.front().dense_shape();
+  int64_t row = slices.front().row_elements();
+  int64_t total_rows = 0;
+  for (const IndexedSlices& s : slices) {
+    PX_CHECK(s.dense_shape() == dense_shape);
+    total_rows += s.nnz_rows();
+  }
+  std::vector<int64_t> indices;
+  indices.reserve(static_cast<size_t>(total_rows));
+  Tensor values = Tensor::Zeros(slices.front().values().shape().WithDim0(total_rows));
+  auto out = values.mutable_floats();
+  int64_t offset = 0;
+  for (const IndexedSlices& s : slices) {
+    indices.insert(indices.end(), s.indices().begin(), s.indices().end());
+    auto in = s.values().floats();
+    std::copy(in.begin(), in.end(), out.begin() + static_cast<ptrdiff_t>(offset * row));
+    offset += s.nnz_rows();
+  }
+  return IndexedSlices(std::move(indices), std::move(values), dense_shape);
+}
+
+void IndexedSlices::Scale(float factor) {
+  for (float& v : values_.mutable_floats()) {
+    v *= factor;
+  }
+}
+
+double IndexedSlices::AccessRatio() const {
+  if (dense_shape_.dim(0) == 0) {
+    return 0.0;
+  }
+  std::unordered_set<int64_t> unique(indices_.begin(), indices_.end());
+  return static_cast<double>(unique.size()) / static_cast<double>(dense_shape_.dim(0));
+}
+
+std::string IndexedSlices::DebugString() const {
+  return StrFormat("IndexedSlices<nnz_rows=%lld dense_shape=%s>",
+                   static_cast<long long>(nnz_rows()), dense_shape_.ToString().c_str());
+}
+
+}  // namespace parallax

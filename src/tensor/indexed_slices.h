@@ -1,0 +1,72 @@
+// IndexedSlices: the sparse-gradient representation, mirroring TensorFlow's type of the
+// same name. A gradient with respect to a variable accessed through Gather touches only a
+// subset of rows; IndexedSlices stores those row indices plus a dense block of row values.
+//
+// The existence of this type — rather than a flag — is load-bearing for Parallax: the
+// sparsity analyzer classifies a variable as sparse exactly when autodiff produces an
+// IndexedSlices gradient for it (paper section 5, "Identifying the sparsity of a variable").
+#ifndef PARALLAX_SRC_TENSOR_INDEXED_SLICES_H_
+#define PARALLAX_SRC_TENSOR_INDEXED_SLICES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace parallax {
+
+class IndexedSlices {
+ public:
+  IndexedSlices() = default;
+
+  // indices: row ids into the dense variable (may contain duplicates, as raw gradients
+  // from embedding lookups do). values: shape [indices.size(), row_elements...].
+  // dense_shape: shape of the variable this gradient applies to.
+  IndexedSlices(std::vector<int64_t> indices, Tensor values, TensorShape dense_shape);
+
+  int64_t nnz_rows() const { return static_cast<int64_t>(indices_.size()); }
+  const std::vector<int64_t>& indices() const { return indices_; }
+  const Tensor& values() const { return values_; }
+  Tensor& mutable_values() { return values_; }
+  const TensorShape& dense_shape() const { return dense_shape_; }
+  int64_t row_elements() const { return dense_shape_.row_elements(); }
+
+  // Bytes this gradient occupies on the wire: values + indices. The paper's analysis
+  // neglects index bytes; we carry them for honest accounting (they are small).
+  int64_t WireBytes() const;
+
+  // Expands to a dense tensor of dense_shape (duplicate indices accumulate).
+  Tensor ToDense() const;
+
+  // Coalesces duplicate indices by summing their rows; output indices are sorted.
+  // This is the "gradient aggregation ... iterating through nonzero indices one by one"
+  // operation whose cost partitioning parallelizes (paper section 3.2).
+  IndexedSlices Coalesced() const;
+
+  // Sums a list of slices into one coalesced slices object. All inputs must share
+  // dense_shape. Used by accumulators (PS global aggregation) and local aggregation.
+  static IndexedSlices Sum(const std::vector<IndexedSlices>& slices);
+
+  // Concatenates (gathers) slices without coalescing — the AllGatherv aggregation
+  // semantics: [grad(X1), ..., grad(XN)] (paper section 2.1).
+  static IndexedSlices Concat(const std::vector<IndexedSlices>& slices);
+
+  // Multiplies all values by the scalar (for gradient averaging).
+  void Scale(float factor);
+
+  // The fraction of the variable's rows touched by this gradient (after dedup):
+  // the per-batch alpha of paper section 2.2.
+  double AccessRatio() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<int64_t> indices_;
+  Tensor values_;            // [nnz_rows, row_elements]
+  TensorShape dense_shape_;  // shape of the corresponding dense variable
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_TENSOR_INDEXED_SLICES_H_

@@ -1,0 +1,83 @@
+// Dense tensor with shared (copy-on-nothing) storage.
+//
+// Two element types are supported: Float32 for model parameters/activations/gradients and
+// Int64 for index data (token ids, gather indices) — mirroring the split TensorFlow makes
+// between value tensors and index tensors. Math kernels (tensor_ops.h) operate on Float32;
+// Int64 tensors flow through the graph as inputs to Gather-style ops.
+//
+// Copying a Tensor shares the underlying buffer (cheap, like TF). Mutating accessors
+// require the caller to hold a uniquely-owned tensor or accept aliasing; library code that
+// updates variables in place does so deliberately (variable buffers are the one piece of
+// shared mutable state, owned by a single simulated process).
+#ifndef PARALLAX_SRC_TENSOR_TENSOR_H_
+#define PARALLAX_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/tensor/shape.h"
+
+namespace parallax {
+
+enum class DataType : int {
+  kFloat32 = 0,
+  kInt64 = 1,
+};
+
+size_t DataTypeSize(DataType dtype);
+const char* DataTypeName(DataType dtype);
+
+class Tensor {
+ public:
+  // Default: empty float tensor of shape [0].
+  Tensor() : Tensor(DataType::kFloat32, TensorShape({0})) {}
+
+  // Allocates zero-initialized storage of the given shape.
+  Tensor(DataType dtype, TensorShape shape);
+
+  static Tensor Zeros(TensorShape shape) { return Tensor(DataType::kFloat32, std::move(shape)); }
+  static Tensor Filled(TensorShape shape, float value);
+  static Tensor FromVector(std::vector<float> values, TensorShape shape);
+  static Tensor FromIndices(std::vector<int64_t> values, TensorShape shape);
+  static Tensor Scalar(float value) { return Filled(TensorShape({}), value); }
+
+  DataType dtype() const { return dtype_; }
+  const TensorShape& shape() const { return shape_; }
+  int64_t num_elements() const { return shape_.num_elements(); }
+
+  bool is_float() const { return dtype_ == DataType::kFloat32; }
+  bool is_int() const { return dtype_ == DataType::kInt64; }
+
+  std::span<const float> floats() const;
+  std::span<float> mutable_floats();
+  std::span<const int64_t> ints() const;
+  std::span<int64_t> mutable_ints();
+
+  float at(int64_t index) const;
+
+  // Deep copy (new buffer).
+  Tensor Clone() const;
+
+  // True if both tensors view the same buffer.
+  bool SharesBufferWith(const Tensor& other) const;
+
+  // Frobenius-style reductions over Float32 data.
+  double Sum() const;
+  double L2Norm() const;
+
+  std::string DebugString(int64_t max_entries = 8) const;
+
+ private:
+  DataType dtype_;
+  TensorShape shape_;
+  std::shared_ptr<std::vector<float>> float_data_;
+  std::shared_ptr<std::vector<int64_t>> int_data_;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,440 @@
+#include "src/tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parallax {
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  PX_CHECK(a.shape() == b.shape())
+      << "shape mismatch: " << a.shape().ToString() << " vs " << b.shape().ToString();
+}
+
+}  // namespace
+
+void AddInPlace(Tensor& out, const Tensor& in) {
+  CheckSameShape(out, in);
+  auto dst = out.mutable_floats();
+  auto src = in.floats();
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i] += src[i];
+  }
+}
+
+void AxpyInPlace(Tensor& out, float alpha, const Tensor& in) {
+  CheckSameShape(out, in);
+  auto dst = out.mutable_floats();
+  auto src = in.floats();
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i] += alpha * src[i];
+  }
+}
+
+void ScaleInPlace(Tensor& out, float factor) {
+  for (float& v : out.mutable_floats()) {
+    v *= factor;
+  }
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = a.Clone();
+  AddInPlace(out, b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a.Clone();
+  AxpyInPlace(out, -1.0f, b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a.Clone();
+  auto dst = out.mutable_floats();
+  auto src = b.floats();
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i] *= src[i];
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float factor) {
+  Tensor out = a.Clone();
+  ScaleInPlace(out, factor);
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PX_CHECK_EQ(a.shape().rank(), 2);
+  PX_CHECK_EQ(b.shape().rank(), 2);
+  int64_t m = a.shape().dim(0);
+  int64_t k = a.shape().dim(1);
+  int64_t n = b.shape().dim(1);
+  PX_CHECK_EQ(k, b.shape().dim(0));
+  Tensor c = Tensor::Zeros(TensorShape({m, n}));
+  auto av = a.floats();
+  auto bv = b.floats();
+  auto cv = c.mutable_floats();
+  // i-k-j loop order: unit-stride inner loop over both B and C rows.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      float aip = av[static_cast<size_t>(i * k + p)];
+      if (aip == 0.0f) {
+        continue;
+      }
+      const float* brow = &bv[static_cast<size_t>(p * n)];
+      float* crow = &cv[static_cast<size_t>(i * n)];
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += aip * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  PX_CHECK_EQ(a.shape().rank(), 2);
+  PX_CHECK_EQ(b.shape().rank(), 2);
+  int64_t k = a.shape().dim(0);
+  int64_t m = a.shape().dim(1);
+  int64_t n = b.shape().dim(1);
+  PX_CHECK_EQ(k, b.shape().dim(0));
+  Tensor c = Tensor::Zeros(TensorShape({m, n}));
+  auto av = a.floats();
+  auto bv = b.floats();
+  auto cv = c.mutable_floats();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = &av[static_cast<size_t>(p * m)];
+    const float* brow = &bv[static_cast<size_t>(p * n)];
+    for (int64_t i = 0; i < m; ++i) {
+      float aip = arow[i];
+      if (aip == 0.0f) {
+        continue;
+      }
+      float* crow = &cv[static_cast<size_t>(i * n)];
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += aip * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  PX_CHECK_EQ(a.shape().rank(), 2);
+  PX_CHECK_EQ(b.shape().rank(), 2);
+  int64_t m = a.shape().dim(0);
+  int64_t k = a.shape().dim(1);
+  int64_t n = b.shape().dim(0);
+  PX_CHECK_EQ(k, b.shape().dim(1));
+  Tensor c = Tensor::Zeros(TensorShape({m, n}));
+  auto av = a.floats();
+  auto bv = b.floats();
+  auto cv = c.mutable_floats();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = &av[static_cast<size_t>(i * k)];
+    float* crow = &cv[static_cast<size_t>(i * n)];
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = &bv[static_cast<size_t>(j * k)];
+      float sum = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        sum += arow[p] * brow[p];
+      }
+      crow[j] = sum;
+    }
+  }
+  return c;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  PX_CHECK_EQ(a.shape().rank(), 2);
+  int64_t m = a.shape().dim(0);
+  int64_t n = a.shape().dim(1);
+  Tensor out = Tensor::Zeros(TensorShape({n, m}));
+  auto src = a.floats();
+  auto dst = out.mutable_floats();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      dst[static_cast<size_t>(j * m + i)] = src[static_cast<size_t>(i * n + j)];
+    }
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& a) {
+  Tensor out = a.Clone();
+  for (float& v : out.mutable_floats()) {
+    v = std::tanh(v);
+  }
+  return out;
+}
+
+Tensor TanhGrad(const Tensor& output, const Tensor& grad) {
+  CheckSameShape(output, grad);
+  Tensor out = grad.Clone();
+  auto dst = out.mutable_floats();
+  auto y = output.floats();
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i] *= 1.0f - y[i] * y[i];
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor out = a.Clone();
+  for (float& v : out.mutable_floats()) {
+    v = std::max(v, 0.0f);
+  }
+  return out;
+}
+
+Tensor ReluGrad(const Tensor& input, const Tensor& grad) {
+  CheckSameShape(input, grad);
+  Tensor out = grad.Clone();
+  auto dst = out.mutable_floats();
+  auto x = input.floats();
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (x[i] <= 0.0f) {
+      dst[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Tensor out = a.Clone();
+  for (float& v : out.mutable_floats()) {
+    v = 1.0f / (1.0f + std::exp(-v));
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  PX_CHECK_EQ(logits.shape().rank(), 2);
+  int64_t rows = logits.shape().dim(0);
+  int64_t cols = logits.shape().dim(1);
+  Tensor out = logits.Clone();
+  auto data = out.mutable_floats();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = &data[static_cast<size_t>(r * cols)];
+    float max_val = row[0];
+    for (int64_t c = 1; c < cols; ++c) {
+      max_val = std::max(max_val, row[c]);
+    }
+    float sum = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - max_val);
+      sum += row[c];
+    }
+    for (int64_t c = 0; c < cols; ++c) {
+      row[c] /= sum;
+    }
+  }
+  return out;
+}
+
+float SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels, Tensor* grad_logits) {
+  PX_CHECK_EQ(logits.shape().rank(), 2);
+  int64_t rows = logits.shape().dim(0);
+  int64_t cols = logits.shape().dim(1);
+  auto label_ids = labels.ints();
+  PX_CHECK_EQ(static_cast<int64_t>(label_ids.size()), rows);
+  Tensor probs = SoftmaxRows(logits);
+  auto p = probs.floats();
+  double loss = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t label = label_ids[static_cast<size_t>(r)];
+    PX_CHECK_GE(label, 0);
+    PX_CHECK_LT(label, cols);
+    float prob = std::max(p[static_cast<size_t>(r * cols + label)], 1e-12f);
+    loss -= std::log(prob);
+  }
+  loss /= static_cast<double>(rows);
+  if (grad_logits != nullptr) {
+    *grad_logits = probs.Clone();
+    auto g = grad_logits->mutable_floats();
+    float inv_rows = 1.0f / static_cast<float>(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+      int64_t label = label_ids[static_cast<size_t>(r)];
+      g[static_cast<size_t>(r * cols + label)] -= 1.0f;
+    }
+    for (float& v : g) {
+      v *= inv_rows;
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+Tensor GatherRows(const Tensor& params, std::span<const int64_t> indices) {
+  PX_CHECK_GE(params.shape().rank(), 1);
+  int64_t row = params.shape().row_elements();
+  Tensor out = Tensor::Zeros(params.shape().WithDim0(static_cast<int64_t>(indices.size())));
+  auto src = params.floats();
+  auto dst = out.mutable_floats();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int64_t index = indices[i];
+    PX_CHECK_GE(index, 0);
+    PX_CHECK_LT(index, params.shape().dim(0));
+    std::copy_n(src.begin() + static_cast<ptrdiff_t>(index * row), row,
+                dst.begin() + static_cast<ptrdiff_t>(static_cast<int64_t>(i) * row));
+  }
+  return out;
+}
+
+void ScatterAddInPlace(Tensor& params, const IndexedSlices& slices) {
+  PX_CHECK(params.shape() == slices.dense_shape())
+      << params.shape().ToString() << " vs " << slices.dense_shape().ToString();
+  int64_t row = params.shape().row_elements();
+  auto dst = params.mutable_floats();
+  auto src = slices.values().floats();
+  for (int64_t i = 0; i < slices.nnz_rows(); ++i) {
+    int64_t base = slices.indices()[static_cast<size_t>(i)] * row;
+    for (int64_t j = 0; j < row; ++j) {
+      dst[static_cast<size_t>(base + j)] += src[static_cast<size_t>(i * row + j)];
+    }
+  }
+}
+
+void ScatterSgdUpdate(Tensor& params, const IndexedSlices& grad, float learning_rate) {
+  PX_CHECK(params.shape() == grad.dense_shape());
+  int64_t row = params.shape().row_elements();
+  auto dst = params.mutable_floats();
+  auto src = grad.values().floats();
+  for (int64_t i = 0; i < grad.nnz_rows(); ++i) {
+    int64_t base = grad.indices()[static_cast<size_t>(i)] * row;
+    for (int64_t j = 0; j < row; ++j) {
+      dst[static_cast<size_t>(base + j)] -= learning_rate * src[static_cast<size_t>(i * row + j)];
+    }
+  }
+}
+
+Tensor SliceRows(const Tensor& input, int64_t row_begin, int64_t row_end) {
+  PX_CHECK_GE(input.shape().rank(), 1);
+  PX_CHECK_GE(row_begin, 0);
+  PX_CHECK_LE(row_begin, row_end);
+  PX_CHECK_LE(row_end, input.shape().dim(0));
+  int64_t row = input.shape().row_elements();
+  if (input.is_int()) {
+    Tensor out(DataType::kInt64, input.shape().WithDim0(row_end - row_begin));
+    auto src = input.ints();
+    auto dst = out.mutable_ints();
+    std::copy_n(src.begin() + static_cast<ptrdiff_t>(row_begin * row),
+                (row_end - row_begin) * row, dst.begin());
+    return out;
+  }
+  Tensor out = Tensor::Zeros(input.shape().WithDim0(row_end - row_begin));
+  auto src = input.floats();
+  auto dst = out.mutable_floats();
+  std::copy_n(src.begin() + static_cast<ptrdiff_t>(row_begin * row), (row_end - row_begin) * row,
+              dst.begin());
+  return out;
+}
+
+Tensor SliceCols(const Tensor& input, int64_t col_begin, int64_t col_end) {
+  PX_CHECK_EQ(input.shape().rank(), 2);
+  PX_CHECK_GE(col_begin, 0);
+  PX_CHECK_LE(col_begin, col_end);
+  PX_CHECK_LE(col_end, input.shape().dim(1));
+  int64_t rows = input.shape().dim(0);
+  int64_t cols = input.shape().dim(1);
+  int64_t out_cols = col_end - col_begin;
+  Tensor out = Tensor::Zeros(TensorShape({rows, out_cols}));
+  auto src = input.floats();
+  auto dst = out.mutable_floats();
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy_n(src.begin() + static_cast<ptrdiff_t>(r * cols + col_begin), out_cols,
+                dst.begin() + static_cast<ptrdiff_t>(r * out_cols));
+  }
+  return out;
+}
+
+Tensor ColumnSum(const Tensor& input) {
+  PX_CHECK_EQ(input.shape().rank(), 2);
+  int64_t rows = input.shape().dim(0);
+  int64_t cols = input.shape().dim(1);
+  Tensor out = Tensor::Zeros(TensorShape({cols}));
+  auto src = input.floats();
+  auto dst = out.mutable_floats();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      dst[static_cast<size_t>(c)] += src[static_cast<size_t>(r * cols + c)];
+    }
+  }
+  return out;
+}
+
+Tensor ConcatColsPair(const Tensor& a, const Tensor& b) {
+  PX_CHECK_EQ(a.shape().rank(), 2);
+  PX_CHECK_EQ(b.shape().rank(), 2);
+  PX_CHECK_EQ(a.shape().dim(0), b.shape().dim(0));
+  int64_t rows = a.shape().dim(0);
+  int64_t pa = a.shape().dim(1);
+  int64_t pb = b.shape().dim(1);
+  Tensor out = Tensor::Zeros(TensorShape({rows, pa + pb}));
+  auto av = a.floats();
+  auto bv = b.floats();
+  auto dst = out.mutable_floats();
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy_n(av.begin() + static_cast<ptrdiff_t>(r * pa), pa,
+                dst.begin() + static_cast<ptrdiff_t>(r * (pa + pb)));
+    std::copy_n(bv.begin() + static_cast<ptrdiff_t>(r * pb), pb,
+                dst.begin() + static_cast<ptrdiff_t>(r * (pa + pb) + pa));
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& pieces) {
+  PX_CHECK(!pieces.empty());
+  int64_t row = pieces.front().shape().row_elements();
+  int64_t total = 0;
+  for (const Tensor& piece : pieces) {
+    PX_CHECK_EQ(piece.shape().row_elements(), row);
+    total += piece.shape().dim(0);
+  }
+  Tensor out = Tensor::Zeros(pieces.front().shape().WithDim0(total));
+  auto dst = out.mutable_floats();
+  int64_t offset = 0;
+  for (const Tensor& piece : pieces) {
+    auto src = piece.floats();
+    std::copy(src.begin(), src.end(), dst.begin() + static_cast<ptrdiff_t>(offset * row));
+    offset += piece.shape().dim(0);
+  }
+  return out;
+}
+
+Tensor RandomNormal(TensorShape shape, Rng& rng, float stddev) {
+  Tensor out = Tensor::Zeros(std::move(shape));
+  for (float& v : out.mutable_floats()) {
+    v = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+  return out;
+}
+
+Tensor GlorotUniform(TensorShape shape, Rng& rng) {
+  PX_CHECK_EQ(shape.rank(), 2);
+  float limit = std::sqrt(6.0f / static_cast<float>(shape.dim(0) + shape.dim(1)));
+  Tensor out = Tensor::Zeros(std::move(shape));
+  for (float& v : out.mutable_floats()) {
+    v = static_cast<float>(rng.NextUniform(-limit, limit));
+  }
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto av = a.floats();
+  auto bv = b.floats();
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < av.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(av[i] - bv[i]));
+  }
+  return max_diff;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  return a.shape() == b.shape() && MaxAbsDiff(a, b) <= atol;
+}
+
+}  // namespace parallax

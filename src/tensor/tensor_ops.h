@@ -1,0 +1,91 @@
+// Dense and sparse compute kernels. These are the numeric workhorses behind the graph
+// executor, the collectives (element-wise reduction), and the parameter-server update
+// path (gather / scatter / coalesce).
+//
+// All kernels are deterministic: reductions run in a fixed order so that distributed
+// engines can be compared bit-for-bit against the single-device reference.
+#ifndef PARALLAX_SRC_TENSOR_TENSOR_OPS_H_
+#define PARALLAX_SRC_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/tensor/indexed_slices.h"
+#include "src/tensor/tensor.h"
+
+namespace parallax {
+
+// ---- Element-wise dense kernels ----
+
+// out += in (shapes must match).
+void AddInPlace(Tensor& out, const Tensor& in);
+// out += alpha * in.
+void AxpyInPlace(Tensor& out, float alpha, const Tensor& in);
+// out *= factor.
+void ScaleInPlace(Tensor& out, float factor);
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);  // Hadamard product
+Tensor Scale(const Tensor& a, float factor);
+
+// ---- Linear algebra ----
+
+// C = A x B with A: [m, k], B: [k, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// C = A^T x B with A: [k, m], B: [k, n] -> [m, n]. (Backward of MatMul wrt rhs.)
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
+// C = A x B^T with A: [m, k], B: [n, k] -> [m, n]. (Backward of MatMul wrt lhs.)
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+Tensor Transpose2D(const Tensor& a);
+
+// ---- Nonlinearities ----
+
+Tensor Tanh(const Tensor& a);
+Tensor TanhGrad(const Tensor& output, const Tensor& grad);  // grad * (1 - output^2)
+Tensor Relu(const Tensor& a);
+Tensor ReluGrad(const Tensor& input, const Tensor& grad);
+Tensor Sigmoid(const Tensor& a);
+
+// Row-wise softmax over the last dimension of a 2-D tensor (numerically stabilized).
+Tensor SoftmaxRows(const Tensor& logits);
+// Mean cross-entropy loss over rows given int64 labels [rows]; also returns the gradient
+// with respect to the logits (softmax - onehot) / rows via the out parameter.
+float SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels, Tensor* grad_logits);
+
+// ---- Sparse access kernels ----
+
+// Rows of params selected by indices: result shape [indices.size(), row_elements...].
+Tensor GatherRows(const Tensor& params, std::span<const int64_t> indices);
+// params[indices[i], :] += slices row i (duplicates accumulate).
+void ScatterAddInPlace(Tensor& params, const IndexedSlices& slices);
+// params[indices[i], :] -= lr * slices row i — the sparse SGD update.
+void ScatterSgdUpdate(Tensor& params, const IndexedSlices& grad, float learning_rate);
+// Contiguous row slice [row_begin, row_end) of a rank>=1 tensor.
+Tensor SliceRows(const Tensor& input, int64_t row_begin, int64_t row_end);
+// Contiguous column slice [col_begin, col_end) of a 2-D tensor.
+Tensor SliceCols(const Tensor& input, int64_t col_begin, int64_t col_end);
+// Sum over rows of a 2-D tensor -> [cols]. (Backward of broadcasting BiasAdd.)
+Tensor ColumnSum(const Tensor& input);
+// Concatenates two 2-D tensors along columns: [m,p] ++ [m,q] -> [m,p+q].
+Tensor ConcatColsPair(const Tensor& a, const Tensor& b);
+// Inverse of row partitioning: concatenates pieces along dim 0 (the "stitch" whose
+// overhead grows with the partition count; paper section 3.2).
+Tensor ConcatRows(const std::vector<Tensor>& pieces);
+
+// ---- Initializers ----
+
+Tensor RandomNormal(TensorShape shape, Rng& rng, float stddev = 1.0f);
+// Glorot/Xavier uniform for a [fan_in, fan_out] matrix.
+Tensor GlorotUniform(TensorShape shape, Rng& rng);
+
+// ---- Comparisons ----
+
+// Max |a - b| over all elements; shapes must match.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_TENSOR_TENSOR_OPS_H_

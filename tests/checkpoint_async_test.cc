@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/base/rng.h"
+#include "src/graph/checkpoint.h"
+#include "src/models/trainable.h"
+#include "src/ps/ps_async.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  WordLmModel model({.vocab_size = 40, .embedding_dim = 4, .hidden_dim = 6,
+                     .batch_per_rank = 8, .seed = 901});
+  VariableStore store = VariableStore::InitFrom(*model.graph());
+  // Perturb so the checkpoint differs from the initializers.
+  store.GetMutable(0).mutable_floats()[3] = 42.5f;
+  std::string path = TempPath("ckpt_roundtrip.px");
+  ASSERT_TRUE(SaveCheckpoint(*model.graph(), store, path).ok());
+  auto loaded = LoadCheckpoint(*model.graph(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+    EXPECT_TRUE(AllClose(loaded.value().Get(static_cast<int>(v)),
+                         store.Get(static_cast<int>(v)), 0.0f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsMissingFile) {
+  WordLmModel model({.vocab_size = 40, .embedding_dim = 4, .hidden_dim = 6,
+                     .batch_per_rank = 8, .seed = 902});
+  EXPECT_FALSE(LoadCheckpoint(*model.graph(), TempPath("does_not_exist.px")).ok());
+}
+
+TEST(CheckpointTest, LoadRejectsWrongGraph) {
+  WordLmModel small({.vocab_size = 40, .embedding_dim = 4, .hidden_dim = 6,
+                     .batch_per_rank = 8, .seed = 903});
+  WordLmModel big({.vocab_size = 80, .embedding_dim = 4, .hidden_dim = 6,
+                   .batch_per_rank = 8, .seed = 903});
+  std::string path = TempPath("ckpt_mismatch.px");
+  ASSERT_TRUE(
+      SaveCheckpoint(*small.graph(), VariableStore::InitFrom(*small.graph()), path).ok());
+  auto loaded = LoadCheckpoint(*big.graph(), path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsGarbage) {
+  WordLmModel model({.vocab_size = 40, .embedding_dim = 4, .hidden_dim = 6,
+                     .batch_per_rank = 8, .seed = 904});
+  std::string path = TempPath("ckpt_garbage.px");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a checkpoint", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadCheckpoint(*model.graph(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(AsyncPsTest, TrainingConvergesWithoutBarrier) {
+  WordLmModel model({.vocab_size = 80, .embedding_dim = 6, .hidden_dim = 10,
+                     .batch_per_rank = 16, .seed = 905});
+  AsyncPsEngine engine(model.graph(), PsNumericConfig{.sparse_partitions = 4});
+  Executor executor(model.graph());
+  Rng rng(95);
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 80; ++step) {
+    // Two workers pushing in turn, each against possibly-stale values (the defining
+    // property of asynchronous training, paper section 2.1).
+    for (const FeedMap& feeds : model.TrainShards(2, rng)) {
+      StepResult grads = executor.RunStep(engine.CurrentValues(), feeds, model.loss());
+      if (step == 0 && first_loss == 0.0f) {
+        first_loss = grads.loss;
+      }
+      last_loss = grads.loss;
+      engine.PushGradients(grads, 0.4f);
+    }
+  }
+  EXPECT_EQ(engine.pushes_applied(), 160);
+  EXPECT_LT(last_loss, first_loss * 0.8f);
+}
+
+TEST(AsyncPsTest, StaleUpdatesDivergeFromSynchronousTrajectory) {
+  // Async applies each worker's gradient against different parameter versions, so after
+  // one "round" the values differ from the synchronous (aggregated) step — the staleness
+  // that motivates synchronous training in the paper.
+  WordLmModel model({.vocab_size = 60, .embedding_dim = 6, .hidden_dim = 8,
+                     .batch_per_rank = 12, .seed = 906});
+  Executor executor(model.graph());
+  AsyncPsEngine async_engine(model.graph(), PsNumericConfig{});
+  PsNumericConfig sync_config;
+  sync_config.dense_aggregation = AggregationMethod::kSum;
+  sync_config.sparse_aggregation = AggregationMethod::kSum;
+  PsNumericEngine sync_engine(model.graph(), sync_config);
+
+  Rng rng(96);
+  std::vector<FeedMap> shards = model.TrainShards(2, rng);
+  // Synchronous: both grads from the same version, applied together.
+  std::vector<StepResult> sync_grads;
+  for (const FeedMap& feeds : shards) {
+    sync_grads.push_back(executor.RunStep(sync_engine.CurrentValues(), feeds, model.loss()));
+  }
+  sync_engine.ApplyStep(sync_grads, 0.2f);
+  // Asynchronous: second worker computes against the first worker's update.
+  for (const FeedMap& feeds : shards) {
+    StepResult grads = executor.RunStep(async_engine.CurrentValues(), feeds, model.loss());
+    async_engine.PushGradients(grads, 0.4f);
+  }
+  float max_diff = 0.0f;
+  for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+    max_diff = std::max(max_diff,
+                        MaxAbsDiff(async_engine.CurrentValues().Get(static_cast<int>(v)),
+                                   sync_engine.CurrentValues().Get(static_cast<int>(v))));
+  }
+  EXPECT_GT(max_diff, 1e-6f);
+}
+
+}  // namespace
+}  // namespace parallax

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/comm/collectives.h"
+#include "src/comm/reduce.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+ClusterSpec FlatSpec(int machines) {
+  ClusterSpec spec;
+  spec.num_machines = machines;
+  spec.gpus_per_machine = 1;
+  spec.nic_bandwidth = 1e9;
+  spec.nic_latency = 0.0;  // latency-free: byte formulas become exact
+  spec.pcie_bandwidth = 4e9;
+  spec.pcie_latency = 0.0;
+  return spec;
+}
+
+std::vector<int> AllMachines(int n) {
+  std::vector<int> machines(static_cast<size_t>(n));
+  for (int m = 0; m < n; ++m) {
+    machines[static_cast<size_t>(m)] = m;
+  }
+  return machines;
+}
+
+// Parameterized over machine count: the paper's ring formulas (Table 3) must hold for
+// every N.
+class RingParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingParamTest, AllReducePerMachineBytesMatchTable3) {
+  const int n = GetParam();
+  const int64_t w = 8'000'000;  // divisible by all tested n
+  Cluster cluster(FlatSpec(n));
+  TaskGraph graph;
+  CollectiveOptions options;
+  options.step_overhead = 0.0;
+  std::vector<TaskId> deps(static_cast<size_t>(n), kNoTask);
+  AddRingAllReduce(graph, AllMachines(n), w, deps, options);
+  graph.Execute(cluster);
+  // Table 3, AR row, one dense variable: 4w(N-1)/N per machine (in + out).
+  int64_t expected = n == 1 ? 0 : 4 * w * (n - 1) / n;
+  for (int m = 0; m < n; ++m) {
+    EXPECT_EQ(cluster.NicBytes(m), expected) << "machine " << m << " of " << n;
+  }
+}
+
+TEST_P(RingParamTest, AllGathervPerMachineBytesMatchTable3) {
+  const int n = GetParam();
+  const int64_t alpha_w = 1'000'000;  // every machine contributes the same block
+  Cluster cluster(FlatSpec(n));
+  TaskGraph graph;
+  CollectiveOptions options;
+  options.step_overhead = 0.0;
+  std::vector<TaskId> deps(static_cast<size_t>(n), kNoTask);
+  std::vector<int64_t> blocks(static_cast<size_t>(n), alpha_w);
+  AddRingAllGatherv(graph, AllMachines(n), blocks, deps, options);
+  graph.Execute(cluster);
+  // Table 3, AR row, one sparse variable: 2*alpha*w*(N-1) per machine.
+  int64_t expected = n == 1 ? 0 : 2 * alpha_w * (n - 1);
+  for (int m = 0; m < n; ++m) {
+    EXPECT_EQ(cluster.NicBytes(m), expected) << "machine " << m << " of " << n;
+  }
+}
+
+TEST_P(RingParamTest, AllReduceTimeNearBandwidthOptimal) {
+  const int n = GetParam();
+  if (n == 1) {
+    return;
+  }
+  const int64_t w = 80'000'000;
+  Cluster cluster(FlatSpec(n));
+  TaskGraph graph;
+  CollectiveOptions options;
+  options.step_overhead = 0.0;
+  std::vector<TaskId> deps(static_cast<size_t>(n), kNoTask);
+  CollectiveSchedule schedule = AddRingAllReduce(graph, AllMachines(n), w, deps, options);
+  graph.Execute(cluster);
+  double finish = graph.FinishTime(schedule.all_done);
+  // Ring optimum: 2(N-1)/N * w / B. The store-and-forward link model serializes each
+  // hop through two queues, so the simulated schedule lands within ~2.3x of optimal
+  // while preserving the N-scaling shape.
+  double optimal = 2.0 * (n - 1) / n * static_cast<double>(w) / 1e9;
+  EXPECT_GE(finish, optimal * 0.99);
+  EXPECT_LE(finish, optimal * 2.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineCounts, RingParamTest, ::testing::Values(1, 2, 4, 5, 8, 16));
+
+TEST(CollectivesTest, AllReduceRespectsDependencies) {
+  const int n = 4;
+  Cluster cluster(FlatSpec(n));
+  TaskGraph graph;
+  // Machine 2's gradient is only ready at t=1s; nobody can finish before that.
+  std::vector<TaskId> deps(static_cast<size_t>(n), kNoTask);
+  deps[2] = graph.AddDelay(1.0);
+  CollectiveSchedule schedule =
+      AddRingAllReduce(graph, AllMachines(n), 4'000'000, deps, CollectiveOptions{0.0});
+  graph.Execute(cluster);
+  for (int m = 0; m < n; ++m) {
+    EXPECT_GE(graph.FinishTime(schedule.done[static_cast<size_t>(m)]), 1.0);
+  }
+}
+
+TEST(CollectivesTest, SingleMachineIsFree) {
+  Cluster cluster(FlatSpec(1));
+  TaskGraph graph;
+  CollectiveSchedule schedule =
+      AddRingAllReduce(graph, {0}, 1'000'000, {kNoTask}, CollectiveOptions{0.0});
+  graph.Execute(cluster);
+  EXPECT_DOUBLE_EQ(graph.FinishTime(schedule.all_done), 0.0);
+  EXPECT_EQ(cluster.NicBytes(0), 0);
+}
+
+TEST(CollectivesTest, HierarchicalUsesPcieLocallyAndNicAcross) {
+  ClusterSpec spec = FlatSpec(2);
+  spec.gpus_per_machine = 4;
+  Cluster cluster(spec);
+  TaskGraph graph;
+  RankLayout layout{2, 4};
+  std::vector<TaskId> deps(8, kNoTask);
+  const int64_t bytes = 4'000'000;
+  CollectiveSchedule schedule =
+      AddHierarchicalAllReduce(graph, layout, bytes, deps, CollectiveOptions{0.0});
+  graph.Execute(cluster);
+  EXPECT_EQ(static_cast<int>(schedule.done.size()), 8);
+  // NIC carries only the inter-machine ring (4w(N-1)/N with N=2 machines => 2w each).
+  EXPECT_EQ(cluster.NicBytes(0), 2 * bytes);
+  EXPECT_EQ(cluster.NicBytes(1), 2 * bytes);
+  // PCIe carried the local reduce + broadcast.
+  EXPECT_GT(cluster.machine(0).pcie_out.total_bytes(), 0);
+}
+
+TEST(CollectivesTest, RankRingGathervCrossesEachNicOncePerStep) {
+  ClusterSpec spec = FlatSpec(2);
+  spec.gpus_per_machine = 2;
+  Cluster cluster(spec);
+  TaskGraph graph;
+  RankLayout layout{2, 2};
+  const int64_t block = 1'000'000;
+  std::vector<int64_t> blocks(4, block);
+  std::vector<TaskId> deps(4, kNoTask);
+  AddRankRingAllGatherv(graph, layout, blocks, deps, CollectiveOptions{0.0});
+  graph.Execute(cluster);
+  // Ring over ranks 0,1 | 2,3: boundary hops 1->2 and 3->0 cross the NIC, once per step,
+  // 3 steps => 3 blocks out + 3 blocks in per machine.
+  EXPECT_EQ(cluster.NicBytes(0), 6 * block);
+  EXPECT_EQ(cluster.NicBytes(1), 6 * block);
+}
+
+TEST(ReduceTest, AllReduceSumAndAverage) {
+  std::vector<Tensor> xs = {Tensor::Filled(TensorShape({3}), 1.0f),
+                            Tensor::Filled(TensorShape({3}), 2.0f),
+                            Tensor::Filled(TensorShape({3}), 3.0f)};
+  EXPECT_EQ(AllReduceSum(xs).at(0), 6.0f);
+  EXPECT_EQ(AllReduceAggregate(xs, AggregationMethod::kAverage).at(0), 2.0f);
+}
+
+TEST(ReduceTest, AllGathervConcatAndAverage) {
+  Rng rng(15);
+  std::vector<IndexedSlices> parts;
+  for (int i = 0; i < 3; ++i) {
+    parts.emplace_back(std::vector<int64_t>{i, 2 * i},
+                       RandomNormal(TensorShape({2, 2}), rng), TensorShape({6, 2}));
+  }
+  IndexedSlices concat = AllGathervConcat(parts);
+  EXPECT_EQ(concat.nnz_rows(), 6);
+  IndexedSlices averaged = AllGathervAggregate(parts, AggregationMethod::kAverage);
+  Tensor expected = concat.ToDense();
+  ScaleInPlace(expected, 1.0f / 3.0f);
+  EXPECT_TRUE(AllClose(averaged.ToDense(), expected, 1e-6f));
+}
+
+}  // namespace
+}  // namespace parallax

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/rng.h"
+#include "src/core/cost_model.h"
+
+namespace parallax {
+namespace {
+
+TEST(CostModelTest, FitRecoversExactThetas) {
+  std::vector<std::pair<int, double>> samples;
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    samples.emplace_back(p, 0.05 + 1.2 / p + 0.003 * p);
+  }
+  CostModelFit fit = FitCostModel(samples);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.theta0, 0.05, 1e-9);
+  EXPECT_NEAR(fit.theta1, 1.2, 1e-9);
+  EXPECT_NEAR(fit.theta2, 0.003, 1e-9);
+  EXPECT_NEAR(fit.ContinuousOptimum(), std::sqrt(1.2 / 0.003), 1e-6);
+}
+
+TEST(CostModelTest, FitNeedsThreeSamples) {
+  EXPECT_FALSE(FitCostModel({{1, 1.0}, {2, 0.8}}).ok);
+}
+
+// Property sweep: the search must land within 25% iteration time of the true optimum for
+// a range of convex cost landscapes.
+class SearchParamTest : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(SearchParamTest, FindsNearOptimalPartitionCount) {
+  auto [theta0, theta1, theta2] = GetParam();
+  auto measure = [=](int p) { return theta0 + theta1 / p + theta2 * p; };
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 4096;
+  PartitionSearchResult result = SearchPartitions(measure, options);
+  double best_possible = measure(static_cast<int>(std::round(std::sqrt(theta1 / theta2))));
+  EXPECT_LE(measure(result.best_partitions), best_possible * 1.25)
+      << "chose P=" << result.best_partitions;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Landscapes, SearchParamTest,
+    ::testing::Values(std::make_tuple(0.1, 2.0, 0.001),    // optimum ~45
+                      std::make_tuple(0.05, 8.0, 0.0005),  // optimum ~126
+                      std::make_tuple(0.2, 0.5, 0.01),     // optimum ~7
+                      std::make_tuple(0.3, 0.05, 0.02),    // optimum ~1.6 (small P)
+                      std::make_tuple(0.02, 30.0, 0.0002)  // optimum ~387 (large P)
+                      ));
+
+TEST(SearchTest, SamplingRunCountIsSmall) {
+  // The paper: "Parallax spends at most 20 minutes to get sampling results of at most
+  // 5 runs" — the double/halve schedule keeps the sample count logarithmic, not linear.
+  auto measure = [](int p) { return 0.05 + 6.0 / p + 0.0008 * p; };
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  PartitionSearchResult result = SearchPartitions(measure, options);
+  EXPECT_LE(result.samples.size(), 8u);
+  EXPECT_GE(result.samples.size(), 3u);
+}
+
+TEST(SearchTest, StopsDoublingWhenTimeIncreases) {
+  // Sharp minimum at 16: doubling past 32 should stop immediately.
+  auto measure = [](int p) { return std::fabs(std::log2(p) - 4.0) + 0.1; };
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  PartitionSearchResult result = SearchPartitions(measure, options);
+  for (const auto& [p, t] : result.samples) {
+    EXPECT_LE(p, 128) << "kept doubling past the rise";
+  }
+}
+
+TEST(SearchTest, RespectsMinAndMaxBounds) {
+  auto measure = [](int p) { return 1.0 / p; };  // monotone decreasing: wants P = inf
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 64;
+  PartitionSearchResult result = SearchPartitions(measure, options);
+  EXPECT_LE(result.best_partitions, 64);
+  for (const auto& [p, t] : result.samples) {
+    EXPECT_LE(p, 64);
+    EXPECT_GE(p, 1);
+  }
+}
+
+TEST(SearchTest, NoisyMeasurementsStillConverge) {
+  Rng rng(55);
+  auto measure = [&](int p) {
+    double noise = 1.0 + 0.03 * rng.NextGaussian();
+    return (0.1 + 3.0 / p + 0.002 * p) * noise;
+  };
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  PartitionSearchResult result = SearchPartitions(measure, options);
+  // True optimum ~39; accept a generous band under 3% noise.
+  EXPECT_GE(result.best_partitions, 8);
+  EXPECT_LE(result.best_partitions, 256);
+}
+
+TEST(SearchTest, PredictionInterpolatesWithinSampledRange) {
+  auto measure = [](int p) { return 0.1 + 4.0 / p + 0.001 * p; };
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  PartitionSearchResult result = SearchPartitions(measure, options);
+  int sampled_min = result.samples[0].first;
+  int sampled_max = result.samples[0].first;
+  for (const auto& [p, t] : result.samples) {
+    sampled_min = std::min(sampled_min, p);
+    sampled_max = std::max(sampled_max, p);
+  }
+  EXPECT_GE(result.best_partitions, sampled_min);
+  EXPECT_LE(result.best_partitions, sampled_max);
+}
+
+}  // namespace
+}  // namespace parallax

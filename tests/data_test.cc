@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/data/dataset.h"
+#include "src/data/synthetic.h"
+#include "src/models/model_spec.h"
+#include "src/models/model_zoo.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+TEST(ZipfTextTest, SamplesWithinVocabulary) {
+  ZipfBigramText text({.vocab_size = 100, .seed = 1});
+  Rng rng(2);
+  TokenBatch batch = text.Sample(500, rng);
+  for (int64_t id : batch.ids.ints()) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 100);
+  }
+}
+
+TEST(ZipfTextTest, LabelsFollowPermutationMostly) {
+  ZipfBigramText text({.vocab_size = 50, .noise = 0.1, .seed = 3});
+  Rng rng(4);
+  TokenBatch batch = text.Sample(1000, rng);
+  int matches = 0;
+  auto ids = batch.ids.ints();
+  auto labels = batch.labels.ints();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (labels[i] == text.TrueNext(ids[i])) {
+      ++matches;
+    }
+  }
+  EXPECT_GT(matches, 850);  // ~90% + chance collisions
+}
+
+TEST(ZipfTextTest, UniqueTokenFractionGrowsSublinearly) {
+  // The Zipf head means a bigger batch touches proportionally fewer *new* rows — the
+  // mechanism behind per-worker alpha and its growth with batch size (section 2.2).
+  ZipfBigramText text({.vocab_size = 1000, .seed = 5});
+  Rng rng(6);
+  auto unique_count = [&](int64_t n) {
+    TokenBatch batch = text.Sample(n, rng);
+    std::unordered_set<int64_t> unique(batch.ids.ints().begin(), batch.ids.ints().end());
+    return unique.size();
+  };
+  size_t u_small = unique_count(100);
+  size_t u_large = unique_count(800);
+  EXPECT_GT(u_large, u_small);
+  EXPECT_LT(u_large, 8 * u_small);  // far from linear growth
+}
+
+TEST(ClusteredImagesTest, FeaturesNearTheirClassCenter) {
+  ClusteredImages images({.feature_dims = 8, .num_classes = 4, .cluster_stddev = 0.1,
+                          .seed = 7});
+  Rng rng(8);
+  ImageBatch batch = images.Sample(100, rng);
+  EXPECT_EQ(batch.features.shape().dim(0), 100);
+  EXPECT_EQ(batch.features.shape().dim(1), 8);
+  for (int64_t label : batch.labels.ints()) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(ShardTest, TensorShardsCoverAllRows) {
+  Tensor t = Tensor::FromIndices({0, 1, 2, 3, 4, 5, 6}, TensorShape({7}));
+  std::vector<Tensor> shards = ShardTensor(t, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].shape().dim(0), 3);  // 7 = 3 + 2 + 2
+  EXPECT_EQ(shards[1].shape().dim(0), 2);
+  EXPECT_EQ(shards[2].shape().dim(0), 2);
+  EXPECT_EQ(shards[0].ints()[0], 0);
+  EXPECT_EQ(shards[2].ints()[1], 6);
+}
+
+TEST(ShardTest, FeedsShardedConsistently) {
+  FeedMap feeds;
+  feeds[0] = Tensor::FromIndices({10, 11, 12, 13}, TensorShape({4}));
+  feeds[1] = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8}, TensorShape({4, 2}));
+  std::vector<FeedMap> shards = ShardFeeds(feeds, 2);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0][0].ints()[0], 10);
+  EXPECT_EQ(shards[1][0].ints()[0], 12);
+  EXPECT_EQ(shards[1][1].at(0), 5.0f);
+}
+
+TEST(ShardTest, MismatchedBatchDimsRejected) {
+  FeedMap feeds;
+  feeds[0] = Tensor::FromIndices({1, 2, 3}, TensorShape({3}));
+  feeds[1] = Tensor::FromVector({1, 2}, TensorShape({2}));
+  EXPECT_DEATH(ShardFeeds(feeds, 2), "batch dimension");
+}
+
+TEST(ModelZooTest, Table1ElementCounts) {
+  ModelSpec resnet = ResNet50Spec();
+  EXPECT_FALSE(resnet.variables.empty());
+  EXPECT_EQ(resnet.SparseElements(), 0);
+  EXPECT_NEAR(static_cast<double>(resnet.TotalElements()), 23.8e6, 0.8e6);
+  EXPECT_DOUBLE_EQ(resnet.AlphaModel(), 1.0);
+
+  ModelSpec inception = InceptionV3Spec();
+  EXPECT_NEAR(static_cast<double>(inception.TotalElements()), 25.6e6, 0.8e6);
+
+  ModelSpec lm = LmSpec();
+  EXPECT_NEAR(static_cast<double>(lm.DenseElements()), 9.4e6, 0.3e6);
+  EXPECT_NEAR(static_cast<double>(lm.SparseElements()), 813.3e6, 3e6);
+  EXPECT_NEAR(lm.AlphaModel(), 0.02, 0.002);
+
+  ModelSpec nmt = NmtSpec();
+  EXPECT_NEAR(static_cast<double>(nmt.DenseElements()), 94.1e6, 1.5e6);
+  EXPECT_NEAR(static_cast<double>(nmt.SparseElements()), 74.9e6, 1e6);
+  EXPECT_NEAR(nmt.AlphaModel(), 0.65, 0.02);
+}
+
+TEST(ModelZooTest, LargestDenseVariableIsTheFcLayer) {
+  // "the largest variable in the dense model Inception-V3 ... has 2.05 million elements"
+  ModelSpec inception = InceptionV3Spec();
+  int64_t largest = 0;
+  for (const VariableSpec& v : inception.variables) {
+    largest = std::max(largest, v.num_elements);
+  }
+  EXPECT_NEAR(static_cast<double>(largest), 2.05e6, 0.01e6);
+}
+
+TEST(ModelZooTest, ConstructedLmAlphaMatchesTable6) {
+  const std::pair<int, double> expectations[] = {
+      {120, 1.0}, {60, 0.52}, {30, 0.28}, {15, 0.16}, {8, 0.1}, {4, 0.07}, {1, 0.04}};
+  for (const auto& [length, alpha] : expectations) {
+    ModelSpec spec = ConstructedLmSpec(length);
+    EXPECT_NEAR(spec.AlphaModel(), alpha, 0.01) << "length " << length;
+    EXPECT_DOUBLE_EQ(spec.items_per_iteration_per_gpu, 128.0 * length);
+  }
+}
+
+TEST(ModelSpecTest, UnionAlphaProperties) {
+  EXPECT_DOUBLE_EQ(UnionAlpha(0.5, 1), 0.5);
+  EXPECT_NEAR(UnionAlpha(0.5, 2), 0.75, 1e-12);
+  EXPECT_NEAR(UnionAlpha(0.02, 48), 1.0 - std::pow(0.98, 48), 1e-12);
+  EXPECT_DOUBLE_EQ(UnionAlpha(1.0, 7), 1.0);
+  EXPECT_DOUBLE_EQ(UnionAlpha(0.0, 7), 0.0);
+}
+
+TEST(ModelSpecTest, WorkerGradBytesIncludesIndices) {
+  VariableSpec v;
+  v.num_elements = 1000;
+  v.row_elements = 10;
+  v.is_sparse = true;
+  v.alpha = 0.1;
+  // 100 touched elements = 10 rows: 400 value bytes + 80 index bytes.
+  EXPECT_EQ(v.worker_elements(), 100);
+  EXPECT_EQ(v.worker_grad_bytes(), 480);
+}
+
+}  // namespace
+}  // namespace parallax

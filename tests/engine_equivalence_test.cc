@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "src/ar/ar_numeric.h"
+#include "src/base/rng.h"
+#include "src/core/api.h"
+#include "src/models/trainable.h"
+#include "src/ps/ps_numeric.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+// The master correctness property (DESIGN.md): every synchronization architecture is a
+// different *mechanism* for the same synchronous-SGD math. Training any model with the
+// PS engine, the AR engine, or the full Parallax runner must track the single-device
+// gradient-accumulation reference trajectory.
+constexpr float kLr = 0.3f;
+constexpr int kRanks = 4;
+constexpr int kSteps = 6;
+
+// Reference: accumulate shard gradients on one device (mean), apply plain SGD.
+void ReferenceApply(const Graph& graph, const std::vector<StepResult>& per_rank,
+                    VariableStore& store) {
+  for (size_t v = 0; v < graph.variables().size(); ++v) {
+    int key = static_cast<int>(v);
+    if (per_rank.front().grads.find(key) == per_rank.front().grads.end()) {
+      continue;
+    }
+    Tensor mean = Tensor::Zeros(graph.variables()[v].shape);
+    for (const StepResult& r : per_rank) {
+      AddInPlace(mean, r.grads.at(key).ToDense(graph.variables()[v].shape));
+    }
+    ScaleInPlace(mean, 1.0f / static_cast<float>(per_rank.size()));
+    AxpyInPlace(store.GetMutable(key), -kLr, mean);
+  }
+}
+
+template <typename Model>
+void ExpectTrajectoriesMatch(Model& model, float tolerance) {
+  const Graph& graph = *model.graph();
+  Executor executor(model.graph());
+
+  // Engines under test.
+  PsNumericConfig ps_config;
+  ps_config.sparse_partitions = 4;
+  ps_config.local_aggregation = true;
+  ps_config.ranks_per_machine = 2;
+  PsNumericEngine ps(model.graph(), ps_config);
+  ArNumericEngine ar(model.graph(), kRanks);
+  ParallaxConfig px_config;
+  px_config.learning_rate = kLr;
+  px_config.search.warmup_iterations = 2;
+  px_config.search.measured_iterations = 2;
+  GraphRunner runner(model.graph(), model.loss(), ResourceSpec::Homogeneous(2, 2),
+                     px_config);
+  VariableStore reference = VariableStore::InitFrom(graph);
+
+  Rng rng(77);
+  for (int step = 0; step < kSteps; ++step) {
+    // Identical shards for every engine: same data, same step.
+    std::vector<FeedMap> shards = model.TrainShards(kRanks, rng);
+    std::vector<StepResult> grads;
+    for (int r = 0; r < kRanks; ++r) {
+      grads.push_back(executor.RunStep(reference, shards[static_cast<size_t>(r)],
+                                       model.loss()));
+    }
+    ReferenceApply(graph, grads, reference);
+    ps.ApplyStep(grads, kLr);
+    ar.ApplyStep(grads, kLr);
+    runner.Step(shards);
+
+    VariableStore ps_values = ps.CurrentValues();
+    VariableStore px_values = runner.WorkerView();
+    for (size_t v = 0; v < graph.variables().size(); ++v) {
+      int key = static_cast<int>(v);
+      const std::string& name = graph.variables()[v].name;
+      EXPECT_TRUE(AllClose(ps_values.Get(key), reference.Get(key), tolerance))
+          << "PS diverged on " << name << " at step " << step;
+      EXPECT_TRUE(AllClose(ar.replica(0).Get(key), reference.Get(key), tolerance))
+          << "AR diverged on " << name << " at step " << step;
+      EXPECT_TRUE(AllClose(px_values.Get(key), reference.Get(key), tolerance))
+          << "Parallax diverged on " << name << " at step " << step;
+    }
+  }
+}
+
+TEST(EngineEquivalenceTest, WordLmAllEnginesTrackReference) {
+  WordLmModel model({.vocab_size = 60, .embedding_dim = 6, .hidden_dim = 10,
+                     .batch_per_rank = 12, .seed = 701});
+  ExpectTrajectoriesMatch(model, 5e-4f);
+}
+
+TEST(EngineEquivalenceTest, NmtSurrogateAllEnginesTrackReference) {
+  NmtSurrogateModel model({.vocab_size = 50, .embedding_dim = 6, .hidden_dim = 10,
+                           .batch_per_rank = 12, .seed = 702});
+  ExpectTrajectoriesMatch(model, 5e-4f);
+}
+
+TEST(EngineEquivalenceTest, MlpClassifierAllEnginesTrackReference) {
+  MlpClassifierModel model({.feature_dims = 10, .num_classes = 5, .hidden_dim = 12,
+                            .batch_per_rank = 12, .seed = 703});
+  ExpectTrajectoriesMatch(model, 5e-4f);
+}
+
+TEST(EngineEquivalenceTest, DistributedBatchEqualsBigBatchForDenseModel) {
+  // For a plain mean-loss model, K shards of size b with average aggregation equal one
+  // device running the concatenated K*b batch — the textbook data-parallel identity.
+  MlpClassifierModel model({.feature_dims = 8, .num_classes = 4, .hidden_dim = 10,
+                            .batch_per_rank = 16, .seed = 704});
+  const Graph& graph = *model.graph();
+  Executor executor(model.graph());
+  VariableStore distributed = VariableStore::InitFrom(graph);
+  VariableStore big_batch = VariableStore::InitFrom(graph);
+
+  Rng rng(78);
+  std::vector<FeedMap> shards = model.TrainShards(kRanks, rng);
+  // Concatenate the shards into one big feed.
+  FeedMap concat;
+  for (const auto& [node, tensor] : shards[0]) {
+    std::vector<Tensor> parts;
+    for (int r = 0; r < kRanks; ++r) {
+      parts.push_back(shards[static_cast<size_t>(r)].at(node));
+    }
+    if (tensor.is_float()) {
+      concat[node] = ConcatRows(parts);
+    } else {
+      std::vector<int64_t> values;
+      for (const Tensor& part : parts) {
+        values.insert(values.end(), part.ints().begin(), part.ints().end());
+      }
+      concat[node] = Tensor::FromIndices(
+          values, tensor.shape().WithDim0(static_cast<int64_t>(values.size())));
+    }
+  }
+
+  // Distributed: mean of shard grads. Big batch: one backward pass.
+  std::vector<StepResult> grads;
+  for (int r = 0; r < kRanks; ++r) {
+    grads.push_back(executor.RunStep(distributed, shards[static_cast<size_t>(r)],
+                                     model.loss()));
+  }
+  ReferenceApply(graph, grads, distributed);
+  StepResult big = executor.RunStep(big_batch, concat, model.loss());
+  for (const auto& [v, grad] : big.grads) {
+    big_batch.ApplySgd(v, grad, kLr);
+  }
+  for (size_t v = 0; v < graph.variables().size(); ++v) {
+    EXPECT_TRUE(AllClose(distributed.Get(static_cast<int>(v)),
+                         big_batch.Get(static_cast<int>(v)), 1e-5f))
+        << graph.variables()[v].name;
+  }
+}
+
+}  // namespace
+}  // namespace parallax

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/api.h"
+#include "src/core/frameworks.h"
+#include "src/models/model_zoo.h"
+#include "src/models/trainable.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+// Degraded-hardware scenarios: slow NIC, weak CPUs, fewer cores. The invariant: the
+// numeric plane is untouched (same parameter values), only the simulated time shifts —
+// and it shifts in the direction physics says it should.
+
+TEST(FailureInjectionTest, DegradedNicSlowsIterationButStaysLive) {
+  ModelSpec model = LmSpec();
+  FrameworkOptions options;
+  options.sparse_partitions = 64;
+  ClusterSpec healthy = ClusterSpec::Paper();
+  ClusterSpec degraded = healthy;
+  degraded.nic_bandwidth /= 10.0;  // 10 Gbps instead of 100
+  for (Framework framework : {Framework::kTfPs, Framework::kHorovod, Framework::kParallax}) {
+    double fast = MakeFrameworkSimulator(framework, healthy, model, options)
+                      .MeasureIterationSeconds(3, 4);
+    double slow = MakeFrameworkSimulator(framework, degraded, model, options)
+                      .MeasureIterationSeconds(3, 4);
+    EXPECT_GT(slow, fast) << FrameworkName(framework);
+    EXPECT_LT(slow, fast * 40) << FrameworkName(framework) << " (no livelock)";
+  }
+}
+
+TEST(FailureInjectionTest, FewerCoresHurtsPsMoreThanAr) {
+  // Server CPU is the PS bottleneck resource; AR barely uses it.
+  ModelSpec model = LmSpec();
+  FrameworkOptions options;
+  options.sparse_partitions = 128;
+  ClusterSpec healthy = ClusterSpec::Paper();
+  ClusterSpec weak = healthy;
+  weak.cores_per_machine = 4;
+  double ps_ratio = MakeFrameworkSimulator(Framework::kTfPs, weak, model, options)
+                        .MeasureIterationSeconds(3, 4) /
+                    MakeFrameworkSimulator(Framework::kTfPs, healthy, model, options)
+                        .MeasureIterationSeconds(3, 4);
+  double ar_ratio = MakeFrameworkSimulator(Framework::kHorovod, weak, model, options)
+                        .MeasureIterationSeconds(3, 4) /
+                    MakeFrameworkSimulator(Framework::kHorovod, healthy, model, options)
+                        .MeasureIterationSeconds(3, 4);
+  EXPECT_GT(ps_ratio, ar_ratio);
+}
+
+TEST(FailureInjectionTest, SlowPcieHurtsLocalAggregationPath) {
+  ModelSpec model = NmtSpec();
+  FrameworkOptions options;
+  options.sparse_partitions = 64;
+  ClusterSpec healthy = ClusterSpec::Paper();
+  ClusterSpec slow_pcie = healthy;
+  slow_pcie.pcie_bandwidth /= 8.0;
+  double healthy_s = MakeFrameworkSimulator(Framework::kOptPs, healthy, model, options)
+                         .MeasureIterationSeconds(3, 4);
+  double degraded_s = MakeFrameworkSimulator(Framework::kOptPs, slow_pcie, model, options)
+                          .MeasureIterationSeconds(3, 4);
+  EXPECT_GT(degraded_s, healthy_s * 1.2);
+}
+
+TEST(FailureInjectionTest, NumericsUnaffectedByHardwareDegradation) {
+  // Train the same model on healthy and degraded hardware profiles: the learning
+  // trajectory must be bit-identical; only the simulated clock differs.
+  auto train = [](double nic_bandwidth) {
+    WordLmModel model({.vocab_size = 80, .embedding_dim = 6, .hidden_dim = 10,
+                       .batch_per_rank = 12, .seed = 801});
+    ParallaxConfig config;
+    config.learning_rate = 0.4f;
+    config.hardware.nic_bandwidth = nic_bandwidth;
+    config.search.warmup_iterations = 2;
+    config.search.measured_iterations = 2;
+    GraphRunner runner(model.graph(), model.loss(), ResourceSpec::Homogeneous(2, 2),
+                       config);
+    Rng rng(81);
+    float loss = 0.0f;
+    for (int i = 0; i < 6; ++i) {
+      loss = runner.Step(model.TrainShards(4, rng));
+    }
+    return std::make_pair(loss, runner.simulated_seconds());
+  };
+  auto [healthy_loss, healthy_time] = train(12.5e9);
+  auto [degraded_loss, degraded_time] = train(1.25e9);
+  EXPECT_EQ(healthy_loss, degraded_loss);
+  EXPECT_GT(degraded_time, healthy_time);
+}
+
+TEST(FailureInjectionTest, StragglerGpuStretchesEveryIteration) {
+  // Synchronous training runs at the pace of the slowest worker: doubling one model's
+  // compute on a uniform cluster vs making the whole cluster 2x slower should both
+  // stretch iterations — the barrier semantics the chief-worker protocol implies.
+  ModelSpec model = ResNet50Spec();
+  FrameworkOptions options;
+  ClusterSpec cluster = ClusterSpec::Paper();
+  double base = MakeFrameworkSimulator(Framework::kParallax, cluster, model, options)
+                    .MeasureIterationSeconds(3, 4);
+  ModelSpec slow_model = model;
+  slow_model.gpu_compute_seconds *= 2.0;
+  double slow = MakeFrameworkSimulator(Framework::kParallax, cluster, slow_model, options)
+                    .MeasureIterationSeconds(3, 4);
+  EXPECT_GT(slow, base * 1.8);
+}
+
+}  // namespace
+}  // namespace parallax

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "src/core/frameworks.h"
+#include "src/models/model_zoo.h"
+
+namespace parallax {
+namespace {
+
+TEST(FrameworksTest, TfPsPutsEverythingOnServers) {
+  FrameworkOptions options;
+  options.sparse_partitions = 32;
+  std::vector<VariableSync> assignment =
+      AssignVariables(Framework::kTfPs, LmSpec(), options);
+  for (const VariableSync& sync : assignment) {
+    EXPECT_EQ(sync.method, SyncMethod::kPs);
+    if (sync.spec.is_sparse) {
+      EXPECT_EQ(sync.partitions, 32);
+    } else {
+      EXPECT_EQ(sync.partitions, 1);
+    }
+  }
+}
+
+TEST(FrameworksTest, HorovodSplitsByGradientType) {
+  std::vector<VariableSync> assignment =
+      AssignVariables(Framework::kHorovod, NmtSpec(), FrameworkOptions{});
+  for (const VariableSync& sync : assignment) {
+    if (sync.spec.is_sparse) {
+      EXPECT_EQ(sync.method, SyncMethod::kArAllGatherv) << sync.spec.name;
+    } else {
+      EXPECT_EQ(sync.method, SyncMethod::kArAllReduce) << sync.spec.name;
+    }
+  }
+}
+
+TEST(FrameworksTest, ParallaxHybridRoutesPaperModels) {
+  // For the paper's models the hybrid rule lands on: dense -> AR, LM/NMT embeddings
+  // (alpha 0.0087 / 0.21) -> PS.
+  FrameworkOptions options;
+  options.sparse_partitions = 64;
+  for (const ModelSpec& model : {LmSpec(), NmtSpec()}) {
+    std::vector<VariableSync> assignment =
+        AssignVariables(Framework::kParallax, model, options);
+    for (const VariableSync& sync : assignment) {
+      if (sync.spec.is_sparse) {
+        EXPECT_EQ(sync.method, SyncMethod::kPs) << model.name << "/" << sync.spec.name;
+      } else {
+        EXPECT_EQ(sync.method, SyncMethod::kArAllReduce)
+            << model.name << "/" << sync.spec.name;
+      }
+    }
+  }
+}
+
+TEST(FrameworksTest, CostBasedDecisionFlipsToArNearAlphaOne) {
+  VariableSpec emb;
+  emb.name = "emb";
+  emb.num_elements = 100'000'000;
+  emb.row_elements = 1024;
+  emb.is_sparse = true;
+  SyncCostParams costs;
+  ClusterSpec cluster = ClusterSpec::Paper();
+  emb.alpha = 0.02;
+  EXPECT_LT(EstimatePsSeconds(emb, cluster, costs, 64),
+            EstimateArSeconds(emb, cluster, costs));
+  emb.alpha = 0.9;
+  EXPECT_GT(EstimatePsSeconds(emb, cluster, costs, 64),
+            EstimateArSeconds(emb, cluster, costs));
+}
+
+TEST(FrameworksTest, PartitionsClampToRowCount) {
+  ModelSpec model;
+  model.name = "tiny";
+  VariableSpec emb;
+  emb.name = "emb";
+  emb.num_elements = 16 * 4;
+  emb.row_elements = 4;  // 16 rows
+  emb.is_sparse = true;
+  emb.alpha = 0.1;
+  model.variables.push_back(emb);
+  FrameworkOptions options;
+  options.sparse_partitions = 64;
+  std::vector<VariableSync> assignment =
+      AssignVariables(Framework::kTfPs, model, options);
+  EXPECT_LE(assignment[0].partitions, 16);
+}
+
+TEST(FrameworksTest, SimConfigMatchesFrameworkSemantics) {
+  FrameworkOptions options;
+  IterationSimConfig naive = SimConfigFor(Framework::kTfPs, options);
+  EXPECT_FALSE(naive.ps_local_aggregation);
+  EXPECT_FALSE(naive.ps_machine_level_pulls);
+  IterationSimConfig opt = SimConfigFor(Framework::kOptPs, options);
+  EXPECT_TRUE(opt.ps_local_aggregation);
+  EXPECT_TRUE(opt.ps_machine_level_pulls);
+  IterationSimConfig px = SimConfigFor(Framework::kParallax, options);
+  EXPECT_TRUE(px.ps_local_aggregation);
+}
+
+TEST(FrameworksTest, NamesAreStable) {
+  EXPECT_STREQ(FrameworkName(Framework::kTfPs), "TF-PS");
+  EXPECT_STREQ(FrameworkName(Framework::kHorovod), "Horovod");
+  EXPECT_STREQ(FrameworkName(Framework::kOptPs), "OptPS");
+  EXPECT_STREQ(FrameworkName(Framework::kParallax), "Parallax");
+}
+
+}  // namespace
+}  // namespace parallax

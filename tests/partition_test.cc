@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/ps/partition.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+// Property sweep over (rows, partitions) shapes, including non-divisible splits.
+class RowPartitionParamTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int>> {};
+
+TEST_P(RowPartitionParamTest, PiecesCoverAllRowsExactly) {
+  auto [rows, parts] = GetParam();
+  RowPartition partition(rows, parts);
+  int64_t total = 0;
+  for (int p = 0; p < parts; ++p) {
+    EXPECT_GE(partition.RowsIn(p), rows / parts);
+    EXPECT_LE(partition.RowsIn(p), rows / parts + 1);
+    total += partition.RowsIn(p);
+  }
+  EXPECT_EQ(total, rows);
+  EXPECT_EQ(partition.RowBegin(0), 0);
+  EXPECT_EQ(partition.RowBegin(parts), rows);
+}
+
+TEST_P(RowPartitionParamTest, PartitionOfRowIsConsistentWithRanges) {
+  auto [rows, parts] = GetParam();
+  RowPartition partition(rows, parts);
+  for (int64_t row = 0; row < rows; ++row) {
+    int p = partition.PartitionOfRow(row);
+    EXPECT_GE(row, partition.RowBegin(p));
+    EXPECT_LT(row, partition.RowBegin(p + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RowPartitionParamTest,
+                         ::testing::Values(std::make_pair(int64_t{10}, 1),
+                                           std::make_pair(int64_t{10}, 3),
+                                           std::make_pair(int64_t{10}, 10),
+                                           std::make_pair(int64_t{97}, 8),
+                                           std::make_pair(int64_t{128}, 128),
+                                           std::make_pair(int64_t{1000}, 7)));
+
+TEST(RowPartitionTest, RejectsMorePartitionsThanRows) {
+  EXPECT_DEATH(RowPartition(4, 5), "more partitions than rows");
+}
+
+TEST(PartitionTest, SplitStitchRoundTrip) {
+  Rng rng(31);
+  Tensor value = RandomNormal(TensorShape({23, 5}), rng);
+  RowPartition partition(23, 4);
+  std::vector<Tensor> pieces = SplitRowsByPartition(value, partition);
+  EXPECT_TRUE(AllClose(StitchPartitions(pieces, partition), value, 0.0f));
+}
+
+TEST(PartitionTest, SplitSlicesRoutesRowsAndReindexes) {
+  // Variable of 10 rows split 2 ways: rows 0-4 -> piece 0, rows 5-9 -> piece 1.
+  IndexedSlices slices({1, 7, 4, 5},
+                       Tensor::FromVector({1, 1, 2, 2, 3, 3, 4, 4}, TensorShape({4, 2})),
+                       TensorShape({10, 2}));
+  RowPartition partition(10, 2);
+  std::vector<IndexedSlices> pieces = SplitSlicesByPartition(slices, partition);
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].nnz_rows(), 2);
+  EXPECT_EQ(pieces[1].nnz_rows(), 2);
+  // Piece-local indices.
+  EXPECT_EQ(pieces[0].indices()[0], 1);  // global row 1
+  EXPECT_EQ(pieces[0].indices()[1], 4);  // global row 4
+  EXPECT_EQ(pieces[1].indices()[0], 2);  // global row 7 - 5
+  EXPECT_EQ(pieces[1].indices()[1], 0);  // global row 5 - 5
+}
+
+TEST(PartitionTest, SplitSlicesPreservesDenseEquivalent) {
+  Rng rng(32);
+  std::vector<int64_t> indices;
+  for (int i = 0; i < 40; ++i) {
+    indices.push_back(static_cast<int64_t>(rng.NextBounded(17)));
+  }
+  IndexedSlices slices(indices, RandomNormal(TensorShape({40, 3}), rng),
+                       TensorShape({17, 3}));
+  RowPartition partition(17, 5);
+  std::vector<IndexedSlices> pieces = SplitSlicesByPartition(slices, partition);
+  // Reassemble: apply each piece to its row range of a zero tensor.
+  Tensor reassembled = Tensor::Zeros(TensorShape({17, 3}));
+  for (int p = 0; p < 5; ++p) {
+    Tensor piece = pieces[static_cast<size_t>(p)].ToDense();
+    auto src = piece.floats();
+    auto dst = reassembled.mutable_floats();
+    int64_t offset = partition.RowBegin(p) * 3;
+    for (size_t i = 0; i < src.size(); ++i) {
+      dst[static_cast<size_t>(offset) + i] += src[i];
+    }
+  }
+  EXPECT_TRUE(AllClose(reassembled, slices.ToDense(), 1e-5f));
+}
+
+TEST(PartitionTest, EmptyPiecesAreRepresented) {
+  IndexedSlices slices({0}, Tensor::FromVector({1, 2}, TensorShape({1, 2})),
+                       TensorShape({9, 2}));
+  RowPartition partition(9, 3);
+  std::vector<IndexedSlices> pieces = SplitSlicesByPartition(slices, partition);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].nnz_rows(), 1);
+  EXPECT_EQ(pieces[1].nnz_rows(), 0);
+  EXPECT_EQ(pieces[2].nnz_rows(), 0);
+}
+
+}  // namespace
+}  // namespace parallax

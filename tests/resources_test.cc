@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "src/core/resources.h"
+
+namespace parallax {
+namespace {
+
+TEST(ResourcesTest, ParseWellFormedSpec) {
+  auto result = ParseResourceSpec("host-a:0,1,2;host-b:0,1,2");
+  ASSERT_TRUE(result.ok());
+  const ResourceSpec& spec = result.value();
+  EXPECT_EQ(spec.num_machines(), 2);
+  EXPECT_EQ(spec.total_gpus(), 6);
+  EXPECT_TRUE(spec.IsHomogeneous());
+  EXPECT_EQ(spec.machines[0].hostname, "host-a");
+  EXPECT_EQ(spec.machines[1].gpu_ids[2], 2);
+}
+
+TEST(ResourcesTest, ParseSingleMachine) {
+  auto result = ParseResourceSpec("localhost:0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().total_gpus(), 1);
+}
+
+TEST(ResourcesTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseResourceSpec("").ok());
+}
+
+TEST(ResourcesTest, RejectsMissingColon) {
+  EXPECT_FALSE(ParseResourceSpec("hostonly").ok());
+}
+
+TEST(ResourcesTest, RejectsEmptyHostname) {
+  EXPECT_FALSE(ParseResourceSpec(":0,1").ok());
+}
+
+TEST(ResourcesTest, RejectsMalformedGpuId) {
+  EXPECT_FALSE(ParseResourceSpec("host:0,x").ok());
+}
+
+TEST(ResourcesTest, RejectsNoGpus) {
+  EXPECT_FALSE(ParseResourceSpec("host:").ok());
+}
+
+TEST(ResourcesTest, HeterogeneousDetected) {
+  auto result = ParseResourceSpec("a:0,1;b:0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().IsHomogeneous());
+}
+
+TEST(ResourcesTest, ToClusterSpecInheritsHardware) {
+  ResourceSpec spec = ResourceSpec::Homogeneous(4, 2);
+  ClusterSpec base = ClusterSpec::Paper();
+  base.nic_bandwidth = 5e9;
+  ClusterSpec cluster = spec.ToClusterSpec(base);
+  EXPECT_EQ(cluster.num_machines, 4);
+  EXPECT_EQ(cluster.gpus_per_machine, 2);
+  EXPECT_DOUBLE_EQ(cluster.nic_bandwidth, 5e9);
+}
+
+TEST(ResourcesTest, HomogeneousFactory) {
+  ResourceSpec spec = ResourceSpec::Homogeneous(8, 6);
+  EXPECT_EQ(spec.num_machines(), 8);
+  EXPECT_EQ(spec.total_gpus(), 48);
+  EXPECT_TRUE(spec.IsHomogeneous());
+}
+
+}  // namespace
+}  // namespace parallax

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster.h"
+#include "src/sim/task_graph.h"
+
+namespace parallax {
+namespace {
+
+ClusterSpec TinySpec(int machines, int gpus) {
+  ClusterSpec spec;
+  spec.num_machines = machines;
+  spec.gpus_per_machine = gpus;
+  spec.cores_per_machine = 4;
+  spec.nic_bandwidth = 1e9;   // 1 GB/s: easy mental math
+  spec.nic_latency = 1e-3;    // 1 ms
+  spec.pcie_bandwidth = 2e9;
+  spec.pcie_latency = 1e-4;
+  return spec;
+}
+
+TEST(LinkQueueTest, SerializesFifo) {
+  LinkQueue link(1e9, 0.0);
+  EXPECT_DOUBLE_EQ(link.ScheduleSerialization(0.0, 500'000'000), 0.5);
+  // Second transfer queues behind the first even though it was ready at t=0.
+  EXPECT_DOUBLE_EQ(link.ScheduleSerialization(0.0, 500'000'000), 1.0);
+  // A transfer ready later starts at its ready time.
+  EXPECT_DOUBLE_EQ(link.ScheduleSerialization(2.0, 1'000'000'000), 3.0);
+  EXPECT_EQ(link.total_bytes(), 2'000'000'000);
+}
+
+TEST(CorePoolTest, ParallelUpToCoreCount) {
+  CorePool pool(2);
+  EXPECT_DOUBLE_EQ(pool.Schedule(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pool.Schedule(0.0, 1.0), 1.0);  // second core
+  EXPECT_DOUBLE_EQ(pool.Schedule(0.0, 1.0), 2.0);  // queues
+  EXPECT_DOUBLE_EQ(pool.total_busy(), 3.0);
+}
+
+TEST(GpuDeviceTest, Serializes) {
+  GpuDevice gpu;
+  EXPECT_DOUBLE_EQ(gpu.Schedule(0.0, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(gpu.Schedule(0.1, 0.25), 0.5);
+}
+
+TEST(TaskGraphTest, ChainAccumulatesTime) {
+  Cluster cluster(TinySpec(1, 1));
+  TaskGraph graph;
+  TaskId a = graph.AddGpuCompute(0, 0, 0.1);
+  TaskId b = graph.AddGpuCompute(0, 0, 0.2, {a});
+  TaskId c = graph.AddGpuCompute(0, 0, 0.3, {b});
+  TaskResult result = graph.Execute(cluster);
+  EXPECT_NEAR(result.makespan, 0.6, 1e-12);
+  EXPECT_NEAR(graph.FinishTime(c), 0.6, 1e-12);
+}
+
+TEST(TaskGraphTest, DiamondTakesLongestPath) {
+  Cluster cluster(TinySpec(2, 1));
+  TaskGraph graph;
+  TaskId root = graph.AddDelay(0.1);
+  TaskId fast = graph.AddGpuCompute(0, 0, 0.1, {root});
+  TaskId slow = graph.AddGpuCompute(1, 0, 0.7, {root});
+  TaskId join = graph.AddBarrier({fast, slow});
+  TaskResult result = graph.Execute(cluster);
+  EXPECT_NEAR(graph.FinishTime(join), 0.8, 1e-12);
+  EXPECT_NEAR(result.makespan, 0.8, 1e-12);
+}
+
+TEST(TaskGraphTest, TransferTimeIsStoreAndForwardPlusLatency) {
+  // Store-and-forward: serialization through the out-link, then the in-link (2x the
+  // single-link time when uncontended), plus one propagation latency.
+  Cluster cluster(TinySpec(2, 1));
+  TaskGraph graph;
+  TaskId t = graph.AddTransfer(0, 1, 500'000'000);  // 0.5 s per link at 1 GB/s
+  graph.Execute(cluster);
+  EXPECT_NEAR(graph.FinishTime(t), 1.0 + 1e-3, 1e-9);
+}
+
+TEST(TaskGraphTest, IncastSerializesAtReceiver) {
+  // 4 senders to one receiver: sender out-links run in parallel (0.25 s each); the
+  // receiver's in-link then serializes all four.
+  Cluster cluster(TinySpec(5, 1));
+  TaskGraph graph;
+  std::vector<TaskId> transfers;
+  for (int src = 1; src <= 4; ++src) {
+    transfers.push_back(graph.AddTransfer(src, 0, 250'000'000));  // 0.25 s each
+  }
+  TaskId join = graph.AddBarrier(std::span<const TaskId>(transfers));
+  graph.Execute(cluster);
+  EXPECT_NEAR(graph.FinishTime(join), 0.25 + 1.0 + 1e-3, 1e-9);
+  EXPECT_EQ(cluster.machine(0).nic_in.total_bytes(), 1'000'000'000);
+}
+
+TEST(TaskGraphTest, DisjointTransfersRunInParallel) {
+  // 0->1 and 2->3 share no link: both finish in one store-and-forward time.
+  Cluster cluster(TinySpec(4, 1));
+  TaskGraph graph;
+  TaskId a = graph.AddTransfer(0, 1, 500'000'000);
+  TaskId b = graph.AddTransfer(2, 3, 500'000'000);
+  TaskId join = graph.AddBarrier({a, b});
+  graph.Execute(cluster);
+  EXPECT_NEAR(graph.FinishTime(join), 1.0 + 1e-3, 1e-9);
+}
+
+TEST(TaskGraphTest, CpuWorkUsesCorePool) {
+  ClusterSpec spec = TinySpec(1, 1);
+  spec.cores_per_machine = 2;
+  Cluster cluster(spec);
+  TaskGraph graph;
+  std::vector<TaskId> work;
+  for (int i = 0; i < 4; ++i) {
+    work.push_back(graph.AddCpuWork(0, 1.0));
+  }
+  TaskId join = graph.AddBarrier(std::span<const TaskId>(work));
+  graph.Execute(cluster);
+  // 4 unit tasks on 2 cores => 2 seconds.
+  EXPECT_NEAR(graph.FinishTime(join), 2.0, 1e-12);
+}
+
+TEST(TaskGraphTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Cluster cluster(TinySpec(4, 2));
+    TaskGraph graph;
+    std::vector<TaskId> all;
+    for (int m = 0; m < 4; ++m) {
+      TaskId compute = graph.AddGpuCompute(m, m % 2, 0.01 * (m + 1));
+      TaskId xfer = graph.AddTransfer(m, (m + 1) % 4, 10'000'000 * (m + 1), {compute});
+      all.push_back(xfer);
+    }
+    TaskId join = graph.AddBarrier(std::span<const TaskId>(all));
+    graph.Execute(cluster);
+    return graph.FinishTime(join);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(TaskGraphTest, LocalTransferUsesPcie) {
+  Cluster cluster(TinySpec(1, 2));
+  TaskGraph graph;
+  TaskId t = graph.AddLocalTransfer(0, 1'000'000'000);  // 0.5 s per link at 2 GB/s
+  graph.Execute(cluster);
+  EXPECT_NEAR(graph.FinishTime(t), 1.0 + 1e-4, 1e-9);
+  EXPECT_EQ(cluster.NicBytes(0), 0);  // local traffic never touches the NIC
+}
+
+TEST(TaskGraphTest, RejectsSelfTransfer) {
+  TaskGraph graph;
+  EXPECT_DEATH(graph.AddTransfer(1, 1, 100), "AddLocalTransfer");
+}
+
+TEST(TaskGraphTest, StartTimeOffsetsEverything) {
+  Cluster cluster(TinySpec(1, 1));
+  TaskGraph graph;
+  TaskId a = graph.AddGpuCompute(0, 0, 0.5);
+  TaskResult result = graph.Execute(cluster, 10.0);
+  EXPECT_NEAR(graph.FinishTime(a), 10.5, 1e-12);
+  EXPECT_NEAR(result.makespan, 0.5, 1e-12);
+}
+
+TEST(TaskGraphTest, ResourceStateCarriesAcrossGraphs) {
+  // Second iteration's compute queues behind the first on the same GPU when started
+  // before the first finished.
+  Cluster cluster(TinySpec(1, 1));
+  TaskGraph first;
+  first.AddGpuCompute(0, 0, 1.0);
+  first.Execute(cluster, 0.0);
+  TaskGraph second;
+  TaskId t = second.AddGpuCompute(0, 0, 1.0);
+  second.Execute(cluster, 0.5);
+  EXPECT_NEAR(second.FinishTime(t), 2.0, 1e-12);
+}
+
+TEST(ClusterTest, ByteAccountingResets) {
+  Cluster cluster(TinySpec(2, 1));
+  TaskGraph graph;
+  graph.AddTransfer(0, 1, 1000);
+  graph.Execute(cluster);
+  EXPECT_EQ(cluster.NicBytes(0), 1000);
+  EXPECT_EQ(cluster.NicBytes(1), 1000);
+  cluster.ResetByteAccounting();
+  EXPECT_EQ(cluster.NicBytes(0), 0);
+}
+
+}  // namespace
+}  // namespace parallax
