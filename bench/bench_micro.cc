@@ -1,13 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the kernels whose costs the calibration
-// constants model: sparse gradient coalescing, scatter updates, partition split/stitch,
-// the cost-model fit, ring-schedule construction, and task-graph execution throughput.
+// constants model: sparse gradient coalescing (naive map reference vs fused sort-based
+// path, cold vs workspace-reuse), fused multi-slice Sum, scatter updates, partition
+// split/stitch, the cost-model fit, ring-schedule construction, and task-graph
+// execution throughput.
 #include <benchmark/benchmark.h>
 
 #include "src/base/rng.h"
 #include "src/comm/collectives.h"
 #include "src/core/cost_model.h"
 #include "src/ps/partition.h"
+#include "src/tensor/sparse_workspace.h"
 #include "src/tensor/tensor_ops.h"
+#include "tests/naive_reference.h"
 
 namespace parallax {
 namespace {
@@ -23,6 +27,15 @@ IndexedSlices MakeSlices(int64_t rows, int64_t width, int64_t nnz, uint64_t seed
                        TensorShape({rows, width}));
 }
 
+void BM_SparseCoalesceNaive(benchmark::State& state) {
+  IndexedSlices slices = MakeSlices(100'000, 64, state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveCoalesce(slices));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_SparseCoalesceNaive)->Arg(1'000)->Arg(10'000)->Arg(50'000);
+
 void BM_SparseCoalesce(benchmark::State& state) {
   IndexedSlices slices = MakeSlices(100'000, 64, state.range(0), 1);
   for (auto _ : state) {
@@ -31,6 +44,44 @@ void BM_SparseCoalesce(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
 }
 BENCHMARK(BM_SparseCoalesce)->Arg(1'000)->Arg(10'000)->Arg(50'000);
+
+void BM_SparseCoalesceReuse(benchmark::State& state) {
+  IndexedSlices slices = MakeSlices(100'000, 64, state.range(0), 1);
+  SparseWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slices.Coalesced(&ws));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_SparseCoalesceReuse)->Arg(1'000)->Arg(10'000)->Arg(50'000);
+
+// Baseline Sum semantics of the seed: materialize Concat, then coalesce it.
+void BM_SparseSumNaive(benchmark::State& state) {
+  std::vector<IndexedSlices> slices;
+  for (int k = 0; k < 8; ++k) {
+    slices.push_back(
+        MakeSlices(100'000, 64, state.range(0), static_cast<uint64_t>(10 + k)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveCoalesce(IndexedSlices::Concat(slices)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8 * 64);
+}
+BENCHMARK(BM_SparseSumNaive)->Arg(1'000)->Arg(10'000)->Arg(50'000);
+
+void BM_SparseSumFused(benchmark::State& state) {
+  std::vector<IndexedSlices> slices;
+  for (int k = 0; k < 8; ++k) {
+    slices.push_back(
+        MakeSlices(100'000, 64, state.range(0), static_cast<uint64_t>(10 + k)));
+  }
+  SparseWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndexedSlices::Sum(slices, &ws));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8 * 64);
+}
+BENCHMARK(BM_SparseSumFused)->Arg(1'000)->Arg(10'000)->Arg(50'000);
 
 void BM_ScatterSgdUpdate(benchmark::State& state) {
   Rng rng(2);
@@ -43,6 +94,19 @@ void BM_ScatterSgdUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_ScatterSgdUpdate)->Arg(1'000)->Arg(10'000);
 
+// Coalesced (sorted-unique) gradient: the shape the parallel scatter path accepts.
+void BM_ScatterSgdUpdateSorted(benchmark::State& state) {
+  Rng rng(2);
+  Tensor params = RandomNormal(TensorShape({100'000, 64}), rng);
+  IndexedSlices grad = MakeSlices(100'000, 64, state.range(0), 3).Coalesced();
+  SparseWorkspace ws;
+  for (auto _ : state) {
+    ScatterSgdUpdate(params, grad, 0.01f, &ws);
+  }
+  state.SetItemsProcessed(state.iterations() * grad.nnz_rows() * 64);
+}
+BENCHMARK(BM_ScatterSgdUpdateSorted)->Arg(10'000)->Arg(50'000);
+
 void BM_SplitSlicesByPartition(benchmark::State& state) {
   IndexedSlices slices = MakeSlices(100'000, 64, 20'000, 4);
   RowPartition partition(100'000, static_cast<int>(state.range(0)));
@@ -51,6 +115,16 @@ void BM_SplitSlicesByPartition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SplitSlicesByPartition)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SplitSlicesByPartitionReuse(benchmark::State& state) {
+  IndexedSlices slices = MakeSlices(100'000, 64, 20'000, 4);
+  RowPartition partition(100'000, static_cast<int>(state.range(0)));
+  SparseWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitSlicesByPartition(slices, partition, &ws));
+  }
+}
+BENCHMARK(BM_SplitSlicesByPartitionReuse)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_StitchPartitions(benchmark::State& state) {
   Rng rng(5);

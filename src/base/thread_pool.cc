@@ -1,0 +1,112 @@
+#include "src/base/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/base/logging.h"
+
+namespace parallax {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  PX_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int t = 0; t < num_threads - 1; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      batch = batch_;
+    }
+    if (batch != nullptr) {
+      RunChunks(*batch, done_cv_, mu_);
+    }
+  }
+}
+
+void ThreadPool::RunChunks(Batch& batch, std::condition_variable& done_cv, std::mutex& mu) {
+  for (;;) {
+    int64_t chunk = batch.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    int64_t begin = chunk * batch.grain;
+    if (begin >= batch.total) {
+      return;
+    }
+    (*batch.fn)(begin, std::min(begin + batch.grain, batch.total));
+    if (batch.remaining_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t total, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) {
+    return;
+  }
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t chunks = (total + grain - 1) / grain;
+  if (chunks <= 1 || num_threads_ <= 1) {
+    fn(0, total);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->total = total;
+  batch->grain = grain;
+  batch->remaining_chunks.store(chunks, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunChunks(*batch, done_cv_, mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return batch->remaining_chunks.load(std::memory_order_acquire) == 0;
+  });
+}
+
+int DefaultSparseThreads() {
+  static const int threads = [] {
+    if (const char* env = std::getenv("PARALLAX_THREADS")) {
+      int parsed = std::atoi(env);
+      if (parsed >= 1) {
+        return std::min(parsed, 16);
+      }
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp<unsigned>(hw == 0 ? 1 : hw, 1, 16));
+  }();
+  return threads;
+}
+
+ThreadPool& GlobalSparsePool() {
+  static ThreadPool pool(DefaultSparseThreads());
+  return pool;
+}
+
+}  // namespace parallax

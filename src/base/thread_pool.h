@@ -1,0 +1,85 @@
+// Fixed-size thread pool for data-parallel kernel loops.
+//
+// The pool exists for one purpose: splitting a contiguous index range across a small,
+// fixed set of worker threads (ParallelFor). Work items are claimed chunk-by-chunk from
+// an atomic cursor, and the calling thread participates, so a pool of N threads has N
+// lanes of execution, not N+1. With one thread (or a small range) ParallelFor degrades
+// to a plain sequential loop on the caller — the deterministic fallback.
+//
+// Determinism contract: callers must hand ParallelFor shards that write disjoint data
+// and whose per-shard iteration order is fixed. Under that contract results are
+// bit-identical for every pool size, because no float accumulation order ever crosses a
+// shard boundary (see docs/perf.md).
+//
+// ParallelFor is not reentrant: a body that calls ParallelFor on the same pool
+// deadlocks. Kernel code keeps parallelism at one level.
+#ifndef PARALLAX_SRC_BASE_THREAD_POOL_H_
+#define PARALLAX_SRC_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parallax {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers (the caller is the remaining lane). num_threads >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Invokes fn(begin, end) over disjoint chunks of [0, total), each at most `grain`
+  // long, across the pool's lanes. Blocks until every chunk completed. Runs inline on
+  // the caller when total <= grain or the pool has one thread.
+  void ParallelFor(int64_t total, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  // One ParallelFor invocation. Workers snapshot the shared_ptr, so a worker that wakes
+  // late only ever drains its own (already exhausted) batch, never a successor's.
+  struct Batch {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t total = 0;
+    int64_t grain = 0;
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> remaining_chunks{0};
+  };
+
+  void WorkerLoop();
+  static void RunChunks(Batch& batch, std::condition_variable& done_cv, std::mutex& mu);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch or shutdown
+  std::condition_variable done_cv_;  // caller: batch drained
+  std::mutex submit_mu_;             // serializes concurrent ParallelFor callers
+
+  std::shared_ptr<Batch> batch_;  // guarded by mu_
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+// Threads used for sparse kernels when no explicit pool is supplied: the
+// PARALLAX_THREADS environment variable if set, else hardware concurrency, clamped to
+// [1, 16]. Read once at first use.
+int DefaultSparseThreads();
+
+// Process-wide pool shared by sparse kernels that are not handed a workspace-scoped
+// pool. Constructed lazily with DefaultSparseThreads() lanes.
+ThreadPool& GlobalSparsePool();
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_BASE_THREAD_POOL_H_

@@ -4,11 +4,6 @@
 #include <cmath>
 
 namespace parallax {
-namespace {
-
-int64_t ToBytes(double elements) { return static_cast<int64_t>(elements) * 4; }
-
-}  // namespace
 
 IterationSimulator::IterationSimulator(const ClusterSpec& cluster_spec,
                                        std::vector<VariableSync> variables,
@@ -80,7 +75,8 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   const CollectiveOptions collective{costs.collective_step_overhead_seconds};
 
   TaskGraph graph;
-  std::vector<TaskId> end_tasks;
+  std::vector<TaskId>& end_tasks = end_tasks_scratch_;
+  end_tasks.clear();
 
   // Single-GPU job: the graph runs unmodified — no pulls, no collectives, no servers
   // (Parallax leaves a 1-GPU graph alone; the local SGD apply rides the GPU).
@@ -106,9 +102,11 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   // before the whole pull burst drains, so the first forward chunk's variables must not
   // be allowed to jump the queue — serving them last models the fair-share drain time
   // on the critical path.
-  std::vector<std::vector<TaskId>> avail(
-      static_cast<size_t>(num_ranks),
-      std::vector<TaskId>(shards_.size(), kNoTask));
+  std::vector<std::vector<TaskId>>& avail = avail_scratch_;
+  avail.resize(static_cast<size_t>(num_ranks));
+  for (auto& per_rank : avail) {
+    per_rank.assign(shards_.size(), kNoTask);
+  }
   for (size_t si = shards_.size(); si-- > 0;) {
     const size_t s = si;
     const Shard& shard = shards_[s];
@@ -153,21 +151,25 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   // Per-rank, per-variable readiness gates for the forward pass (stitching partitioned
   // pulls costs worker CPU proportional to the partition count — the theta2 term).
   // gate[rank][var].
-  std::vector<std::vector<TaskId>> gate(
-      static_cast<size_t>(num_ranks),
-      std::vector<TaskId>(variables_.size(), kNoTask));
+  std::vector<std::vector<TaskId>>& gate = gate_scratch_;
+  gate.resize(static_cast<size_t>(num_ranks));
+  for (auto& per_rank : gate) {
+    per_rank.assign(variables_.size(), kNoTask);
+  }
   for (int v = 0; v < static_cast<int>(variables_.size()); ++v) {
     if (variables_[static_cast<size_t>(v)].method != SyncMethod::kPs) {
       continue;  // AR variables are resident replicas: no pull
     }
-    std::vector<size_t> var_shards;
+    std::vector<size_t>& var_shards = var_shards_scratch_;
+    var_shards.clear();
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (shards_[s].var == v) {
         var_shards.push_back(s);
       }
     }
     for (int r = 0; r < num_ranks; ++r) {
-      std::vector<TaskId> deps;
+      std::vector<TaskId>& deps = deps_scratch_;
+      deps.clear();
       deps.reserve(var_shards.size());
       for (size_t s : var_shards) {
         deps.push_back(avail[static_cast<size_t>(r)][s]);
@@ -190,16 +192,19 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   const double chunk_seconds = gpu_compute_seconds_ / compute_chunks_;
   const double dispatch_seconds =
       costs.worker_dispatch_seconds_per_piece * static_cast<double>(shards_.size());
-  std::vector<std::vector<TaskId>> chunk_task(
-      static_cast<size_t>(num_ranks),
-      std::vector<TaskId>(static_cast<size_t>(compute_chunks_), kNoTask));
+  std::vector<std::vector<TaskId>>& chunk_task = chunk_scratch_;
+  chunk_task.resize(static_cast<size_t>(num_ranks));
+  for (auto& per_rank : chunk_task) {
+    per_rank.assign(static_cast<size_t>(compute_chunks_), kNoTask);
+  }
   for (int r = 0; r < num_ranks; ++r) {
     TaskId prev = kNoTask;
     if (!shards_.empty() && dispatch_seconds > 0.0) {
       prev = graph.AddCpuWork(layout.MachineOfRank(r), dispatch_seconds);
     }
     for (int c = 0; c < compute_chunks_; ++c) {
-      std::vector<TaskId> deps;
+      std::vector<TaskId>& deps = deps_scratch_;
+      deps.clear();
       if (prev != kNoTask) {
         deps.push_back(prev);
       }

@@ -113,6 +113,16 @@ class IterationSimulator {
   std::vector<int> pull_chunk_;
   std::vector<int> grad_chunk_;
   int forward_chunks_ = 1;
+
+  // Per-iteration DAG construction tables, reused across SimulateIteration calls — the
+  // partition search simulates thousands of iterations, and rebuilding these
+  // rank x shard / rank x variable tables dominated its allocation traffic.
+  std::vector<std::vector<TaskId>> avail_scratch_;   // [rank][shard]
+  std::vector<std::vector<TaskId>> gate_scratch_;    // [rank][variable]
+  std::vector<std::vector<TaskId>> chunk_scratch_;   // [rank][chunk]
+  std::vector<TaskId> end_tasks_scratch_;
+  std::vector<TaskId> deps_scratch_;
+  std::vector<size_t> var_shards_scratch_;
 };
 
 }  // namespace parallax

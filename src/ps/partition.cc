@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/logging.h"
+#include "src/tensor/sparse_workspace.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace parallax {
@@ -37,33 +38,54 @@ int RowPartition::PartitionOfRow(int64_t row) const {
 }
 
 std::vector<IndexedSlices> SplitSlicesByPartition(const IndexedSlices& slices,
-                                                  const RowPartition& partition) {
+                                                  const RowPartition& partition,
+                                                  SparseWorkspace* workspace) {
   const int p_count = partition.num_partitions();
+  const int64_t n = slices.nnz_rows();
   const int64_t row = slices.row_elements();
-  std::vector<std::vector<int64_t>> piece_indices(static_cast<size_t>(p_count));
-  std::vector<std::vector<int64_t>> piece_source_rows(static_cast<size_t>(p_count));
-  for (int64_t i = 0; i < slices.nnz_rows(); ++i) {
-    int64_t global_row = slices.indices()[static_cast<size_t>(i)];
-    int p = partition.PartitionOfRow(global_row);
-    piece_indices[static_cast<size_t>(p)].push_back(global_row - partition.RowBegin(p));
-    piece_source_rows[static_cast<size_t>(p)].push_back(i);
+  SparseWorkspace local;
+  SparseWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  const std::vector<int64_t>& indices = slices.indices();
+  auto& piece_of = ws.small_ints(n);
+  auto& counts = ws.zeroed_counts(p_count);
+  for (int64_t i = 0; i < n; ++i) {
+    int p = partition.PartitionOfRow(indices[static_cast<size_t>(i)]);
+    piece_of[static_cast<size_t>(i)] = p;
+    ++counts[static_cast<size_t>(p)];
   }
-  auto values = slices.values().floats();
+
+  // Exact-size outputs, then direct placement via per-piece cursors.
+  std::vector<std::vector<int64_t>> piece_indices(static_cast<size_t>(p_count));
+  std::vector<Tensor> piece_values;
+  piece_values.reserve(static_cast<size_t>(p_count));
+  std::vector<float*> piece_dst(static_cast<size_t>(p_count));
+  std::vector<int64_t> piece_row_begin(static_cast<size_t>(p_count));
+  for (int p = 0; p < p_count; ++p) {
+    piece_indices[static_cast<size_t>(p)].resize(
+        static_cast<size_t>(counts[static_cast<size_t>(p)]));
+    piece_values.push_back(
+        Tensor::Zeros(slices.values().shape().WithDim0(counts[static_cast<size_t>(p)])));
+    piece_dst[static_cast<size_t>(p)] = piece_values.back().mutable_floats().data();
+    piece_row_begin[static_cast<size_t>(p)] = partition.RowBegin(p);
+  }
+  const float* values = slices.values().floats().data();
+  auto& cursors = ws.zeroed_cursors(p_count);
+  for (int64_t i = 0; i < n; ++i) {
+    int p = piece_of[static_cast<size_t>(i)];
+    int64_t slot = cursors[static_cast<size_t>(p)]++;
+    piece_indices[static_cast<size_t>(p)][static_cast<size_t>(slot)] =
+        indices[static_cast<size_t>(i)] - piece_row_begin[static_cast<size_t>(p)];
+    std::copy_n(values + i * row, row, piece_dst[static_cast<size_t>(p)] + slot * row);
+  }
+
   std::vector<IndexedSlices> pieces;
   pieces.reserve(static_cast<size_t>(p_count));
   for (int p = 0; p < p_count; ++p) {
-    int64_t nnz = static_cast<int64_t>(piece_indices[static_cast<size_t>(p)].size());
-    Tensor piece_values =
-        Tensor::Zeros(slices.values().shape().WithDim0(nnz));
-    auto dst = piece_values.mutable_floats();
-    for (int64_t i = 0; i < nnz; ++i) {
-      int64_t src_row = piece_source_rows[static_cast<size_t>(p)][static_cast<size_t>(i)];
-      std::copy_n(values.begin() + static_cast<ptrdiff_t>(src_row * row), row,
-                  dst.begin() + static_cast<ptrdiff_t>(i * row));
-    }
     TensorShape piece_shape = slices.dense_shape().WithDim0(partition.RowsIn(p));
     pieces.emplace_back(std::move(piece_indices[static_cast<size_t>(p)]),
-                        std::move(piece_values), std::move(piece_shape));
+                        std::move(piece_values[static_cast<size_t>(p)]),
+                        std::move(piece_shape));
   }
   return pieces;
 }

@@ -15,6 +15,8 @@
 
 namespace parallax {
 
+class SparseWorkspace;
+
 class RowPartition {
  public:
   RowPartition(int64_t num_rows, int num_partitions);
@@ -33,9 +35,15 @@ class RowPartition {
 };
 
 // Splits a sparse gradient into per-piece gradients with piece-local row indices.
-// Pieces with no touched rows come back empty (nnz_rows == 0) but present.
+// Pieces with no touched rows come back empty (nnz_rows == 0) but present. Rows keep
+// their input order within each piece.
+//
+// Two passes: count rows per piece (tagging each row with its piece), then place rows
+// directly at their final offsets — outputs are allocated exactly-sized up front, and
+// with a SparseWorkspace the tag/count scratch is reused across calls.
 std::vector<IndexedSlices> SplitSlicesByPartition(const IndexedSlices& slices,
-                                                  const RowPartition& partition);
+                                                  const RowPartition& partition,
+                                                  SparseWorkspace* workspace = nullptr);
 
 // Splits a dense tensor into per-piece row blocks.
 std::vector<Tensor> SplitRowsByPartition(const Tensor& value, const RowPartition& partition);

@@ -33,16 +33,18 @@ void PsVariable::ApplyDenseSgd(const Tensor& grad, float learning_rate) {
   }
 }
 
-void PsVariable::ApplySparseSgd(const IndexedSlices& grad, float learning_rate) {
+void PsVariable::ApplySparseSgd(const IndexedSlices& grad, float learning_rate,
+                                SparseWorkspace* workspace) {
   PX_CHECK(grad.dense_shape() == shape_);
   if (!partition_) {
-    ScatterSgdUpdate(pieces_.front(), grad, learning_rate);
+    ScatterSgdUpdate(pieces_.front(), grad, learning_rate, workspace);
     return;
   }
-  std::vector<IndexedSlices> grad_pieces = SplitSlicesByPartition(grad, *partition_);
+  std::vector<IndexedSlices> grad_pieces =
+      SplitSlicesByPartition(grad, *partition_, workspace);
   for (size_t p = 0; p < pieces_.size(); ++p) {
     if (grad_pieces[p].nnz_rows() > 0) {
-      ScatterSgdUpdate(pieces_[p], grad_pieces[p], learning_rate);
+      ScatterSgdUpdate(pieces_[p], grad_pieces[p], learning_rate, workspace);
     }
   }
 }
@@ -74,23 +76,6 @@ bool PsNumericEngine::Manages(int variable_index) const {
     }
   }
   return false;
-}
-
-Tensor PsNumericEngine::AggregateDense(const std::vector<Tensor>& contributions) const {
-  Tensor sum = AllReduceSum(contributions);
-  if (config_.dense_aggregation == AggregationMethod::kAverage) {
-    ScaleInPlace(sum, 1.0f / static_cast<float>(contributions.size()));
-  }
-  return sum;
-}
-
-IndexedSlices PsNumericEngine::AggregateSparse(
-    const std::vector<IndexedSlices>& contributions) const {
-  IndexedSlices sum = IndexedSlices::Sum(contributions);
-  if (config_.sparse_aggregation == AggregationMethod::kAverage) {
-    sum.Scale(1.0f / static_cast<float>(contributions.size()));
-  }
-  return sum;
 }
 
 void PsNumericEngine::ApplyStep(const std::vector<StepResult>& per_rank,
@@ -126,13 +111,15 @@ void PsNumericEngine::ApplyStep(const std::vector<StepResult>& per_rank,
         for (int r = base; r < base + ranks_per_machine; ++r) {
           local.push_back(per_rank[static_cast<size_t>(r)].grads.at(key).sparse());
         }
-        global_inputs.push_back(local.size() == 1 ? local.front() : IndexedSlices::Sum(local));
+        global_inputs.push_back(local.size() == 1
+                                    ? local.front()
+                                    : IndexedSlices::Sum(local, &workspace_));
       }
-      IndexedSlices aggregated = IndexedSlices::Sum(global_inputs);
+      IndexedSlices aggregated = IndexedSlices::Sum(global_inputs, &workspace_);
       if (config_.sparse_aggregation == AggregationMethod::kAverage) {
         aggregated.Scale(1.0f / static_cast<float>(num_ranks));
       }
-      variables_[v].ApplySparseSgd(aggregated, learning_rate);
+      variables_[v].ApplySparseSgd(aggregated, learning_rate, &workspace_);
     } else {
       std::vector<Tensor> global_inputs;
       for (int base = 0; base < num_ranks; base += ranks_per_machine) {

@@ -19,6 +19,7 @@
 #include "src/graph/executor.h"
 #include "src/graph/graph.h"
 #include "src/ps/partition.h"
+#include "src/tensor/sparse_workspace.h"
 
 namespace parallax {
 
@@ -47,8 +48,10 @@ class PsVariable {
 
   void ApplyDenseSgd(const Tensor& grad, float learning_rate);
   // Splits the aggregated sparse gradient by partition and scatter-updates each piece —
-  // the per-piece update ops the transformation colocates with the shards.
-  void ApplySparseSgd(const IndexedSlices& grad, float learning_rate);
+  // the per-piece update ops the transformation colocates with the shards. The caller's
+  // workspace (if any) backs the split/scatter scratch.
+  void ApplySparseSgd(const IndexedSlices& grad, float learning_rate,
+                      SparseWorkspace* workspace = nullptr);
 
   int num_partitions() const { return partition_ ? partition_->num_partitions() : 1; }
 
@@ -73,14 +76,15 @@ class PsNumericEngine {
   const PsNumericConfig& config() const { return config_; }
 
  private:
-  // Accumulates dense contributions in arrival order, then scales per config.
-  Tensor AggregateDense(const std::vector<Tensor>& contributions) const;
-  IndexedSlices AggregateSparse(const std::vector<IndexedSlices>& contributions) const;
   bool Manages(int variable_index) const;
 
   const Graph* graph_;
   PsNumericConfig config_;
   std::vector<PsVariable> variables_;
+  // Scratch arena for the sparse aggregation pipeline (sort buffers, segment tables,
+  // split cursors); reused every ApplyStep so steady-state aggregation never allocates
+  // scratch. Not thread-safe: owned by the step path, like the engine's variables.
+  SparseWorkspace workspace_;
 };
 
 }  // namespace parallax

@@ -1,13 +1,46 @@
 #include "src/tensor/indexed_slices.h"
 
 #include <algorithm>
-#include <map>
-#include <numeric>
-#include <unordered_set>
 
 #include "src/base/strings.h"
+#include "src/tensor/sparse_workspace.h"
 
 namespace parallax {
+namespace {
+
+// Shared tail of Coalesced and Sum: after the caller filled sort_keys/row_ptrs for
+// `total_rows` source rows and ran SortByKey, builds the segment table and reduces each
+// sorted run of equal indices into one output row. values_shape supplies the row layout
+// for the output tensor ([*, row_elements...]).
+IndexedSlices ReduceSortedSegments(SparseWorkspace& ws, int64_t total_rows,
+                                   const TensorShape& values_shape,
+                                   const TensorShape& dense_shape) {
+  const int64_t row = dense_shape.row_elements();
+  const std::vector<int64_t>& seg = ws.BuildSegments(total_rows);
+  const int64_t num_out = static_cast<int64_t>(seg.size()) - 1;
+  std::vector<int64_t> out_indices(static_cast<size_t>(num_out));
+  Tensor out_values = Tensor::Zeros(values_shape.WithDim0(num_out));
+  auto out = out_values.mutable_floats();
+  const std::vector<int64_t>& sorted_keys = ws.sorted_keys();
+  const std::vector<int64_t>& pos = ws.sorted_pos();
+  const std::vector<const float*>& rows = ws.row_ptrs(total_rows);
+  ParallelOverSegments(ws, num_out, total_rows * row, [&](int64_t s_begin, int64_t s_end) {
+    for (int64_t s = s_begin; s < s_end; ++s) {
+      out_indices[static_cast<size_t>(s)] =
+          sorted_keys[static_cast<size_t>(seg[static_cast<size_t>(s)])];
+      float* dst = out.data() + s * row;
+      for (int64_t i = seg[static_cast<size_t>(s)]; i < seg[static_cast<size_t>(s) + 1]; ++i) {
+        const float* src = rows[static_cast<size_t>(pos[static_cast<size_t>(i)])];
+        for (int64_t j = 0; j < row; ++j) {
+          dst[j] += src[j];
+        }
+      }
+    }
+  });
+  return IndexedSlices(std::move(out_indices), std::move(out_values), dense_shape);
+}
+
+}  // namespace
 
 IndexedSlices::IndexedSlices(std::vector<int64_t> indices, Tensor values,
                              TensorShape dense_shape)
@@ -42,35 +75,61 @@ Tensor IndexedSlices::ToDense() const {
   return dense;
 }
 
-IndexedSlices IndexedSlices::Coalesced() const {
-  int64_t row = row_elements();
-  // Deterministic order: sorted unique indices.
-  std::map<int64_t, int64_t> first_slot;  // index -> output slot
-  for (int64_t index : indices_) {
-    first_slot.emplace(index, 0);
+IndexedSlices IndexedSlices::Coalesced(SparseWorkspace* workspace) const {
+  const int64_t n = nnz_rows();
+  const int64_t row = row_elements();
+  if (n == 0) {
+    return IndexedSlices({}, Tensor::Zeros(values_.shape().WithDim0(0)), dense_shape_);
   }
-  std::vector<int64_t> out_indices;
-  out_indices.reserve(first_slot.size());
-  for (auto& [index, slot] : first_slot) {
-    slot = static_cast<int64_t>(out_indices.size());
-    out_indices.push_back(index);
+  SparseWorkspace local;
+  SparseWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  auto& keys = ws.sort_keys(n);
+  auto& rows = ws.row_ptrs(n);
+  std::copy(indices_.begin(), indices_.end(), keys.begin());
+  const float* in = values_.floats().data();
+  for (int64_t i = 0; i < n; ++i) {
+    rows[static_cast<size_t>(i)] = in + i * row;
   }
-  Tensor out_values = Tensor::Zeros(
-      values_.shape().WithDim0(static_cast<int64_t>(out_indices.size())));
-  auto out = out_values.mutable_floats();
-  auto in = values_.floats();
-  for (int64_t i = 0; i < nnz_rows(); ++i) {
-    int64_t slot = first_slot[indices_[static_cast<size_t>(i)]];
-    for (int64_t j = 0; j < row; ++j) {
-      out[static_cast<size_t>(slot * row + j)] += in[static_cast<size_t>(i * row + j)];
-    }
-  }
-  return IndexedSlices(std::move(out_indices), std::move(out_values), dense_shape_);
+  ws.SortByKey(n, dense_shape_.dim(0) - 1);
+  return ReduceSortedSegments(ws, n, values_.shape(), dense_shape_);
 }
 
-IndexedSlices IndexedSlices::Sum(const std::vector<IndexedSlices>& slices) {
+IndexedSlices IndexedSlices::Sum(const std::vector<IndexedSlices>& slices,
+                                 SparseWorkspace* workspace) {
   PX_CHECK(!slices.empty());
-  return Concat(slices).Coalesced();
+  if (slices.size() == 1) {
+    return slices.front().Coalesced(workspace);
+  }
+  const TensorShape& dense_shape = slices.front().dense_shape();
+  const int64_t row = slices.front().row_elements();
+  int64_t total = 0;
+  for (const IndexedSlices& s : slices) {
+    PX_CHECK(s.dense_shape() == dense_shape);
+    total += s.nnz_rows();
+  }
+  if (total == 0) {
+    return IndexedSlices({}, Tensor::Zeros(slices.front().values().shape().WithDim0(0)),
+                         dense_shape);
+  }
+  SparseWorkspace local;
+  SparseWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  // Global key/row-pointer tables in (slice, row) lexicographic order — the same order
+  // Concat would materialize, so the stable sort reproduces its accumulation order.
+  auto& keys = ws.sort_keys(total);
+  auto& rows = ws.row_ptrs(total);
+  int64_t g = 0;
+  for (const IndexedSlices& s : slices) {
+    auto values = s.values().floats();
+    const std::vector<int64_t>& idx = s.indices();
+    for (int64_t i = 0; i < s.nnz_rows(); ++i, ++g) {
+      keys[static_cast<size_t>(g)] = idx[static_cast<size_t>(i)];
+      rows[static_cast<size_t>(g)] = values.data() + i * row;
+    }
+  }
+  ws.SortByKey(total, dense_shape.dim(0) - 1);
+  return ReduceSortedSegments(ws, total, slices.front().values().shape(), dense_shape);
 }
 
 IndexedSlices IndexedSlices::Concat(const std::vector<IndexedSlices>& slices) {
@@ -102,12 +161,31 @@ void IndexedSlices::Scale(float factor) {
   }
 }
 
+int64_t IndexedSlices::unique_rows() const {
+  int64_t cached = unique_rows_cache_.load(std::memory_order_relaxed);
+  if (cached >= 0) {
+    return cached;
+  }
+  // Sort a scratch copy and count distinct values — no per-key hash nodes. The result
+  // is cached: indices_ is immutable for the lifetime of the object, and concurrent
+  // first calls simply store the same value.
+  std::vector<int64_t> sorted(indices_);
+  std::sort(sorted.begin(), sorted.end());
+  int64_t unique = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i] != sorted[i - 1]) {
+      ++unique;
+    }
+  }
+  unique_rows_cache_.store(unique, std::memory_order_relaxed);
+  return unique;
+}
+
 double IndexedSlices::AccessRatio() const {
   if (dense_shape_.dim(0) == 0) {
     return 0.0;
   }
-  std::unordered_set<int64_t> unique(indices_.begin(), indices_.end());
-  return static_cast<double>(unique.size()) / static_cast<double>(dense_shape_.dim(0));
+  return static_cast<double>(unique_rows()) / static_cast<double>(dense_shape_.dim(0));
 }
 
 std::string IndexedSlices::DebugString() const {

@@ -8,13 +8,17 @@
 #ifndef PARALLAX_SRC_TENSOR_INDEXED_SLICES_H_
 #define PARALLAX_SRC_TENSOR_INDEXED_SLICES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/tensor/tensor.h"
 
 namespace parallax {
+
+class SparseWorkspace;
 
 class IndexedSlices {
  public:
@@ -24,6 +28,36 @@ class IndexedSlices {
   // from embedding lookups do). values: shape [indices.size(), row_elements...].
   // dense_shape: shape of the variable this gradient applies to.
   IndexedSlices(std::vector<int64_t> indices, Tensor values, TensorShape dense_shape);
+
+  // Copies/moves carry the unique-rows cache along (the atomic member is not copyable
+  // by default).
+  IndexedSlices(const IndexedSlices& other)
+      : indices_(other.indices_),
+        values_(other.values_),
+        dense_shape_(other.dense_shape_),
+        unique_rows_cache_(other.unique_rows_cache_.load(std::memory_order_relaxed)) {}
+  IndexedSlices(IndexedSlices&& other) noexcept
+      : indices_(std::move(other.indices_)),
+        values_(std::move(other.values_)),
+        dense_shape_(std::move(other.dense_shape_)),
+        unique_rows_cache_(
+            other.unique_rows_cache_.exchange(-1, std::memory_order_relaxed)) {}
+  IndexedSlices& operator=(const IndexedSlices& other) {
+    indices_ = other.indices_;
+    values_ = other.values_;
+    dense_shape_ = other.dense_shape_;
+    unique_rows_cache_.store(other.unique_rows_cache_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    return *this;
+  }
+  IndexedSlices& operator=(IndexedSlices&& other) noexcept {
+    indices_ = std::move(other.indices_);
+    values_ = std::move(other.values_);
+    dense_shape_ = std::move(other.dense_shape_);
+    unique_rows_cache_.store(other.unique_rows_cache_.exchange(-1, std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    return *this;
+  }
 
   int64_t nnz_rows() const { return static_cast<int64_t>(indices_.size()); }
   const std::vector<int64_t>& indices() const { return indices_; }
@@ -42,11 +76,22 @@ class IndexedSlices {
   // Coalesces duplicate indices by summing their rows; output indices are sorted.
   // This is the "gradient aggregation ... iterating through nonzero indices one by one"
   // operation whose cost partitioning parallelizes (paper section 3.2).
-  IndexedSlices Coalesced() const;
+  //
+  // Implemented as a stable sort over the indices plus one segmented-reduction pass over
+  // contiguous row blocks; per-row accumulation order equals input order, so the result
+  // is bit-identical to the naive slot-map reference. Pass a SparseWorkspace to reuse
+  // sort/segment scratch across calls (steady-state allocation-free except the output).
+  IndexedSlices Coalesced(SparseWorkspace* workspace = nullptr) const;
 
   // Sums a list of slices into one coalesced slices object. All inputs must share
   // dense_shape. Used by accumulators (PS global aggregation) and local aggregation.
-  static IndexedSlices Sum(const std::vector<IndexedSlices>& slices);
+  //
+  // Fused k-way: sorts (row index, source row) pairs drawn from all inputs and reduces
+  // straight out of the input value buffers — no intermediate Concat tensor. Pair order
+  // is (input slice, row) lexicographic, so accumulation per output row is bit-identical
+  // to Concat(slices).Coalesced().
+  static IndexedSlices Sum(const std::vector<IndexedSlices>& slices,
+                           SparseWorkspace* workspace = nullptr);
 
   // Concatenates (gathers) slices without coalescing — the AllGatherv aggregation
   // semantics: [grad(X1), ..., grad(XN)] (paper section 2.1).
@@ -54,6 +99,11 @@ class IndexedSlices {
 
   // Multiplies all values by the scalar (for gradient averaging).
   void Scale(float factor);
+
+  // Number of distinct row indices. Computed on first use by sorting a scratch copy
+  // (no per-key hash nodes) and cached — indices_ is immutable after construction, so
+  // repeated calls are free.
+  int64_t unique_rows() const;
 
   // The fraction of the variable's rows touched by this gradient (after dedup):
   // the per-batch alpha of paper section 2.2.
@@ -65,6 +115,9 @@ class IndexedSlices {
   std::vector<int64_t> indices_;
   Tensor values_;            // [nnz_rows, row_elements]
   TensorShape dense_shape_;  // shape of the corresponding dense variable
+  // Lazily computed from the immutable indices_; atomic so concurrent const readers
+  // stay race-free (both writers would store the same value).
+  mutable std::atomic<int64_t> unique_rows_cache_{-1};
 };
 
 }  // namespace parallax

@@ -1,0 +1,109 @@
+// SparseWorkspace: a reusable scratch arena for the sparse aggregation pipeline.
+//
+// The sparse hot path — Coalesced / Sum / SplitSlicesByPartition / ScatterSgdUpdate —
+// runs once per variable per training iteration. Rebuilding its working state (sort
+// buffers, permutations, histograms, segment tables) from the heap every call dominated
+// the kernels' cost in the seed implementation (a std::map node per distinct row).
+// Threading one SparseWorkspace through a training loop makes the steady state
+// allocation-free: every buffer is grow-only and reused across calls, so after the first
+// iteration at peak nnz the kernels never touch the allocator again. (Output tensors
+// handed to callers are still freshly allocated — they escape the call.)
+//
+// A workspace is single-owner state, like an Rng: one per engine / thread of control,
+// never shared concurrently. Kernels accept `SparseWorkspace*` and fall back to a local
+// (allocating) workspace when given nullptr, so every call site works without one.
+//
+// The workspace also carries the ThreadPool the kernels may use for segment-parallel
+// reduction; when unset, GlobalSparsePool() is used. Results are bit-identical for every
+// pool size (see docs/perf.md for the argument).
+#ifndef PARALLAX_SRC_TENSOR_SPARSE_WORKSPACE_H_
+#define PARALLAX_SRC_TENSOR_SPARSE_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/thread_pool.h"
+
+namespace parallax {
+
+class SparseWorkspace {
+ public:
+  SparseWorkspace() = default;
+  explicit SparseWorkspace(ThreadPool* pool) : pool_(pool) {}
+
+  // Pool used for parallel segment reduction; GlobalSparsePool() when none was set.
+  ThreadPool& pool() const { return pool_ != nullptr ? *pool_ : GlobalSparsePool(); }
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // ---- Sort pipeline (used by Coalesced / Sum) -------------------------------------
+  //
+  // Protocol: fill sort_keys(n) with the row indices, then call SortByKey(n, max_key).
+  // Afterwards sorted_keys() holds the keys in ascending order and sorted_pos()[i] is
+  // the original position of sorted element i; ties keep their input order (stable), so
+  // per-row float accumulation order matches the naive input-order reference exactly.
+
+  // Scratch key buffer, resized to n (contents unspecified).
+  std::vector<int64_t>& sort_keys(int64_t n) { return Resized(sort_keys_, n); }
+
+  // Stable-sorts sort_keys()[0, n) ascending, producing the permutation in sorted_pos().
+  // Keys must lie in [0, max_key]. LSD radix sort for large n, comparison sort below
+  // the cutoff; both stable, both allocation-free once buffers are warm.
+  void SortByKey(int64_t n, int64_t max_key);
+
+  const std::vector<int64_t>& sorted_keys() const { return sort_keys_; }
+  const std::vector<int64_t>& sorted_pos() const { return sort_pos_; }
+
+  // Builds the segment table over sorted_keys()[0, n): segment_starts()[s] is the first
+  // position of segment s, with a final sentinel n. Returns the table; num segments is
+  // size() - 1. Requires SortByKey to have run for this n.
+  const std::vector<int64_t>& BuildSegments(int64_t n);
+
+  // ---- General scratch -------------------------------------------------------------
+
+  // Per-source row pointer table for fused multi-slice reduction.
+  std::vector<const float*>& row_ptrs(int64_t n) { return Resized(row_ptrs_, n); }
+  // Small per-element tags (e.g. partition of each row).
+  std::vector<int32_t>& small_ints(int64_t n) { return Resized(small_ints_, n); }
+  // Counting buffer (histograms, per-partition counts), zero-filled.
+  std::vector<int64_t>& zeroed_counts(int64_t n);
+  // Cursor buffer (write offsets during placement), zero-filled.
+  std::vector<int64_t>& zeroed_cursors(int64_t n);
+
+  // Frees all scratch capacity (the workspace stays usable).
+  void Release();
+
+  // Bytes currently retained across all scratch buffers.
+  int64_t RetainedBytes() const;
+
+ private:
+  template <typename T>
+  static std::vector<T>& Resized(std::vector<T>& buffer, int64_t n) {
+    buffer.resize(static_cast<size_t>(n));
+    return buffer;
+  }
+
+  ThreadPool* pool_ = nullptr;
+
+  std::vector<int64_t> sort_keys_;
+  std::vector<int64_t> sort_pos_;
+  std::vector<int64_t> alt_keys_;  // radix ping-pong
+  std::vector<int64_t> alt_pos_;
+  std::vector<int64_t> segment_starts_;
+  std::vector<int64_t> histogram_;
+  std::vector<int64_t> counts_;
+  std::vector<int64_t> cursors_;
+  std::vector<const float*> row_ptrs_;
+  std::vector<int32_t> small_ints_;
+};
+
+// Runs fn(segment_begin, segment_end) over [0, num_segments), in parallel when the
+// total element volume justifies it and the workspace's pool has more than one lane.
+// Each segment is processed entirely by one lane in ascending order, so the result is
+// identical to the sequential fn(0, num_segments) for every pool size.
+void ParallelOverSegments(const SparseWorkspace& workspace, int64_t num_segments,
+                          int64_t total_elements,
+                          const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_TENSOR_SPARSE_WORKSPACE_H_

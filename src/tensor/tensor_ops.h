@@ -17,6 +17,8 @@
 
 namespace parallax {
 
+class SparseWorkspace;
+
 // ---- Element-wise dense kernels ----
 
 // out += in (shapes must match).
@@ -61,7 +63,14 @@ Tensor GatherRows(const Tensor& params, std::span<const int64_t> indices);
 // params[indices[i], :] += slices row i (duplicates accumulate).
 void ScatterAddInPlace(Tensor& params, const IndexedSlices& slices);
 // params[indices[i], :] -= lr * slices row i — the sparse SGD update.
-void ScatterSgdUpdate(Tensor& params, const IndexedSlices& grad, float learning_rate);
+//
+// For large sorted-index gradients (what Coalesced/Sum produce) the update runs across
+// the workspace's thread pool, split at index boundaries so each destination row is
+// owned by exactly one lane; per-row accumulation order is input order either way, so
+// the result is bit-identical to the sequential loop for every pool size. Unsorted or
+// small gradients take the sequential path.
+void ScatterSgdUpdate(Tensor& params, const IndexedSlices& grad, float learning_rate,
+                      SparseWorkspace* workspace = nullptr);
 // Contiguous row slice [row_begin, row_end) of a rank>=1 tensor.
 Tensor SliceRows(const Tensor& input, int64_t row_begin, int64_t row_end);
 // Contiguous column slice [col_begin, col_end) of a 2-D tensor.

@@ -1,0 +1,227 @@
+// Property tests for the fused sparse aggregation pipeline: the sort-based
+// Coalesced/Sum, the counting-sort SplitSlicesByPartition, and the (optionally
+// parallel) ScatterSgdUpdate must match the naive reference implementations
+// BIT-FOR-BIT — same accumulation order per output row — across randomized nnz, row
+// widths, duplicate-index densities, and thread-pool sizes, including nnz=0 and
+// all-duplicate edge cases. The references below reproduce the seed implementations
+// (std::map slot assignment, Concat-then-coalesce, sequential scatter).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/base/thread_pool.h"
+#include "src/ps/partition.h"
+#include "src/tensor/sparse_workspace.h"
+#include "src/tensor/tensor_ops.h"
+#include "tests/naive_reference.h"
+
+namespace parallax {
+namespace {
+
+// ---- Helpers -------------------------------------------------------------------------
+
+// dup_span controls duplicate density: indices are drawn from [0, dup_span); a small
+// span forces heavy duplication, dup_span == rows gives mostly-unique indices.
+IndexedSlices MakeRandomSlices(int64_t rows, int64_t width, int64_t nnz, int64_t dup_span,
+                               Rng& rng) {
+  std::vector<int64_t> indices;
+  indices.reserve(static_cast<size_t>(nnz));
+  for (int64_t i = 0; i < nnz; ++i) {
+    indices.push_back(static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(dup_span))));
+  }
+  return IndexedSlices(std::move(indices),
+                       RandomNormal(TensorShape({nnz, width}), rng),
+                       TensorShape({rows, width}));
+}
+
+void ExpectBitIdentical(const IndexedSlices& got, const IndexedSlices& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.nnz_rows(), want.nnz_rows()) << context;
+  ASSERT_TRUE(got.dense_shape() == want.dense_shape()) << context;
+  ASSERT_EQ(got.indices(), want.indices()) << context;
+  auto gv = got.values().floats();
+  auto wv = want.values().floats();
+  ASSERT_EQ(gv.size(), wv.size()) << context;
+  for (size_t i = 0; i < gv.size(); ++i) {
+    ASSERT_EQ(gv[i], wv[i]) << context << " at flat element " << i;
+  }
+}
+
+void ExpectTensorsBitIdentical(const Tensor& got, const Tensor& want,
+                               const std::string& context) {
+  ASSERT_TRUE(got.shape() == want.shape()) << context;
+  auto gv = got.floats();
+  auto wv = want.floats();
+  for (size_t i = 0; i < gv.size(); ++i) {
+    ASSERT_EQ(gv[i], wv[i]) << context << " at flat element " << i;
+  }
+}
+
+struct Case {
+  int64_t rows;
+  int64_t width;
+  int64_t nnz;
+  int64_t dup_span;
+};
+
+std::vector<Case> PropertyCases() {
+  return {
+      {16, 4, 0, 16},          // nnz = 0
+      {16, 4, 1, 16},          // single row
+      {64, 1, 200, 1},         // all duplicates, width 1
+      {64, 8, 500, 3},         // nearly all duplicates
+      {1000, 3, 700, 1000},    // mostly unique, odd width
+      {1000, 16, 1000, 50},    // heavy duplication, wider rows
+      {100000, 8, 5000, 100000},   // radix-sort path, sparse touch
+      {100000, 4, 60000, 20000},   // radix-sort path, duplicate-heavy
+  };
+}
+
+// ---- Properties ----------------------------------------------------------------------
+
+TEST(SparseFusedTest, CoalescedMatchesNaiveBitForBit) {
+  Rng rng(101);
+  for (int pool_threads : {1, 2, 4}) {
+    ThreadPool pool(pool_threads);
+    SparseWorkspace ws(&pool);
+    for (const Case& c : PropertyCases()) {
+      IndexedSlices slices = MakeRandomSlices(c.rows, c.width, c.nnz, c.dup_span, rng);
+      IndexedSlices want = NaiveCoalesce(slices);
+      std::string context = StrFormat("threads=%d nnz=%lld dup_span=%lld", pool_threads,
+                                      static_cast<long long>(c.nnz),
+                                      static_cast<long long>(c.dup_span));
+      // With and without a workspace, and again on the same workspace (buffer reuse
+      // across differing sizes must not leak state between calls).
+      ExpectBitIdentical(slices.Coalesced(), want, context + " no-ws");
+      ExpectBitIdentical(slices.Coalesced(&ws), want, context + " ws");
+      ExpectBitIdentical(slices.Coalesced(&ws), want, context + " ws-reused");
+    }
+  }
+}
+
+TEST(SparseFusedTest, FusedSumMatchesConcatCoalesceBitForBit) {
+  Rng rng(202);
+  for (int pool_threads : {1, 3}) {
+    ThreadPool pool(pool_threads);
+    SparseWorkspace ws(&pool);
+    for (int k : {1, 2, 5}) {
+      for (const Case& c : PropertyCases()) {
+        std::vector<IndexedSlices> inputs;
+        for (int s = 0; s < k; ++s) {
+          // Vary nnz per contribution, including empty contributions.
+          int64_t nnz = s == 1 ? 0 : c.nnz;
+          inputs.push_back(MakeRandomSlices(c.rows, c.width, nnz, c.dup_span, rng));
+        }
+        IndexedSlices want = NaiveSum(inputs);
+        std::string context = StrFormat("threads=%d k=%d nnz=%lld dup_span=%lld",
+                                        pool_threads, k, static_cast<long long>(c.nnz),
+                                        static_cast<long long>(c.dup_span));
+        ExpectBitIdentical(IndexedSlices::Sum(inputs), want, context + " no-ws");
+        ExpectBitIdentical(IndexedSlices::Sum(inputs, &ws), want, context + " ws");
+      }
+    }
+  }
+}
+
+TEST(SparseFusedTest, ScatterSgdUpdateMatchesNaiveForAllPoolSizes) {
+  Rng rng(303);
+  for (int pool_threads : {1, 2, 4}) {
+    ThreadPool pool(pool_threads);
+    SparseWorkspace ws(&pool);
+    for (const Case& c : PropertyCases()) {
+      IndexedSlices raw = MakeRandomSlices(c.rows, c.width, c.nnz, c.dup_span, rng);
+      // Both the raw (unsorted, duplicate-bearing) gradient and the coalesced
+      // (sorted-unique) one, which is what triggers the parallel path.
+      for (const IndexedSlices& grad : {raw, raw.Coalesced()}) {
+        Tensor params = RandomNormal(TensorShape({c.rows, c.width}), rng);
+        Tensor want = params.Clone();
+        NaiveScatterSgd(want, grad, 0.05f);
+        Tensor got = params.Clone();
+        ScatterSgdUpdate(got, grad, 0.05f, &ws);
+        ExpectTensorsBitIdentical(
+            got, want,
+            StrFormat("threads=%d nnz=%lld", pool_threads,
+                      static_cast<long long>(grad.nnz_rows())));
+      }
+    }
+  }
+}
+
+TEST(SparseFusedTest, SplitSlicesByPartitionMatchesNaive) {
+  Rng rng(404);
+  SparseWorkspace ws;
+  for (int partitions : {1, 3, 8}) {
+    for (const Case& c : PropertyCases()) {
+      if (c.rows < partitions) {
+        continue;
+      }
+      IndexedSlices slices = MakeRandomSlices(c.rows, c.width, c.nnz, c.dup_span, rng);
+      RowPartition partition(c.rows, partitions);
+      std::vector<IndexedSlices> want = NaiveSplit(slices, partition);
+      std::vector<IndexedSlices> got = SplitSlicesByPartition(slices, partition, &ws);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t p = 0; p < got.size(); ++p) {
+        ExpectBitIdentical(got[p], want[p],
+                           StrFormat("partitions=%d piece=%zu nnz=%lld", partitions, p,
+                                     static_cast<long long>(c.nnz)));
+      }
+    }
+  }
+}
+
+TEST(SparseFusedTest, SumAfterSplitEqualsSplitAfterSum) {
+  // End-to-end PS-shard identity: splitting each worker's gradient then summing per
+  // piece must equal summing globally then splitting — the algebra the partitioned
+  // accumulators rely on. (Values, not bit-layout: accumulation orders differ.)
+  Rng rng(505);
+  SparseWorkspace ws;
+  const int64_t rows = 300, width = 4;
+  RowPartition partition(rows, 4);
+  std::vector<IndexedSlices> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.push_back(MakeRandomSlices(rows, width, 200, 40, rng));
+  }
+  IndexedSlices global = IndexedSlices::Sum(workers, &ws);
+  std::vector<IndexedSlices> split_of_sum = SplitSlicesByPartition(global, partition, &ws);
+  for (int p = 0; p < partition.num_partitions(); ++p) {
+    std::vector<IndexedSlices> per_worker_pieces;
+    for (const IndexedSlices& w : workers) {
+      per_worker_pieces.push_back(
+          SplitSlicesByPartition(w, partition, &ws)[static_cast<size_t>(p)]);
+    }
+    IndexedSlices sum_of_split = IndexedSlices::Sum(per_worker_pieces, &ws);
+    ASSERT_EQ(sum_of_split.indices(), split_of_sum[static_cast<size_t>(p)].indices());
+    ASSERT_TRUE(AllClose(sum_of_split.values(),
+                         split_of_sum[static_cast<size_t>(p)].values(), 1e-5f));
+  }
+}
+
+TEST(SparseFusedTest, AccessRatioCachedValueMatchesDefinition) {
+  Rng rng(606);
+  for (const Case& c : PropertyCases()) {
+    IndexedSlices slices = MakeRandomSlices(c.rows, c.width, c.nnz, c.dup_span, rng);
+    std::unordered_set<int64_t> unique(slices.indices().begin(), slices.indices().end());
+    double want = static_cast<double>(unique.size()) / static_cast<double>(c.rows);
+    EXPECT_DOUBLE_EQ(slices.AccessRatio(), want);
+    EXPECT_DOUBLE_EQ(slices.AccessRatio(), want);  // cached second call
+    EXPECT_EQ(slices.unique_rows(), static_cast<int64_t>(unique.size()));
+  }
+}
+
+TEST(SparseFusedTest, CoalescedOutputIsSortedUnique) {
+  Rng rng(707);
+  SparseWorkspace ws;
+  for (const Case& c : PropertyCases()) {
+    IndexedSlices out =
+        MakeRandomSlices(c.rows, c.width, c.nnz, c.dup_span, rng).Coalesced(&ws);
+    for (int64_t i = 1; i < out.nnz_rows(); ++i) {
+      EXPECT_LT(out.indices()[static_cast<size_t>(i - 1)],
+                out.indices()[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parallax
