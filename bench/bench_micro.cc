@@ -8,6 +8,7 @@
 #include "src/base/rng.h"
 #include "src/comm/collectives.h"
 #include "src/core/cost_model.h"
+#include "src/core/iteration_sim.h"
 #include "src/ps/partition.h"
 #include "src/tensor/sparse_workspace.h"
 #include "src/tensor/tensor_ops.h"
@@ -166,34 +167,186 @@ void BM_RingAllReduceSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_RingAllReduceSchedule)->Arg(8)->Arg(32);
 
-void BM_TaskGraphExecution(benchmark::State& state) {
-  // A PS-shaped DAG: fan-out transfers + serial accumulator chains.
+// Steady-state path: the ring plan is cached and replayed into a reused graph arena.
+void BM_RingAllReduceScheduleCached(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> machines;
+  for (int m = 0; m < n; ++m) {
+    machines.push_back(m);
+  }
+  std::vector<TaskId> deps(static_cast<size_t>(n), kNoTask);
+  ClusterSpec spec = ClusterSpec::SingleGpuMachines(n);
+  CollectiveScheduleCache cache;
+  TaskGraph graph;
+  for (auto _ : state) {
+    Cluster cluster(spec);
+    graph.Reset();
+    AddRingAllReduce(graph, machines, 100'000'000, deps, CollectiveOptions{}, &cache);
+    benchmark::DoNotOptimize(graph.Execute(cluster));
+  }
+}
+BENCHMARK(BM_RingAllReduceScheduleCached)->Arg(8)->Arg(32);
+
+// A PS-shaped DAG: fan-out transfers + serial accumulator chains.
+void BuildPsShapedDag(TaskGraph& graph, int shards) {
   const int ranks = 48;
+  for (int s = 0; s < shards; ++s) {
+    TaskId acc = kNoTask;
+    for (int r = 0; r < ranks; ++r) {
+      int machine = r / 6;
+      int server = s % 8;
+      TaskId push = machine == server ? graph.AddLocalTransfer(machine, 100'000)
+                                      : graph.AddTransfer(machine, server, 100'000);
+      TaskId deps[2] = {push, acc};
+      acc = graph.AddCpuWork(server, 1e-5,
+                             std::span<const TaskId>(deps, acc == kNoTask ? 1u : 2u));
+    }
+  }
+}
+
+void BM_TaskGraphExecution(benchmark::State& state) {
   const int shards = static_cast<int>(state.range(0));
   ClusterSpec spec = ClusterSpec::Paper();
   for (auto _ : state) {
     Cluster cluster(spec);
     TaskGraph graph;
-    for (int s = 0; s < shards; ++s) {
-      TaskId acc = kNoTask;
-      for (int r = 0; r < ranks; ++r) {
-        int machine = r / 6;
-        int server = s % 8;
-        TaskId push = machine == server
-                          ? graph.AddLocalTransfer(machine, 100'000)
-                          : graph.AddTransfer(machine, server, 100'000);
-        std::vector<TaskId> deps = {push};
-        if (acc != kNoTask) {
-          deps.push_back(acc);
-        }
-        acc = graph.AddCpuWork(server, 1e-5, std::span<const TaskId>(deps));
-      }
-    }
+    BuildPsShapedDag(graph, shards);
     benchmark::DoNotOptimize(graph.Execute(cluster));
     state.counters["tasks"] = static_cast<double>(graph.num_tasks());
   }
 }
 BENCHMARK(BM_TaskGraphExecution)->Arg(64)->Arg(256);
+
+// Same workload, but the graph arena is reused (Reset + rebuild + Execute): the
+// steady-state pattern of the partition search's inner loop.
+void BM_TaskGraphExecutionReuse(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ClusterSpec spec = ClusterSpec::Paper();
+  TaskGraph graph;
+  for (auto _ : state) {
+    Cluster cluster(spec);
+    graph.Reset();
+    BuildPsShapedDag(graph, shards);
+    benchmark::DoNotOptimize(graph.Execute(cluster));
+    state.counters["tasks"] = static_cast<double>(graph.num_tasks());
+  }
+}
+BENCHMARK(BM_TaskGraphExecutionReuse)->Arg(64)->Arg(256);
+
+// Pure event-loop throughput: the DAG is built once and only Execute repeats.
+void BM_TaskGraphExecuteOnly(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ClusterSpec spec = ClusterSpec::Paper();
+  TaskGraph graph;
+  BuildPsShapedDag(graph, shards);
+  for (auto _ : state) {
+    Cluster cluster(spec);
+    benchmark::DoNotOptimize(graph.Execute(cluster));
+  }
+  state.counters["tasks"] = static_cast<double>(graph.num_tasks());
+}
+BENCHMARK(BM_TaskGraphExecuteOnly)->Arg(64)->Arg(256);
+
+// Representative hybrid step: one partitioned sparse embedding on PS, dense AR
+// variables, one sparse AllGatherv variable — the shape the partition search simulates.
+std::vector<VariableSync> HybridVariables(int partitions) {
+  std::vector<VariableSync> vars;
+  VariableSync embedding;
+  embedding.spec = {"embedding", 8'000'000, 512, true, 0.02};
+  embedding.method = SyncMethod::kPs;
+  embedding.partitions = partitions;
+  vars.push_back(embedding);
+  for (int i = 0; i < 4; ++i) {
+    VariableSync dense;
+    dense.spec = {"dense" + std::to_string(i), 2'000'000, 1, false, 1.0};
+    dense.method = SyncMethod::kArAllReduce;
+    vars.push_back(dense);
+  }
+  VariableSync softmax;
+  softmax.spec = {"softmax", 4'000'000, 512, true, 0.05};
+  softmax.method = SyncMethod::kArAllGatherv;
+  vars.push_back(softmax);
+  return vars;
+}
+
+IterationSimConfig HybridSimConfig() {
+  IterationSimConfig config;
+  config.ps_local_aggregation = true;
+  config.ps_machine_level_pulls = true;
+  config.gatherv_algorithm = GathervAlgorithm::kRing;
+  return config;
+}
+
+// Steady-state cost of one simulated training iteration (cluster state carries over, so
+// every iteration rebuilds and executes the full DAG — the partition search's inner loop).
+void BM_SimulatorIteration(benchmark::State& state) {
+  IterationSimulator sim(ClusterSpec::Paper(),
+                         HybridVariables(static_cast<int>(state.range(0))), 4e-3, 4,
+                         HybridSimConfig());
+  Cluster cluster(ClusterSpec::Paper());
+  SimTime t = 0.0;
+  for (auto _ : state) {
+    t = sim.SimulateIteration(cluster, t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorIteration)->Arg(8)->Arg(64);
+
+// Cold counterpart: a fresh simulator (fresh arena, empty schedule cache) per
+// iteration — the cost every sampled P paid before arenas were shareable.
+void BM_SimulatorIterationCold(benchmark::State& state) {
+  Cluster cluster(ClusterSpec::Paper());
+  SimTime t = 0.0;
+  for (auto _ : state) {
+    IterationSimulator sim(ClusterSpec::Paper(),
+                           HybridVariables(static_cast<int>(state.range(0))), 4e-3, 4,
+                           HybridSimConfig());
+    t = sim.SimulateIteration(cluster, t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorIterationCold)->Arg(8)->Arg(64);
+
+// The full sampling search (paper section 3.2): each sampled P simulates a short
+// training run. This is the end-to-end cost the allocation-free hot path targets.
+void BM_PartitionSearch(benchmark::State& state) {
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 1024;
+  options.warmup_iterations = 5;
+  options.measured_iterations = 10;
+  for (auto _ : state) {
+    auto measure = [&](int partitions) {
+      IterationSimulator sim(ClusterSpec::Paper(), HybridVariables(partitions), 4e-3, 4,
+                             HybridSimConfig());
+      return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                         options.measured_iterations);
+    };
+    benchmark::DoNotOptimize(SearchPartitions(measure, options));
+  }
+}
+BENCHMARK(BM_PartitionSearch);
+
+// The runner's configuration: one SimulationArena shared by every sampled P, so task
+// storage and cached collective schedules persist across the whole search.
+void BM_PartitionSearchSharedArena(benchmark::State& state) {
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 1024;
+  options.warmup_iterations = 5;
+  options.measured_iterations = 10;
+  SimulationArena arena;
+  for (auto _ : state) {
+    auto measure = [&](int partitions) {
+      IterationSimulator sim(ClusterSpec::Paper(), HybridVariables(partitions), 4e-3, 4,
+                             HybridSimConfig(), &arena);
+      return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                         options.measured_iterations);
+    };
+    benchmark::DoNotOptimize(SearchPartitions(measure, options));
+  }
+}
+BENCHMARK(BM_PartitionSearchSharedArena);
 
 void BM_CostModelFit(benchmark::State& state) {
   std::vector<std::pair<int, double>> samples;

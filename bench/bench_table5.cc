@@ -55,11 +55,14 @@ void Run() {
     // NMT — one piece must fit a server's RAM).
     int min_p = model.name == "LM" ? 4 : 2;
 
+    // One arena across every sampled P: cached collective schedules and task storage
+    // persist for the whole search (the runner does the same, core/runner.cc).
+    SimulationArena arena;
     auto measure_seconds = [&](int partitions) {
       FrameworkOptions options;
       options.sparse_partitions = partitions;
       IterationSimulator sim =
-          MakeFrameworkSimulator(Framework::kParallax, cluster, model, options);
+          MakeFrameworkSimulator(Framework::kParallax, cluster, model, options, &arena);
       return sim.MeasureIterationSeconds(3, 4);
     };
 

@@ -2,267 +2,478 @@
 
 #include <algorithm>
 
+#include "src/base/math.h"
+
 namespace parallax {
 namespace {
 
-// Splits `bytes` into n near-equal chunks (first bytes%n chunks get the extra byte).
-std::vector<int64_t> SplitChunks(int64_t bytes, int n) {
-  std::vector<int64_t> chunks(static_cast<size_t>(n), bytes / n);
-  for (int i = 0; i < static_cast<int>(bytes % n); ++i) {
-    ++chunks[static_cast<size_t>(i)];
-  }
-  return chunks;
+// Encodes external participant slot `slot` as a negative dep reference.
+constexpr int32_t ExternalRef(int slot) { return -1 - slot; }
+
+int32_t AddOp(SchedulePlan& plan, TaskKind kind, int src, int dst, int64_t bytes,
+              double seconds, std::span<const int32_t> refs, bool collapse = false) {
+  SchedulePlan::Op op;
+  op.kind = kind;
+  op.src = src;
+  op.dst = dst;
+  op.bytes = bytes;
+  op.seconds = seconds;
+  op.deps_begin = static_cast<int32_t>(plan.dep_refs.size());
+  op.deps_count = static_cast<int32_t>(refs.size());
+  op.collapse_when_external_absent = collapse;
+  plan.dep_refs.insert(plan.dep_refs.end(), refs.begin(), refs.end());
+  plan.ops.push_back(op);
+  return static_cast<int32_t>(plan.ops.size()) - 1;
 }
 
-// Positive modulus.
-int Mod(int a, int n) { return ((a % n) + n) % n; }
-
-// Wraps a transfer with the per-step overhead; returns the node marking chunk arrival.
-TaskId WithOverhead(TaskGraph& graph, TaskId transfer, const CollectiveOptions& options) {
-  if (options.step_overhead <= 0.0) {
-    return transfer;
-  }
-  return graph.AddDelay(options.step_overhead, {transfer});
+int32_t PlanTransfer(SchedulePlan& plan, int src_slot, int dst_slot, int64_t bytes,
+                     std::span<const int32_t> refs) {
+  return AddOp(plan, TaskKind::kTransfer, src_slot, dst_slot, bytes, 0.0, refs);
 }
 
-std::vector<TaskId> DepsOrEmpty(TaskId dep) {
-  std::vector<TaskId> deps;
-  if (dep != kNoTask) {
-    deps.push_back(dep);
+int32_t PlanLocalTransfer(SchedulePlan& plan, int slot, int64_t bytes,
+                          std::span<const int32_t> refs) {
+  return AddOp(plan, TaskKind::kLocalTransfer, slot, 0, bytes, 0.0, refs);
+}
+
+int32_t PlanBarrier(SchedulePlan& plan, std::span<const int32_t> refs,
+                    bool collapse = false) {
+  return AddOp(plan, TaskKind::kBarrier, 0, 0, 0, 0.0, refs, collapse);
+}
+
+// Applies the per-step overhead to a transfer op; returns the ref marking chunk
+// arrival. The overhead rides the transfer task as a post-completion delay (it never
+// occupies the links), so no separate delay task is emitted per ring step.
+int32_t WithOverhead(SchedulePlan& plan, int32_t transfer, const CollectiveOptions& options) {
+  if (options.step_overhead > 0.0) {
+    plan.ops[static_cast<size_t>(transfer)].seconds = options.step_overhead;
   }
-  return deps;
+  return transfer;
+}
+
+// Emits a ring AllReduce over participants 0..n-1 (machine slot = participant index),
+// gated by dep_refs. Appends each participant's completion barrier to done_refs and the
+// joint barrier ref to *all_done_ref, mirroring the task order of the original direct
+// builder exactly.
+void EmitRingAllReduce(SchedulePlan& plan, std::span<const int32_t> dep_refs, int64_t bytes,
+                       const CollectiveOptions& options, std::vector<int32_t>& done_refs,
+                       int32_t& all_done_ref) {
+  const int n = static_cast<int>(dep_refs.size());
+  PX_CHECK_GT(n, 0);
+
+  if (n == 1) {
+    int32_t refs[] = {dep_refs[0]};
+    done_refs.push_back(PlanBarrier(plan, refs));
+    all_done_ref = done_refs.back();
+    return;
+  }
+
+  // arrivals[i] = ref after which participant i has received *and reduced* the step's
+  // chunk. Reduce-scatter: step s, participant i sends chunk (i-s) mod n to i+1. The
+  // receiver folds its own contribution into the incoming chunk, so every arrival also
+  // gates on the receiver's dependency (a collapsing barrier: absent dep, no barrier).
+  std::vector<int32_t> prev_arrival(static_cast<size_t>(n), -1);
+  std::vector<int32_t> arrival(static_cast<size_t>(n), -1);
+  for (int s = 0; s <= n - 2; ++s) {
+    for (int i = 0; i < n; ++i) {
+      int chunk = PosMod(i - s, n);
+      int recv = PosMod(i + 1, n);
+      int32_t send_dep = s == 0 ? dep_refs[static_cast<size_t>(i)]
+                                : prev_arrival[static_cast<size_t>(i)];
+      int32_t send_refs[] = {send_dep};
+      int32_t transfer = PlanTransfer(plan, i, recv, BalancedSplitSize(bytes, n, chunk),
+                                      send_refs);
+      int32_t arrived = WithOverhead(plan, transfer, options);
+      int32_t gate_refs[] = {arrived, dep_refs[static_cast<size_t>(recv)]};
+      arrival[static_cast<size_t>(recv)] =
+          PlanBarrier(plan, gate_refs, /*collapse=*/true);
+    }
+    std::swap(prev_arrival, arrival);
+  }
+
+  // Allgather: step s, participant i sends chunk (i+1-s) mod n to i+1. Its first send is
+  // gated on its final reduce-scatter arrival (the chunk it fully reduced).
+  for (int s = 0; s <= n - 2; ++s) {
+    for (int i = 0; i < n; ++i) {
+      int chunk = PosMod(i + 1 - s, n);
+      int32_t send_refs[] = {prev_arrival[static_cast<size_t>(i)]};
+      int32_t transfer = PlanTransfer(plan, i, PosMod(i + 1, n),
+                                      BalancedSplitSize(bytes, n, chunk), send_refs);
+      arrival[static_cast<size_t>(PosMod(i + 1, n))] = WithOverhead(plan, transfer, options);
+    }
+    std::swap(prev_arrival, arrival);
+  }
+
+  size_t done_begin = done_refs.size();
+  for (int i = 0; i < n; ++i) {
+    int32_t refs[] = {prev_arrival[static_cast<size_t>(i)]};
+    done_refs.push_back(PlanBarrier(plan, refs));
+  }
+  all_done_ref = PlanBarrier(
+      plan, std::span<const int32_t>(done_refs.data() + done_begin, static_cast<size_t>(n)));
 }
 
 }  // namespace
 
-CollectiveSchedule AddRingAllReduce(TaskGraph& graph, const std::vector<int>& machines,
-                                    int64_t bytes, const std::vector<TaskId>& deps,
+SchedulePlan BuildRingAllReducePlan(int num_participants, int64_t bytes,
                                     const CollectiveOptions& options) {
-  const int n = static_cast<int>(machines.size());
-  PX_CHECK_GT(n, 0);
-  PX_CHECK_EQ(deps.size(), machines.size());
-  CollectiveSchedule schedule;
-  schedule.done.resize(machines.size());
-
-  if (n == 1) {
-    schedule.done[0] = graph.AddBarrier(DepsOrEmpty(deps[0]));
-    schedule.all_done = schedule.done[0];
-    return schedule;
+  SchedulePlan plan;
+  plan.num_participants = num_participants;
+  std::vector<int32_t> dep_refs(static_cast<size_t>(num_participants));
+  for (int i = 0; i < num_participants; ++i) {
+    dep_refs[static_cast<size_t>(i)] = ExternalRef(i);
   }
-
-  std::vector<int64_t> chunks = SplitChunks(bytes, n);
-
-  // arrivals[i] = node after which machine i has received *and reduced* the step's
-  // chunk. Reduce-scatter: step s, machine i sends chunk (i-s) mod n to machine i+1.
-  // The receiver folds its own contribution into the incoming chunk, so every arrival
-  // also gates on the receiver's local-gradient dependency.
-  std::vector<TaskId> prev_arrival(static_cast<size_t>(n), kNoTask);
-  for (int s = 0; s <= n - 2; ++s) {
-    std::vector<TaskId> arrival(static_cast<size_t>(n), kNoTask);
-    for (int i = 0; i < n; ++i) {
-      int chunk = Mod(i - s, n);
-      std::vector<TaskId> send_deps;
-      if (s == 0) {
-        if (deps[static_cast<size_t>(i)] != kNoTask) {
-          send_deps.push_back(deps[static_cast<size_t>(i)]);
-        }
-      } else {
-        send_deps.push_back(prev_arrival[static_cast<size_t>(i)]);
-      }
-      int recv = Mod(i + 1, n);
-      TaskId transfer =
-          graph.AddTransfer(machines[static_cast<size_t>(i)],
-                            machines[static_cast<size_t>(recv)],
-                            chunks[static_cast<size_t>(chunk)],
-                            std::span<const TaskId>(send_deps));
-      TaskId arrived = WithOverhead(graph, transfer, options);
-      if (deps[static_cast<size_t>(recv)] != kNoTask) {
-        arrived = graph.AddBarrier({arrived, deps[static_cast<size_t>(recv)]});
-      }
-      arrival[static_cast<size_t>(recv)] = arrived;
-    }
-    prev_arrival = arrival;
-  }
-
-  // Allgather: step s, machine i sends chunk (i+1-s) mod n to machine i+1. Its first send
-  // is gated on its final reduce-scatter arrival (the chunk it fully reduced).
-  for (int s = 0; s <= n - 2; ++s) {
-    std::vector<TaskId> arrival(static_cast<size_t>(n), kNoTask);
-    for (int i = 0; i < n; ++i) {
-      int chunk = Mod(i + 1 - s, n);
-      std::vector<TaskId> send_deps = {prev_arrival[static_cast<size_t>(i)]};
-      TaskId transfer =
-          graph.AddTransfer(machines[static_cast<size_t>(i)],
-                            machines[static_cast<size_t>(Mod(i + 1, n))],
-                            chunks[static_cast<size_t>(chunk)],
-                            std::span<const TaskId>(send_deps));
-      arrival[static_cast<size_t>(Mod(i + 1, n))] = WithOverhead(graph, transfer, options);
-    }
-    prev_arrival = arrival;
-  }
-
-  for (int i = 0; i < n; ++i) {
-    schedule.done[static_cast<size_t>(i)] =
-        graph.AddBarrier({prev_arrival[static_cast<size_t>(i)]});
-  }
-  schedule.all_done = graph.AddBarrier(std::span<const TaskId>(schedule.done));
-  return schedule;
+  EmitRingAllReduce(plan, dep_refs, bytes, options, plan.done_refs, plan.all_done_ref);
+  return plan;
 }
 
-CollectiveSchedule AddRingAllGatherv(TaskGraph& graph, const std::vector<int>& machines,
-                                     const std::vector<int64_t>& bytes_per_machine,
-                                     const std::vector<TaskId>& deps,
+SchedulePlan BuildRingAllGathervPlan(std::span<const int64_t> bytes_per_machine,
                                      const CollectiveOptions& options) {
-  const int n = static_cast<int>(machines.size());
+  const int n = static_cast<int>(bytes_per_machine.size());
   PX_CHECK_GT(n, 0);
-  PX_CHECK_EQ(deps.size(), machines.size());
-  PX_CHECK_EQ(bytes_per_machine.size(), machines.size());
-  CollectiveSchedule schedule;
-  schedule.done.resize(machines.size());
+  SchedulePlan plan;
+  plan.num_participants = n;
 
   if (n == 1) {
-    schedule.done[0] = graph.AddBarrier(DepsOrEmpty(deps[0]));
-    schedule.all_done = schedule.done[0];
-    return schedule;
+    int32_t refs[] = {ExternalRef(0)};
+    plan.done_refs.push_back(PlanBarrier(plan, refs));
+    plan.all_done_ref = plan.done_refs.back();
+    return plan;
   }
 
-  // Step s: machine i forwards block (i-s) mod n to machine i+1.
-  std::vector<TaskId> prev_arrival(static_cast<size_t>(n), kNoTask);
+  // Step s: participant i forwards block (i-s) mod n to participant i+1.
+  std::vector<int32_t> prev_arrival(static_cast<size_t>(n), -1);
+  std::vector<int32_t> arrival(static_cast<size_t>(n), -1);
   for (int s = 0; s <= n - 2; ++s) {
-    std::vector<TaskId> arrival(static_cast<size_t>(n), kNoTask);
     for (int i = 0; i < n; ++i) {
-      int block = Mod(i - s, n);
-      std::vector<TaskId> send_deps;
-      if (s == 0) {
-        if (deps[static_cast<size_t>(i)] != kNoTask) {
-          send_deps.push_back(deps[static_cast<size_t>(i)]);
-        }
-      } else {
-        send_deps.push_back(prev_arrival[static_cast<size_t>(i)]);
-      }
-      TaskId transfer =
-          graph.AddTransfer(machines[static_cast<size_t>(i)],
-                            machines[static_cast<size_t>(Mod(i + 1, n))],
-                            bytes_per_machine[static_cast<size_t>(block)],
-                            std::span<const TaskId>(send_deps));
-      arrival[static_cast<size_t>(Mod(i + 1, n))] = WithOverhead(graph, transfer, options);
+      int block = PosMod(i - s, n);
+      int32_t send_dep = s == 0 ? ExternalRef(i) : prev_arrival[static_cast<size_t>(i)];
+      int32_t send_refs[] = {send_dep};
+      int32_t transfer =
+          PlanTransfer(plan, i, PosMod(i + 1, n),
+                       bytes_per_machine[static_cast<size_t>(block)], send_refs);
+      arrival[static_cast<size_t>(PosMod(i + 1, n))] = WithOverhead(plan, transfer, options);
     }
-    prev_arrival = arrival;
+    std::swap(prev_arrival, arrival);
   }
 
   for (int i = 0; i < n; ++i) {
-    schedule.done[static_cast<size_t>(i)] =
-        graph.AddBarrier({prev_arrival[static_cast<size_t>(i)]});
+    int32_t refs[] = {prev_arrival[static_cast<size_t>(i)]};
+    plan.done_refs.push_back(PlanBarrier(plan, refs));
   }
-  schedule.all_done = graph.AddBarrier(std::span<const TaskId>(schedule.done));
-  return schedule;
+  plan.all_done_ref = PlanBarrier(plan, plan.done_refs);
+  return plan;
 }
 
-CollectiveSchedule AddHierarchicalAllReduce(TaskGraph& graph, const RankLayout& layout,
-                                            int64_t bytes, const std::vector<TaskId>& deps,
+SchedulePlan BuildHierarchicalAllReducePlan(const RankLayout& layout, int64_t bytes,
                                             const CollectiveOptions& options) {
   const int num_ranks = layout.num_ranks();
-  PX_CHECK_EQ(deps.size(), static_cast<size_t>(num_ranks));
-  CollectiveSchedule schedule;
-  schedule.done.resize(static_cast<size_t>(num_ranks));
+  SchedulePlan plan;
+  plan.num_participants = num_ranks;
+  plan.done_refs.resize(static_cast<size_t>(num_ranks));
 
   // Phase 1: intra-machine reduce onto each machine's lead GPU, over PCIe.
-  std::vector<TaskId> machine_ready(static_cast<size_t>(layout.num_machines), kNoTask);
+  std::vector<int32_t> machine_ready(static_cast<size_t>(layout.num_machines), -1);
+  std::vector<int32_t> local_refs(static_cast<size_t>(layout.gpus_per_machine));
   for (int m = 0; m < layout.num_machines; ++m) {
-    std::vector<TaskId> local_deps;
     for (int g = 0; g < layout.gpus_per_machine; ++g) {
-      TaskId dep = deps[static_cast<size_t>(layout.RankOf(m, g))];
-      if (dep != kNoTask) {
-        local_deps.push_back(dep);
-      }
+      local_refs[static_cast<size_t>(g)] = ExternalRef(layout.RankOf(m, g));
     }
     if (layout.gpus_per_machine > 1) {
-      machine_ready[static_cast<size_t>(m)] =
-          graph.AddLocalTransfer(m, bytes, std::span<const TaskId>(local_deps));
+      machine_ready[static_cast<size_t>(m)] = PlanLocalTransfer(plan, m, bytes, local_refs);
     } else {
-      machine_ready[static_cast<size_t>(m)] =
-          graph.AddBarrier(std::span<const TaskId>(local_deps));
+      machine_ready[static_cast<size_t>(m)] = PlanBarrier(plan, local_refs);
     }
   }
 
-  // Phase 2: ring across machines.
-  std::vector<TaskId> ring_done(static_cast<size_t>(layout.num_machines), kNoTask);
+  // Phase 2: ring across machines (machine slot = machine id here, so the plan
+  // instantiates with the identity translation).
+  std::vector<int32_t> ring_done;
+  int32_t ring_all_done = -1;
   if (layout.num_machines > 1) {
-    std::vector<int> machines(static_cast<size_t>(layout.num_machines));
-    for (int m = 0; m < layout.num_machines; ++m) {
-      machines[static_cast<size_t>(m)] = m;
-    }
-    CollectiveSchedule ring = AddRingAllReduce(graph, machines, bytes, machine_ready, options);
-    ring_done = ring.done;
+    EmitRingAllReduce(plan, machine_ready, bytes, options, ring_done, ring_all_done);
   } else {
     ring_done = machine_ready;
   }
 
   // Phase 3: intra-machine broadcast back to all GPUs.
   for (int m = 0; m < layout.num_machines; ++m) {
-    TaskId broadcast = ring_done[static_cast<size_t>(m)];
+    int32_t broadcast = ring_done[static_cast<size_t>(m)];
     if (layout.gpus_per_machine > 1) {
-      broadcast = graph.AddLocalTransfer(m, bytes, {ring_done[static_cast<size_t>(m)]});
+      int32_t refs[] = {ring_done[static_cast<size_t>(m)]};
+      broadcast = PlanLocalTransfer(plan, m, bytes, refs);
     }
     for (int g = 0; g < layout.gpus_per_machine; ++g) {
-      schedule.done[static_cast<size_t>(layout.RankOf(m, g))] = broadcast;
+      plan.done_refs[static_cast<size_t>(layout.RankOf(m, g))] = broadcast;
     }
   }
-  schedule.all_done = graph.AddBarrier(std::span<const TaskId>(schedule.done));
+  plan.all_done_ref = PlanBarrier(plan, plan.done_refs);
+  return plan;
+}
+
+SchedulePlan BuildRankRingAllGathervPlan(const RankLayout& layout,
+                                         std::span<const int64_t> bytes_per_rank,
+                                         const CollectiveOptions& options) {
+  const int r_count = layout.num_ranks();
+  PX_CHECK_EQ(bytes_per_rank.size(), static_cast<size_t>(r_count));
+  SchedulePlan plan;
+  plan.num_participants = r_count;
+
+  if (r_count == 1) {
+    int32_t refs[] = {ExternalRef(0)};
+    plan.done_refs.push_back(PlanBarrier(plan, refs));
+    plan.all_done_ref = plan.done_refs.back();
+    return plan;
+  }
+
+  std::vector<int32_t> prev_arrival(static_cast<size_t>(r_count), -1);
+  std::vector<int32_t> arrival(static_cast<size_t>(r_count), -1);
+  for (int s = 0; s <= r_count - 2; ++s) {
+    for (int r = 0; r < r_count; ++r) {
+      int block = PosMod(r - s, r_count);
+      int next = PosMod(r + 1, r_count);
+      int32_t send_dep = s == 0 ? ExternalRef(r) : prev_arrival[static_cast<size_t>(r)];
+      int32_t send_refs[] = {send_dep};
+      int src_machine = layout.MachineOfRank(r);
+      int dst_machine = layout.MachineOfRank(next);
+      int32_t transfer;
+      if (src_machine == dst_machine) {
+        transfer = PlanLocalTransfer(plan, src_machine,
+                                     bytes_per_rank[static_cast<size_t>(block)], send_refs);
+      } else {
+        transfer = PlanTransfer(plan, src_machine, dst_machine,
+                                bytes_per_rank[static_cast<size_t>(block)], send_refs);
+      }
+      arrival[static_cast<size_t>(next)] = WithOverhead(plan, transfer, options);
+    }
+    std::swap(prev_arrival, arrival);
+  }
+
+  for (int r = 0; r < r_count; ++r) {
+    int32_t refs[] = {prev_arrival[static_cast<size_t>(r)]};
+    plan.done_refs.push_back(PlanBarrier(plan, refs));
+  }
+  plan.all_done_ref = PlanBarrier(plan, plan.done_refs);
+  return plan;
+}
+
+void InstantiatePlan(const SchedulePlan& plan, TaskGraph& graph,
+                     std::span<const int> machine_of_slot, std::span<const TaskId> deps,
+                     CollectiveSchedule* out, PlanScratch* scratch) {
+  PX_CHECK_EQ(deps.size(), static_cast<size_t>(plan.num_participants));
+  std::vector<TaskId>& ids = scratch->task_of_op;
+  std::vector<TaskId>& dep_buf = scratch->dep_buf;
+  ids.clear();
+  auto machine_of = [&machine_of_slot](int32_t slot) {
+    return machine_of_slot.empty() ? slot : machine_of_slot[static_cast<size_t>(slot)];
+  };
+
+  for (const SchedulePlan::Op& op : plan.ops) {
+    dep_buf.clear();
+    bool external_absent = false;
+    for (int32_t k = 0; k < op.deps_count; ++k) {
+      int32_t ref = plan.dep_refs[static_cast<size_t>(op.deps_begin + k)];
+      if (ref >= 0) {
+        dep_buf.push_back(ids[static_cast<size_t>(ref)]);
+      } else {
+        TaskId external = deps[static_cast<size_t>(-1 - ref)];
+        if (external == kNoTask) {
+          external_absent = true;
+        } else {
+          dep_buf.push_back(external);
+        }
+      }
+    }
+    if (op.collapse_when_external_absent && external_absent) {
+      PX_CHECK(!dep_buf.empty());
+      ids.push_back(dep_buf.front());
+      continue;
+    }
+    TaskId id = kNoTask;
+    std::span<const TaskId> dep_span(dep_buf);
+    switch (op.kind) {
+      case TaskKind::kTransfer:
+        id = graph.AddTransfer(machine_of(op.src), machine_of(op.dst), op.bytes, dep_span,
+                               op.seconds);
+        break;
+      case TaskKind::kLocalTransfer:
+        id = graph.AddLocalTransfer(machine_of(op.src), op.bytes, dep_span, op.seconds);
+        break;
+      case TaskKind::kDelay:
+        id = graph.AddDelay(op.seconds, dep_span);
+        break;
+      case TaskKind::kBarrier:
+        id = graph.AddBarrier(dep_span);
+        break;
+      default:
+        PX_CHECK(false) << "unsupported plan op kind";
+    }
+    ids.push_back(id);
+  }
+
+  out->done.clear();
+  out->done.reserve(plan.done_refs.size());
+  for (int32_t ref : plan.done_refs) {
+    out->done.push_back(ids[static_cast<size_t>(ref)]);
+  }
+  out->all_done = plan.all_done_ref >= 0 ? ids[static_cast<size_t>(plan.all_done_ref)]
+                                         : kNoTask;
+}
+
+size_t CollectiveScheduleCache::KeyHash::operator()(const Key& key) const {
+  uint64_t hash = kFnvOffsetBasis;
+  auto mix = [&hash](uint64_t value) {
+    hash ^= value + 0x9e3779b97f4a7c15ull + (hash << 6) + (hash >> 2);
+  };
+  mix(key.kind);
+  mix(static_cast<uint64_t>(key.a));
+  mix(static_cast<uint64_t>(key.b));
+  mix(static_cast<uint64_t>(key.bytes));
+  mix(key.blocks_hash);
+  mix(DoubleBits(key.overhead));
+  return static_cast<size_t>(hash);
+}
+
+template <typename BuildFn>
+const SchedulePlan& CollectiveScheduleCache::Lookup(Key key, std::span<const int64_t> blocks,
+                                                    BuildFn&& build) {
+  for (;;) {
+    auto it = plans_.find(key);
+    if (it == plans_.end()) {
+      ++misses_;
+      SchedulePlan plan = build();
+      plan.key_blocks.assign(blocks.begin(), blocks.end());
+      return plans_.emplace(key, std::move(plan)).first->second;
+    }
+    const std::vector<int64_t>& stored = it->second.key_blocks;
+    if (std::equal(blocks.begin(), blocks.end(), stored.begin(), stored.end())) {
+      ++hits_;
+      return it->second;
+    }
+    // Fingerprint collision between distinct block vectors: probe the next hash slot.
+    ++key.blocks_hash;
+  }
+}
+
+const SchedulePlan& CollectiveScheduleCache::RingAllReduce(int num_participants,
+                                                           int64_t bytes,
+                                                           const CollectiveOptions& options) {
+  Key key;
+  key.kind = 1;
+  key.a = num_participants;
+  key.bytes = bytes;
+  key.overhead = options.step_overhead;
+  return Lookup(key, {}, [&] { return BuildRingAllReducePlan(num_participants, bytes, options); });
+}
+
+const SchedulePlan& CollectiveScheduleCache::RingAllGatherv(
+    std::span<const int64_t> bytes_per_machine, const CollectiveOptions& options) {
+  Key key;
+  key.kind = 2;
+  key.a = static_cast<int32_t>(bytes_per_machine.size());
+  key.blocks_hash = Fnv64(bytes_per_machine);
+  key.overhead = options.step_overhead;
+  return Lookup(key, bytes_per_machine,
+                [&] { return BuildRingAllGathervPlan(bytes_per_machine, options); });
+}
+
+const SchedulePlan& CollectiveScheduleCache::HierarchicalAllReduce(
+    const RankLayout& layout, int64_t bytes, const CollectiveOptions& options) {
+  Key key;
+  key.kind = 3;
+  key.a = layout.num_machines;
+  key.b = layout.gpus_per_machine;
+  key.bytes = bytes;
+  key.overhead = options.step_overhead;
+  return Lookup(key, {},
+                [&] { return BuildHierarchicalAllReducePlan(layout, bytes, options); });
+}
+
+const SchedulePlan& CollectiveScheduleCache::RankRingAllGatherv(
+    const RankLayout& layout, std::span<const int64_t> bytes_per_rank,
+    const CollectiveOptions& options) {
+  Key key;
+  key.kind = 4;
+  key.a = layout.num_machines;
+  key.b = layout.gpus_per_machine;
+  key.blocks_hash = Fnv64(bytes_per_rank);
+  key.overhead = options.step_overhead;
+  return Lookup(key, bytes_per_rank,
+                [&] { return BuildRankRingAllGathervPlan(layout, bytes_per_rank, options); });
+}
+
+CollectiveSchedule AddRingAllReduce(TaskGraph& graph, const std::vector<int>& machines,
+                                    int64_t bytes, const std::vector<TaskId>& deps,
+                                    const CollectiveOptions& options,
+                                    CollectiveScheduleCache* cache) {
+  const int n = static_cast<int>(machines.size());
+  PX_CHECK_GT(n, 0);
+  PX_CHECK_EQ(deps.size(), machines.size());
+  CollectiveSchedule schedule;
+  if (cache != nullptr) {
+    const SchedulePlan& plan = cache->RingAllReduce(n, bytes, options);
+    cache->Instantiate(plan, graph, machines, deps, &schedule);
+  } else {
+    SchedulePlan plan = BuildRingAllReducePlan(n, bytes, options);
+    PlanScratch scratch;
+    InstantiatePlan(plan, graph, machines, deps, &schedule, &scratch);
+  }
+  return schedule;
+}
+
+CollectiveSchedule AddRingAllGatherv(TaskGraph& graph, const std::vector<int>& machines,
+                                     const std::vector<int64_t>& bytes_per_machine,
+                                     const std::vector<TaskId>& deps,
+                                     const CollectiveOptions& options,
+                                     CollectiveScheduleCache* cache) {
+  PX_CHECK_GT(machines.size(), 0u);
+  PX_CHECK_EQ(deps.size(), machines.size());
+  PX_CHECK_EQ(bytes_per_machine.size(), machines.size());
+  CollectiveSchedule schedule;
+  if (cache != nullptr) {
+    const SchedulePlan& plan = cache->RingAllGatherv(bytes_per_machine, options);
+    cache->Instantiate(plan, graph, machines, deps, &schedule);
+  } else {
+    SchedulePlan plan = BuildRingAllGathervPlan(bytes_per_machine, options);
+    PlanScratch scratch;
+    InstantiatePlan(plan, graph, machines, deps, &schedule, &scratch);
+  }
+  return schedule;
+}
+
+CollectiveSchedule AddHierarchicalAllReduce(TaskGraph& graph, const RankLayout& layout,
+                                            int64_t bytes, const std::vector<TaskId>& deps,
+                                            const CollectiveOptions& options,
+                                            CollectiveScheduleCache* cache) {
+  PX_CHECK_EQ(deps.size(), static_cast<size_t>(layout.num_ranks()));
+  CollectiveSchedule schedule;
+  if (cache != nullptr) {
+    const SchedulePlan& plan = cache->HierarchicalAllReduce(layout, bytes, options);
+    cache->Instantiate(plan, graph, {}, deps, &schedule);
+  } else {
+    SchedulePlan plan = BuildHierarchicalAllReducePlan(layout, bytes, options);
+    PlanScratch scratch;
+    InstantiatePlan(plan, graph, {}, deps, &schedule, &scratch);
+  }
   return schedule;
 }
 
 CollectiveSchedule AddRankRingAllGatherv(TaskGraph& graph, const RankLayout& layout,
                                          const std::vector<int64_t>& bytes_per_rank,
                                          const std::vector<TaskId>& deps,
-                                         const CollectiveOptions& options) {
-  const int r_count = layout.num_ranks();
-  PX_CHECK_EQ(deps.size(), static_cast<size_t>(r_count));
-  PX_CHECK_EQ(bytes_per_rank.size(), static_cast<size_t>(r_count));
+                                         const CollectiveOptions& options,
+                                         CollectiveScheduleCache* cache) {
+  PX_CHECK_EQ(deps.size(), static_cast<size_t>(layout.num_ranks()));
+  PX_CHECK_EQ(bytes_per_rank.size(), static_cast<size_t>(layout.num_ranks()));
   CollectiveSchedule schedule;
-  schedule.done.resize(static_cast<size_t>(r_count));
-
-  if (r_count == 1) {
-    schedule.done[0] = graph.AddBarrier(DepsOrEmpty(deps[0]));
-    schedule.all_done = schedule.done[0];
-    return schedule;
+  if (cache != nullptr) {
+    const SchedulePlan& plan = cache->RankRingAllGatherv(layout, bytes_per_rank, options);
+    cache->Instantiate(plan, graph, {}, deps, &schedule);
+  } else {
+    SchedulePlan plan = BuildRankRingAllGathervPlan(layout, bytes_per_rank, options);
+    PlanScratch scratch;
+    InstantiatePlan(plan, graph, {}, deps, &schedule, &scratch);
   }
-
-  std::vector<TaskId> prev_arrival(static_cast<size_t>(r_count), kNoTask);
-  for (int s = 0; s <= r_count - 2; ++s) {
-    std::vector<TaskId> arrival(static_cast<size_t>(r_count), kNoTask);
-    for (int r = 0; r < r_count; ++r) {
-      int block = Mod(r - s, r_count);
-      int next = Mod(r + 1, r_count);
-      std::vector<TaskId> send_deps;
-      if (s == 0) {
-        if (deps[static_cast<size_t>(r)] != kNoTask) {
-          send_deps.push_back(deps[static_cast<size_t>(r)]);
-        }
-      } else {
-        send_deps.push_back(prev_arrival[static_cast<size_t>(r)]);
-      }
-      int src_machine = layout.MachineOfRank(r);
-      int dst_machine = layout.MachineOfRank(next);
-      TaskId transfer;
-      if (src_machine == dst_machine) {
-        transfer = graph.AddLocalTransfer(src_machine, bytes_per_rank[static_cast<size_t>(block)],
-                                          std::span<const TaskId>(send_deps));
-      } else {
-        transfer = graph.AddTransfer(src_machine, dst_machine,
-                                     bytes_per_rank[static_cast<size_t>(block)],
-                                     std::span<const TaskId>(send_deps));
-      }
-      arrival[static_cast<size_t>(next)] = WithOverhead(graph, transfer, options);
-    }
-    prev_arrival = arrival;
-  }
-
-  for (int r = 0; r < r_count; ++r) {
-    schedule.done[static_cast<size_t>(r)] =
-        graph.AddBarrier({prev_arrival[static_cast<size_t>(r)]});
-  }
-  schedule.all_done = graph.AddBarrier(std::span<const TaskId>(schedule.done));
   return schedule;
 }
 

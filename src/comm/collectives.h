@@ -12,10 +12,20 @@
 // The builders only *schedule* (emit tasks); the numeric payload semantics live in
 // reduce.h so that at-paper-scale benches can run cost-only while correctness tests push
 // real tensors through identical schedules.
+//
+// Schedules for a fixed (collective, participants, bytes, overhead) tuple are
+// deterministic, so they are built once as a relocatable SchedulePlan and replayed into
+// the per-iteration TaskGraph. A CollectiveScheduleCache keyed on that tuple makes the
+// replay the steady-state path: the partition search simulates thousands of iterations,
+// and after the first one every collective instantiation is an allocation-free copy of a
+// cached plan (this is the amortization the paper applies to its hybrid search — the
+// communication schedule of a candidate placement never changes across its iterations).
 #ifndef PARALLAX_SRC_COMM_COLLECTIVES_H_
 #define PARALLAX_SRC_COMM_COLLECTIVES_H_
 
 #include <cstdint>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sim/cluster.h"
@@ -35,25 +45,139 @@ struct CollectiveSchedule {
   TaskId all_done = kNoTask;
 };
 
+// A dependency-resolved recipe for one collective's task DAG, independent of the graph
+// it will be emitted into. Ops reference dependencies either plan-locally (earlier ops)
+// or as external participant slots resolved at instantiation time; machine numbers are
+// slots translated through an optional table, so one ring plan serves any machine list
+// of the same size. Build once, replay many times.
+struct SchedulePlan {
+  struct Op {
+    TaskKind kind = TaskKind::kBarrier;
+    int32_t src = 0;       // machine slot (kTransfer: sender; others: the machine)
+    int32_t dst = 0;       // machine slot, kTransfer only
+    int64_t bytes = 0;
+    double seconds = 0.0;
+    int32_t deps_begin = 0;
+    int32_t deps_count = 0;
+    // Mirrors the builders' "gate on the receiver's dependency only when it exists"
+    // shape: when any referenced external dep resolves to kNoTask, the op emits no task
+    // and aliases to its first resolved dependency instead.
+    bool collapse_when_external_absent = false;
+  };
+
+  std::vector<Op> ops;
+  // Dep references: >= 0 is a plan-local op index, < 0 encodes external slot ~ref.
+  std::vector<int32_t> dep_refs;
+  std::vector<int32_t> done_refs;  // per participant, op index of its completion task
+  int32_t all_done_ref = -1;
+  int num_participants = 0;
+  // Exact key payload for block-vector-keyed collectives (collision verification).
+  std::vector<int64_t> key_blocks;
+
+  size_t num_ops() const { return ops.size(); }
+};
+
+// Scratch for plan replay (plan-local op index -> emitted TaskId, plus a dependency
+// staging buffer). Reused across instantiations so replay allocates nothing.
+struct PlanScratch {
+  std::vector<TaskId> task_of_op;
+  std::vector<TaskId> dep_buf;
+};
+
+// Replays `plan` into `graph`. machine_of_slot translates plan machine slots to machine
+// ids (empty = identity, for plans built over physical machine numbers). deps[i] gates
+// participant i's contribution (kNoTask = ready at start). Fills out->done / all_done,
+// reusing their capacity. The emitted tasks are byte-identical to what the matching
+// builder would emit directly — see tests/schedule_cache_test.cc.
+void InstantiatePlan(const SchedulePlan& plan, TaskGraph& graph,
+                     std::span<const int> machine_of_slot, std::span<const TaskId> deps,
+                     CollectiveSchedule* out, PlanScratch* scratch);
+
+// Plan builders. Participant slots are 0..n-1 for the ring collectives (translated
+// through a machine list at instantiation); the layout collectives emit physical machine
+// numbers and instantiate with the identity translation.
+SchedulePlan BuildRingAllReducePlan(int num_participants, int64_t bytes,
+                                    const CollectiveOptions& options);
+SchedulePlan BuildRingAllGathervPlan(std::span<const int64_t> bytes_per_machine,
+                                     const CollectiveOptions& options);
+SchedulePlan BuildHierarchicalAllReducePlan(const RankLayout& layout, int64_t bytes,
+                                            const CollectiveOptions& options);
+SchedulePlan BuildRankRingAllGathervPlan(const RankLayout& layout,
+                                         std::span<const int64_t> bytes_per_rank,
+                                         const CollectiveOptions& options);
+
+// Keyed plan cache + replay scratch. Single-threaded (one per simulation arena).
+class CollectiveScheduleCache {
+ public:
+  const SchedulePlan& RingAllReduce(int num_participants, int64_t bytes,
+                                    const CollectiveOptions& options);
+  const SchedulePlan& RingAllGatherv(std::span<const int64_t> bytes_per_machine,
+                                     const CollectiveOptions& options);
+  const SchedulePlan& HierarchicalAllReduce(const RankLayout& layout, int64_t bytes,
+                                            const CollectiveOptions& options);
+  const SchedulePlan& RankRingAllGatherv(const RankLayout& layout,
+                                         std::span<const int64_t> bytes_per_rank,
+                                         const CollectiveOptions& options);
+
+  // Replay with cache-owned scratch.
+  void Instantiate(const SchedulePlan& plan, TaskGraph& graph,
+                   std::span<const int> machine_of_slot, std::span<const TaskId> deps,
+                   CollectiveSchedule* out) {
+    InstantiatePlan(plan, graph, machine_of_slot, deps, out, &scratch_);
+  }
+
+  size_t size() const { return plans_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    uint8_t kind = 0;
+    int32_t a = 0;           // participant / machine count
+    int32_t b = 0;           // gpus per machine (layout collectives)
+    int64_t bytes = 0;       // scalar payload (0 for block-vector collectives)
+    uint64_t blocks_hash = 0;  // fingerprint of the block vector (0 otherwise)
+    double overhead = 0.0;
+
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  template <typename BuildFn>
+  const SchedulePlan& Lookup(Key key, std::span<const int64_t> blocks, BuildFn&& build);
+
+  std::unordered_map<Key, SchedulePlan, KeyHash> plans_;
+  PlanScratch scratch_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
 // Ring AllReduce across `machines` (distinct machine ids, ring in the given order) moving
 // `bytes` per machine. deps[i] gates machine i's first send (kNoTask = ready at start).
+// With a cache, the plan is fetched (or built once) and replayed; without one, a one-off
+// plan is built and instantiated — both paths emit byte-identical task sequences.
 CollectiveSchedule AddRingAllReduce(TaskGraph& graph, const std::vector<int>& machines,
                                     int64_t bytes, const std::vector<TaskId>& deps,
-                                    const CollectiveOptions& options = {});
+                                    const CollectiveOptions& options = {},
+                                    CollectiveScheduleCache* cache = nullptr);
 
 // Ring AllGatherv across `machines`, where machine i contributes bytes_per_machine[i].
 // After the collective every machine holds every block (concatenation semantics).
 CollectiveSchedule AddRingAllGatherv(TaskGraph& graph, const std::vector<int>& machines,
                                      const std::vector<int64_t>& bytes_per_machine,
                                      const std::vector<TaskId>& deps,
-                                     const CollectiveOptions& options = {});
+                                     const CollectiveOptions& options = {},
+                                     CollectiveScheduleCache* cache = nullptr);
 
 // Hierarchical AllReduce over every rank of `layout`, moving `bytes` per rank replica.
 // deps[rank] gates rank r's contribution. Phases: local reduce (PCIe), inter-machine ring
 // (NIC), local broadcast (PCIe). done[] is indexed by rank.
 CollectiveSchedule AddHierarchicalAllReduce(TaskGraph& graph, const RankLayout& layout,
                                             int64_t bytes, const std::vector<TaskId>& deps,
-                                            const CollectiveOptions& options = {});
+                                            const CollectiveOptions& options = {},
+                                            CollectiveScheduleCache* cache = nullptr);
 
 // Ring AllGatherv across every rank of `layout` (the OpenMPI-style rank-level ring the
 // paper inevitably uses for sparse gradients, section 6.1). Adjacent same-machine ranks
@@ -62,7 +186,8 @@ CollectiveSchedule AddHierarchicalAllReduce(TaskGraph& graph, const RankLayout& 
 CollectiveSchedule AddRankRingAllGatherv(TaskGraph& graph, const RankLayout& layout,
                                          const std::vector<int64_t>& bytes_per_rank,
                                          const std::vector<TaskId>& deps,
-                                         const CollectiveOptions& options = {});
+                                         const CollectiveOptions& options = {},
+                                         CollectiveScheduleCache* cache = nullptr);
 
 }  // namespace parallax
 

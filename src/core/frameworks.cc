@@ -127,10 +127,11 @@ IterationSimConfig SimConfigFor(Framework framework, const FrameworkOptions& opt
 
 IterationSimulator MakeFrameworkSimulator(Framework framework, const ClusterSpec& cluster,
                                           const ModelSpec& model,
-                                          const FrameworkOptions& options) {
+                                          const FrameworkOptions& options,
+                                          SimulationArena* arena) {
   return IterationSimulator(cluster, AssignVariables(framework, model, options, cluster),
                             model.gpu_compute_seconds, model.compute_chunks,
-                            SimConfigFor(framework, options));
+                            SimConfigFor(framework, options), arena);
 }
 
 double MeasureFrameworkThroughput(Framework framework, const ClusterSpec& cluster,

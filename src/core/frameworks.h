@@ -67,10 +67,13 @@ std::vector<VariableSync> AssignVariables(Framework framework, const ModelSpec& 
 // Simulator configuration (local aggregation etc.) under the given framework.
 IterationSimConfig SimConfigFor(Framework framework, const FrameworkOptions& options);
 
-// Convenience: a ready-to-run simulator for (framework, cluster, model).
+// Convenience: a ready-to-run simulator for (framework, cluster, model). Pass a shared
+// SimulationArena to reuse task storage and cached schedules across many simulators
+// (e.g. every sampled P of a partition search); null gives the simulator a private one.
 IterationSimulator MakeFrameworkSimulator(Framework framework, const ClusterSpec& cluster,
                                           const ModelSpec& model,
-                                          const FrameworkOptions& options);
+                                          const FrameworkOptions& options,
+                                          SimulationArena* arena = nullptr);
 
 // Steady-state throughput in the model's item unit (images/sec or words/sec).
 double MeasureFrameworkThroughput(Framework framework, const ClusterSpec& cluster,

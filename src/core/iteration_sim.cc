@@ -8,13 +8,19 @@ namespace parallax {
 IterationSimulator::IterationSimulator(const ClusterSpec& cluster_spec,
                                        std::vector<VariableSync> variables,
                                        double gpu_compute_seconds, int compute_chunks,
-                                       IterationSimConfig config)
+                                       IterationSimConfig config, SimulationArena* arena)
     : cluster_spec_(cluster_spec),
       variables_(std::move(variables)),
       gpu_compute_seconds_(gpu_compute_seconds),
       compute_chunks_(std::max(compute_chunks, 2)),
       config_(config) {
   PX_CHECK(!variables_.empty());
+  if (arena != nullptr) {
+    arena_ = arena;
+  } else {
+    owned_arena_ = std::make_unique<SimulationArena>();
+    arena_ = owned_arena_.get();
+  }
   forward_chunks_ = std::max(1, compute_chunks_ / 2);
   const int backward_chunks = std::max(1, compute_chunks_ - forward_chunks_);
   compute_chunks_ = forward_chunks_ + backward_chunks;
@@ -74,8 +80,30 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   const SyncCostParams& costs = config_.costs;
   const CollectiveOptions collective{costs.collective_step_overhead_seconds};
 
-  TaskGraph graph;
-  std::vector<TaskId>& end_tasks = end_tasks_scratch_;
+  SimulationArena& a = *arena_;
+  TaskGraph& graph = a.graph;
+
+  // The iteration DAG depends only on this simulator's fixed configuration plus the
+  // cluster layout, so when the arena still holds this simulator's last build, skip the
+  // rebuild and go straight to Execute. (Reset + identical rebuild produces an
+  // identical graph — asserted by tests/sim_steady_state_test.cc — so this is purely a
+  // time saving, never a behavior change.)
+  if (a.built_by == this && a.build_serial == built_serial_ &&
+      built_num_machines_ == layout.num_machines && built_gpus_ == layout.gpus_per_machine) {
+    TaskResult result = graph.Execute(cluster, start_time);
+    if (!built_multi_rank_) {
+      return graph.FinishTime(final_task_);
+    }
+    SimTime barrier_finish = graph.FinishTime(final_task_);
+    return barrier_finish == 0.0 ? result.finish_time : barrier_finish;
+  }
+  graph.Reset();
+  a.built_by = this;
+  built_serial_ = ++a.build_serial;
+  built_num_machines_ = layout.num_machines;
+  built_gpus_ = layout.gpus_per_machine;
+
+  std::vector<TaskId>& end_tasks = a.end_tasks;
   end_tasks.clear();
 
   // Single-GPU job: the graph runs unmodified — no pulls, no collectives, no servers
@@ -90,6 +118,8 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
         0, 0,
         costs.gpu_dense_apply_seconds_per_element * static_cast<double>(total_elements),
         {compute});
+    final_task_ = apply;
+    built_multi_rank_ = false;
     graph.Execute(cluster, start_time);
     return graph.FinishTime(apply);
   }
@@ -102,7 +132,7 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   // before the whole pull burst drains, so the first forward chunk's variables must not
   // be allowed to jump the queue — serving them last models the fair-share drain time
   // on the critical path.
-  std::vector<std::vector<TaskId>>& avail = avail_scratch_;
+  std::vector<std::vector<TaskId>>& avail = a.avail;
   avail.resize(static_cast<size_t>(num_ranks));
   for (auto& per_rank : avail) {
     per_rank.assign(shards_.size(), kNoTask);
@@ -151,7 +181,7 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   // Per-rank, per-variable readiness gates for the forward pass (stitching partitioned
   // pulls costs worker CPU proportional to the partition count — the theta2 term).
   // gate[rank][var].
-  std::vector<std::vector<TaskId>>& gate = gate_scratch_;
+  std::vector<std::vector<TaskId>>& gate = a.gate;
   gate.resize(static_cast<size_t>(num_ranks));
   for (auto& per_rank : gate) {
     per_rank.assign(variables_.size(), kNoTask);
@@ -160,7 +190,7 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
     if (variables_[static_cast<size_t>(v)].method != SyncMethod::kPs) {
       continue;  // AR variables are resident replicas: no pull
     }
-    std::vector<size_t>& var_shards = var_shards_scratch_;
+    std::vector<size_t>& var_shards = a.var_shards;
     var_shards.clear();
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (shards_[s].var == v) {
@@ -168,7 +198,7 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
       }
     }
     for (int r = 0; r < num_ranks; ++r) {
-      std::vector<TaskId>& deps = deps_scratch_;
+      std::vector<TaskId>& deps = a.deps;
       deps.clear();
       deps.reserve(var_shards.size());
       for (size_t s : var_shards) {
@@ -192,7 +222,7 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   const double chunk_seconds = gpu_compute_seconds_ / compute_chunks_;
   const double dispatch_seconds =
       costs.worker_dispatch_seconds_per_piece * static_cast<double>(shards_.size());
-  std::vector<std::vector<TaskId>>& chunk_task = chunk_scratch_;
+  std::vector<std::vector<TaskId>>& chunk_task = a.chunk;
   chunk_task.resize(static_cast<size_t>(num_ranks));
   for (auto& per_rank : chunk_task) {
     per_rank.assign(static_cast<size_t>(compute_chunks_), kNoTask);
@@ -203,7 +233,7 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
       prev = graph.AddCpuWork(layout.MachineOfRank(r), dispatch_seconds);
     }
     for (int c = 0; c < compute_chunks_; ++c) {
-      std::vector<TaskId>& deps = deps_scratch_;
+      std::vector<TaskId>& deps = a.deps;
       deps.clear();
       if (prev != kNoTask) {
         deps.push_back(prev);
@@ -235,17 +265,19 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
     if (group_elements == 0) {
       continue;
     }
-    std::vector<TaskId> deps(static_cast<size_t>(num_ranks));
+    std::vector<TaskId>& deps = a.collective_deps;
+    deps.resize(static_cast<size_t>(num_ranks));
     for (int r = 0; r < num_ranks; ++r) {
       deps[static_cast<size_t>(r)] = chunk_task[static_cast<size_t>(r)][static_cast<size_t>(c)];
     }
-    CollectiveSchedule schedule = AddHierarchicalAllReduce(
-        graph, layout, group_elements * 4, deps, collective);
+    const SchedulePlan& plan =
+        a.schedules.HierarchicalAllReduce(layout, group_elements * 4, collective);
+    a.schedules.Instantiate(plan, graph, {}, deps, &a.schedule);
     for (int r = 0; r < num_ranks; ++r) {
       TaskId apply = graph.AddGpuCompute(
           layout.MachineOfRank(r), layout.LocalGpuOfRank(r),
           costs.gpu_dense_apply_seconds_per_element * static_cast<double>(group_elements),
-          {schedule.done[static_cast<size_t>(r)]});
+          {a.schedule.done[static_cast<size_t>(r)]});
       end_tasks.push_back(apply);
     }
   }
@@ -260,29 +292,35 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
                                            static_cast<double>(sync.spec.num_elements));
     int64_t block_bytes = touched * 4 + SparseIndexBytes(touched, sync.spec.row_elements);
     int64_t gathered_elements = touched * num_ranks;
-    std::vector<TaskId> deps(static_cast<size_t>(num_ranks));
+    std::vector<TaskId>& deps = a.collective_deps;
+    deps.resize(static_cast<size_t>(num_ranks));
     for (int r = 0; r < num_ranks; ++r) {
       deps[static_cast<size_t>(r)] =
           chunk_task[static_cast<size_t>(r)][static_cast<size_t>(
               grad_chunk_[static_cast<size_t>(v)])];
     }
-    std::vector<TaskId> done(static_cast<size_t>(num_ranks), kNoTask);
+    std::vector<TaskId>& done = a.done;
     // OpenMPI tuned-collective behavior: large blocks ride the bandwidth-efficient ring;
     // smaller ones take the broadcast-style path (calibration.h).
     bool use_ring = config_.gatherv_algorithm == GathervAlgorithm::kRing ||
                     block_bytes >= costs.gatherv_ring_threshold_bytes;
     if (use_ring) {
-      std::vector<int64_t> blocks(static_cast<size_t>(num_ranks), block_bytes);
-      CollectiveSchedule schedule =
-          AddRankRingAllGatherv(graph, layout, blocks, deps, collective);
-      done = schedule.done;
+      std::vector<int64_t>& blocks = a.blocks;
+      blocks.assign(static_cast<size_t>(num_ranks), block_bytes);
+      const SchedulePlan& plan = a.schedules.RankRingAllGatherv(layout, blocks, collective);
+      a.schedules.Instantiate(plan, graph, {}, deps, &a.schedule);
+      done.assign(a.schedule.done.begin(), a.schedule.done.end());
     } else {
       // Broadcast (OpenMPI-style): every rank ships its block to every other rank.
       // Cross-machine hops are inflated by the OpenMPI effective-bandwidth derate
       // (calibration.h); intra-machine hops ride shared memory / PCIe at full speed.
       int64_t inflated_bytes = static_cast<int64_t>(
           static_cast<double>(block_bytes) * costs.gatherv_cross_machine_inflation);
-      std::vector<std::vector<TaskId>> arrivals(static_cast<size_t>(num_ranks));
+      std::vector<std::vector<TaskId>>& arrivals = a.arrivals;
+      arrivals.resize(static_cast<size_t>(num_ranks));
+      for (auto& per_rank : arrivals) {
+        per_rank.clear();
+      }
       for (int src = 0; src < num_ranks; ++src) {
         for (int dst = 0; dst < num_ranks; ++dst) {
           if (src == dst) {
@@ -299,6 +337,7 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
           arrivals[static_cast<size_t>(dst)].push_back(xfer);
         }
       }
+      done.resize(static_cast<size_t>(num_ranks));
       for (int r = 0; r < num_ranks; ++r) {
         arrivals[static_cast<size_t>(r)].push_back(deps[static_cast<size_t>(r)]);
         done[static_cast<size_t>(r)] =
@@ -331,7 +370,8 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
       // Gather local GPUs' gradients over PCIe, coalesce on the machine's cores, push
       // one machine-level gradient; the server's accumulator chains over machines.
       for (int m = 0; m < cluster_spec_.num_machines; ++m) {
-        std::vector<TaskId> local_deps;
+        std::vector<TaskId>& local_deps = a.local_deps;
+        local_deps.clear();
         for (int g = 0; g < gpus; ++g) {
           local_deps.push_back(chunk_task[static_cast<size_t>(layout.RankOf(m, g))]
                                          [static_cast<size_t>(producing_chunk)]);
@@ -374,12 +414,10 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
             (spec.is_sparse ? costs.sparse_agg_seconds_per_element
                             : costs.dense_agg_seconds_per_element) *
                 acc_elements;
-        std::vector<TaskId> acc_deps = {push};
-        if (acc_tail != kNoTask) {
-          acc_deps.push_back(acc_tail);
-        }
+        TaskId acc_deps[2] = {push, acc_tail};
+        size_t acc_dep_count = acc_tail != kNoTask ? 2 : 1;
         acc_tail = graph.AddCpuWork(shard.server, acc_seconds,
-                                    std::span<const TaskId>(acc_deps));
+                                    std::span<const TaskId>(acc_deps, acc_dep_count));
       }
     } else {
       for (int r = 0; r < num_ranks; ++r) {
@@ -396,12 +434,10 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
             (spec.is_sparse ? costs.sparse_agg_seconds_per_element
                             : costs.dense_agg_seconds_per_element) *
                 static_cast<double>(touched_per_rank);
-        std::vector<TaskId> acc_deps = {push};
-        if (acc_tail != kNoTask) {
-          acc_deps.push_back(acc_tail);
-        }
+        TaskId acc_deps[2] = {push, acc_tail};
+        size_t acc_dep_count = acc_tail != kNoTask ? 2 : 1;
         acc_tail = graph.AddCpuWork(shard.server, acc_seconds,
-                                    std::span<const TaskId>(acc_deps));
+                                    std::span<const TaskId>(acc_deps, acc_dep_count));
       }
     }
 
@@ -426,6 +462,8 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
 
   // ---- Iteration barrier (chief-worker notification through shared queues) ----------
   TaskId barrier = graph.AddBarrier(std::span<const TaskId>(end_tasks));
+  final_task_ = barrier;
+  built_multi_rank_ = true;
   TaskResult result = graph.Execute(cluster, start_time);
   return graph.FinishTime(barrier) == 0.0 ? result.finish_time : graph.FinishTime(barrier);
 }

@@ -70,11 +70,48 @@ struct IterationSimConfig {
   SyncCostParams costs;
 };
 
+// Reusable simulation state: the task-graph arena, the collective schedule cache, and
+// every DAG-construction scratch table. One arena serves any number of simulators in
+// sequence — the partition search constructs a fresh IterationSimulator per sampled P
+// but passes the same arena, so cached schedules and task storage persist across the
+// whole search and the steady-state iteration performs zero heap allocations
+// (tests/sim_steady_state_test.cc). Not thread-safe: one arena per simulating thread.
+struct SimulationArena {
+  TaskGraph graph;
+  CollectiveScheduleCache schedules;
+
+  // DAG build cache bookkeeping: which simulator's iteration DAG currently occupies
+  // `graph`, and a serial stamped on every rebuild. A simulator's iteration DAG depends
+  // only on its (variables, config, layout), all fixed at construction, so re-simulating
+  // with the same simulator skips the rebuild entirely and goes straight to Execute
+  // (see IterationSimulator::SimulateIteration).
+  const void* built_by = nullptr;
+  uint64_t build_serial = 0;
+
+  // SimulateIteration scratch (iteration_sim.cc). avail/gate/chunk are the rank-major
+  // DAG tables; the rest are small per-phase staging buffers.
+  std::vector<std::vector<TaskId>> avail;     // [rank][shard]
+  std::vector<std::vector<TaskId>> gate;      // [rank][variable]
+  std::vector<std::vector<TaskId>> chunk;     // [rank][chunk]
+  std::vector<std::vector<TaskId>> arrivals;  // [rank], broadcast-gatherv fan-in
+  std::vector<TaskId> end_tasks;
+  std::vector<TaskId> deps;
+  std::vector<TaskId> collective_deps;
+  std::vector<TaskId> local_deps;
+  std::vector<TaskId> done;
+  std::vector<int64_t> blocks;
+  std::vector<size_t> var_shards;
+  CollectiveSchedule schedule;
+};
+
 class IterationSimulator {
  public:
+  // With a null `arena` the simulator owns a private one; passing a shared arena lets
+  // many short-lived simulators (one per partition-search sample) reuse one set of
+  // buffers and one schedule cache.
   IterationSimulator(const ClusterSpec& cluster_spec, std::vector<VariableSync> variables,
                      double gpu_compute_seconds, int compute_chunks,
-                     IterationSimConfig config);
+                     IterationSimConfig config, SimulationArena* arena = nullptr);
 
   // Builds and executes one iteration DAG. Resource state in `cluster` carries over
   // between calls, so pipelining across iterations reaches steady state naturally.
@@ -114,15 +151,17 @@ class IterationSimulator {
   std::vector<int> grad_chunk_;
   int forward_chunks_ = 1;
 
-  // Per-iteration DAG construction tables, reused across SimulateIteration calls — the
-  // partition search simulates thousands of iterations, and rebuilding these
-  // rank x shard / rank x variable tables dominated its allocation traffic.
-  std::vector<std::vector<TaskId>> avail_scratch_;   // [rank][shard]
-  std::vector<std::vector<TaskId>> gate_scratch_;    // [rank][variable]
-  std::vector<std::vector<TaskId>> chunk_scratch_;   // [rank][chunk]
-  std::vector<TaskId> end_tasks_scratch_;
-  std::vector<TaskId> deps_scratch_;
-  std::vector<size_t> var_shards_scratch_;
+  SimulationArena* arena_;
+  std::unique_ptr<SimulationArena> owned_arena_;
+
+  // DAG build cache (valid while arena_->built_by == this and the serials match):
+  // the finishing task to read the iteration end time from, and the layout the DAG was
+  // built for (a different cluster shape forces a rebuild).
+  uint64_t built_serial_ = 0;
+  int built_num_machines_ = -1;
+  int built_gpus_ = -1;
+  TaskId final_task_ = kNoTask;
+  bool built_multi_rank_ = false;
 };
 
 }  // namespace parallax

@@ -42,6 +42,7 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
     }
   }
   chosen_partitions_ = config_.manual_partitions;
+  sim_arena_ = std::make_unique<SimulationArena>();
   if (config_.auto_partition && has_partitioned_sparse) {
     PartitionSearchOptions search = config_.search;
     search.initial_partitions = cluster_spec.num_machines;
@@ -49,11 +50,14 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
     sim_config.ps_local_aggregation = config_.local_aggregation;
     sim_config.ps_machine_level_pulls = config_.local_aggregation;
     sim_config.costs = config_.costs;
+    // Every sampled P gets a fresh simulator over the shared arena: task storage and
+    // cached collective schedules persist across the whole search, so the thousands of
+    // simulated iterations behind SearchPartitions run allocation-free in steady state.
     auto measure = [&](int partitions) {
       std::vector<VariableSync> candidate =
           AssignGraphVariables(*graph_, sparsity, hybrid, partitions);
       IterationSimulator sim(cluster_spec, candidate, config_.gpu_compute_seconds,
-                             config_.compute_chunks, sim_config);
+                             config_.compute_chunks, sim_config, sim_arena_.get());
       return sim.MeasureIterationSeconds(search.warmup_iterations,
                                          search.measured_iterations);
     };
@@ -97,7 +101,8 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
   sim_config.costs = config_.costs;
   timing_ = std::make_unique<IterationSimulator>(cluster_spec, assignment_,
                                                  config_.gpu_compute_seconds,
-                                                 config_.compute_chunks, sim_config);
+                                                 config_.compute_chunks, sim_config,
+                                                 sim_arena_.get());
   cluster_ = std::make_unique<Cluster>(cluster_spec);
   initialized_ = true;
 }

@@ -93,6 +93,9 @@ class GraphRunner {
 
   std::unique_ptr<PsNumericEngine> ps_engine_;
   std::unique_ptr<ArNumericEngine> ar_engine_;
+  // One arena for the partition search and the training-time timing plane: cached
+  // collective schedules and task storage persist for the runner's lifetime.
+  std::unique_ptr<SimulationArena> sim_arena_;
   std::unique_ptr<IterationSimulator> timing_;
   std::unique_ptr<Cluster> cluster_;
   double simulated_seconds_ = 0.0;

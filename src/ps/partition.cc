@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/logging.h"
+#include "src/base/math.h"
 #include "src/tensor/sparse_workspace.h"
 #include "src/tensor/tensor_ops.h"
 
@@ -21,9 +22,9 @@ RowPartition::RowPartition(int64_t num_rows, int num_partitions)
 int64_t RowPartition::RowBegin(int partition) const {
   PX_CHECK_GE(partition, 0);
   PX_CHECK_LE(partition, num_partitions_);
-  int64_t p = partition;
-  // First `remainder_` pieces hold base+1 rows.
-  return p * base_rows_ + std::min<int64_t>(p, remainder_);
+  // Balanced split: first `remainder_` pieces hold base+1 rows — the same convention
+  // (and the same base/math.h formula) the ring collectives use to chunk a gradient.
+  return BalancedSplitBegin(num_rows_, num_partitions_, partition);
 }
 
 int RowPartition::PartitionOfRow(int64_t row) const {

@@ -1,6 +1,38 @@
 #include "src/sim/cluster.h"
 
+#include <algorithm>
+
 namespace parallax {
+
+LinkQueue::LinkQueue(double bandwidth_bytes_per_sec, double latency_sec)
+    : bandwidth_(bandwidth_bytes_per_sec), latency_(latency_sec) {
+  PX_CHECK_GT(bandwidth_, 0.0);
+  PX_CHECK_GE(latency_, 0.0);
+}
+
+CorePool::CorePool(int num_cores) {
+  PX_CHECK_GT(num_cores, 0);
+  cores_.reserve(static_cast<size_t>(num_cores));
+  for (int i = 0; i < num_cores; ++i) {
+    cores_.emplace_back(0.0, i);
+  }
+  std::make_heap(cores_.begin(), cores_.end(), std::greater<>{});
+}
+
+ClusterSpec ClusterSpec::SingleGpuMachines(int n) {
+  ClusterSpec spec;
+  spec.num_machines = n;
+  spec.gpus_per_machine = 1;
+  return spec;
+}
+
+MachineSim::MachineSim(const ClusterSpec& spec)
+    : nic_in(spec.nic_bandwidth, spec.nic_latency),
+      nic_out(spec.nic_bandwidth, spec.nic_latency),
+      pcie_in(spec.pcie_bandwidth, spec.pcie_latency),
+      pcie_out(spec.pcie_bandwidth, spec.pcie_latency),
+      cores(spec.cores_per_machine),
+      gpus(static_cast<size_t>(spec.gpus_per_machine)) {}
 
 Cluster::Cluster(const ClusterSpec& spec) : spec_(spec) {
   PX_CHECK_GT(spec.num_machines, 0);

@@ -4,8 +4,8 @@
 // This is the substitute for the paper's physical testbed (8 machines x 6 TITAN Xp,
 // 100 Gbps InfiniBand). Resources are modeled as queueing servers in *virtual time*:
 //  - LinkQueue: FIFO byte server. A transfer occupies the sender's out-link and the
-//    receiver's in-link simultaneously (cut-through), serializing with other traffic on
-//    either link. Many-to-one traffic therefore queues at the receiver's in-link, which is
+//    receiver's in-link (store-and-forward), serializing with other traffic on either
+//    link. Many-to-one traffic therefore queues at the receiver's in-link, which is
 //    exactly the PS incast asymmetry the paper analyzes in section 3.1.
 //  - CorePool: k-server queue; CPU work items (gradient aggregation, update ops, request
 //    handling) occupy one core each, so partition-level parallelism and core contention
@@ -14,11 +14,21 @@
 //
 // All scheduling is deterministic given the order of Schedule() calls; the TaskGraph
 // executor (task_graph.h) fixes that order by (ready_time, insertion id).
+//
+// The per-event schedulers (LinkQueue::ScheduleSerialization, GpuDevice::Schedule,
+// CorePool::Schedule, ScheduleStoreAndForward) stay inline in this header on purpose:
+// they run once per task inside Execute's event loop — tens of thousands of calls per
+// simulated iteration, thousands of iterations per partition search — and out-of-lining
+// them costs a measurable fraction of the loop (docs/perf.md). Everything cold
+// (constructors, validation, factories, accounting) lives in cluster.cc.
 #ifndef PARALLAX_SRC_SIM_CLUSTER_H_
 #define PARALLAX_SRC_SIM_CLUSTER_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/logging.h"
@@ -30,23 +40,19 @@ using SimTime = double;  // seconds of virtual time
 // FIFO byte server with fixed bandwidth and propagation latency.
 class LinkQueue {
  public:
-  LinkQueue(double bandwidth_bytes_per_sec, double latency_sec)
-      : bandwidth_(bandwidth_bytes_per_sec), latency_(latency_sec) {
-    PX_CHECK_GT(bandwidth_, 0.0);
-    PX_CHECK_GE(latency_, 0.0);
-  }
+  LinkQueue(double bandwidth_bytes_per_sec, double latency_sec);
 
   // Returns the serialization-complete time for a transfer that becomes ready at `ready`.
   // (Propagation latency is added by the caller once per hop, not per link end.)
   SimTime ScheduleSerialization(SimTime ready, int64_t bytes) {
-    SimTime start = std::max(ready, busy_until_);
+    SimTime start = ready > busy_until_ ? ready : busy_until_;
     busy_until_ = start + static_cast<double>(bytes) / bandwidth_;
     total_bytes_ += bytes;
     return busy_until_;
   }
 
   // Earliest time the link is free at or after `ready`.
-  SimTime FreeAt(SimTime ready) const { return std::max(ready, busy_until_); }
+  SimTime FreeAt(SimTime ready) const { return ready > busy_until_ ? ready : busy_until_; }
 
   double latency() const { return latency_; }
   double bandwidth() const { return bandwidth_; }
@@ -62,32 +68,61 @@ class LinkQueue {
   int64_t total_bytes_ = 0;
 };
 
+// One store-and-forward hop: the payload serializes through the sender's out-link, then
+// through the receiver's in-link, each a FIFO byte queue; the two queues are decoupled
+// (no mutual reservation), so many-to-many traffic has no artificial convoy stalls while
+// incast still queues honestly at the receiver. One propagation latency per hop. This is
+// the single transfer-time rule behind both the NIC and PCIe paths of the task-graph
+// executor and therefore behind every collective schedule in comm/collectives.cc.
+inline SimTime ScheduleStoreAndForward(LinkQueue& out, LinkQueue& in, SimTime ready,
+                                       int64_t bytes) {
+  SimTime out_done = out.ScheduleSerialization(ready, bytes);
+  SimTime in_done = in.ScheduleSerialization(out_done, bytes);
+  return in_done + out.latency();
+}
+
 // k-server queue for CPU work. Each work item runs on one core.
 class CorePool {
  public:
-  explicit CorePool(int num_cores) : core_free_(static_cast<size_t>(num_cores), 0.0) {
-    PX_CHECK_GT(num_cores, 0);
-  }
+  explicit CorePool(int num_cores);
 
+  // Earliest-free core, lowest index among ties. The min-heap of (free time, core
+  // index) pairs picks exactly the core the seed's linear scan picked — lexicographic
+  // minimum — in O(log k) instead of O(k), which matters with thousands of CPU work
+  // items per simulated iteration on 36-core machines. The scheduled core goes straight
+  // back with its new free time, so one sift-down replaces a pop/push pair.
   SimTime Schedule(SimTime ready, double duration) {
-    // Earliest-free core (deterministic: lowest index among ties).
-    size_t best = 0;
-    for (size_t i = 1; i < core_free_.size(); ++i) {
-      if (core_free_[i] < core_free_[best]) {
-        best = i;
-      }
-    }
-    SimTime start = std::max(ready, core_free_[best]);
-    core_free_[best] = start + duration;
+    std::pair<SimTime, int> slot = cores_.front();
+    SimTime start = ready > slot.first ? ready : slot.first;
+    slot.first = start + duration;
     total_busy_ += duration;
-    return core_free_[best];
+    const size_t n = cores_.size();
+    size_t i = 0;
+    for (;;) {
+      size_t left = 2 * i + 1;
+      if (left >= n) {
+        break;
+      }
+      size_t smallest = left;
+      size_t right = left + 1;
+      if (right < n && cores_[right] < cores_[left]) {
+        smallest = right;
+      }
+      if (cores_[smallest] >= slot) {
+        break;
+      }
+      cores_[i] = cores_[smallest];
+      i = smallest;
+    }
+    cores_[i] = slot;
+    return slot.first;
   }
 
-  int num_cores() const { return static_cast<int>(core_free_.size()); }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
   double total_busy() const { return total_busy_; }
 
  private:
-  std::vector<SimTime> core_free_;
+  std::vector<std::pair<SimTime, int>> cores_;  // (free at, core index)
   double total_busy_ = 0.0;
 };
 
@@ -95,7 +130,7 @@ class CorePool {
 class GpuDevice {
  public:
   SimTime Schedule(SimTime ready, double duration) {
-    SimTime start = std::max(ready, busy_until_);
+    SimTime start = ready > busy_until_ ? ready : busy_until_;
     busy_until_ = start + duration;
     total_busy_ += duration;
     return busy_until_;
@@ -124,12 +159,7 @@ struct ClusterSpec {
   static ClusterSpec Paper() { return ClusterSpec{}; }
   // n machines with one GPU each: the 1-worker-per-machine setting of the paper's
   // section 3.1 analysis (used to validate Table 3's closed forms).
-  static ClusterSpec SingleGpuMachines(int n) {
-    ClusterSpec spec;
-    spec.num_machines = n;
-    spec.gpus_per_machine = 1;
-    return spec;
-  }
+  static ClusterSpec SingleGpuMachines(int n);
 };
 
 // Global rank <-> (machine, local gpu) mapping. Ranks are laid out machine-major, which
@@ -146,13 +176,7 @@ struct RankLayout {
 
 // Per-machine mutable resources.
 struct MachineSim {
-  MachineSim(const ClusterSpec& spec)
-      : nic_in(spec.nic_bandwidth, spec.nic_latency),
-        nic_out(spec.nic_bandwidth, spec.nic_latency),
-        pcie_in(spec.pcie_bandwidth, spec.pcie_latency),
-        pcie_out(spec.pcie_bandwidth, spec.pcie_latency),
-        cores(spec.cores_per_machine),
-        gpus(static_cast<size_t>(spec.gpus_per_machine)) {}
+  explicit MachineSim(const ClusterSpec& spec);
 
   LinkQueue nic_in;
   LinkQueue nic_out;

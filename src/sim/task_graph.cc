@@ -1,20 +1,85 @@
 #include "src/sim/task_graph.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
+
+#include "src/base/math.h"
 
 namespace parallax {
+namespace {
+
+// 4-ary min-heap over (ready_time, id) entries. Pops the lexicographic minimum exactly
+// like the binary heap it replaces — keys are unique (ids), so any correct min-heap
+// yields the same deterministic service order — at roughly half the tree depth, which
+// is a measurable win with thousands of simultaneously-ready tasks.
+using HeapEntry = std::pair<SimTime, TaskId>;
+
+inline void HeapPush(std::vector<HeapEntry>& heap, HeapEntry entry) {
+  size_t i = heap.size();
+  heap.push_back(entry);
+  while (i > 0) {
+    size_t parent = (i - 1) / 4;
+    if (heap[parent] <= entry) {
+      break;
+    }
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = entry;
+}
+
+inline HeapEntry HeapPop(std::vector<HeapEntry>& heap) {
+  HeapEntry top = heap.front();
+  HeapEntry last = heap.back();
+  heap.pop_back();
+  const size_t n = heap.size();
+  if (n > 0) {
+    size_t i = 0;
+    for (;;) {
+      size_t child = 4 * i + 1;
+      if (child >= n) {
+        break;
+      }
+      size_t smallest = child;
+      size_t end = std::min(child + 4, n);
+      for (size_t k = child + 1; k < end; ++k) {
+        if (heap[k] < heap[smallest]) {
+          smallest = k;
+        }
+      }
+      if (heap[smallest] >= last) {
+        break;
+      }
+      heap[i] = heap[smallest];
+      i = smallest;
+    }
+    heap[i] = last;
+  }
+  return top;
+}
+
+}  // namespace
 
 TaskId TaskGraph::AddTask(Task task, std::span<const TaskId> deps) {
+  // Mutating the graph invalidates the previous run's finish times (and would leave
+  // the new task without one), so FinishTime requires a fresh Execute after this.
+  executed_ = false;
   TaskId id = static_cast<TaskId>(tasks_.size());
-  task.deps_remaining = 0;
+  task.num_deps = static_cast<int32_t>(deps.size());
   for (TaskId dep : deps) {
     PX_CHECK_GE(dep, 0);
     PX_CHECK_LT(dep, id) << "dependencies must be created before dependents";
-    tasks_[static_cast<size_t>(dep)].children.push_back(id);
-    ++task.deps_remaining;
+    int32_t edge = static_cast<int32_t>(child_edges_.size());
+    child_edges_.push_back(ChildEdge{id, -1});
+    Task& parent = tasks_[static_cast<size_t>(dep)];
+    if (parent.last_child == -1) {
+      parent.first_child = edge;
+    } else {
+      child_edges_[static_cast<size_t>(parent.last_child)].next = edge;
+    }
+    parent.last_child = edge;
   }
-  tasks_.push_back(std::move(task));
+  tasks_.push_back(task);
   return id;
 }
 
@@ -25,7 +90,7 @@ TaskId TaskGraph::AddGpuCompute(int machine, int gpu, double seconds,
   t.machine = machine;
   t.gpu = gpu;
   t.seconds = seconds;
-  return AddTask(std::move(t), deps);
+  return AddTask(t, deps);
 }
 
 TaskId TaskGraph::AddCpuWork(int machine, double seconds, std::span<const TaskId> deps) {
@@ -33,11 +98,11 @@ TaskId TaskGraph::AddCpuWork(int machine, double seconds, std::span<const TaskId
   t.kind = TaskKind::kCpuWork;
   t.machine = machine;
   t.seconds = seconds;
-  return AddTask(std::move(t), deps);
+  return AddTask(t, deps);
 }
 
 TaskId TaskGraph::AddTransfer(int src_machine, int dst_machine, int64_t bytes,
-                              std::span<const TaskId> deps) {
+                              std::span<const TaskId> deps, double post_delay_seconds) {
   PX_CHECK_NE(src_machine, dst_machine)
       << "same-machine traffic must use AddLocalTransfer (local communication is "
          "NIC-free, as in the paper's section 3.1 analysis)";
@@ -46,103 +111,111 @@ TaskId TaskGraph::AddTransfer(int src_machine, int dst_machine, int64_t bytes,
   t.machine = src_machine;
   t.dst_machine = dst_machine;
   t.bytes = bytes;
-  return AddTask(std::move(t), deps);
+  t.seconds = post_delay_seconds;
+  return AddTask(t, deps);
 }
 
-TaskId TaskGraph::AddLocalTransfer(int machine, int64_t bytes, std::span<const TaskId> deps) {
+TaskId TaskGraph::AddLocalTransfer(int machine, int64_t bytes, std::span<const TaskId> deps,
+                                   double post_delay_seconds) {
   Task t;
   t.kind = TaskKind::kLocalTransfer;
   t.machine = machine;
   t.bytes = bytes;
-  return AddTask(std::move(t), deps);
+  t.seconds = post_delay_seconds;
+  return AddTask(t, deps);
 }
 
 TaskId TaskGraph::AddDelay(double seconds, std::span<const TaskId> deps) {
   Task t;
   t.kind = TaskKind::kDelay;
   t.seconds = seconds;
-  return AddTask(std::move(t), deps);
+  return AddTask(t, deps);
 }
 
 TaskId TaskGraph::AddBarrier(std::span<const TaskId> deps) {
   Task t;
   t.kind = TaskKind::kBarrier;
-  return AddTask(std::move(t), deps);
+  return AddTask(t, deps);
+}
+
+void TaskGraph::Reset() {
+  tasks_.clear();
+  child_edges_.clear();
+  executed_ = false;
 }
 
 TaskResult TaskGraph::Execute(Cluster& cluster, SimTime start_time) {
-  PX_CHECK(!executed_) << "TaskGraph::Execute may only be called once";
-  executed_ = true;
+  const size_t n = tasks_.size();
+  if (deps_remaining_.size() < n) {
+    deps_remaining_.resize(n);
+    ready_time_.resize(n);
+    finish_time_.resize(n);
+  }
 
   // Min-heap of ready tasks ordered by (ready_time, id): the deterministic service order.
-  using Entry = std::pair<SimTime, TaskId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
-
-  for (size_t i = 0; i < tasks_.size(); ++i) {
-    if (tasks_[i].deps_remaining == 0) {
-      tasks_[i].ready_time = start_time;
-      ready.emplace(start_time, static_cast<TaskId>(i));
+  // Roots arrive in ascending id with equal times, so these pushes are all O(1).
+  ready_heap_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    deps_remaining_[i] = tasks_[i].num_deps;
+    ready_time_[i] = start_time;
+    finish_time_[i] = start_time;
+    if (tasks_[i].num_deps == 0) {
+      ready_heap_.emplace_back(start_time, static_cast<TaskId>(i));
     }
   }
 
   size_t scheduled = 0;
   SimTime last_finish = start_time;
-  while (!ready.empty()) {
-    auto [ready_time, id] = ready.top();
-    ready.pop();
-    Task& task = tasks_[static_cast<size_t>(id)];
-    SimTime finish = ready_time;
+  while (!ready_heap_.empty()) {
+    auto [ready, id] = HeapPop(ready_heap_);
+    const Task& task = tasks_[static_cast<size_t>(id)];
+    SimTime finish = ready;
     switch (task.kind) {
       case TaskKind::kGpuCompute: {
         MachineSim& m = cluster.machine(task.machine);
         PX_CHECK_LT(static_cast<size_t>(task.gpu), m.gpus.size());
-        finish = m.gpus[static_cast<size_t>(task.gpu)].Schedule(ready_time, task.seconds);
+        finish = m.gpus[static_cast<size_t>(task.gpu)].Schedule(ready, task.seconds);
         break;
       }
       case TaskKind::kCpuWork: {
-        finish = cluster.machine(task.machine).cores.Schedule(ready_time, task.seconds);
+        finish = cluster.machine(task.machine).cores.Schedule(ready, task.seconds);
         break;
       }
       case TaskKind::kTransfer: {
-        // Store-and-forward: the transfer serializes through the sender's out-link, then
-        // through the receiver's in-link, each a FIFO byte queue. The two queues are
-        // decoupled (no mutual reservation), so many-to-many traffic has no artificial
-        // convoy stalls while incast still queues honestly at the receiver. One
-        // propagation latency per hop.
-        LinkQueue& out = cluster.machine(task.machine).nic_out;
-        LinkQueue& in = cluster.machine(task.dst_machine).nic_in;
-        SimTime out_done = out.ScheduleSerialization(ready_time, task.bytes);
-        SimTime in_done = in.ScheduleSerialization(out_done, task.bytes);
-        finish = in_done + out.latency();
+        MachineSim& src = cluster.machine(task.machine);
+        MachineSim& dst = cluster.machine(task.dst_machine);
+        finish = ScheduleStoreAndForward(src.nic_out, dst.nic_in, ready, task.bytes) +
+                 task.seconds;
         break;
       }
       case TaskKind::kLocalTransfer: {
-        LinkQueue& out = cluster.machine(task.machine).pcie_out;
-        LinkQueue& in = cluster.machine(task.machine).pcie_in;
-        SimTime out_done = out.ScheduleSerialization(ready_time, task.bytes);
-        SimTime in_done = in.ScheduleSerialization(out_done, task.bytes);
-        finish = in_done + out.latency();
+        MachineSim& m = cluster.machine(task.machine);
+        finish = ScheduleStoreAndForward(m.pcie_out, m.pcie_in, ready, task.bytes) +
+                 task.seconds;
         break;
       }
       case TaskKind::kDelay:
-        finish = ready_time + task.seconds;
+        finish = ready + task.seconds;
         break;
       case TaskKind::kBarrier:
-        finish = ready_time;
+        finish = ready;
         break;
     }
-    task.finish_time = finish;
+    finish_time_[static_cast<size_t>(id)] = finish;
     last_finish = std::max(last_finish, finish);
     ++scheduled;
-    for (TaskId child_id : task.children) {
-      Task& child = tasks_[static_cast<size_t>(child_id)];
-      child.ready_time = std::max(child.ready_time, finish);
-      if (--child.deps_remaining == 0) {
-        ready.emplace(std::max(child.ready_time, start_time), child_id);
+    for (int32_t edge = task.first_child; edge != -1;
+         edge = child_edges_[static_cast<size_t>(edge)].next) {
+      TaskId child = child_edges_[static_cast<size_t>(edge)].child;
+      SimTime& child_ready = ready_time_[static_cast<size_t>(child)];
+      child_ready = std::max(child_ready, finish);
+      if (--deps_remaining_[static_cast<size_t>(child)] == 0) {
+        HeapPush(ready_heap_, {std::max(child_ready, start_time), child});
       }
     }
   }
   PX_CHECK_EQ(scheduled, tasks_.size()) << "task graph contains unreachable tasks";
+  executed_ = true;
 
   TaskResult result;
   result.finish_time = last_finish;
@@ -154,7 +227,26 @@ SimTime TaskGraph::FinishTime(TaskId id) const {
   PX_CHECK(executed_);
   PX_CHECK_GE(id, 0);
   PX_CHECK_LT(static_cast<size_t>(id), tasks_.size());
-  return tasks_[static_cast<size_t>(id)].finish_time;
+  return finish_time_[static_cast<size_t>(id)];
+}
+
+uint64_t TaskGraph::StructuralFingerprint() const {
+  uint64_t hash = kFnvOffsetBasis;
+  for (const Task& task : tasks_) {
+    hash = FnvMix64(hash, static_cast<uint64_t>(task.kind));
+    hash = FnvMix64(hash, static_cast<uint64_t>(task.machine));
+    hash = FnvMix64(hash, static_cast<uint64_t>(task.gpu));
+    hash = FnvMix64(hash, static_cast<uint64_t>(task.dst_machine));
+    hash = FnvMix64(hash, static_cast<uint64_t>(task.bytes));
+    hash = FnvMix64(hash, DoubleBits(task.seconds));
+    hash = FnvMix64(hash, static_cast<uint64_t>(task.num_deps));
+    for (int32_t edge = task.first_child; edge != -1;
+         edge = child_edges_[static_cast<size_t>(edge)].next) {
+      hash = FnvMix64(hash,
+                      static_cast<uint64_t>(child_edges_[static_cast<size_t>(edge)].child));
+    }
+  }
+  return hash;
 }
 
 }  // namespace parallax

@@ -7,12 +7,20 @@
 // communication with computation, incast queueing, ring pipelining, and CPU-side
 // aggregation parallelism all emerge from the DAG structure plus the FIFO resource
 // queues; nothing is closed-form.
+//
+// A TaskGraph is an arena: task records, the child-edge pool, the ready-heap, and the
+// per-run state (dependency counters, ready/finish times) are all owned by the graph and
+// reused. Reset() drops the tasks but keeps every buffer's capacity, and Execute() never
+// mutates the graph structure, so the steady-state pattern of the partition search —
+// Reset, rebuild the same-shaped iteration DAG, Execute, thousands of times — performs
+// zero heap allocations after the first iteration (see tests/sim_steady_state_test.cc).
 #ifndef PARALLAX_SRC_SIM_TASK_GRAPH_H_
 #define PARALLAX_SRC_SIM_TASK_GRAPH_H_
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/cluster.h"
@@ -25,7 +33,7 @@ inline constexpr TaskId kNoTask = -1;
 enum class TaskKind : uint8_t {
   kGpuCompute,     // occupies machine.gpus[gpu]
   kCpuWork,        // occupies one core of machine.cores
-  kTransfer,       // src machine NIC out + dst machine NIC in (cut-through)
+  kTransfer,       // src machine NIC out + dst machine NIC in (store-and-forward)
   kLocalTransfer,  // machine PCIe out + in (GPU<->host or GPU<->GPU staging)
   kDelay,          // fixed latency, no resource
   kBarrier,        // zero-cost join node
@@ -40,9 +48,13 @@ class TaskGraph {
  public:
   TaskId AddGpuCompute(int machine, int gpu, double seconds, std::span<const TaskId> deps);
   TaskId AddCpuWork(int machine, double seconds, std::span<const TaskId> deps);
+  // post_delay_seconds is a fixed latency appended after the transfer completes (e.g. a
+  // collective's per-step launch overhead) — it delays dependents without occupying the
+  // links, replacing a separate kDelay task per transfer in ring schedules.
   TaskId AddTransfer(int src_machine, int dst_machine, int64_t bytes,
-                     std::span<const TaskId> deps);
-  TaskId AddLocalTransfer(int machine, int64_t bytes, std::span<const TaskId> deps);
+                     std::span<const TaskId> deps, double post_delay_seconds = 0.0);
+  TaskId AddLocalTransfer(int machine, int64_t bytes, std::span<const TaskId> deps,
+                          double post_delay_seconds = 0.0);
   TaskId AddDelay(double seconds, std::span<const TaskId> deps);
   TaskId AddBarrier(std::span<const TaskId> deps);
 
@@ -70,13 +82,25 @@ class TaskGraph {
 
   size_t num_tasks() const { return tasks_.size(); }
 
+  // Drops every task but keeps the capacity of all internal storage, so rebuilding a
+  // same-shaped DAG allocates nothing.
+  void Reset();
+
   // Runs the DAG against the cluster starting at `start_time`. Every task must be
   // reachable (no dependency cycles by construction: deps must precede the task).
-  // May be called once per graph instance.
+  // The graph is not consumed: Execute may be called repeatedly, against the same or
+  // different clusters, and returns identical makespans for identical cluster state.
   TaskResult Execute(Cluster& cluster, SimTime start_time = 0.0);
 
-  // Valid after Execute(): absolute finish time of a task.
+  // Valid after Execute(): absolute finish time of a task in the most recent run.
+  // Adding tasks or Reset() invalidates finish times until the next Execute().
   SimTime FinishTime(TaskId id) const;
+
+  // Order-sensitive hash of the full graph structure (task kinds, resources, byte and
+  // time payloads, dependency lists). Two graphs built by identical Add* sequences have
+  // equal fingerprints; used to assert cached collective schedules replay byte-for-byte
+  // identically to freshly built ones.
+  uint64_t StructuralFingerprint() const;
 
  private:
   struct Task {
@@ -86,15 +110,28 @@ class TaskGraph {
     int dst_machine = 0;
     int64_t bytes = 0;
     double seconds = 0.0;
-    int32_t deps_remaining = 0;
-    SimTime ready_time = 0.0;
-    SimTime finish_time = 0.0;
-    std::vector<TaskId> children;
+    int32_t num_deps = 0;
+    int32_t first_child = -1;  // head of this task's child list in child_edges_
+    int32_t last_child = -1;   // tail, so children stay in dependency-add order
+  };
+  // Intrusive singly-linked child lists over one pooled edge vector: appending an edge
+  // never allocates per-task storage, which is what made the seed's per-task
+  // std::vector<TaskId> children the dominant cost of graph construction.
+  struct ChildEdge {
+    TaskId child = kNoTask;
+    int32_t next = -1;
   };
 
   TaskId AddTask(Task task, std::span<const TaskId> deps);
 
   std::vector<Task> tasks_;
+  std::vector<ChildEdge> child_edges_;
+
+  // Per-run working state, sized on demand and reused across Execute() calls.
+  std::vector<int32_t> deps_remaining_;
+  std::vector<SimTime> ready_time_;
+  std::vector<SimTime> finish_time_;
+  std::vector<std::pair<SimTime, TaskId>> ready_heap_;
   bool executed_ = false;
 };
 

@@ -1,0 +1,234 @@
+// Cached collective schedules must be byte-identical to freshly built ones: the
+// CollectiveScheduleCache replays a stored SchedulePlan into the task graph, and the
+// resulting task sequence (kinds, machines, payloads, dependency lists) has to match
+// what the uncached builder emits, across layouts, sizes, and dependency shapes.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/comm/collectives.h"
+
+namespace parallax {
+namespace {
+
+ClusterSpec FlatSpec(int machines, int gpus) {
+  ClusterSpec spec;
+  spec.num_machines = machines;
+  spec.gpus_per_machine = gpus;
+  spec.nic_bandwidth = 1e9;
+  spec.nic_latency = 1e-6;
+  spec.pcie_bandwidth = 4e9;
+  spec.pcie_latency = 1e-6;
+  return spec;
+}
+
+std::vector<int> AllMachines(int n) {
+  std::vector<int> machines(static_cast<size_t>(n));
+  for (int m = 0; m < n; ++m) {
+    machines[static_cast<size_t>(m)] = m;
+  }
+  return machines;
+}
+
+// Builds the same collective three ways — no cache, cold cache, warm cache — and
+// asserts structural fingerprints, task counts, and executed makespans are identical.
+// `add` receives the graph and an optional cache; `make_deps` seeds per-participant
+// dependency tasks (identically into every graph).
+void ExpectCachedMatchesFresh(
+    const ClusterSpec& spec,
+    const std::function<std::vector<TaskId>(TaskGraph&)>& make_deps,
+    const std::function<CollectiveSchedule(TaskGraph&, const std::vector<TaskId>&,
+                                           CollectiveScheduleCache*)>& add) {
+  TaskGraph fresh;
+  CollectiveSchedule fresh_schedule = add(fresh, make_deps(fresh), nullptr);
+
+  CollectiveScheduleCache cache;
+  TaskGraph cold;
+  CollectiveSchedule cold_schedule = add(cold, make_deps(cold), &cache);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  TaskGraph warm;
+  CollectiveSchedule warm_schedule = add(warm, make_deps(warm), &cache);
+  EXPECT_GE(cache.hits(), 1u);
+
+  EXPECT_EQ(fresh.num_tasks(), cold.num_tasks());
+  EXPECT_EQ(fresh.num_tasks(), warm.num_tasks());
+  EXPECT_EQ(fresh.StructuralFingerprint(), cold.StructuralFingerprint());
+  EXPECT_EQ(fresh.StructuralFingerprint(), warm.StructuralFingerprint());
+  ASSERT_EQ(fresh_schedule.done.size(), warm_schedule.done.size());
+  for (size_t i = 0; i < fresh_schedule.done.size(); ++i) {
+    EXPECT_EQ(fresh_schedule.done[i], warm_schedule.done[i]) << "done[" << i << "]";
+  }
+  EXPECT_EQ(fresh_schedule.all_done, warm_schedule.all_done);
+  EXPECT_EQ(cold_schedule.all_done, warm_schedule.all_done);
+
+  Cluster fresh_cluster(spec);
+  Cluster warm_cluster(spec);
+  TaskResult fresh_result = fresh.Execute(fresh_cluster);
+  TaskResult warm_result = warm.Execute(warm_cluster);
+  EXPECT_EQ(fresh_result.makespan, warm_result.makespan);
+  EXPECT_EQ(fresh_result.finish_time, warm_result.finish_time);
+}
+
+TEST(ScheduleCacheTest, RingAllReduceAcrossSizes) {
+  for (int n : {1, 2, 4, 8}) {
+    for (int64_t bytes : {1'000ll, 8'000'003ll}) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " bytes=" << bytes);
+      ExpectCachedMatchesFresh(
+          FlatSpec(n, 1),
+          [n](TaskGraph& graph) {
+            std::vector<TaskId> deps;
+            for (int i = 0; i < n; ++i) {
+              deps.push_back(graph.AddDelay(1e-4 * (i + 1)));
+            }
+            return deps;
+          },
+          [n, bytes](TaskGraph& graph, const std::vector<TaskId>& deps,
+                     CollectiveScheduleCache* cache) {
+            return AddRingAllReduce(graph, AllMachines(n), bytes, deps,
+                                    CollectiveOptions{}, cache);
+          });
+    }
+  }
+}
+
+TEST(ScheduleCacheTest, RingAllReduceWithAbsentDeps) {
+  // kNoTask deps change the emitted structure (no receiver gate barriers); the cached
+  // plan must collapse to exactly the shape the direct builder produces.
+  const int n = 4;
+  ExpectCachedMatchesFresh(
+      FlatSpec(n, 1),
+      [](TaskGraph&) { return std::vector<TaskId>(n, kNoTask); },
+      [](TaskGraph& graph, const std::vector<TaskId>& deps,
+         CollectiveScheduleCache* cache) {
+        return AddRingAllReduce(graph, AllMachines(n), 4'000'000, deps,
+                                CollectiveOptions{}, cache);
+      });
+}
+
+TEST(ScheduleCacheTest, RingAllReduceWithMixedDeps) {
+  const int n = 5;
+  ExpectCachedMatchesFresh(
+      FlatSpec(n, 1),
+      [](TaskGraph& graph) {
+        std::vector<TaskId> deps(n, kNoTask);
+        deps[1] = graph.AddDelay(0.5);
+        deps[3] = graph.AddDelay(0.25);
+        return deps;
+      },
+      [](TaskGraph& graph, const std::vector<TaskId>& deps,
+         CollectiveScheduleCache* cache) {
+        return AddRingAllReduce(graph, AllMachines(n), 10'000'000, deps,
+                                CollectiveOptions{}, cache);
+      });
+}
+
+TEST(ScheduleCacheTest, RingAllGathervUniformAndSkewedBlocks) {
+  const int n = 6;
+  for (bool skewed : {false, true}) {
+    SCOPED_TRACE(testing::Message() << "skewed=" << skewed);
+    std::vector<int64_t> blocks(static_cast<size_t>(n), 1'000'000);
+    if (skewed) {
+      for (int i = 0; i < n; ++i) {
+        blocks[static_cast<size_t>(i)] = 100'000 * (i + 1);
+      }
+    }
+    ExpectCachedMatchesFresh(
+        FlatSpec(n, 1),
+        [](TaskGraph& graph) {
+          std::vector<TaskId> deps;
+          for (int i = 0; i < n; ++i) {
+            deps.push_back(graph.AddDelay(1e-5));
+          }
+          return deps;
+        },
+        [&blocks](TaskGraph& graph, const std::vector<TaskId>& deps,
+                  CollectiveScheduleCache* cache) {
+          return AddRingAllGatherv(graph, AllMachines(n), blocks, deps,
+                                   CollectiveOptions{}, cache);
+        });
+  }
+}
+
+TEST(ScheduleCacheTest, HierarchicalAllReduceAcrossLayouts) {
+  for (auto [machines, gpus] : {std::pair{1, 4}, {2, 1}, {2, 4}, {4, 6}}) {
+    SCOPED_TRACE(testing::Message() << machines << "x" << gpus);
+    RankLayout layout{machines, gpus};
+    ExpectCachedMatchesFresh(
+        FlatSpec(machines, gpus),
+        [layout](TaskGraph& graph) {
+          std::vector<TaskId> deps;
+          for (int r = 0; r < layout.num_ranks(); ++r) {
+            deps.push_back(graph.AddDelay(1e-5 * (r % 3 + 1)));
+          }
+          return deps;
+        },
+        [layout](TaskGraph& graph, const std::vector<TaskId>& deps,
+                 CollectiveScheduleCache* cache) {
+          return AddHierarchicalAllReduce(graph, layout, 4'000'000, deps,
+                                          CollectiveOptions{}, cache);
+        });
+  }
+}
+
+TEST(ScheduleCacheTest, RankRingAllGathervAcrossLayouts) {
+  for (auto [machines, gpus] : {std::pair{1, 1}, {2, 2}, {3, 4}}) {
+    SCOPED_TRACE(testing::Message() << machines << "x" << gpus);
+    RankLayout layout{machines, gpus};
+    std::vector<int64_t> blocks(static_cast<size_t>(layout.num_ranks()), 500'000);
+    ExpectCachedMatchesFresh(
+        FlatSpec(machines, gpus),
+        [layout](TaskGraph& graph) {
+          std::vector<TaskId> deps;
+          for (int r = 0; r < layout.num_ranks(); ++r) {
+            deps.push_back(graph.AddDelay(2e-5));
+          }
+          return deps;
+        },
+        [layout, &blocks](TaskGraph& graph, const std::vector<TaskId>& deps,
+                          CollectiveScheduleCache* cache) {
+          return AddRankRingAllGatherv(graph, layout, blocks, deps, CollectiveOptions{},
+                                       cache);
+        });
+  }
+}
+
+TEST(ScheduleCacheTest, DistinctKeysGetDistinctPlans) {
+  CollectiveScheduleCache cache;
+  CollectiveOptions options;
+  cache.RingAllReduce(4, 1000, options);
+  cache.RingAllReduce(4, 2000, options);
+  cache.RingAllReduce(8, 1000, options);
+  CollectiveOptions no_overhead;
+  no_overhead.step_overhead = 0.0;
+  cache.RingAllReduce(4, 1000, no_overhead);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.RingAllReduce(4, 1000, options);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ScheduleCacheTest, PlanIsRelocatableAcrossMachineLists) {
+  // One cached plan serves any machine list of the same size: the ring over machines
+  // {0,1,2} and the ring over {3,1,5} replay the same plan through different tables.
+  CollectiveScheduleCache cache;
+  ClusterSpec spec = FlatSpec(6, 1);
+  TaskGraph graph_a;
+  std::vector<TaskId> deps(3, kNoTask);
+  AddRingAllReduce(graph_a, {0, 1, 2}, 3'000'000, deps, CollectiveOptions{}, &cache);
+  TaskGraph graph_b;
+  AddRingAllReduce(graph_b, {3, 1, 5}, 3'000'000, deps, CollectiveOptions{}, &cache);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(graph_a.num_tasks(), graph_b.num_tasks());
+  // Same schedule, different machines: equal makespans on symmetric clusters.
+  Cluster cluster_a(spec);
+  Cluster cluster_b(spec);
+  EXPECT_EQ(graph_a.Execute(cluster_a).makespan, graph_b.Execute(cluster_b).makespan);
+  EXPECT_EQ(cluster_a.NicBytes(0), cluster_b.NicBytes(3));
+}
+
+}  // namespace
+}  // namespace parallax

@@ -1,0 +1,240 @@
+// Steady-state guarantees of the simulation hot path:
+//  - TaskGraph::Execute is repeatable and deterministic (identical makespans across
+//    repeated runs on a reused graph),
+//  - the Reset/rebuild/Execute cycle and SimulateIteration perform zero heap
+//    allocations once warm (the property the partition search relies on),
+//  - sharing a SimulationArena across simulators changes nothing about the results.
+//
+// Allocation counting replaces global operator new/delete for this binary; the counters
+// are only inspected inside explicit windows, so gtest's own allocations don't matter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "src/core/iteration_sim.h"
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}  // namespace
+
+// GCC pairs the replaced operator new (malloc-backed) with the replaced operator
+// delete (free-backed) across inlining and then warns about the very pairing these
+// replacements establish; the combination is intentional.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace parallax {
+namespace {
+
+size_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+ClusterSpec TinySpec() {
+  ClusterSpec spec;
+  spec.num_machines = 4;
+  spec.gpus_per_machine = 2;
+  spec.cores_per_machine = 4;
+  spec.nic_bandwidth = 1e9;
+  spec.nic_latency = 1e-6;
+  spec.pcie_bandwidth = 4e9;
+  spec.pcie_latency = 1e-6;
+  return spec;
+}
+
+// A PS-shaped DAG: fan-out transfers plus serial accumulator chains.
+void BuildPsShapedDag(TaskGraph& graph, int shards, int ranks) {
+  for (int s = 0; s < shards; ++s) {
+    TaskId acc = kNoTask;
+    for (int r = 0; r < ranks; ++r) {
+      int machine = r / 2;
+      int server = s % 4;
+      TaskId push = machine == server ? graph.AddLocalTransfer(machine, 100'000)
+                                      : graph.AddTransfer(machine, server, 100'000);
+      TaskId deps[2] = {push, acc};
+      acc = graph.AddCpuWork(server, 1e-5,
+                             std::span<const TaskId>(deps, acc == kNoTask ? 1u : 2u));
+    }
+  }
+}
+
+std::vector<VariableSync> HybridVariables(int partitions) {
+  std::vector<VariableSync> vars;
+  VariableSync embedding;
+  embedding.spec = {"embedding", 1'000'000, 64, true, 0.02};
+  embedding.method = SyncMethod::kPs;
+  embedding.partitions = partitions;
+  vars.push_back(embedding);
+  VariableSync dense;
+  dense.spec = {"dense", 500'000, 1, false, 1.0};
+  dense.method = SyncMethod::kArAllReduce;
+  vars.push_back(dense);
+  VariableSync softmax;
+  softmax.spec = {"softmax", 800'000, 64, true, 0.05};
+  softmax.method = SyncMethod::kArAllGatherv;
+  vars.push_back(softmax);
+  return vars;
+}
+
+IterationSimConfig HybridSimConfig(GathervAlgorithm gatherv) {
+  IterationSimConfig config;
+  config.ps_local_aggregation = true;
+  config.ps_machine_level_pulls = true;
+  config.gatherv_algorithm = gatherv;
+  return config;
+}
+
+TEST(TaskGraphSteadyStateTest, RepeatedExecuteIsDeterministic) {
+  TaskGraph graph;
+  BuildPsShapedDag(graph, 16, 8);
+  Cluster first(TinySpec());
+  Cluster second(TinySpec());
+  Cluster third(TinySpec());
+  TaskResult a = graph.Execute(first);
+  TaskResult b = graph.Execute(second);
+  TaskResult c = graph.Execute(third);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.makespan, c.makespan);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+}
+
+TEST(TaskGraphSteadyStateTest, RepeatedExecuteAllocatesNothing) {
+  TaskGraph graph;
+  BuildPsShapedDag(graph, 16, 8);
+  Cluster warm_cluster(TinySpec());
+  graph.Execute(warm_cluster);  // sizes the run-state arrays
+
+  Cluster cluster(TinySpec());
+  size_t before = AllocCount();
+  graph.Execute(cluster);
+  EXPECT_EQ(AllocCount() - before, 0u);
+}
+
+TEST(TaskGraphSteadyStateTest, ResetRebuildExecuteAllocatesNothingAndIsDeterministic) {
+  TaskGraph graph;
+  BuildPsShapedDag(graph, 16, 8);
+  Cluster warm_cluster(TinySpec());
+  SimTime reference = graph.Execute(warm_cluster).makespan;
+
+  for (int round = 0; round < 3; ++round) {
+    Cluster cluster(TinySpec());
+    size_t before = AllocCount();
+    graph.Reset();
+    BuildPsShapedDag(graph, 16, 8);
+    TaskResult result = graph.Execute(cluster);
+    EXPECT_EQ(AllocCount() - before, 0u) << "round " << round;
+    EXPECT_EQ(result.makespan, reference) << "round " << round;
+  }
+}
+
+TEST(TaskGraphSteadyStateTest, ResetPreservesFingerprintOfIdenticalRebuild) {
+  TaskGraph graph;
+  BuildPsShapedDag(graph, 8, 8);
+  uint64_t fingerprint = graph.StructuralFingerprint();
+  graph.Reset();
+  EXPECT_EQ(graph.num_tasks(), 0u);
+  BuildPsShapedDag(graph, 8, 8);
+  EXPECT_EQ(graph.StructuralFingerprint(), fingerprint);
+}
+
+class SimulatorSteadyStateTest : public ::testing::TestWithParam<GathervAlgorithm> {};
+
+TEST_P(SimulatorSteadyStateTest, SimulateIterationIsAllocationFreeOnceWarm) {
+  IterationSimulator sim(TinySpec(), HybridVariables(6), 4e-3, 4,
+                         HybridSimConfig(GetParam()));
+  Cluster cluster(TinySpec());
+  SimTime t = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    t = sim.SimulateIteration(cluster, t);  // warm: sizes scratch, builds plans
+  }
+  size_t before = AllocCount();
+  for (int i = 0; i < 5; ++i) {
+    t = sim.SimulateIteration(cluster, t);
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gatherv, SimulatorSteadyStateTest,
+                         ::testing::Values(GathervAlgorithm::kRing,
+                                           GathervAlgorithm::kBroadcast));
+
+TEST(SimulatorSteadyStateTest, RepeatedRunsAreIdentical) {
+  IterationSimulator sim(TinySpec(), HybridVariables(6), 4e-3, 4,
+                         HybridSimConfig(GathervAlgorithm::kRing));
+  std::vector<double> first = sim.RunIterations(5);
+  std::vector<double> second = sim.RunIterations(5);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "iteration " << i;
+  }
+}
+
+TEST(SimulatorSteadyStateTest, SharedArenaMatchesPrivateArenas) {
+  // The partition-search usage pattern: one arena, a fresh simulator per sampled P.
+  // Results must match simulators that each own a private arena.
+  SimulationArena arena;
+  for (int partitions : {4, 8, 16, 4}) {  // revisit P=4 to exercise cache reuse
+    IterationSimulator shared(TinySpec(), HybridVariables(partitions), 4e-3, 4,
+                              HybridSimConfig(GathervAlgorithm::kRing), &arena);
+    IterationSimulator private_arena(TinySpec(), HybridVariables(partitions), 4e-3, 4,
+                                     HybridSimConfig(GathervAlgorithm::kRing));
+    std::vector<double> a = shared.RunIterations(4);
+    std::vector<double> b = private_arena.RunIterations(4);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "P=" << partitions << " iteration " << i;
+    }
+  }
+}
+
+TEST(SimulatorSteadyStateTest, SharedArenaSearchSteadyStateIsAllocationFree) {
+  // After one full pass over the candidate set, re-simulating any candidate through the
+  // shared arena allocates nothing (the RunIterations wrapper itself allocates a
+  // Cluster and result vector, so drive SimulateIteration directly).
+  SimulationArena arena;
+  IterationSimConfig config = HybridSimConfig(GathervAlgorithm::kRing);
+  for (int partitions : {4, 8, 16}) {
+    IterationSimulator sim(TinySpec(), HybridVariables(partitions), 4e-3, 4, config,
+                           &arena);
+    Cluster cluster(TinySpec());
+    SimTime t = 0.0;
+    for (int i = 0; i < 2; ++i) {
+      t = sim.SimulateIteration(cluster, t);
+    }
+  }
+  for (int partitions : {4, 8, 16}) {
+    IterationSimConfig local_config = config;
+    std::vector<VariableSync> vars = HybridVariables(partitions);
+    Cluster cluster(TinySpec());
+    IterationSimulator sim(TinySpec(), std::move(vars), 4e-3, 4, local_config, &arena);
+    SimTime t = sim.SimulateIteration(cluster, 0.0);
+    size_t before = AllocCount();
+    for (int i = 0; i < 4; ++i) {
+      t = sim.SimulateIteration(cluster, t);
+    }
+    EXPECT_EQ(AllocCount() - before, 0u) << "P=" << partitions;
+  }
+}
+
+}  // namespace
+}  // namespace parallax

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Fails when README.md or docs/*.md contain relative links to paths that don't exist.
+
+Checks every Markdown inline link `[text](target)`. External targets (http/https/
+mailto) and pure in-page anchors (#...) are skipped; everything else is resolved
+relative to the file containing the link and must exist in the repo.
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    dead = []
+    for md in files:
+        if not md.exists():
+            dead.append(f"{md.relative_to(root)}: file listed for checking does not exist")
+            continue
+        for line_number, line in enumerate(md.read_text().splitlines(), start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                if not (md.parent / path).exists():
+                    dead.append(f"{md.relative_to(root)}:{line_number}: dead link {target}")
+    if dead:
+        print("dead relative links found:")
+        for entry in dead:
+            print(f"  {entry}")
+        return 1
+    print(f"checked {len(files)} markdown files: no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
