@@ -9,6 +9,8 @@
 #include "src/comm/collectives.h"
 #include "src/core/cost_model.h"
 #include "src/core/iteration_sim.h"
+#include "src/graph/executor.h"
+#include "src/models/trainable.h"
 #include "src/ps/partition.h"
 #include "src/tensor/sparse_workspace.h"
 #include "src/tensor/tensor_ops.h"
@@ -358,6 +360,110 @@ void BM_CostModelFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CostModelFit);
+
+// ---- Multi-variable fused aggregation (the SyncEngine step path) ---------------------
+//
+// A training step's sparse synchronization: V variables x R ranks of IndexedSlices.
+// Per-variable = one Sum pipeline per variable (the pre-SyncEngine engine step);
+// fused = all variables through one MultiVariableSum workspace pass, as the PS engine
+// now runs it. Args are {per-rank nnz per variable, V, variable rows}: the first regime
+// is a few large embeddings (the LM/NMT shape), the second many small embedding tables
+// (the recommendation-model shape, where per-variable pipeline overhead dominates).
+
+constexpr int kMultiRanks = 8;
+
+std::vector<std::vector<IndexedSlices>> MakeMultiVarGrads(int64_t nnz, int64_t vars,
+                                                          int64_t rows) {
+  std::vector<std::vector<IndexedSlices>> per_var(static_cast<size_t>(vars));
+  for (int64_t v = 0; v < vars; ++v) {
+    for (int r = 0; r < kMultiRanks; ++r) {
+      per_var[static_cast<size_t>(v)].push_back(
+          MakeSlices(rows, 64, nnz, static_cast<uint64_t>(100 + v * kMultiRanks + r)));
+    }
+  }
+  return per_var;
+}
+
+// The full per-variable step path: aggregate (Sum), scale, and scatter-apply into the
+// parameter tensor — what the pre-SyncEngine PS engine ran once per variable.
+void BM_MultiVarAggApplyPerVariable(benchmark::State& state) {
+  auto per_var = MakeMultiVarGrads(state.range(0), state.range(1), state.range(2));
+  std::vector<Tensor> params;
+  for (int64_t v = 0; v < state.range(1); ++v) {
+    params.push_back(Tensor::Zeros(TensorShape({state.range(2), 64})));
+  }
+  SparseWorkspace ws;
+  for (auto _ : state) {
+    for (size_t v = 0; v < per_var.size(); ++v) {
+      IndexedSlices aggregated = IndexedSlices::Sum(per_var[v], &ws);
+      aggregated.Scale(1.0f / static_cast<float>(kMultiRanks));
+      ScatterSgdUpdate(params[v], aggregated, 0.1f, &ws);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(1) *
+                          kMultiRanks * 64);
+}
+BENCHMARK(BM_MultiVarAggApplyPerVariable)
+    ->Args({1'000, 6, 100'000})
+    ->Args({10'000, 6, 100'000})
+    ->Args({256, 64, 8'192})
+    ->Args({64, 256, 2'048});
+
+// The fused step path: every variable through one MultiVariableSumStream pass, each
+// coalesced row scaled and applied in place — no intermediate gradient tensors.
+void BM_MultiVarAggApplyFused(benchmark::State& state) {
+  auto per_var = MakeMultiVarGrads(state.range(0), state.range(1), state.range(2));
+  std::vector<Tensor> params;
+  for (int64_t v = 0; v < state.range(1); ++v) {
+    params.push_back(Tensor::Zeros(TensorShape({state.range(2), 64})));
+  }
+  std::vector<SparseSumGroup> groups(per_var.size());
+  for (size_t v = 0; v < per_var.size(); ++v) {
+    for (const IndexedSlices& s : per_var[v]) {
+      groups[v].inputs.push_back(&s);
+    }
+  }
+  SparseWorkspace ws;
+  const float scale = 1.0f / static_cast<float>(kMultiRanks);
+  for (auto _ : state) {
+    MultiVariableSumStream(groups, &ws, [&](int64_t g, int64_t row, const float* values) {
+      float* dst = params[static_cast<size_t>(g)].mutable_floats().data() + row * 64;
+      for (int64_t j = 0; j < 64; ++j) {
+        dst[j] -= 0.1f * (values[j] * scale);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(1) *
+                          kMultiRanks * 64);
+}
+BENCHMARK(BM_MultiVarAggApplyFused)
+    ->Args({1'000, 6, 100'000})
+    ->Args({10'000, 6, 100'000})
+    ->Args({256, 64, 8'192})
+    ->Args({64, 256, 2'048});
+
+// ---- Executor gradient buffer plan ---------------------------------------------------
+
+void RunStepBench(benchmark::State& state, bool use_scratch) {
+  WordLmModel model({.vocab_size = 2000, .embedding_dim = 64, .hidden_dim = 64,
+                     .batch_per_rank = 64, .seed = 9});
+  Executor executor(model.graph());
+  VariableStore store = VariableStore::InitFrom(*model.graph());
+  Rng rng(10);
+  FeedMap feeds = model.TrainShards(1, rng)[0];
+  ExecScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.RunStep(store, feeds, model.loss(),
+                                              use_scratch ? &scratch : nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ExecutorRunStep(benchmark::State& state) { RunStepBench(state, false); }
+BENCHMARK(BM_ExecutorRunStep);
+
+void BM_ExecutorRunStepScratch(benchmark::State& state) { RunStepBench(state, true); }
+BENCHMARK(BM_ExecutorRunStepScratch);
 
 }  // namespace
 }  // namespace parallax

@@ -22,6 +22,8 @@ int main() {
                            .batch_per_rank = 32,
                            .seed = 11});
 
+  // The paper's 3-call API, kept as a compatibility shim over RunnerBuilder (see
+  // quickstart.cpp for the builder form).
   ParallaxConfig config;
   config.learning_rate = 0.5f;
   config.search.warmup_iterations = 3;

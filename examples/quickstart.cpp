@@ -1,15 +1,17 @@
-// Quickstart: train a model on a simulated multi-GPU cluster with the 3-call Parallax
+// Quickstart: train a model on a simulated multi-GPU cluster with the Parallax session
 // API — the C++ rendition of the paper's Figure 3 workflow.
 //
 //   1. build a *single-GPU* graph (placeholders, variables, loss),
 //   2. scope embedding variables under PartitionerScope  (parallax.partitioner()),
 //   3. shard each global batch across the GPUs           (parallax.shard()),
-//   4. GetRunner(...)                                    (parallax.get_runner()),
+//   4. RunnerBuilder(...).WithResources(...).Build()     (parallax.get_runner()),
 //   5. call Step() per iteration.
 //
 // The runner classifies variables by gradient sparsity, auto-tunes the partition count,
-// assigns PS/AR per variable, transforms the graph, trains with real numerics, and
-// advances a simulated cluster clock.
+// assigns each variable a SyncEngine (PS/AR per the hybrid rule — override per variable
+// with WithEngine), transforms the graph, trains with real numerics, and advances a
+// simulated cluster clock. The paper's 3-call GetRunner(graph, loss, resource_info,
+// config) still works as a shim over this builder (see nmt_training.cpp).
 #include <cstdio>
 
 #include "src/base/strings.h"
@@ -29,11 +31,16 @@ int main() {
                      .seed = 7});
 
   // 2 machines x 2 GPUs, as a resource-info string ("hostname:gpu,gpu;...").
-  ParallaxConfig config;
-  config.learning_rate = 0.5f;
-  auto runner_or = GetRunner(model.graph(), model.loss(), "node-a:0,1;node-b:0,1", config);
+  // WithEngine routes variables to registered engines by name pattern; "ps"/"ar" are
+  // what the hybrid rule would pick anyway — shown here as the override hook ("async_ps"
+  // or any custom-registered strategy plugs in the same way).
+  auto runner_or = RunnerBuilder(model.graph(), model.loss())
+                       .WithResources("node-a:0,1;node-b:0,1")
+                       .WithEngine("emb*", "ps")
+                       .WithLearningRate(0.5f)
+                       .Build();
   if (!runner_or.ok()) {
-    std::fprintf(stderr, "GetRunner failed: %s\n", runner_or.status().ToString().c_str());
+    std::fprintf(stderr, "Build failed: %s\n", runner_or.status().ToString().c_str());
     return 1;
   }
   std::unique_ptr<GraphRunner>& runner = runner_or.value();

@@ -5,13 +5,32 @@
 namespace parallax {
 
 ArNumericEngine::ArNumericEngine(const Graph* graph, int num_ranks, ArNumericConfig config)
-    : graph_(graph), config_(config) {
+    : graph_(graph), config_(std::move(config)) {
   PX_CHECK(graph != nullptr);
   PX_CHECK_GE(num_ranks, 1);
+  set_name("ar");
   replicas_.reserve(static_cast<size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
     replicas_.push_back(VariableStore::InitFrom(*graph));
   }
+}
+
+void ArNumericEngine::Prepare(const SyncPlan& plan) {
+  // Replicas persist (value-preserving re-Prepare); only the routing and aggregation
+  // semantics are refreshed.
+  config_.dense_aggregation = plan.dense_aggregation;
+  config_.sparse_aggregation = plan.sparse_aggregation;
+  config_.managed_variables = plan.ManagedBy(name());
+}
+
+VariableStore ArNumericEngine::View() const {
+  VariableStore view;
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    if (Manages(static_cast<int>(v))) {
+      view.Set(static_cast<int>(v), replicas_.front().Get(static_cast<int>(v)));
+    }
+  }
+  return view;
 }
 
 bool ArNumericEngine::Manages(int variable_index) const {

@@ -6,12 +6,17 @@
 // The replica-consistency invariant is checked after every step (cheap hash comparison),
 // because it is the correctness property that makes the AR architecture "simple": all
 // workers always have the same variable values (paper section 2.1).
+//
+// ArNumericEngine implements the SyncEngine interface (core/sync_engine.h) and registers
+// as "ar". Its timing-plane cost hook routes dense gradients to ring AllReduce and
+// sparse ones to AllGatherv.
 #ifndef PARALLAX_SRC_AR_AR_NUMERIC_H_
 #define PARALLAX_SRC_AR_AR_NUMERIC_H_
 
 #include <vector>
 
 #include "src/comm/reduce.h"
+#include "src/core/sync_engine.h"
 #include "src/graph/executor.h"
 #include "src/graph/graph.h"
 
@@ -26,13 +31,22 @@ struct ArNumericConfig {
   std::vector<int> managed_variables;
 };
 
-class ArNumericEngine {
+class ArNumericEngine : public SyncEngine {
  public:
   ArNumericEngine(const Graph* graph, int num_ranks, ArNumericConfig config = {});
 
+  // SyncEngine:
+  void Prepare(const SyncPlan& plan) override;
   // One synchronous step: aggregates per-rank gradients with collective semantics and
   // applies the result to every replica.
-  void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate);
+  void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate) override;
+  // Managed variables of replica 0 (identical on every rank). Tensors share the
+  // replica's buffers: valid until the next ApplyStep.
+  VariableStore View() const override;
+  SyncMethod CostMethod(GradKind kind) const override {
+    return kind == GradKind::kSparse ? SyncMethod::kArAllGatherv
+                                     : SyncMethod::kArAllReduce;
+  }
 
   // Rank r's replica (all replicas are identical after any step).
   const VariableStore& replica(int rank) const;

@@ -54,4 +54,30 @@ std::string Join(const std::vector<std::string>& parts, const std::string& separ
   return result;
 }
 
+bool GlobMatch(const std::string& text, const std::string& pattern) {
+  // Two-pointer scan with backtracking to the most recent '*' — linear in practice.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star = std::string::npos;  // position of last '*' in pattern
+  size_t star_t = 0;               // text position the last '*' is currently matching to
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
 }  // namespace parallax

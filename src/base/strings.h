@@ -21,6 +21,11 @@ std::string HumanCount(double count);
 // Joins items with a separator.
 std::string Join(const std::vector<std::string>& parts, const std::string& separator);
 
+// Glob match: '*' matches any (possibly empty) substring, '?' any single character,
+// every other character matches itself. Used for variable-name patterns in
+// RunnerBuilder::WithEngine.
+bool GlobMatch(const std::string& text, const std::string& pattern);
+
 }  // namespace parallax
 
 #endif  // PARALLAX_SRC_BASE_STRINGS_H_

@@ -1,22 +1,128 @@
 #include "src/core/api.h"
 
+#include "src/base/strings.h"
+
 namespace parallax {
+
+RunnerBuilder::RunnerBuilder(const Graph* graph, NodeId loss)
+    : graph_(graph), loss_(loss) {}
+
+RunnerBuilder& RunnerBuilder::WithResources(const std::string& resource_info) {
+  StatusOr<ResourceSpec> parsed = ParseResourceSpec(resource_info);
+  if (!parsed.ok()) {
+    resources_status_ = parsed.status();
+    has_resources_ = false;
+    return *this;
+  }
+  return WithResources(std::move(parsed).value());
+}
+
+RunnerBuilder& RunnerBuilder::WithResources(ResourceSpec resources) {
+  resources_ = std::move(resources);
+  resources_status_ = Status::Ok();
+  has_resources_ = true;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithEngine(const std::string& variable_pattern,
+                                         const std::string& engine) {
+  config_.engine_overrides.push_back({variable_pattern, engine});
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithSearch(const PartitionSearchOptions& search) {
+  config_.search = search;
+  config_.auto_partition = true;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithManualPartitions(int partitions) {
+  config_.auto_partition = false;
+  config_.manual_partitions = partitions;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithLearningRate(float learning_rate) {
+  config_.learning_rate = learning_rate;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithLocalAggregation(bool enabled) {
+  config_.local_aggregation = enabled;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithAggregation(AggregationMethod dense,
+                                              AggregationMethod sparse) {
+  config_.dense_aggregation = dense;
+  config_.sparse_aggregation = sparse;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithAlphaThreshold(double alpha_dense_threshold) {
+  config_.alpha_dense_threshold = alpha_dense_threshold;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithHardware(const ClusterSpec& hardware) {
+  config_.hardware = hardware;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithCompute(double gpu_compute_seconds, int compute_chunks) {
+  config_.gpu_compute_seconds = gpu_compute_seconds;
+  config_.compute_chunks = compute_chunks;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithSparseFusion(bool fuse) {
+  config_.fuse_sparse_variables = fuse;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithConfig(ParallaxConfig config) {
+  config_ = std::move(config);
+  return *this;
+}
+
+StatusOr<std::unique_ptr<GraphRunner>> RunnerBuilder::Build() const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("graph must not be null");
+  }
+  if (!resources_status_.ok()) {
+    return resources_status_;
+  }
+  if (!has_resources_) {
+    return Status::InvalidArgument("no resources: call WithResources before Build");
+  }
+  if (!resources_.IsHomogeneous()) {
+    return Status::InvalidArgument(
+        "every machine must contribute the same number of GPUs");
+  }
+  for (const EngineOverride& override : config_.engine_overrides) {
+    if (override.pattern.empty()) {
+      return Status::InvalidArgument("WithEngine: empty variable pattern");
+    }
+    if (!SyncEngineRegistry::Global().Contains(override.engine)) {
+      return Status::InvalidArgument(StrFormat(
+          "WithEngine: unknown sync engine '%s' (registered: %s)",
+          override.engine.c_str(),
+          Join(SyncEngineRegistry::Global().Names(), ", ").c_str()));
+    }
+  }
+  if (config_.manual_partitions < 1) {
+    return Status::InvalidArgument("manual partition count must be >= 1");
+  }
+  return std::make_unique<GraphRunner>(graph_, loss_, resources_, config_);
+}
 
 StatusOr<std::unique_ptr<GraphRunner>> GetRunner(const Graph* graph, NodeId loss,
                                                  const std::string& resource_info,
                                                  ParallaxConfig config) {
-  if (graph == nullptr) {
-    return Status::InvalidArgument("graph must not be null");
-  }
-  StatusOr<ResourceSpec> resources = ParseResourceSpec(resource_info);
-  if (!resources.ok()) {
-    return resources.status();
-  }
-  if (!resources.value().IsHomogeneous()) {
-    return Status::InvalidArgument(
-        "every machine must contribute the same number of GPUs");
-  }
-  return std::make_unique<GraphRunner>(graph, loss, resources.value(), std::move(config));
+  return RunnerBuilder(graph, loss)
+      .WithConfig(std::move(config))
+      .WithResources(resource_info)
+      .Build();
 }
 
 }  // namespace parallax

@@ -1,5 +1,7 @@
-// The 3-call Parallax user API (paper Figure 3): shard the input data, scope variables
-// under a partitioner, and get a runner for the single-GPU graph.
+// The Parallax session API.
+//
+// RunnerBuilder is the front door: name the resources, optionally route variables to
+// synchronization engines by name pattern, tune the search, Build().
 //
 //   Graph graph;
 //   auto ids = graph.Placeholder("ids", DataType::kInt64);
@@ -8,10 +10,21 @@
 //     emb = graph.Variable("embedding", init);
 //   }
 //   ... build loss ...
-//   auto runner = GetRunner(&graph, loss, "m0:0,1;m1:0,1", config);   // get_runner
-//   for (...) runner.value()->Step(ShardFeeds(...));                  // run(train_op)
+//   auto runner = RunnerBuilder(&graph, loss)
+//                     .WithResources("m0:0,1;m1:0,1")
+//                     .WithEngine("emb*", "ps")          // optional per-variable routing
+//                     .WithLearningRate(0.5f)
+//                     .Build();
+//   for (...) runner.value()->Step(ShardFeeds(...));
+//
+// GetRunner — the paper's 3-call get_runner (Figure 3) — remains as a thin
+// compatibility shim over the builder: GetRunner(graph, loss, resource_info, config)
+// is WithConfig(config) + WithResources(resource_info) + Build().
 //
 // Data sharding (parallax.shard) lives with the dataset types in src/data/dataset.h.
+// PartitionerScope (the parallax.partitioner() context) is defined alongside Graph in
+// src/graph/graph.h: it is part of graph *construction*, which is why user code that
+// only builds models does not need the runner layers.
 #ifndef PARALLAX_SRC_CORE_API_H_
 #define PARALLAX_SRC_CORE_API_H_
 
@@ -23,11 +36,53 @@
 
 namespace parallax {
 
-// PartitionerScope (the parallax.partitioner() context) is defined alongside Graph in
-// src/graph/graph.h and re-exported here: it is part of graph *construction*, which is
-// why user code that only builds models does not need the runner layers.
+// Builder-style session construction. Every With* returns *this for chaining; Build()
+// validates (resources present and homogeneous, engine names registered) and returns
+// the runner or the first error.
+class RunnerBuilder {
+ public:
+  RunnerBuilder(const Graph* graph, NodeId loss);
 
-// Builds a runner from a resource-info string ("host:gpu,gpu;host:gpu,gpu").
+  // Resource-info string, "host:gpu,gpu;host:gpu,gpu" (the paper's resource_info_file).
+  RunnerBuilder& WithResources(const std::string& resource_info);
+  RunnerBuilder& WithResources(ResourceSpec resources);
+
+  // Routes variables whose name matches `variable_pattern` (GlobMatch: '*'/'?') to the
+  // engine registered under `engine` ("ps", "ar", "async_ps", or anything registered in
+  // SyncEngineRegistry). Later calls win on overlap; unmatched variables follow the
+  // hybrid rule.
+  RunnerBuilder& WithEngine(const std::string& variable_pattern, const std::string& engine);
+
+  // Partition search options (auto partitioning stays on).
+  RunnerBuilder& WithSearch(const PartitionSearchOptions& search);
+  // Fixed partition count; disables the automatic search.
+  RunnerBuilder& WithManualPartitions(int partitions);
+
+  RunnerBuilder& WithLearningRate(float learning_rate);
+  RunnerBuilder& WithLocalAggregation(bool enabled);
+  RunnerBuilder& WithAggregation(AggregationMethod dense, AggregationMethod sparse);
+  RunnerBuilder& WithAlphaThreshold(double alpha_dense_threshold);
+  RunnerBuilder& WithHardware(const ClusterSpec& hardware);
+  RunnerBuilder& WithCompute(double gpu_compute_seconds, int compute_chunks);
+  RunnerBuilder& WithSparseFusion(bool fuse);
+
+  // Replaces every knob with `config` (engine overrides included) — the bridge the
+  // GetRunner shim rides on. With* calls after this refine the replaced config.
+  RunnerBuilder& WithConfig(ParallaxConfig config);
+
+  StatusOr<std::unique_ptr<GraphRunner>> Build() const;
+
+ private:
+  const Graph* graph_;
+  NodeId loss_;
+  bool has_resources_ = false;
+  ResourceSpec resources_;
+  Status resources_status_ = Status::Ok();
+  ParallaxConfig config_;
+};
+
+// Compatibility shim for the paper's 3-call API: builds a runner from a resource-info
+// string and a monolithic ParallaxConfig via RunnerBuilder.
 StatusOr<std::unique_ptr<GraphRunner>> GetRunner(const Graph* graph, NodeId loss,
                                                  const std::string& resource_info,
                                                  ParallaxConfig config = {});

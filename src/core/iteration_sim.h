@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/comm/collectives.h"
+#include "src/core/sync_engine.h"
 #include "src/models/calibration.h"
 #include "src/models/model_spec.h"
 #include "src/sim/cluster.h"
@@ -34,27 +35,10 @@
 
 namespace parallax {
 
-// How one variable's gradients are synchronized.
-enum class SyncMethod : uint8_t {
-  kPs,            // parameter server shard(s): pull / push / accumulate / update
-  kArAllReduce,   // dense ring AllReduce (also used for sparse-treated-as-dense)
-  kArAllGatherv,  // sparse AllGatherv across ranks
-};
-
-// AllGatherv algorithm. kRing is the bandwidth-optimal schedule; kBroadcast models the
-// OpenMPI fallback the paper had to use ("we inevitably use OpenMPI for AllGatherv,
-// which is not provided by NCCL", section 6.1): every rank sends its block to every
-// other rank, which floods the receiving NICs at scale.
-enum class GathervAlgorithm : uint8_t {
-  kRing,
-  kBroadcast,
-};
-
-struct VariableSync {
-  VariableSpec spec;
-  SyncMethod method = SyncMethod::kPs;
-  int partitions = 1;  // PS only; >1 splits the shard row-wise across servers
-};
+// SyncMethod / GathervAlgorithm / VariableSync — the per-variable synchronization
+// vocabulary this simulator consumes — live in src/core/sync_engine.h with the engine
+// interface, so the numeric engines can implement the seam without including the
+// simulator.
 
 struct IterationSimConfig {
   // OptPS: aggregate gradients within each machine before pushing (one push per machine

@@ -1,5 +1,7 @@
 #include "src/core/runner.h"
 
+#include <algorithm>
+
 #include "src/base/strings.h"
 
 namespace parallax {
@@ -14,6 +16,11 @@ GraphRunner::GraphRunner(const Graph* graph, NodeId loss, const ResourceSpec& re
   PX_CHECK(graph != nullptr);
   PX_CHECK(resources_.IsHomogeneous())
       << "every machine must contribute the same number of GPUs";
+  for (const EngineOverride& override : config_.engine_overrides) {
+    PX_CHECK(SyncEngineRegistry::Global().Contains(override.engine))
+        << "unknown sync engine '" << override.engine << "' (registered: "
+        << Join(SyncEngineRegistry::Global().Names(), ", ") << ")";
+  }
 }
 
 void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_feeds) {
@@ -24,11 +31,11 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
   size_t sample_count = std::min<size_t>(per_rank_feeds.size(), 4);
   samples.reserve(sample_count);
   for (size_t r = 0; r < sample_count; ++r) {
-    samples.push_back(executor_.RunStep(initial, per_rank_feeds[r], loss_));
+    samples.push_back(executor_.RunStep(initial, per_rank_feeds[r], loss_, &exec_scratch_));
   }
-  auto sparsity = AnalyzeSparsity(*graph_, loss_, samples);
+  sparsity_ = AnalyzeSparsity(*graph_, loss_, samples);
 
-  ClusterSpec cluster_spec = resources_.ToClusterSpec(config_.hardware);
+  cluster_spec_ = resources_.ToClusterSpec(config_.hardware);
   HybridOptions hybrid{config_.alpha_dense_threshold};
 
   // 2. Partition search over the simulated training loop (section 3.2). The measure
@@ -37,7 +44,7 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
   bool has_partitioned_sparse = false;
   for (size_t v = 0; v < graph_->variables().size(); ++v) {
     if (graph_->variables()[v].partitioner_scope &&
-        sparsity.at(static_cast<int>(v)).kind == GradKind::kSparse) {
+        sparsity_.at(static_cast<int>(v)).kind == GradKind::kSparse) {
       has_partitioned_sparse = true;
     }
   }
@@ -45,7 +52,7 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
   sim_arena_ = std::make_unique<SimulationArena>();
   if (config_.auto_partition && has_partitioned_sparse) {
     PartitionSearchOptions search = config_.search;
-    search.initial_partitions = cluster_spec.num_machines;
+    search.initial_partitions = cluster_spec_.num_machines;
     IterationSimConfig sim_config;
     sim_config.ps_local_aggregation = config_.local_aggregation;
     sim_config.ps_machine_level_pulls = config_.local_aggregation;
@@ -55,8 +62,8 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
     // simulated iterations behind SearchPartitions run allocation-free in steady state.
     auto measure = [&](int partitions) {
       std::vector<VariableSync> candidate =
-          AssignGraphVariables(*graph_, sparsity, hybrid, partitions);
-      IterationSimulator sim(cluster_spec, candidate, config_.gpu_compute_seconds,
+          AssignGraphVariables(*graph_, sparsity_, hybrid, partitions);
+      IterationSimulator sim(cluster_spec_, candidate, config_.gpu_compute_seconds,
                              config_.compute_chunks, sim_config, sim_arena_.get());
       return sim.MeasureIterationSeconds(search.warmup_iterations,
                                          search.measured_iterations);
@@ -67,44 +74,111 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
                  << search_result_->samples.size() << " sampling runs";
   }
 
-  // 3.+4. Final assignment and graph transformation.
-  assignment_ = AssignGraphVariables(*graph_, sparsity, hybrid, chosen_partitions_);
-  distributed_graph_.emplace(
-      TransformGraph(*graph_, assignment_, resources_, config_.local_aggregation));
-
-  // 5. Numeric engines for the two variable families.
-  std::vector<int> ps_vars;
-  std::vector<int> ar_vars;
-  for (size_t v = 0; v < assignment_.size(); ++v) {
-    (assignment_[v].method == SyncMethod::kPs ? ps_vars : ar_vars)
-        .push_back(static_cast<int>(v));
+  // 3. The SyncPlan: hybrid assignment, then per-variable engine routing. Unmatched
+  //    variables follow the hybrid rule; overrides route by name pattern, with the
+  //    engine's cost hook supplying the timing-plane method.
+  plan_.variables = AssignGraphVariables(*graph_, sparsity_, hybrid, chosen_partitions_);
+  plan_.engines.assign(plan_.variables.size(), std::string());
+  plan_.num_ranks = num_ranks();
+  plan_.ranks_per_machine = cluster_spec_.gpus_per_machine;
+  plan_.sparse_partitions = chosen_partitions_;
+  plan_.local_aggregation = config_.local_aggregation;
+  plan_.fuse_sparse_variables = config_.fuse_sparse_variables;
+  plan_.dense_aggregation = config_.dense_aggregation;
+  plan_.sparse_aggregation = config_.sparse_aggregation;
+  for (size_t v = 0; v < plan_.variables.size(); ++v) {
+    plan_.engines[v] = plan_.variables[v].method == SyncMethod::kPs ? "ps" : "ar";
+    for (const EngineOverride& override : config_.engine_overrides) {
+      if (GlobMatch(plan_.variables[v].spec.name, override.pattern)) {
+        plan_.engines[v] = override.engine;
+      }
+    }
   }
-  PsNumericConfig ps_config;
-  ps_config.sparse_partitions = chosen_partitions_;
-  ps_config.local_aggregation = config_.local_aggregation;
-  ps_config.dense_aggregation = config_.dense_aggregation;
-  ps_config.sparse_aggregation = config_.sparse_aggregation;
-  ps_config.ranks_per_machine = cluster_spec.gpus_per_machine;
-  ps_config.managed_variables = ps_vars;
-  ps_engine_ = std::make_unique<PsNumericEngine>(graph_, ps_config);
 
-  ArNumericConfig ar_config;
-  ar_config.dense_aggregation = config_.dense_aggregation;
-  ar_config.sparse_aggregation = config_.sparse_aggregation;
-  ar_config.managed_variables = ar_vars;
-  ar_engine_ = std::make_unique<ArNumericEngine>(graph_, num_ranks(), ar_config);
+  // Instantiate one engine per distinct name, in order of first appearance, and let
+  // each engine's cost hook fix the timing-plane method of the variables it received
+  // through an override.
+  SyncEngineEnv env{graph_, num_ranks()};
+  engines_.clear();
+  for (size_t v = 0; v < plan_.variables.size(); ++v) {
+    int index = -1;
+    for (size_t e = 0; e < engines_.size(); ++e) {
+      if (engines_[e]->name() == plan_.engines[v]) {
+        index = static_cast<int>(e);
+        break;
+      }
+    }
+    if (index < 0) {
+      std::unique_ptr<SyncEngine> engine =
+          SyncEngineRegistry::Global().Create(plan_.engines[v], env);
+      PX_CHECK(engine != nullptr) << "unknown sync engine '" << plan_.engines[v] << "'";
+      index = static_cast<int>(engines_.size());
+      engines_.push_back(std::move(engine));
+    }
+    // The hybrid rule already produced a method consistent with the default engines;
+    // overridden variables adopt the override target's model.
+    const std::string default_engine =
+        plan_.variables[v].method == SyncMethod::kPs ? "ps" : "ar";
+    if (plan_.engines[v] != default_engine) {
+      plan_.variables[v].method =
+          engines_[static_cast<size_t>(index)]->CostMethod(sparsity_.at(static_cast<int>(v)).kind);
+    }
+  }
+  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+    engine->Prepare(plan_);
+  }
 
-  // Timing plane for this training job.
+  // 4.+5. Graph transformation and the timing plane for this training job.
+  RebuildTimingPlane();
+  cluster_ = std::make_unique<Cluster>(cluster_spec_);
+  initialized_ = true;
+}
+
+void GraphRunner::RebuildTimingPlane() {
+  distributed_graph_.emplace(
+      TransformGraph(*graph_, plan_.variables, resources_, config_.local_aggregation));
   IterationSimConfig sim_config;
   sim_config.ps_local_aggregation = config_.local_aggregation;
   sim_config.ps_machine_level_pulls = config_.local_aggregation;
   sim_config.costs = config_.costs;
-  timing_ = std::make_unique<IterationSimulator>(cluster_spec, assignment_,
+  timing_ = std::make_unique<IterationSimulator>(cluster_spec_, plan_.variables,
                                                  config_.gpu_compute_seconds,
                                                  config_.compute_chunks, sim_config,
                                                  sim_arena_.get());
-  cluster_ = std::make_unique<Cluster>(cluster_spec);
-  initialized_ = true;
+}
+
+void GraphRunner::Repartition(int sparse_partitions) {
+  PX_CHECK(initialized_) << "Repartition before the first Step";
+  PX_CHECK_GE(sparse_partitions, 1);
+  chosen_partitions_ = sparse_partitions;
+  plan_.sparse_partitions = sparse_partitions;
+  for (size_t v = 0; v < plan_.variables.size(); ++v) {
+    // Same per-variable gate as AssignGraphVariables: partitioner-scoped PS-family
+    // variables split up to their row count.
+    if (plan_.variables[v].method == SyncMethod::kPs &&
+        graph_->variables()[v].partitioner_scope) {
+      int64_t rows = graph_->variables()[v].shape.rank() >= 1
+                         ? graph_->variables()[v].shape.dim(0)
+                         : 1;
+      plan_.variables[v].partitions =
+          static_cast<int>(std::min<int64_t>(rows, sparse_partitions));
+    }
+  }
+  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+    engine->Prepare(plan_);
+  }
+  RebuildTimingPlane();
+}
+
+VariableStore GraphRunner::ComposeView() const {
+  VariableStore view;
+  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+    VariableStore part = engine->View();
+    for (const auto& [v, value] : part.values()) {
+      view.Set(v, value);
+    }
+  }
+  return view;
 }
 
 float GraphRunner::Step(const std::vector<FeedMap>& per_rank_feeds) {
@@ -114,27 +188,43 @@ float GraphRunner::Step(const std::vector<FeedMap>& per_rank_feeds) {
     InitializeFromSamples(per_rank_feeds);
   }
 
-  // Every replica computes on its shard against its current view.
-  VariableStore ps_values = ps_engine_->CurrentValues();
-  std::vector<StepResult> per_rank;
-  per_rank.reserve(per_rank_feeds.size());
-  float loss_sum = 0.0f;
-  for (int r = 0; r < num_ranks(); ++r) {
-    VariableStore view = ar_engine_->replica(r).Clone();
-    for (size_t v = 0; v < assignment_.size(); ++v) {
-      if (assignment_[v].method == SyncMethod::kPs) {
-        view.Set(static_cast<int>(v), ps_values.Get(static_cast<int>(v)));
-      }
-    }
-    StepResult result =
-        executor_.RunStep(view, per_rank_feeds[static_cast<size_t>(r)], loss_);
-    loss_sum += result.loss;
-    per_rank.push_back(std::move(result));
+  bool sequential = !engines_.empty();
+  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+    sequential = sequential && engine->SequentialArrival();
   }
 
-  // Synchronize: sparse through the PS engine, dense through AR.
-  ps_engine_->ApplyStep(per_rank, config_.learning_rate);
-  ar_engine_->ApplyStep(per_rank, config_.learning_rate);
+  float loss_sum = 0.0f;
+  if (sequential) {
+    // Barrier-free protocol (every engine is asynchronous): each rank computes against
+    // the freshest values and its gradients are applied the moment they exist, so the
+    // next rank sees them — the staleness of section 2.1, in deterministic rank order.
+    std::vector<StepResult> single(1);
+    for (int r = 0; r < num_ranks(); ++r) {
+      VariableStore view = ComposeView();
+      single[0] = executor_.RunStep(view, per_rank_feeds[static_cast<size_t>(r)], loss_,
+                                    &exec_scratch_);
+      loss_sum += single[0].loss;
+      for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+        engine->ApplyStep(single, config_.learning_rate);
+      }
+    }
+  } else {
+    // Synchronous barrier: every replica computes on its shard against the step-start
+    // view (shared across ranks — reads only, valid until the engines apply the step),
+    // then every engine applies the batch to the variables the plan routes to it.
+    VariableStore view = ComposeView();
+    std::vector<StepResult> per_rank;
+    per_rank.reserve(per_rank_feeds.size());
+    for (int r = 0; r < num_ranks(); ++r) {
+      StepResult result = executor_.RunStep(view, per_rank_feeds[static_cast<size_t>(r)],
+                                            loss_, &exec_scratch_);
+      loss_sum += result.loss;
+      per_rank.push_back(std::move(result));
+    }
+    for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+      engine->ApplyStep(per_rank, config_.learning_rate);
+    }
+  }
 
   // Advance the simulated clock by this iteration's makespan.
   simulated_seconds_ = timing_->SimulateIteration(*cluster_, simulated_seconds_);
@@ -144,12 +234,28 @@ float GraphRunner::Step(const std::vector<FeedMap>& per_rank_feeds) {
 
 Tensor GraphRunner::Evaluate(const FeedMap& feeds, NodeId fetch) {
   PX_CHECK(initialized_) << "Evaluate before the first Step";
-  return executor_.RunForward(WorkerView(), feeds, fetch);
+  // Clone: fetching a variable node would otherwise hand out a tensor aliasing live
+  // engine buffers, which the next Step mutates — Evaluate returns a stable snapshot.
+  return executor_.RunForward(ComposeView(), feeds, fetch).Clone();
 }
 
 const std::vector<VariableSync>& GraphRunner::assignment() const {
   PX_CHECK(initialized_);
-  return assignment_;
+  return plan_.variables;
+}
+
+const SyncPlan& GraphRunner::plan() const {
+  PX_CHECK(initialized_);
+  return plan_;
+}
+
+SyncEngine* GraphRunner::engine(const std::string& name) const {
+  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+    if (engine->name() == name) {
+      return engine.get();
+    }
+  }
+  return nullptr;
 }
 
 const DistributedGraph& GraphRunner::distributed_graph() const {
@@ -159,14 +265,8 @@ const DistributedGraph& GraphRunner::distributed_graph() const {
 
 VariableStore GraphRunner::WorkerView() const {
   PX_CHECK(initialized_);
-  VariableStore view = ar_engine_->replica(0).Clone();
-  VariableStore ps_values = ps_engine_->CurrentValues();
-  for (size_t v = 0; v < assignment_.size(); ++v) {
-    if (assignment_[v].method == SyncMethod::kPs) {
-      view.Set(static_cast<int>(v), ps_values.Get(static_cast<int>(v)));
-    }
-  }
-  return view;
+  // A snapshot: engine views may share live engine buffers, so hand out a deep copy.
+  return ComposeView().Clone();
 }
 
 }  // namespace parallax

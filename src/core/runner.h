@@ -1,33 +1,49 @@
-// ParallaxRunner — the runtime behind the get_runner API (paper sections 4.1, 4.2).
+// ParallaxRunner — the runtime behind the session API (paper sections 4.1, 4.2).
 //
 // Given a single-GPU graph, a loss node, and a resource specification, the runner:
 //   1. samples a backward pass to classify variables (dense / sparse) and measure alpha,
 //   2. runs the partition search for partitioner-scoped sparse variables (section 3.2),
-//   3. assigns each variable a synchronization architecture (hybrid rule, section 3.1),
+//   3. assigns each variable a synchronization architecture (hybrid rule, section 3.1)
+//      and a SyncEngine (registry name; RunnerBuilder::WithEngine overrides per
+//      variable), summarized as one SyncPlan,
 //   4. transforms the graph (section 4.3) — the resulting DistributedGraph is inspectable,
 //   5. trains: each Step() executes every GPU replica's forward/backward on its shard of
-//      the batch (numerics are real), synchronizes gradients through the PS/AR numeric
-//      engines, and advances the simulated clock by the iteration's task-graph makespan.
+//      the batch (numerics are real), hands the per-rank results to every prepared
+//      SyncEngine, and advances the simulated clock by the iteration's task-graph
+//      makespan.
 //
 // The runner therefore produces both a *learning curve* (real losses/parameters) and a
 // *time axis* (simulated seconds) — the two ingredients of the paper's Figure 7.
+//
+// Engines are reached exclusively through the SyncEngine interface
+// (core/sync_engine.h); the runner never names a concrete engine type. Repartition()
+// re-Prepares every engine with a new partition count mid-training (values preserved).
 #ifndef PARALLAX_SRC_CORE_RUNNER_H_
 #define PARALLAX_SRC_CORE_RUNNER_H_
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "src/ar/ar_numeric.h"
 #include "src/core/analysis.h"
 #include "src/core/cost_model.h"
 #include "src/core/iteration_sim.h"
 #include "src/core/resources.h"
+#include "src/core/sync_engine.h"
 #include "src/core/transform.h"
 #include "src/graph/executor.h"
-#include "src/ps/ps_numeric.h"
 
 namespace parallax {
+
+// Routes every variable whose name matches `pattern` (GlobMatch: '*'/'?') to the
+// registered engine `engine`. Later overrides win; unmatched variables follow the
+// hybrid rule ("ps" for sparse, "ar" for dense / high-alpha sparse).
+struct EngineOverride {
+  std::string pattern;
+  std::string engine;
+};
 
 struct ParallaxConfig {
   AggregationMethod dense_aggregation = AggregationMethod::kAverage;
@@ -51,6 +67,11 @@ struct ParallaxConfig {
   // Hardware parameters (bandwidths, cores); machine/GPU counts come from ResourceSpec.
   ClusterSpec hardware = ClusterSpec::Paper();
   SyncCostParams costs;
+  // Batch all sparse variables of a step through one fused workspace pass (PS-family
+  // engines); off = per-variable aggregation, kept for benchmarking/verification.
+  bool fuse_sparse_variables = true;
+  // Per-variable engine routing (normally filled by RunnerBuilder::WithEngine).
+  std::vector<EngineOverride> engine_overrides;
 };
 
 class GraphRunner {
@@ -65,34 +86,53 @@ class GraphRunner {
   // Forward evaluation of `fetch` on the chief's current variable view.
   Tensor Evaluate(const FeedMap& feeds, NodeId fetch);
 
+  // Elastic re-partitioning: swaps the sparse partition count mid-training by
+  // re-Preparing every engine with the updated plan. Values are preserved bit-for-bit;
+  // the timing plane and the distributed graph are rebuilt for the new layout.
+  void Repartition(int sparse_partitions);
+
   // ---- introspection ----
   int num_ranks() const { return resources_.total_gpus(); }
   const std::vector<VariableSync>& assignment() const;
+  const SyncPlan& plan() const;
+  // The prepared engine registered under `name`, or nullptr if the plan routes no
+  // variable to it.
+  SyncEngine* engine(const std::string& name) const;
   const DistributedGraph& distributed_graph() const;
   int chosen_sparse_partitions() const { return chosen_partitions_; }
   const std::optional<PartitionSearchResult>& partition_search() const { return search_result_; }
   double simulated_seconds() const { return simulated_seconds_; }
   int64_t iterations() const { return iterations_; }
-  // The chief worker's view of all variables (PS materialized + AR replica values).
+  // The chief worker's view of all variables (a fresh snapshot of every engine's View).
   VariableStore WorkerView() const;
 
  private:
   void InitializeFromSamples(const std::vector<FeedMap>& per_rank_feeds);
+  // Union of every engine's View() — tensors may share engine buffers (valid until the
+  // next ApplyStep/Prepare), which is exactly the lifetime the step path needs.
+  VariableStore ComposeView() const;
+  // Rebuilds the timing simulator and the inspectable distributed graph from plan_.
+  void RebuildTimingPlane();
 
   const Graph* graph_;
   NodeId loss_;
   ResourceSpec resources_;
   ParallaxConfig config_;
   Executor executor_;
+  // Gradient buffer plan: backward-pass scratch reused by every RunStep this runner
+  // issues (sampling and training).
+  ExecScratch exec_scratch_;
 
   bool initialized_ = false;
-  std::vector<VariableSync> assignment_;
+  std::unordered_map<int, VariableSparsity> sparsity_;
+  SyncPlan plan_;
+  // Prepared engines, in order of first appearance in the plan.
+  std::vector<std::unique_ptr<SyncEngine>> engines_;
   std::optional<DistributedGraph> distributed_graph_;
   std::optional<PartitionSearchResult> search_result_;
   int chosen_partitions_ = 1;
+  ClusterSpec cluster_spec_;
 
-  std::unique_ptr<PsNumericEngine> ps_engine_;
-  std::unique_ptr<ArNumericEngine> ar_engine_;
   // One arena for the partition search and the training-time timing plane: cached
   // collective schedules and task storage persist for the runner's lifetime.
   std::unique_ptr<SimulationArena> sim_arena_;

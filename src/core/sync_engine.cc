@@ -1,0 +1,68 @@
+#include "src/core/sync_engine.h"
+
+#include "src/ar/ar_numeric.h"
+#include "src/ps/ps_async.h"
+#include "src/ps/ps_numeric.h"
+
+namespace parallax {
+
+std::vector<int> SyncPlan::ManagedBy(const std::string& engine) const {
+  PX_CHECK_EQ(engines.size(), variables.size());
+  std::vector<int> managed;
+  for (size_t v = 0; v < engines.size(); ++v) {
+    if (engines[v] == engine) {
+      managed.push_back(static_cast<int>(v));
+    }
+  }
+  return managed;
+}
+
+SyncEngineRegistry& SyncEngineRegistry::Global() {
+  static SyncEngineRegistry* registry = [] {
+    auto* r = new SyncEngineRegistry();
+    r->Register("ps", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+      return std::make_unique<PsNumericEngine>(env.graph);
+    });
+    r->Register("ar", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+      return std::make_unique<ArNumericEngine>(env.graph, env.num_ranks);
+    });
+    r->Register("async_ps", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+      return std::make_unique<AsyncPsEngine>(env.graph);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+bool SyncEngineRegistry::Register(const std::string& name, Factory factory) {
+  PX_CHECK(!name.empty());
+  PX_CHECK(factory != nullptr);
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+bool SyncEngineRegistry::Contains(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> SyncEngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::unique_ptr<SyncEngine> SyncEngineRegistry::Create(const std::string& name,
+                                                       const SyncEngineEnv& env) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return nullptr;
+  }
+  std::unique_ptr<SyncEngine> engine = it->second(env);
+  PX_CHECK(engine != nullptr) << "factory for '" << name << "' returned null";
+  engine->name_ = name;
+  return engine;
+}
+
+}  // namespace parallax

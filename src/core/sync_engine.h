@@ -1,0 +1,158 @@
+// The synchronization-engine seam (paper section 3.1: the synchronization architecture
+// is a *per-variable* decision).
+//
+// A SyncPlan is the runner's complete per-variable routing: which engine synchronizes
+// each variable, with which partition count, under which aggregation semantics. A
+// SyncEngine is one synchronization mechanism (parameter server, AllReduce, async PS,
+// anything registered) behind a four-call interface:
+//
+//   Prepare(plan)    — (re)configure for the variables the plan routes here. The first
+//                      call initializes from the graph's initial values; later calls
+//                      preserve the current values, which is what makes elastic
+//                      mid-training re-partitioning a plain re-Prepare.
+//   ApplyStep(...)   — one synchronous data-parallel step over the managed variables.
+//   View()           — the managed variables' current values as a worker observes them.
+//   CostMethod(kind) — the timing-plane model for a variable of this gradient kind
+//                      (the cost hook the iteration simulator consumes).
+//
+// Engines register by name in the SyncEngineRegistry ("ps", "ar", "async_ps" are
+// built in), so new strategies plug into RunnerBuilder::WithEngine without touching
+// the runner. The PS/AR/async-PS numeric runtimes in src/ps and src/ar implement this
+// interface; this header is the one core interface they are allowed to include.
+#ifndef PARALLAX_SRC_CORE_SYNC_ENGINE_H_
+#define PARALLAX_SRC_CORE_SYNC_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comm/reduce.h"
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+#include "src/models/model_spec.h"
+
+namespace parallax {
+
+// How one variable's gradients are synchronized (the timing-plane vocabulary).
+enum class SyncMethod : uint8_t {
+  kPs,            // parameter server shard(s): pull / push / accumulate / update
+  kArAllReduce,   // dense ring AllReduce (also used for sparse-treated-as-dense)
+  kArAllGatherv,  // sparse AllGatherv across ranks
+};
+
+// AllGatherv algorithm. kRing is the bandwidth-optimal schedule; kBroadcast models the
+// OpenMPI fallback the paper had to use ("we inevitably use OpenMPI for AllGatherv,
+// which is not provided by NCCL", section 6.1): every rank sends its block to every
+// other rank, which floods the receiving NICs at scale.
+enum class GathervAlgorithm : uint8_t {
+  kRing,
+  kBroadcast,
+};
+
+struct VariableSync {
+  VariableSpec spec;
+  SyncMethod method = SyncMethod::kPs;
+  int partitions = 1;  // PS only; >1 splits the shard row-wise across servers
+};
+
+// The runner's complete synchronization decision, handed to every engine's Prepare.
+// `variables` and `engines` are parallel to Graph::variables().
+struct SyncPlan {
+  std::vector<VariableSync> variables;
+  // Registry name of the engine synchronizing each variable ("ps", "ar", ...).
+  std::vector<std::string> engines;
+
+  int num_ranks = 1;
+  // Ranks per machine (local-aggregation grouping for PS-family engines).
+  int ranks_per_machine = 1;
+  // Partition count in force for partitioner-scoped sparse variables. Engines apply
+  // their own per-variable gate (a variable with fewer rows than pieces stays whole).
+  int sparse_partitions = 1;
+  bool local_aggregation = true;
+  // Batch all of an engine's sparse variables through one fused workspace pass.
+  bool fuse_sparse_variables = true;
+  AggregationMethod dense_aggregation = AggregationMethod::kAverage;
+  AggregationMethod sparse_aggregation = AggregationMethod::kAverage;
+
+  // Indices of the variables the plan routes to `engine`, ascending.
+  std::vector<int> ManagedBy(const std::string& engine) const;
+};
+
+class SyncEngine {
+ public:
+  virtual ~SyncEngine() = default;
+
+  // (Re)configures the engine for the plan entries naming it. Must be value-preserving:
+  // a second Prepare (e.g. with a new partition count) keeps the variables' current
+  // values bit-identical.
+  virtual void Prepare(const SyncPlan& plan) = 0;
+
+  // One synchronous training step given every rank's backward results; applies SGD with
+  // `learning_rate` to the managed variables.
+  virtual void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate) = 0;
+
+  // Current values of the managed variables, as a worker pulling now observes them.
+  // Returned tensors may share the engine's buffers and are valid until the next
+  // ApplyStep/Prepare; callers that need a snapshot Clone() the store.
+  virtual VariableStore View() const = 0;
+
+  // Cost hook for the timing plane: how the iteration simulator models a variable of
+  // this gradient kind when it is synchronized by this engine.
+  virtual SyncMethod CostMethod(GradKind kind) const = 0;
+
+  // Arrival semantics. An engine returning true wants each rank's gradients the moment
+  // they are computed — the barrier-free asynchronous protocol: the runner then runs
+  // ranks sequentially, refreshing the worker view between them, and delivers each
+  // rank's results as a one-element ApplyStep (so rank r+1 computes against the values
+  // rank r already moved — staleness, paper section 2.1). Honored only when EVERY
+  // engine in the plan agrees; a mixed plan falls back to the synchronous barrier,
+  // where per-rank results arrive as one batch in rank order.
+  virtual bool SequentialArrival() const { return false; }
+
+  // Registry name this instance answers to in SyncPlan::engines. Concrete engines set
+  // their canonical name at construction; the registry overrides it when a factory is
+  // registered under a different name.
+  const std::string& name() const { return name_; }
+
+ protected:
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  friend class SyncEngineRegistry;
+  std::string name_;
+};
+
+// What a registered factory gets to construct an engine; per-step specifics arrive via
+// Prepare.
+struct SyncEngineEnv {
+  const Graph* graph = nullptr;
+  int num_ranks = 1;
+};
+
+// Name -> factory registry. "ps", "ar", and "async_ps" are pre-registered; libraries and
+// tests add strategies with Register and reach them through RunnerBuilder::WithEngine.
+class SyncEngineRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<SyncEngine>(const SyncEngineEnv&)>;
+
+  // The process-wide registry (the one RunnerBuilder consults).
+  static SyncEngineRegistry& Global();
+
+  // False (and no-op) when the name is already taken.
+  bool Register(const std::string& name, Factory factory);
+  bool Contains(const std::string& name) const;
+  // Registered names, ascending.
+  std::vector<std::string> Names() const;
+
+  // Constructs and names an engine; nullptr for an unknown name.
+  std::unique_ptr<SyncEngine> Create(const std::string& name, const SyncEngineEnv& env) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace parallax
+
+#endif  // PARALLAX_SRC_CORE_SYNC_ENGINE_H_

@@ -110,21 +110,35 @@ VariableStore VariableStore::Clone() const {
 }
 
 void Executor::Forward(const VariableStore& variables, const FeedMap& feeds, NodeId fetch,
-                       std::vector<Tensor>& values, std::vector<bool>& computed) const {
+                       ExecScratch& scratch) const {
   const auto& nodes = graph_->nodes();
-  values.assign(nodes.size(), Tensor());
-  computed.assign(nodes.size(), false);
+  // Stale tensors in `values` are gated by `computed`; keeping them lets ops reuse
+  // nothing here but avoids re-constructing the table every step.
+  scratch.values.resize(nodes.size());
+  scratch.computed.assign(nodes.size(), 0);
+  // Temporaries are acquired in deterministic order across the whole forward+backward
+  // pass, so each slot sees one stable shape per step (no realloc ping-pong).
+  scratch.temp_cursor = 0;
+  std::vector<Tensor>& values = scratch.values;
+  std::vector<uint8_t>& computed = scratch.computed;
 
   // Needed set: backward closure of fetch (node inputs always precede the node).
-  std::vector<bool> needed(nodes.size(), false);
-  needed[static_cast<size_t>(fetch)] = true;
-  for (NodeId id = fetch; id >= 0; --id) {
-    if (!needed[static_cast<size_t>(id)]) {
-      continue;
+  // Fetch-dependent but step-independent, so it is cached per scratch.
+  std::vector<uint8_t>& needed = scratch.needed;
+  if (scratch.needed_fetch != fetch || scratch.needed_graph != graph_ ||
+      needed.size() != nodes.size()) {
+    needed.assign(nodes.size(), 0);
+    needed[static_cast<size_t>(fetch)] = 1;
+    for (NodeId id = fetch; id >= 0; --id) {
+      if (!needed[static_cast<size_t>(id)]) {
+        continue;
+      }
+      for (NodeId input : nodes[static_cast<size_t>(id)].inputs) {
+        needed[static_cast<size_t>(input)] = 1;
+      }
     }
-    for (NodeId input : nodes[static_cast<size_t>(id)].inputs) {
-      needed[static_cast<size_t>(input)] = true;
-    }
+    scratch.needed_fetch = fetch;
+    scratch.needed_graph = graph_;
   }
 
   for (NodeId id = 0; id <= fetch; ++id) {
@@ -135,7 +149,10 @@ void Executor::Forward(const VariableStore& variables, const FeedMap& feeds, Nod
     auto in = [&](size_t slot) -> const Tensor& {
       return values[static_cast<size_t>(n.inputs[slot])];
     };
-    Tensor out;
+    // Ops write into the node's persistent value slot through the *Into kernels, which
+    // reuse its buffer across steps when the shape is stable and it is uniquely owned
+    // (slots holding shared feed/variable tensors are swapped, never overwritten).
+    Tensor& out = values[static_cast<size_t>(id)];
     switch (n.type) {
       case OpType::kPlaceholder: {
         auto it = feeds.find(id);
@@ -147,14 +164,14 @@ void Executor::Forward(const VariableStore& variables, const FeedMap& feeds, Nod
         out = variables.Get(n.variable_index);
         break;
       case OpType::kMatMul:
-        out = MatMul(in(0), in(1));
+        MatMulInto(out, in(0), in(1));
         break;
       case OpType::kBiasAdd: {
         const Tensor& x = in(0);
         const Tensor& bias = in(1);
         PX_CHECK_EQ(bias.shape().rank(), 1);
         PX_CHECK_EQ(x.shape().dim(1), bias.shape().dim(0));
-        out = x.Clone();
+        CopyInto(out, x);
         auto data = out.mutable_floats();
         auto b = bias.floats();
         int64_t rows = x.shape().dim(0);
@@ -167,67 +184,90 @@ void Executor::Forward(const VariableStore& variables, const FeedMap& feeds, Nod
         break;
       }
       case OpType::kTanh:
-        out = parallax::Tanh(in(0));
+        TanhInto(out, in(0));
         break;
       case OpType::kRelu:
-        out = parallax::Relu(in(0));
+        ReluInto(out, in(0));
         break;
       case OpType::kConcatCols:
-        out = ConcatColsPair(in(0), in(1));
+        ConcatColsPairInto(out, in(0), in(1));
         break;
       case OpType::kGather:
-        out = GatherRows(in(0), in(1).ints());
+        GatherRowsInto(out, in(0), in(1).ints());
         break;
       case OpType::kGatherDotT: {
-        Tensor selected = GatherRows(in(1), in(2).ints());
-        out = MatMulTransposeB(in(0), selected);
+        Tensor& selected = scratch.NextTemp();
+        GatherRowsInto(selected, in(1), in(2).ints());
+        MatMulTransposeBInto(out, in(0), selected);
         break;
       }
       case OpType::kSoftmaxXentMean: {
         float loss = SoftmaxCrossEntropy(in(0), in(1), nullptr);
-        out = Tensor::Scalar(loss);
+        if (out.is_float() && out.shape().rank() == 0 && out.UniquelyOwned()) {
+          out.mutable_floats()[0] = loss;
+        } else {
+          out = Tensor::Scalar(loss);
+        }
         break;
       }
     }
-    values[static_cast<size_t>(id)] = std::move(out);
     computed[static_cast<size_t>(id)] = true;
   }
 }
 
 Tensor Executor::RunForward(const VariableStore& variables, const FeedMap& feeds,
                             NodeId fetch) const {
-  std::vector<Tensor> values;
-  std::vector<bool> computed;
-  Forward(variables, feeds, fetch, values, computed);
-  return values[static_cast<size_t>(fetch)];
+  ExecScratch scratch;
+  Forward(variables, feeds, fetch, scratch);
+  return scratch.values[static_cast<size_t>(fetch)];
 }
 
 StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feeds,
-                             NodeId loss) const {
+                             NodeId loss, ExecScratch* scratch) const {
   const auto& nodes = graph_->nodes();
   PX_CHECK(nodes[static_cast<size_t>(loss)].type == OpType::kSoftmaxXentMean)
       << "loss must be a SoftmaxXentMean node";
 
-  std::vector<Tensor> values;
-  std::vector<bool> computed;
-  Forward(variables, feeds, loss, values, computed);
+  ExecScratch local;
+  ExecScratch& s = scratch != nullptr ? *scratch : local;
+  Forward(variables, feeds, loss, s);
+  std::vector<Tensor>& values = s.values;
+  std::vector<uint8_t>& computed = s.computed;
 
   StepResult result;
   result.loss = values[static_cast<size_t>(loss)].at(0);
 
   // Per-node dense upstream gradients; sparse variable gradients accumulate separately.
-  std::vector<Tensor> node_grad(nodes.size());
-  std::vector<bool> has_grad(nodes.size(), false);
-  std::unordered_map<int, std::vector<IndexedSlices>> sparse_grads;  // var_index -> slices
-
-  auto accumulate = [&](NodeId id, Tensor grad) {
-    size_t i = static_cast<size_t>(id);
-    if (has_grad[i]) {
-      AddInPlace(node_grad[i], grad);
-    } else {
-      node_grad[i] = std::move(grad);
-      has_grad[i] = true;
+  // Interior node_grad buffers persist across steps (the gradient buffer plan); variable
+  // nodes are reset so their gradients — which escape into the result — are fresh.
+  std::vector<Tensor>& node_grad = s.node_grad;
+  std::vector<uint8_t>& has_grad = s.has_grad;
+  node_grad.resize(nodes.size());
+  has_grad.assign(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].type == OpType::kVariable) {
+      node_grad[i] = Tensor();
     }
+  }
+  std::unordered_map<int, std::vector<IndexedSlices>>& sparse_grads = s.sparse_grads;
+  sparse_grads.clear();
+
+  // Routes a producer kernel at the accumulation target: the first contribution writes
+  // straight into the node's plan buffer; later ones go through a reusable temporary
+  // and are added in, preserving the original accumulation order.
+  auto emit = [&](NodeId id, auto&& produce) {
+    size_t i = static_cast<size_t>(id);
+    if (!has_grad[i]) {
+      produce(node_grad[i]);
+      has_grad[i] = 1;
+    } else {
+      Tensor& tmp = s.NextTemp();
+      produce(tmp);
+      AddInPlace(node_grad[i], tmp);
+    }
+  };
+  auto accumulate = [&](NodeId id, Tensor grad) {
+    emit(id, [&](Tensor& dst) { dst = std::move(grad); });
   };
 
   for (NodeId id = loss; id >= 0; --id) {
@@ -256,25 +296,27 @@ StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feed
       case OpType::kMatMul: {
         const Tensor& a = values[static_cast<size_t>(n.inputs[0])];
         const Tensor& b = values[static_cast<size_t>(n.inputs[1])];
-        accumulate(n.inputs[0], MatMulTransposeB(g, b));
-        accumulate(n.inputs[1], MatMulTransposeA(a, g));
+        emit(n.inputs[0], [&](Tensor& dst) { MatMulTransposeBInto(dst, g, b); });
+        emit(n.inputs[1], [&](Tensor& dst) { MatMulTransposeAInto(dst, a, g); });
         break;
       }
       case OpType::kBiasAdd:
-        accumulate(n.inputs[0], g.Clone());
-        accumulate(n.inputs[1], ColumnSum(g));
+        emit(n.inputs[0], [&](Tensor& dst) { CopyInto(dst, g); });
+        emit(n.inputs[1], [&](Tensor& dst) { ColumnSumInto(dst, g); });
         break;
       case OpType::kTanh:
-        accumulate(n.inputs[0], TanhGrad(values[i], g));
+        emit(n.inputs[0], [&](Tensor& dst) { TanhGradInto(dst, values[i], g); });
         break;
       case OpType::kRelu:
-        accumulate(n.inputs[0], ReluGrad(values[static_cast<size_t>(n.inputs[0])], g));
+        emit(n.inputs[0], [&](Tensor& dst) {
+          ReluGradInto(dst, values[static_cast<size_t>(n.inputs[0])], g);
+        });
         break;
       case OpType::kConcatCols: {
         int64_t pa = values[static_cast<size_t>(n.inputs[0])].shape().dim(1);
         int64_t total = g.shape().dim(1);
-        accumulate(n.inputs[0], SliceCols(g, 0, pa));
-        accumulate(n.inputs[1], SliceCols(g, pa, total));
+        emit(n.inputs[0], [&](Tensor& dst) { SliceColsInto(dst, g, 0, pa); });
+        emit(n.inputs[1], [&](Tensor& dst) { SliceColsInto(dst, g, pa, total); });
         break;
       }
       case OpType::kGather: {
@@ -291,8 +333,9 @@ StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feed
         const Tensor& var_value = values[static_cast<size_t>(n.inputs[1])];
         const Tensor& ids = values[static_cast<size_t>(n.inputs[2])];
         // out = x . selected^T  =>  dx = g . selected ; dselected = g^T . x
-        Tensor selected = GatherRows(var_value, ids.ints());
-        accumulate(n.inputs[0], MatMul(g, selected));
+        Tensor& selected = s.NextTemp();
+        GatherRowsInto(selected, var_value, ids.ints());
+        emit(n.inputs[0], [&](Tensor& dst) { MatMulInto(dst, g, selected); });
         std::vector<int64_t> indices(ids.ints().begin(), ids.ints().end());
         sparse_grads[var_node.variable_index].emplace_back(std::move(indices),
                                                            MatMulTransposeA(g, x),

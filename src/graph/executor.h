@@ -10,6 +10,7 @@
 #ifndef PARALLAX_SRC_GRAPH_EXECUTOR_H_
 #define PARALLAX_SRC_GRAPH_EXECUTOR_H_
 
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,9 @@ class VariableStore {
   // In-place SGD update: value -= lr * grad (scatter-update for sparse gradients).
   void ApplySgd(int variable_index, const GradValue& grad, float learning_rate);
 
+  // Contents, for composing stores (engine views -> one worker view).
+  const std::unordered_map<int, Tensor>& values() const { return values_; }
+
   // Deep copy.
   VariableStore Clone() const;
 
@@ -77,6 +81,49 @@ struct StepResult {
   std::unordered_map<int, GradValue> grads;
 };
 
+// Reusable execution scratch — the per-graph gradient buffer plan. Holds the per-node
+// value/flag tables, the cached backward closure of the fetch node, and the per-node
+// gradient tensors the backward pass writes into. Threading one ExecScratch through a
+// training loop makes RunStep reuse the same gradient buffers every step (shapes are
+// stable across steps, so after the first step the intermediate backward pass stops
+// touching the allocator); gradients that escape into the StepResult (variable nodes,
+// sparse slices) are always freshly allocated, so results never alias the scratch.
+// Single-owner state, like a SparseWorkspace: one per thread of control.
+class ExecScratch {
+ public:
+  ExecScratch() = default;
+
+ private:
+  friend class Executor;
+
+  // Forward tables.
+  std::vector<Tensor> values;
+  std::vector<uint8_t> computed;
+  // Cached backward closure of `needed_fetch` on `needed_graph` (recomputed when the
+  // fetch — or the graph this scratch is driven over — changes).
+  std::vector<uint8_t> needed;
+  NodeId needed_fetch = -1;
+  const Graph* needed_graph = nullptr;
+
+  // Backward tables. node_grad entries for interior nodes persist across steps and are
+  // reused via the *Into kernels; variable-node entries are reset each step (they
+  // escape into the StepResult).
+  std::vector<Tensor> node_grad;
+  std::vector<uint8_t> has_grad;
+  // Gather/fan-in temporaries, acquired in deterministic order per step. A deque so
+  // references stay valid while the pool grows mid-step.
+  std::deque<Tensor> temps;
+  size_t temp_cursor = 0;
+  std::unordered_map<int, std::vector<IndexedSlices>> sparse_grads;
+
+  Tensor& NextTemp() {
+    if (temp_cursor == temps.size()) {
+      temps.emplace_back();
+    }
+    return temps[temp_cursor++];
+  }
+};
+
 class Executor {
  public:
   explicit Executor(const Graph* graph) : graph_(graph) { PX_CHECK(graph != nullptr); }
@@ -84,13 +131,16 @@ class Executor {
   // Forward evaluation of `fetch` given placeholder feeds and variable values.
   Tensor RunForward(const VariableStore& variables, const FeedMap& feeds, NodeId fetch) const;
 
-  // Forward + backward from the scalar `loss` node.
-  StepResult RunStep(const VariableStore& variables, const FeedMap& feeds, NodeId loss) const;
+  // Forward + backward from the scalar `loss` node. With a null `scratch` a private
+  // (per-call) scratch is used; passing a persistent ExecScratch reuses the gradient
+  // buffer plan across steps. Results are bit-identical either way.
+  StepResult RunStep(const VariableStore& variables, const FeedMap& feeds, NodeId loss,
+                     ExecScratch* scratch = nullptr) const;
 
  private:
-  // Evaluates all nodes needed for `fetch`; out param holds per-node values.
+  // Evaluates all nodes needed for `fetch` into the scratch's forward tables.
   void Forward(const VariableStore& variables, const FeedMap& feeds, NodeId fetch,
-               std::vector<Tensor>& values, std::vector<bool>& computed) const;
+               ExecScratch& scratch) const;
 
   const Graph* graph_;
 };

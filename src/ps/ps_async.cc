@@ -16,8 +16,31 @@ PsNumericConfig ForAsync(PsNumericConfig config) {
 
 }  // namespace
 
+AsyncPsEngine::AsyncPsEngine(const Graph* graph) : engine_(graph) {
+  set_name("async_ps");
+}
+
 AsyncPsEngine::AsyncPsEngine(const Graph* graph, PsNumericConfig config)
-    : engine_(graph, ForAsync(std::move(config))) {}
+    : engine_(graph, ForAsync(std::move(config))) {
+  set_name("async_ps");
+}
+
+void AsyncPsEngine::Prepare(const SyncPlan& plan) {
+  // The inner engine must manage the variables routed to *this* engine's name, so the
+  // plan is translated into an explicit config instead of forwarding Prepare.
+  PsNumericConfig config;
+  config.sparse_partitions = plan.sparse_partitions;
+  config.managed_variables = plan.ManagedBy(name());
+  config.fuse_sparse_variables = plan.fuse_sparse_variables;
+  engine_.Reconfigure(ForAsync(std::move(config)));
+}
+
+void AsyncPsEngine::ApplyStep(const std::vector<StepResult>& per_rank,
+                              float learning_rate) {
+  for (const StepResult& grads : per_rank) {
+    PushGradients(grads, learning_rate);
+  }
+}
 
 void AsyncPsEngine::PushGradients(const StepResult& grads, float learning_rate) {
   // One contributor, applied immediately: the degenerate single-rank synchronous step

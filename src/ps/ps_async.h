@@ -7,6 +7,11 @@
 // *stale* parameters — the staleness the paper cites as the reason most users train
 // synchronously (section 2.1's accuracy discussion). The engine exposes the arrival
 // order explicitly so tests can reproduce any interleaving deterministically.
+//
+// AsyncPsEngine implements the SyncEngine interface (core/sync_engine.h) and registers
+// as "async_ps", which is what makes PushGradients reachable from the runner: a runner
+// step delivers every rank's gradients as one deterministic arrival sequence (rank
+// order), each push applied against the values the previous push left behind.
 #ifndef PARALLAX_SRC_PS_PS_ASYNC_H_
 #define PARALLAX_SRC_PS_PS_ASYNC_H_
 
@@ -14,9 +19,23 @@
 
 namespace parallax {
 
-class AsyncPsEngine {
+class AsyncPsEngine : public SyncEngine {
  public:
+  // Unconfigured engine (the registry path): Prepare(plan) routes variables here.
+  explicit AsyncPsEngine(const Graph* graph);
   AsyncPsEngine(const Graph* graph, PsNumericConfig config);
+
+  // SyncEngine:
+  void Prepare(const SyncPlan& plan) override;
+  // Applies the given ranks' pushes in arrival (rank) order, each immediately. In the
+  // runner's sequential-arrival mode this is called once per rank with a single result
+  // — the fully asynchronous protocol, where rank r+1 computed against values rank r
+  // already moved. In a mixed plan (barrier fallback) the whole batch arrives at once
+  // and is drained as one deterministic arrival sequence.
+  void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate) override;
+  VariableStore View() const override { return engine_.CurrentValues(); }
+  SyncMethod CostMethod(GradKind) const override { return SyncMethod::kPs; }
+  bool SequentialArrival() const override { return true; }
 
   // Applies one worker's gradients immediately (no aggregation, no barrier). The
   // learning rate is applied per push, matching TF's asynchronous replica semantics.

@@ -49,12 +49,55 @@ void PsVariable::ApplySparseSgd(const IndexedSlices& grad, float learning_rate,
   }
 }
 
-PsNumericEngine::PsNumericEngine(const Graph* graph, PsNumericConfig config)
-    : graph_(graph), config_(config) {
+float* PsVariable::MutableRow(int64_t row) {
+  const int64_t width = shape_.row_elements();
+  if (!partition_) {
+    return pieces_.front().mutable_floats().data() + row * width;
+  }
+  const int piece = partition_->PartitionOfRow(row);
+  const int64_t local = row - partition_->RowBegin(piece);
+  return pieces_[static_cast<size_t>(piece)].mutable_floats().data() + local * width;
+}
+
+PsNumericEngine::PsNumericEngine(const Graph* graph) : graph_(graph) {
   PX_CHECK(graph != nullptr);
-  PX_CHECK_GE(config_.sparse_partitions, 1);
-  PX_CHECK_GE(config_.ranks_per_machine, 1);
-  for (const VariableDef& def : graph->variables()) {
+  set_name("ps");
+}
+
+PsNumericEngine::PsNumericEngine(const Graph* graph, PsNumericConfig config)
+    : PsNumericEngine(graph) {
+  Reconfigure(std::move(config));
+}
+
+void PsNumericEngine::Prepare(const SyncPlan& plan) {
+  PsNumericConfig config;
+  config.sparse_partitions = plan.sparse_partitions;
+  config.local_aggregation = plan.local_aggregation;
+  config.dense_aggregation = plan.dense_aggregation;
+  config.sparse_aggregation = plan.sparse_aggregation;
+  config.ranks_per_machine = plan.ranks_per_machine;
+  config.managed_variables = plan.ManagedBy(name());
+  config.fuse_sparse_variables = plan.fuse_sparse_variables;
+  Reconfigure(std::move(config));
+}
+
+void PsNumericEngine::Reconfigure(PsNumericConfig config) {
+  PX_CHECK_GE(config.sparse_partitions, 1);
+  PX_CHECK_GE(config.ranks_per_machine, 1);
+  // Re-preparation preserves values: shards are rebuilt around the current state, not
+  // the initializers — what makes a mid-training partition swap a plain re-Prepare.
+  std::vector<Tensor> current;
+  const bool preserve = !variables_.empty();
+  if (preserve) {
+    current.reserve(variables_.size());
+    for (const PsVariable& variable : variables_) {
+      current.push_back(variable.Materialize());
+    }
+  }
+  config_ = std::move(config);
+  variables_.clear();
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    const VariableDef& def = graph_->variables()[v];
     // Only partitioner-scoped variables are split (Figure 3 line 9); TF would refuse to
     // partition a variable of fewer rows than pieces, and so do we.
     int partitions = 1;
@@ -62,7 +105,8 @@ PsNumericEngine::PsNumericEngine(const Graph* graph, PsNumericConfig config)
         def.shape.dim(0) >= config_.sparse_partitions) {
       partitions = config_.sparse_partitions;
     }
-    variables_.emplace_back(def.initial_value, partitions);
+    variables_.emplace_back(preserve ? std::move(current[v]) : def.initial_value,
+                            partitions);
   }
 }
 
@@ -81,11 +125,17 @@ bool PsNumericEngine::Manages(int variable_index) const {
 void PsNumericEngine::ApplyStep(const std::vector<StepResult>& per_rank,
                                 float learning_rate) {
   PX_CHECK(!per_rank.empty());
+  PX_CHECK(!variables_.empty()) << "ApplyStep before Prepare/configuration";
   const int num_ranks = static_cast<int>(per_rank.size());
   const int ranks_per_machine = config_.local_aggregation ? config_.ranks_per_machine : 1;
   PX_CHECK_EQ(num_ranks % ranks_per_machine, 0)
       << "ranks must fill machines evenly for local aggregation";
 
+  // Dense variables take the per-variable AllReduce-style path; sparse ones are
+  // collected and batched through the fused multi-variable aggregation below. Variables
+  // are independent (aggregation never mixes them numerically), so the split changes
+  // nothing about the values.
+  std::vector<int> sparse_vars;
   for (size_t v = 0; v < variables_.size(); ++v) {
     int key = static_cast<int>(v);
     if (!Manages(key)) {
@@ -99,44 +149,122 @@ void PsNumericEngine::ApplyStep(const std::vector<StepResult>& per_rank,
       }
       continue;
     }
-    bool is_sparse = per_rank.front().grads.at(key).is_sparse();
-    if (is_sparse) {
-      // Two-level aggregation: local (per machine) coalesced sums, then the global
-      // accumulator sums the machine contributions. Without local aggregation the
-      // accumulator sums the per-rank gradients directly.
-      std::vector<IndexedSlices> global_inputs;
-      for (int base = 0; base < num_ranks; base += ranks_per_machine) {
-        std::vector<IndexedSlices> local;
-        local.reserve(static_cast<size_t>(ranks_per_machine));
-        for (int r = base; r < base + ranks_per_machine; ++r) {
-          local.push_back(per_rank[static_cast<size_t>(r)].grads.at(key).sparse());
-        }
-        global_inputs.push_back(local.size() == 1
-                                    ? local.front()
-                                    : IndexedSlices::Sum(local, &workspace_));
+    if (per_rank.front().grads.at(key).is_sparse()) {
+      sparse_vars.push_back(key);
+      continue;
+    }
+    std::vector<Tensor> global_inputs;
+    for (int base = 0; base < num_ranks; base += ranks_per_machine) {
+      std::vector<Tensor> local;
+      local.reserve(static_cast<size_t>(ranks_per_machine));
+      for (int r = base; r < base + ranks_per_machine; ++r) {
+        local.push_back(per_rank[static_cast<size_t>(r)].grads.at(key).dense());
       }
-      IndexedSlices aggregated = IndexedSlices::Sum(global_inputs, &workspace_);
-      if (config_.sparse_aggregation == AggregationMethod::kAverage) {
-        aggregated.Scale(1.0f / static_cast<float>(num_ranks));
-      }
-      variables_[v].ApplySparseSgd(aggregated, learning_rate, &workspace_);
-    } else {
-      std::vector<Tensor> global_inputs;
-      for (int base = 0; base < num_ranks; base += ranks_per_machine) {
-        std::vector<Tensor> local;
-        local.reserve(static_cast<size_t>(ranks_per_machine));
-        for (int r = base; r < base + ranks_per_machine; ++r) {
-          local.push_back(per_rank[static_cast<size_t>(r)].grads.at(key).dense());
-        }
-        global_inputs.push_back(local.size() == 1 ? local.front() : AllReduceSum(local));
-      }
-      Tensor aggregated = AllReduceSum(global_inputs);
-      if (config_.dense_aggregation == AggregationMethod::kAverage) {
-        ScaleInPlace(aggregated, 1.0f / static_cast<float>(num_ranks));
-      }
-      variables_[v].ApplyDenseSgd(aggregated, learning_rate);
+      global_inputs.push_back(local.size() == 1 ? local.front() : AllReduceSum(local));
+    }
+    Tensor aggregated = AllReduceSum(global_inputs);
+    if (config_.dense_aggregation == AggregationMethod::kAverage) {
+      ScaleInPlace(aggregated, 1.0f / static_cast<float>(num_ranks));
+    }
+    variables_[v].ApplyDenseSgd(aggregated, learning_rate);
+  }
+
+  if (config_.fuse_sparse_variables && sparse_vars.size() > 1) {
+    ApplySparseFused(sparse_vars, per_rank, learning_rate, ranks_per_machine);
+  } else {
+    for (int v : sparse_vars) {
+      ApplySparsePerVariable(v, per_rank, learning_rate, ranks_per_machine);
     }
   }
+}
+
+void PsNumericEngine::ApplySparsePerVariable(int variable_index,
+                                             const std::vector<StepResult>& per_rank,
+                                             float learning_rate, int ranks_per_machine) {
+  const int num_ranks = static_cast<int>(per_rank.size());
+  // Two-level aggregation: local (per machine) coalesced sums, then the global
+  // accumulator sums the machine contributions. Without local aggregation the
+  // accumulator sums the per-rank gradients directly.
+  std::vector<IndexedSlices> global_inputs;
+  for (int base = 0; base < num_ranks; base += ranks_per_machine) {
+    std::vector<IndexedSlices> local;
+    local.reserve(static_cast<size_t>(ranks_per_machine));
+    for (int r = base; r < base + ranks_per_machine; ++r) {
+      local.push_back(per_rank[static_cast<size_t>(r)].grads.at(variable_index).sparse());
+    }
+    global_inputs.push_back(local.size() == 1 ? local.front()
+                                              : IndexedSlices::Sum(local, &workspace_));
+  }
+  IndexedSlices aggregated = IndexedSlices::Sum(global_inputs, &workspace_);
+  if (config_.sparse_aggregation == AggregationMethod::kAverage) {
+    aggregated.Scale(1.0f / static_cast<float>(num_ranks));
+  }
+  variables_[static_cast<size_t>(variable_index)].ApplySparseSgd(aggregated, learning_rate,
+                                                                &workspace_);
+}
+
+void PsNumericEngine::ApplySparseFused(const std::vector<int>& variables,
+                                       const std::vector<StepResult>& per_rank,
+                                       float learning_rate, int ranks_per_machine) {
+  const int num_ranks = static_cast<int>(per_rank.size());
+  const int num_machines = num_ranks / ranks_per_machine;
+  const size_t n_vars = variables.size();
+
+  // Level 1 — local aggregation: every machine sums its ranks' gradients for ALL
+  // variables in one fused pass. Skipped when each machine contributes one rank: the
+  // raw gradient *is* the machine's contribution (exactly the per-variable path's
+  // `local.size() == 1` shortcut), so the global level consumes the raw slices.
+  std::vector<std::vector<IndexedSlices>> machine_bundles;
+  std::vector<SparseSumGroup> groups(n_vars);
+  if (ranks_per_machine > 1) {
+    machine_bundles.reserve(static_cast<size_t>(num_machines));
+    for (int m = 0; m < num_machines; ++m) {
+      for (size_t i = 0; i < n_vars; ++i) {
+        groups[i].inputs.clear();
+        for (int r = m * ranks_per_machine; r < (m + 1) * ranks_per_machine; ++r) {
+          groups[i].inputs.push_back(
+              &per_rank[static_cast<size_t>(r)].grads.at(variables[i]).sparse());
+        }
+      }
+      machine_bundles.push_back(MultiVariableSum(groups, &workspace_));
+    }
+  }
+
+  // Level 2 — global accumulation fused with the update: one streaming pass sums each
+  // coalesced row, applies the aggregation scale, and writes the SGD update straight
+  // into the owning shard row. No aggregated gradient tensor is ever materialized —
+  // the element-wise operations (sum in a fresh zero buffer, *= scale, dst -= lr * v)
+  // are exactly those of Sum + Scale + SplitSlicesByPartition + ScatterSgdUpdate, so
+  // the result is bit-identical to the per-variable path.
+  for (size_t i = 0; i < n_vars; ++i) {
+    groups[i].inputs.clear();
+    for (int m = 0; m < num_machines; ++m) {
+      groups[i].inputs.push_back(
+          ranks_per_machine > 1
+              ? &machine_bundles[static_cast<size_t>(m)][i]
+              : &per_rank[static_cast<size_t>(m)].grads.at(variables[i]).sparse());
+    }
+    PX_CHECK(groups[i].inputs.front()->dense_shape() ==
+             variables_[static_cast<size_t>(variables[i])].shape());
+  }
+  const bool average = config_.sparse_aggregation == AggregationMethod::kAverage;
+  const float scale = 1.0f / static_cast<float>(num_ranks);
+  MultiVariableSumStream(groups, &workspace_,
+                         [&](int64_t g, int64_t row, const float* values) {
+    PsVariable& variable = variables_[static_cast<size_t>(variables[static_cast<size_t>(g)])];
+    const int64_t width = variable.shape().row_elements();
+    float* dst = variable.MutableRow(row);
+    if (average) {
+      // (v * scale) then (lr * scaled) — the float sequence of Scale + ScatterSgdUpdate.
+      for (int64_t j = 0; j < width; ++j) {
+        dst[j] -= learning_rate * (values[j] * scale);
+      }
+    } else {
+      for (int64_t j = 0; j < width; ++j) {
+        dst[j] -= learning_rate * values[j];
+      }
+    }
+  });
 }
 
 VariableStore PsNumericEngine::CurrentValues() const {

@@ -9,6 +9,12 @@
 //   3. once every expected contribution arrived, the chief worker triggers the update op
 //      colocated with the shard,
 //   4. workers observe the new values (the shared-queue notification barrier).
+//
+// PsNumericEngine implements the SyncEngine interface (core/sync_engine.h) and registers
+// as "ps": Prepare routes the plan's PS variables here, and a re-Prepare with a new
+// partition count re-splits the shards around the *current* values (elastic
+// re-partitioning). By default all sparse variables of a step are aggregated in one
+// fused MultiVariableSum pass per level instead of one sort pipeline per variable.
 #ifndef PARALLAX_SRC_PS_PS_NUMERIC_H_
 #define PARALLAX_SRC_PS_PS_NUMERIC_H_
 
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "src/comm/reduce.h"
+#include "src/core/sync_engine.h"
 #include "src/graph/executor.h"
 #include "src/graph/graph.h"
 #include "src/ps/partition.h"
@@ -36,6 +43,10 @@ struct PsNumericConfig {
   // Variable indices this engine owns; empty means all (the hybrid runner assigns only
   // the PS-routed subset here and the AR-routed subset to the AR engine).
   std::vector<int> managed_variables;
+  // Batch all sparse variables of a step through one fused workspace pass per
+  // aggregation level (bit-identical to the per-variable pipeline; see
+  // MultiVariableSum). Off = one Sum pipeline per variable, kept for comparison.
+  bool fuse_sparse_variables = true;
 };
 
 // One variable as the servers store it: whole (dense or unpartitioned) or row-partitioned.
@@ -53,6 +64,12 @@ class PsVariable {
   void ApplySparseSgd(const IndexedSlices& grad, float learning_rate,
                       SparseWorkspace* workspace = nullptr);
 
+  // Storage row holding global row `row` (resolved through the partition). The fused
+  // aggregate-and-apply path updates shard rows in place through this; distinct rows
+  // may be written concurrently.
+  float* MutableRow(int64_t row);
+
+  const TensorShape& shape() const { return shape_; }
   int num_partitions() const { return partition_ ? partition_->num_partitions() : 1; }
 
  private:
@@ -62,13 +79,24 @@ class PsVariable {
 };
 
 // The server group: every variable's shards plus the synchronous aggregation logic.
-class PsNumericEngine {
+class PsNumericEngine : public SyncEngine {
  public:
+  // Unconfigured engine (the registry path): Prepare(plan) routes variables here.
+  explicit PsNumericEngine(const Graph* graph);
+  // Directly configured engine (tests, standalone use).
   PsNumericEngine(const Graph* graph, PsNumericConfig config);
 
+  // SyncEngine:
+  void Prepare(const SyncPlan& plan) override;
   // One synchronous training step given each rank's backward results (all ranks must
   // report a gradient for the same variable set). Applies SGD with `learning_rate`.
-  void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate);
+  void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate) override;
+  VariableStore View() const override { return CurrentValues(); }
+  SyncMethod CostMethod(GradKind) const override { return SyncMethod::kPs; }
+
+  // Swaps in a new configuration, preserving the variables' current values (shards are
+  // re-split around the materialized values). Prepare is this plus plan routing.
+  void Reconfigure(PsNumericConfig config);
 
   // Current full values, as workers observe them after the chief's notification.
   VariableStore CurrentValues() const;
@@ -77,6 +105,11 @@ class PsNumericEngine {
 
  private:
   bool Manages(int variable_index) const;
+  void ApplySparsePerVariable(int variable_index, const std::vector<StepResult>& per_rank,
+                              float learning_rate, int ranks_per_machine);
+  void ApplySparseFused(const std::vector<int>& variables,
+                        const std::vector<StepResult>& per_rank, float learning_rate,
+                        int ranks_per_machine);
 
   const Graph* graph_;
   PsNumericConfig config_;

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -119,6 +120,44 @@ class IndexedSlices {
   // stay race-free (both writers would store the same value).
   mutable std::atomic<int64_t> unique_rows_cache_{-1};
 };
+
+// One variable's contributions inside a multi-variable fused sum. All inputs share a
+// dense_shape; contributor order defines the per-row accumulation order, exactly as in
+// IndexedSlices::Sum.
+struct SparseSumGroup {
+  std::vector<const IndexedSlices*> inputs;  // non-empty, non-null
+};
+
+// Fused multi-variable aggregation: sums every group's contributions through ONE shared
+// workspace pass — a single key/row-pointer fill, one segment build, and one
+// (potentially parallel) segmented reduction over all groups — instead of one full Sum
+// pipeline per variable. Each group's contiguous key range is stable-sorted
+// independently (SortRangeByKey), so every sort stays cache-sized and keeps the group's
+// own radix width; group ranges never mix, which is what composite keys would have
+// bought at the cost of wider sorts. This is the kernel behind batching all sparse
+// variables of a training step through a single SparseWorkspace pass.
+//
+// result[g] is bit-identical to IndexedSlices::Sum over group g's inputs (and to
+// Coalesced for a single input): pairs are enumerated group-major in (contributor, row)
+// order and each subsort is stable, so each output row accumulates the same values in
+// the same order; segments never cross group boundaries (BuildSegmentsInRanges).
+std::vector<IndexedSlices> MultiVariableSum(const std::vector<SparseSumGroup>& groups,
+                                            SparseWorkspace* workspace = nullptr);
+
+// Streaming form of MultiVariableSum: the same shared pass, but every coalesced output
+// row is handed to `consume(group, row_index, row_values)` instead of being
+// materialized into per-group tensors. This is the aggregate-and-apply fusion of the
+// PS engine's step path — with the scale and the SGD update folded into `consume`, a
+// step's sparse synchronization touches no intermediate gradient tensor at all.
+//
+// `row_values` points either directly at the (sole) contributing input row or at a
+// reusable scratch sum — consume must treat it as read-only and not retain it. Rows
+// arrive coalesced (each (group, row) exactly once, summed in the order
+// MultiVariableSum uses); distinct rows may be consumed concurrently from different
+// lanes, so `consume` must only write through its own (group, row).
+void MultiVariableSumStream(
+    const std::vector<SparseSumGroup>& groups, SparseWorkspace* workspace,
+    const std::function<void(int64_t, int64_t, const float*)>& consume);
 
 }  // namespace parallax
 

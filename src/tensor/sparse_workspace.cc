@@ -22,35 +22,52 @@ constexpr int64_t kRadixBuckets = int64_t{1} << kRadixBits;
 }  // namespace
 
 void SparseWorkspace::SortByKey(int64_t n, int64_t max_key) {
-  PX_CHECK_GE(max_key, 0);
   PX_CHECK_LE(n, static_cast<int64_t>(sort_keys_.size()));
   Resized(sort_pos_, n);
-  std::iota(sort_pos_.begin(), sort_pos_.begin() + n, int64_t{0});
+  SortRangeByKey(0, n, max_key);
+}
+
+void SparseWorkspace::SortRangeByKey(int64_t begin, int64_t end, int64_t max_key) {
+  PX_CHECK_GE(max_key, 0);
+  PX_CHECK_GE(begin, 0);
+  PX_CHECK_LE(begin, end);
+  PX_CHECK_LE(end, static_cast<int64_t>(sort_keys_.size()));
+  Resized(sort_pos_, static_cast<int64_t>(sort_keys_.size()));
+  std::iota(sort_pos_.begin() + begin, sort_pos_.begin() + end, begin);
+  const int64_t n = end - begin;
   if (n < 2) {
     return;
   }
 
   if (n < kComparisonSortCutoff) {
     // Indirect sort of the permutation; the position tiebreak makes it stable.
-    std::sort(sort_pos_.begin(), sort_pos_.begin() + n, [&](int64_t a, int64_t b) {
-      if (sort_keys_[static_cast<size_t>(a)] != sort_keys_[static_cast<size_t>(b)]) {
-        return sort_keys_[static_cast<size_t>(a)] < sort_keys_[static_cast<size_t>(b)];
-      }
-      return a < b;
-    });
-    Resized(alt_keys_, n);
-    for (int64_t i = 0; i < n; ++i) {
+    std::sort(sort_pos_.begin() + begin, sort_pos_.begin() + end,
+              [&](int64_t a, int64_t b) {
+                if (sort_keys_[static_cast<size_t>(a)] != sort_keys_[static_cast<size_t>(b)]) {
+                  return sort_keys_[static_cast<size_t>(a)] <
+                         sort_keys_[static_cast<size_t>(b)];
+                }
+                return a < b;
+              });
+    Resized(alt_keys_, static_cast<int64_t>(sort_keys_.size()));
+    for (int64_t i = begin; i < end; ++i) {
       alt_keys_[static_cast<size_t>(i)] =
           sort_keys_[static_cast<size_t>(sort_pos_[static_cast<size_t>(i)])];
     }
-    std::swap(sort_keys_, alt_keys_);
+    if (begin == 0 && end == static_cast<int64_t>(sort_keys_.size())) {
+      std::swap(sort_keys_, alt_keys_);  // full range: swap beats copy-back
+    } else {
+      std::copy(alt_keys_.begin() + begin, alt_keys_.begin() + end,
+                sort_keys_.begin() + begin);
+    }
     return;
   }
 
   // LSD radix over 8-bit digits: stable by construction. Ping-pong between the sort and
-  // alt buffers; constant digits are detected via the histogram and skipped.
-  Resized(alt_keys_, n);
-  Resized(alt_pos_, n);
+  // alt buffers; constant digits are detected via the histogram and skipped. Subrange
+  // sorts leave the untouched remainder of the buffers intact (copy-back, no swap).
+  Resized(alt_keys_, static_cast<int64_t>(sort_keys_.size()));
+  Resized(alt_pos_, static_cast<int64_t>(sort_keys_.size()));
   Resized(histogram_, kRadixBuckets);
   std::vector<int64_t>* keys = &sort_keys_;
   std::vector<int64_t>* pos = &sort_pos_;
@@ -58,7 +75,7 @@ void SparseWorkspace::SortByKey(int64_t n, int64_t max_key) {
   std::vector<int64_t>* pos_out = &alt_pos_;
   for (int shift = 0; (max_key >> shift) != 0; shift += kRadixBits) {
     std::fill(histogram_.begin(), histogram_.end(), 0);
-    for (int64_t i = 0; i < n; ++i) {
+    for (int64_t i = begin; i < end; ++i) {
       ++histogram_[static_cast<size_t>(((*keys)[static_cast<size_t>(i)] >> shift) &
                                        (kRadixBuckets - 1))];
     }
@@ -72,13 +89,13 @@ void SparseWorkspace::SortByKey(int64_t n, int64_t max_key) {
     if (constant_digit) {
       continue;
     }
-    int64_t running = 0;
+    int64_t running = begin;
     for (int64_t b = 0; b < kRadixBuckets; ++b) {
       int64_t count = histogram_[static_cast<size_t>(b)];
       histogram_[static_cast<size_t>(b)] = running;
       running += count;
     }
-    for (int64_t i = 0; i < n; ++i) {
+    for (int64_t i = begin; i < end; ++i) {
       int64_t key = (*keys)[static_cast<size_t>(i)];
       int64_t dst = histogram_[static_cast<size_t>((key >> shift) & (kRadixBuckets - 1))]++;
       (*keys_out)[static_cast<size_t>(dst)] = key;
@@ -88,8 +105,15 @@ void SparseWorkspace::SortByKey(int64_t n, int64_t max_key) {
     std::swap(pos, pos_out);
   }
   if (keys != &sort_keys_) {
-    std::swap(sort_keys_, alt_keys_);
-    std::swap(sort_pos_, alt_pos_);
+    if (begin == 0 && end == static_cast<int64_t>(sort_keys_.size())) {
+      std::swap(sort_keys_, alt_keys_);  // full range: swap beats copy-back
+      std::swap(sort_pos_, alt_pos_);
+    } else {
+      std::copy(alt_keys_.begin() + begin, alt_keys_.begin() + end,
+                sort_keys_.begin() + begin);
+      std::copy(alt_pos_.begin() + begin, alt_pos_.begin() + end,
+                sort_pos_.begin() + begin);
+    }
   }
 }
 
@@ -99,6 +123,30 @@ const std::vector<int64_t>& SparseWorkspace::BuildSegments(int64_t n) {
   for (int64_t i = 0; i < n; ++i) {
     if (i == 0 || sort_keys_[static_cast<size_t>(i)] != sort_keys_[static_cast<size_t>(i - 1)]) {
       segment_starts_.push_back(i);
+    }
+  }
+  segment_starts_.push_back(n);
+  return segment_starts_;
+}
+
+const std::vector<int64_t>& SparseWorkspace::BuildSegmentsInRanges(
+    const std::vector<int64_t>& range_starts) {
+  PX_CHECK_GE(range_starts.size(), 2u);
+  PX_CHECK_EQ(range_starts.front(), 0);
+  const int64_t n = range_starts.back();
+  PX_CHECK_LE(n, static_cast<int64_t>(sort_keys_.size()));
+  segment_starts_.clear();
+  for (size_t r = 0; r + 1 < range_starts.size(); ++r) {
+    const int64_t begin = range_starts[r];
+    const int64_t end = range_starts[r + 1];
+    PX_CHECK_LE(begin, end);
+    for (int64_t i = begin; i < end; ++i) {
+      // A range boundary always opens a segment: keys in different ranges belong to
+      // different key spaces even when their values coincide.
+      if (i == begin ||
+          sort_keys_[static_cast<size_t>(i)] != sort_keys_[static_cast<size_t>(i - 1)]) {
+        segment_starts_.push_back(i);
+      }
     }
   }
   segment_starts_.push_back(n);

@@ -50,6 +50,14 @@ class SparseWorkspace {
   // the cutoff; both stable, both allocation-free once buffers are warm.
   void SortByKey(int64_t n, int64_t max_key);
 
+  // Stable-sorts the subrange sort_keys()[begin, end) in place (sorted_pos()[begin, end)
+  // holds the originating positions, which lie in [begin, end)). Lets one key buffer
+  // carry many independently-sorted ranges — the multi-variable fused aggregation sorts
+  // each variable's contiguous run separately, keeping every sort cache-sized and its
+  // radix width at the variable's own key range. The whole key buffer must be sized
+  // first (sort_keys(n)); ranges must not overlap.
+  void SortRangeByKey(int64_t begin, int64_t end, int64_t max_key);
+
   const std::vector<int64_t>& sorted_keys() const { return sort_keys_; }
   const std::vector<int64_t>& sorted_pos() const { return sort_pos_; }
 
@@ -57,6 +65,12 @@ class SparseWorkspace {
   // position of segment s, with a final sentinel n. Returns the table; num segments is
   // size() - 1. Requires SortByKey to have run for this n.
   const std::vector<int64_t>& BuildSegments(int64_t n);
+
+  // Segment table over independently-sorted ranges: range_starts[i], range_starts[i+1])
+  // delimit the i-th sorted range (first entry 0, last entry n). Equal keys on opposite
+  // sides of a range boundary stay in separate segments — boundaries always start a new
+  // segment. Returns the table with the final sentinel n.
+  const std::vector<int64_t>& BuildSegmentsInRanges(const std::vector<int64_t>& range_starts);
 
   // ---- General scratch -------------------------------------------------------------
 

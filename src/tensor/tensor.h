@@ -65,6 +65,13 @@ class Tensor {
   // True if both tensors view the same buffer.
   bool SharesBufferWith(const Tensor& other) const;
 
+  // True when no other Tensor shares this buffer — the condition under which the
+  // destination-passing kernels (tensor_ops.h, *Into) may overwrite it in place.
+  bool UniquelyOwned() const {
+    return (float_data_ == nullptr || float_data_.use_count() == 1) &&
+           (int_data_ == nullptr || int_data_.use_count() == 1);
+  }
+
   // Frobenius-style reductions over Float32 data.
   double Sum() const;
   double L2Norm() const;

@@ -74,17 +74,35 @@ Tensor Scale(const Tensor& a, float factor) {
   return out;
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+namespace {
+
+// Prepares `out` as the destination of a dense kernel: reuses its buffer when it is a
+// uniquely-owned float tensor of the right shape, otherwise swaps in fresh zeroed
+// storage. `zero_fill` is for accumulating kernels; fully-overwriting kernels skip it.
+float* PrepareDense(Tensor& out, const TensorShape& shape, bool zero_fill) {
+  if (!out.is_float() || !(out.shape() == shape) || !out.UniquelyOwned()) {
+    out = Tensor::Zeros(shape);
+    return out.mutable_floats().data();
+  }
+  auto data = out.mutable_floats();
+  if (zero_fill) {
+    std::fill(data.begin(), data.end(), 0.0f);
+  }
+  return data.data();
+}
+
+}  // namespace
+
+void MatMulInto(Tensor& out, const Tensor& a, const Tensor& b) {
   PX_CHECK_EQ(a.shape().rank(), 2);
   PX_CHECK_EQ(b.shape().rank(), 2);
   int64_t m = a.shape().dim(0);
   int64_t k = a.shape().dim(1);
   int64_t n = b.shape().dim(1);
   PX_CHECK_EQ(k, b.shape().dim(0));
-  Tensor c = Tensor::Zeros(TensorShape({m, n}));
+  float* cv = PrepareDense(out, TensorShape({m, n}), /*zero_fill=*/true);
   auto av = a.floats();
   auto bv = b.floats();
-  auto cv = c.mutable_floats();
   // i-k-j loop order: unit-stride inner loop over both B and C rows.
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t p = 0; p < k; ++p) {
@@ -93,26 +111,30 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         continue;
       }
       const float* brow = &bv[static_cast<size_t>(p * n)];
-      float* crow = &cv[static_cast<size_t>(i * n)];
+      float* crow = cv + i * n;
       for (int64_t j = 0; j < n; ++j) {
         crow[j] += aip * brow[j];
       }
     }
   }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  MatMulInto(c, a, b);
   return c;
 }
 
-Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+void MatMulTransposeAInto(Tensor& out, const Tensor& a, const Tensor& b) {
   PX_CHECK_EQ(a.shape().rank(), 2);
   PX_CHECK_EQ(b.shape().rank(), 2);
   int64_t k = a.shape().dim(0);
   int64_t m = a.shape().dim(1);
   int64_t n = b.shape().dim(1);
   PX_CHECK_EQ(k, b.shape().dim(0));
-  Tensor c = Tensor::Zeros(TensorShape({m, n}));
+  float* cv = PrepareDense(out, TensorShape({m, n}), /*zero_fill=*/true);
   auto av = a.floats();
   auto bv = b.floats();
-  auto cv = c.mutable_floats();
   for (int64_t p = 0; p < k; ++p) {
     const float* arow = &av[static_cast<size_t>(p * m)];
     const float* brow = &bv[static_cast<size_t>(p * n)];
@@ -121,29 +143,34 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
       if (aip == 0.0f) {
         continue;
       }
-      float* crow = &cv[static_cast<size_t>(i * n)];
+      float* crow = cv + i * n;
       for (int64_t j = 0; j < n; ++j) {
         crow[j] += aip * brow[j];
       }
     }
   }
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  MatMulTransposeAInto(c, a, b);
   return c;
 }
 
-Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+void MatMulTransposeBInto(Tensor& out, const Tensor& a, const Tensor& b) {
   PX_CHECK_EQ(a.shape().rank(), 2);
   PX_CHECK_EQ(b.shape().rank(), 2);
   int64_t m = a.shape().dim(0);
   int64_t k = a.shape().dim(1);
   int64_t n = b.shape().dim(0);
   PX_CHECK_EQ(k, b.shape().dim(1));
-  Tensor c = Tensor::Zeros(TensorShape({m, n}));
+  // Every element is assigned below — no zero fill needed.
+  float* cv = PrepareDense(out, TensorShape({m, n}), /*zero_fill=*/false);
   auto av = a.floats();
   auto bv = b.floats();
-  auto cv = c.mutable_floats();
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = &av[static_cast<size_t>(i * k)];
-    float* crow = &cv[static_cast<size_t>(i * n)];
+    float* crow = cv + i * n;
     for (int64_t j = 0; j < n; ++j) {
       const float* brow = &bv[static_cast<size_t>(j * k)];
       float sum = 0.0f;
@@ -153,6 +180,11 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
       crow[j] = sum;
     }
   }
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  MatMulTransposeBInto(c, a, b);
   return c;
 }
 
@@ -171,43 +203,63 @@ Tensor Transpose2D(const Tensor& a) {
   return out;
 }
 
-Tensor Tanh(const Tensor& a) {
-  Tensor out = a.Clone();
-  for (float& v : out.mutable_floats()) {
-    v = std::tanh(v);
+void TanhInto(Tensor& out, const Tensor& a) {
+  float* dst = PrepareDense(out, a.shape(), /*zero_fill=*/false);
+  auto src = a.floats();
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] = std::tanh(src[i]);
   }
+}
+
+Tensor Tanh(const Tensor& a) {
+  Tensor out;
+  TanhInto(out, a);
   return out;
+}
+
+void TanhGradInto(Tensor& out, const Tensor& output, const Tensor& grad) {
+  CheckSameShape(output, grad);
+  float* dst = PrepareDense(out, grad.shape(), /*zero_fill=*/false);
+  auto g = grad.floats();
+  auto y = output.floats();
+  for (size_t i = 0; i < g.size(); ++i) {
+    dst[i] = g[i] * (1.0f - y[i] * y[i]);
+  }
 }
 
 Tensor TanhGrad(const Tensor& output, const Tensor& grad) {
-  CheckSameShape(output, grad);
-  Tensor out = grad.Clone();
-  auto dst = out.mutable_floats();
-  auto y = output.floats();
-  for (size_t i = 0; i < dst.size(); ++i) {
-    dst[i] *= 1.0f - y[i] * y[i];
-  }
+  Tensor out;
+  TanhGradInto(out, output, grad);
   return out;
+}
+
+void ReluInto(Tensor& out, const Tensor& a) {
+  float* dst = PrepareDense(out, a.shape(), /*zero_fill=*/false);
+  auto src = a.floats();
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] = std::max(src[i], 0.0f);
+  }
 }
 
 Tensor Relu(const Tensor& a) {
-  Tensor out = a.Clone();
-  for (float& v : out.mutable_floats()) {
-    v = std::max(v, 0.0f);
-  }
+  Tensor out;
+  ReluInto(out, a);
   return out;
 }
 
-Tensor ReluGrad(const Tensor& input, const Tensor& grad) {
+void ReluGradInto(Tensor& out, const Tensor& input, const Tensor& grad) {
   CheckSameShape(input, grad);
-  Tensor out = grad.Clone();
-  auto dst = out.mutable_floats();
+  float* dst = PrepareDense(out, grad.shape(), /*zero_fill=*/false);
+  auto g = grad.floats();
   auto x = input.floats();
-  for (size_t i = 0; i < dst.size(); ++i) {
-    if (x[i] <= 0.0f) {
-      dst[i] = 0.0f;
-    }
+  for (size_t i = 0; i < g.size(); ++i) {
+    dst[i] = x[i] <= 0.0f ? 0.0f : g[i];
   }
+}
+
+Tensor ReluGrad(const Tensor& input, const Tensor& grad) {
+  Tensor out;
+  ReluGradInto(out, input, grad);
   return out;
 }
 
@@ -275,19 +327,24 @@ float SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels, Tensor* gr
   return static_cast<float>(loss);
 }
 
-Tensor GatherRows(const Tensor& params, std::span<const int64_t> indices) {
+void GatherRowsInto(Tensor& out, const Tensor& params, std::span<const int64_t> indices) {
   PX_CHECK_GE(params.shape().rank(), 1);
   int64_t row = params.shape().row_elements();
-  Tensor out = Tensor::Zeros(params.shape().WithDim0(static_cast<int64_t>(indices.size())));
+  float* dst = PrepareDense(out, params.shape().WithDim0(static_cast<int64_t>(indices.size())),
+                            /*zero_fill=*/false);
   auto src = params.floats();
-  auto dst = out.mutable_floats();
   for (size_t i = 0; i < indices.size(); ++i) {
     int64_t index = indices[i];
     PX_CHECK_GE(index, 0);
     PX_CHECK_LT(index, params.shape().dim(0));
-    std::copy_n(src.begin() + static_cast<ptrdiff_t>(index * row), row,
-                dst.begin() + static_cast<ptrdiff_t>(static_cast<int64_t>(i) * row));
+    std::copy_n(src.begin() + static_cast<ptrdiff_t>(index * row),
+                row, dst + static_cast<int64_t>(i) * row);
   }
+}
+
+Tensor GatherRows(const Tensor& params, std::span<const int64_t> indices) {
+  Tensor out;
+  GatherRowsInto(out, params, indices);
   return out;
 }
 
@@ -373,7 +430,7 @@ Tensor SliceRows(const Tensor& input, int64_t row_begin, int64_t row_end) {
   return out;
 }
 
-Tensor SliceCols(const Tensor& input, int64_t col_begin, int64_t col_end) {
+void SliceColsInto(Tensor& out, const Tensor& input, int64_t col_begin, int64_t col_end) {
   PX_CHECK_EQ(input.shape().rank(), 2);
   PX_CHECK_GE(col_begin, 0);
   PX_CHECK_LE(col_begin, col_end);
@@ -381,48 +438,66 @@ Tensor SliceCols(const Tensor& input, int64_t col_begin, int64_t col_end) {
   int64_t rows = input.shape().dim(0);
   int64_t cols = input.shape().dim(1);
   int64_t out_cols = col_end - col_begin;
-  Tensor out = Tensor::Zeros(TensorShape({rows, out_cols}));
+  float* dst = PrepareDense(out, TensorShape({rows, out_cols}), /*zero_fill=*/false);
   auto src = input.floats();
-  auto dst = out.mutable_floats();
   for (int64_t r = 0; r < rows; ++r) {
     std::copy_n(src.begin() + static_cast<ptrdiff_t>(r * cols + col_begin), out_cols,
-                dst.begin() + static_cast<ptrdiff_t>(r * out_cols));
+                dst + r * out_cols);
   }
+}
+
+Tensor SliceCols(const Tensor& input, int64_t col_begin, int64_t col_end) {
+  Tensor out;
+  SliceColsInto(out, input, col_begin, col_end);
   return out;
 }
 
-Tensor ColumnSum(const Tensor& input) {
+void ColumnSumInto(Tensor& out, const Tensor& input) {
   PX_CHECK_EQ(input.shape().rank(), 2);
   int64_t rows = input.shape().dim(0);
   int64_t cols = input.shape().dim(1);
-  Tensor out = Tensor::Zeros(TensorShape({cols}));
+  float* dst = PrepareDense(out, TensorShape({cols}), /*zero_fill=*/true);
   auto src = input.floats();
-  auto dst = out.mutable_floats();
   for (int64_t r = 0; r < rows; ++r) {
     for (int64_t c = 0; c < cols; ++c) {
-      dst[static_cast<size_t>(c)] += src[static_cast<size_t>(r * cols + c)];
+      dst[c] += src[static_cast<size_t>(r * cols + c)];
     }
   }
+}
+
+Tensor ColumnSum(const Tensor& input) {
+  Tensor out;
+  ColumnSumInto(out, input);
   return out;
 }
 
-Tensor ConcatColsPair(const Tensor& a, const Tensor& b) {
+void CopyInto(Tensor& out, const Tensor& in) {
+  PX_CHECK(in.is_float());
+  float* dst = PrepareDense(out, in.shape(), /*zero_fill=*/false);
+  auto src = in.floats();
+  std::copy(src.begin(), src.end(), dst);
+}
+
+void ConcatColsPairInto(Tensor& out, const Tensor& a, const Tensor& b) {
   PX_CHECK_EQ(a.shape().rank(), 2);
   PX_CHECK_EQ(b.shape().rank(), 2);
   PX_CHECK_EQ(a.shape().dim(0), b.shape().dim(0));
   int64_t rows = a.shape().dim(0);
   int64_t pa = a.shape().dim(1);
   int64_t pb = b.shape().dim(1);
-  Tensor out = Tensor::Zeros(TensorShape({rows, pa + pb}));
+  float* dst = PrepareDense(out, TensorShape({rows, pa + pb}), /*zero_fill=*/false);
   auto av = a.floats();
   auto bv = b.floats();
-  auto dst = out.mutable_floats();
   for (int64_t r = 0; r < rows; ++r) {
-    std::copy_n(av.begin() + static_cast<ptrdiff_t>(r * pa), pa,
-                dst.begin() + static_cast<ptrdiff_t>(r * (pa + pb)));
+    std::copy_n(av.begin() + static_cast<ptrdiff_t>(r * pa), pa, dst + r * (pa + pb));
     std::copy_n(bv.begin() + static_cast<ptrdiff_t>(r * pb), pb,
-                dst.begin() + static_cast<ptrdiff_t>(r * (pa + pb) + pa));
+                dst + r * (pa + pb) + pa);
   }
+}
+
+Tensor ConcatColsPair(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  ConcatColsPairInto(out, a, b);
   return out;
 }
 

@@ -83,6 +83,32 @@ Tensor ConcatColsPair(const Tensor& a, const Tensor& b);
 // overhead grows with the partition count; paper section 3.2).
 Tensor ConcatRows(const std::vector<Tensor>& pieces);
 
+// ---- Destination-passing variants (the executor's gradient buffer plan) ----
+//
+// Each XInto computes exactly the values of X but writes them into `out`, reusing its
+// buffer when `out` already is a uniquely-owned float tensor of the result shape;
+// otherwise `out` is replaced with fresh storage. Threading the same `out` tensors
+// through a training loop makes the backward pass reuse one set of gradient buffers
+// across steps. Results are bit-identical to the allocating variants.
+//
+// Precondition: `out` must not alias any input (an in-place reuse overwrites the buffer
+// before the inputs are fully read). The executor's slot discipline guarantees this —
+// a node is never its own input, and each scratch slot is uniquely owned.
+
+void MatMulInto(Tensor& out, const Tensor& a, const Tensor& b);
+void MatMulTransposeAInto(Tensor& out, const Tensor& a, const Tensor& b);
+void MatMulTransposeBInto(Tensor& out, const Tensor& a, const Tensor& b);
+void TanhInto(Tensor& out, const Tensor& a);
+void TanhGradInto(Tensor& out, const Tensor& output, const Tensor& grad);
+void ReluInto(Tensor& out, const Tensor& a);
+void ReluGradInto(Tensor& out, const Tensor& input, const Tensor& grad);
+void ColumnSumInto(Tensor& out, const Tensor& input);
+void SliceColsInto(Tensor& out, const Tensor& input, int64_t col_begin, int64_t col_end);
+void ConcatColsPairInto(Tensor& out, const Tensor& a, const Tensor& b);
+void GatherRowsInto(Tensor& out, const Tensor& params, std::span<const int64_t> indices);
+// out <- in (element copy; the buffer-reusing counterpart of in.Clone()).
+void CopyInto(Tensor& out, const Tensor& in);
+
 // ---- Initializers ----
 
 Tensor RandomNormal(TensorShape shape, Rng& rng, float stddev = 1.0f);

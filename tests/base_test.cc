@@ -181,5 +181,22 @@ TEST(StringsTest, Formatting) {
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
 }
 
+TEST(StringsTest, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("embedding", "embedding"));
+  EXPECT_TRUE(GlobMatch("embedding", "emb*"));
+  EXPECT_TRUE(GlobMatch("softmax_emb", "*emb"));
+  EXPECT_TRUE(GlobMatch("anything", "*"));
+  EXPECT_TRUE(GlobMatch("", "*"));
+  EXPECT_TRUE(GlobMatch("w1", "w?"));
+  EXPECT_TRUE(GlobMatch("emb_enc", "emb*enc"));
+  EXPECT_TRUE(GlobMatch("a_b_c", "a*b*c"));
+  EXPECT_FALSE(GlobMatch("embedding", "emb"));
+  EXPECT_FALSE(GlobMatch("emb", "embedding"));
+  EXPECT_FALSE(GlobMatch("w12", "w?"));
+  EXPECT_FALSE(GlobMatch("softmax_emb", "emb*"));
+  EXPECT_FALSE(GlobMatch("abc", ""));
+  EXPECT_TRUE(GlobMatch("", ""));
+}
+
 }  // namespace
 }  // namespace parallax

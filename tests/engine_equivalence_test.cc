@@ -102,6 +102,183 @@ TEST(EngineEquivalenceTest, MlpClassifierAllEnginesTrackReference) {
   ExpectTrajectoriesMatch(model, 5e-4f);
 }
 
+// ---- Bit-identity against the pre-SyncEngine runner ---------------------------------
+//
+// The redesigned runner routes every step through SyncEngine::ApplyStep and composes
+// worker views from engine View()s; the seed runner hardwired a PsNumericEngine +
+// ArNumericEngine pair, cloned per-rank AR replicas, and overlaid PS pulls. This
+// reference replays the seed's exact step semantics (per-variable sparse aggregation,
+// no fusion) over any ps/ar managed split, so both the default hybrid assignment and
+// builder-forced mixed assignments can be compared bit-for-bit.
+class LegacyRunnerReference {
+ public:
+  LegacyRunnerReference(const Graph* graph, NodeId loss, int num_ranks,
+                        int ranks_per_machine, int sparse_partitions,
+                        std::vector<int> ps_vars, std::vector<int> ar_vars, float lr)
+      : graph_(graph), loss_(loss), executor_(graph), ps_vars_(std::move(ps_vars)), lr_(lr) {
+    PsNumericConfig ps_config;
+    ps_config.sparse_partitions = sparse_partitions;
+    ps_config.local_aggregation = true;
+    ps_config.ranks_per_machine = ranks_per_machine;
+    ps_config.managed_variables = ps_vars_;
+    ps_config.fuse_sparse_variables = false;  // the seed's per-variable pipeline
+    ps_ = std::make_unique<PsNumericEngine>(graph, ps_config);
+    ArNumericConfig ar_config;
+    ar_config.managed_variables = std::move(ar_vars);
+    ar_ = std::make_unique<ArNumericEngine>(graph, num_ranks, ar_config);
+  }
+
+  float Step(const std::vector<FeedMap>& shards) {
+    VariableStore ps_values = ps_->CurrentValues();
+    std::vector<StepResult> per_rank;
+    float loss_sum = 0.0f;
+    for (size_t r = 0; r < shards.size(); ++r) {
+      VariableStore view = ar_->replica(static_cast<int>(r)).Clone();
+      for (int v : ps_vars_) {
+        view.Set(v, ps_values.Get(v));
+      }
+      StepResult result = executor_.RunStep(view, shards[r], loss_);
+      loss_sum += result.loss;
+      per_rank.push_back(std::move(result));
+    }
+    ps_->ApplyStep(per_rank, lr_);
+    ar_->ApplyStep(per_rank, lr_);
+    return loss_sum / static_cast<float>(shards.size());
+  }
+
+  VariableStore WorkerView() const {
+    VariableStore view = ar_->replica(0).Clone();
+    VariableStore ps_values = ps_->CurrentValues();
+    for (int v : ps_vars_) {
+      view.Set(v, ps_values.Get(v));
+    }
+    return view;
+  }
+
+ private:
+  const Graph* graph_;
+  NodeId loss_;
+  Executor executor_;
+  std::vector<int> ps_vars_;
+  float lr_;
+  std::unique_ptr<PsNumericEngine> ps_;
+  std::unique_ptr<ArNumericEngine> ar_;
+};
+
+// Pre-generates the shards so the runner under test and the legacy reference consume
+// identical feeds, then checks bit-identical losses and worker views step by step.
+void ExpectBitIdenticalToLegacy(GraphRunner& runner, WordLmModel& model, int num_ranks,
+                                int ranks_per_machine, float lr, int steps) {
+  Rng rng(4242);
+  std::vector<std::vector<FeedMap>> shards;
+  shards.reserve(static_cast<size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    shards.push_back(model.TrainShards(num_ranks, rng));
+  }
+
+  // First step initializes the runner (analysis + search + plan); the legacy reference
+  // is then built from the resulting plan and replays every step from scratch.
+  float first_loss = runner.Step(shards[0]);
+  const SyncPlan& plan = runner.plan();
+  std::vector<int> ps_vars;
+  std::vector<int> ar_vars;
+  for (size_t v = 0; v < plan.engines.size(); ++v) {
+    (plan.engines[v] == "ps" ? ps_vars : ar_vars).push_back(static_cast<int>(v));
+  }
+  LegacyRunnerReference legacy(model.graph(), model.loss(), num_ranks, ranks_per_machine,
+                               runner.chosen_sparse_partitions(), ps_vars, ar_vars, lr);
+
+  for (int s = 0; s < steps; ++s) {
+    float loss_new = s == 0 ? first_loss : runner.Step(shards[static_cast<size_t>(s)]);
+    float loss_legacy = legacy.Step(shards[static_cast<size_t>(s)]);
+    EXPECT_EQ(loss_new, loss_legacy) << "loss diverged at step " << s;
+    VariableStore view_new = runner.WorkerView();
+    VariableStore view_legacy = legacy.WorkerView();
+    for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+      EXPECT_TRUE(AllClose(view_new.Get(static_cast<int>(v)),
+                           view_legacy.Get(static_cast<int>(v)), 0.0f))
+          << model.graph()->variables()[v].name << " diverged at step " << s;
+    }
+  }
+}
+
+TEST(EngineEquivalenceTest, GetRunnerShimBitIdenticalToLegacyRunner) {
+  WordLmModel model({.vocab_size = 90, .embedding_dim = 6, .hidden_dim = 10,
+                     .batch_per_rank = 12, .seed = 710});
+  ParallaxConfig config;
+  config.learning_rate = kLr;
+  config.search.warmup_iterations = 2;
+  config.search.measured_iterations = 2;
+  auto runner = GetRunner(model.graph(), model.loss(), "m0:0,1;m1:0,1", config);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  ExpectBitIdenticalToLegacy(*runner.value(), model, 4, 2, kLr, kSteps);
+}
+
+TEST(EngineEquivalenceTest, MixedEngineAssignmentBitIdenticalToLegacyRunner) {
+  // Force a routing the hybrid rule would never pick — a sparse variable through AR
+  // (AllGatherv) and a dense one through PS — and check the redesigned runner still
+  // matches the seed engines managing the same split, bit for bit.
+  WordLmModel model({.vocab_size = 90, .embedding_dim = 6, .hidden_dim = 10,
+                     .batch_per_rank = 12, .seed = 711});
+  auto runner = RunnerBuilder(model.graph(), model.loss())
+                    .WithResources("m0:0,1;m1:0,1")
+                    .WithEngine("softmax_emb", "ar")
+                    .WithEngine("w1", "ps")
+                    .WithLearningRate(kLr)
+                    .WithManualPartitions(5)  // partitioned shards in the PS engine
+                    .Build();
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  ExpectBitIdenticalToLegacy(*runner.value(), model, 4, 2, kLr, kSteps);
+
+  // The overrides must be reflected in the plan and in the timing-plane methods.
+  const SyncPlan& plan = runner.value()->plan();
+  for (size_t v = 0; v < plan.variables.size(); ++v) {
+    if (plan.variables[v].spec.name == "softmax_emb") {
+      EXPECT_EQ(plan.engines[v], "ar");
+      EXPECT_EQ(plan.variables[v].method, SyncMethod::kArAllGatherv);
+    }
+    if (plan.variables[v].spec.name == "w1") {
+      EXPECT_EQ(plan.engines[v], "ps");
+      EXPECT_EQ(plan.variables[v].method, SyncMethod::kPs);
+    }
+  }
+}
+
+TEST(EngineEquivalenceTest, FusedSparseAggregationBitIdenticalToPerVariable) {
+  // The multi-variable fused workspace pass is the default; a runner with fusion off
+  // takes the per-variable Sum pipeline. Both must produce identical bits.
+  WordLmModel fused_model({.vocab_size = 90, .embedding_dim = 6, .hidden_dim = 10,
+                           .batch_per_rank = 12, .seed = 712});
+  WordLmModel plain_model({.vocab_size = 90, .embedding_dim = 6, .hidden_dim = 10,
+                           .batch_per_rank = 12, .seed = 712});
+  auto build = [](WordLmModel& model, bool fuse) {
+    auto runner = RunnerBuilder(model.graph(), model.loss())
+                      .WithResources("m0:0,1;m1:0,1")
+                      .WithLearningRate(kLr)
+                      .WithSearch({.warmup_iterations = 2, .measured_iterations = 2})
+                      .WithSparseFusion(fuse)
+                      .Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    return std::move(runner).value();
+  };
+  auto fused = build(fused_model, true);
+  auto plain = build(plain_model, false);
+  Rng rng(4343);
+  for (int s = 0; s < kSteps; ++s) {
+    std::vector<FeedMap> shards = fused_model.TrainShards(4, rng);
+    float loss_fused = fused->Step(shards);
+    float loss_plain = plain->Step(shards);
+    EXPECT_EQ(loss_fused, loss_plain) << "step " << s;
+    VariableStore view_fused = fused->WorkerView();
+    VariableStore view_plain = plain->WorkerView();
+    for (size_t v = 0; v < fused_model.graph()->variables().size(); ++v) {
+      EXPECT_TRUE(AllClose(view_fused.Get(static_cast<int>(v)),
+                           view_plain.Get(static_cast<int>(v)), 0.0f))
+          << fused_model.graph()->variables()[v].name << " at step " << s;
+    }
+  }
+}
+
 TEST(EngineEquivalenceTest, DistributedBatchEqualsBigBatchForDenseModel) {
   // For a plain mean-loss model, K shards of size b with average aggregation equal one
   // device running the concatenated K*b batch — the textbook data-parallel identity.

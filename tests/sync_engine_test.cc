@@ -1,0 +1,244 @@
+// The SyncEngine seam: registry round-trips, builder validation, per-variable engine
+// routing, the async engine reached through the runner, and elastic re-partitioning
+// via re-Prepare.
+#include <gtest/gtest.h>
+
+#include "src/ar/ar_numeric.h"
+#include "src/base/rng.h"
+#include "src/core/api.h"
+#include "src/models/trainable.h"
+#include "src/ps/ps_async.h"
+#include "src/ps/ps_numeric.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace parallax {
+namespace {
+
+WordLmModel::Options SmallLm(uint64_t seed) {
+  return {.vocab_size = 100, .embedding_dim = 6, .hidden_dim = 10,
+          .batch_per_rank = 12, .seed = seed};
+}
+
+RunnerBuilder SmallBuilder(WordLmModel& model) {
+  RunnerBuilder builder(model.graph(), model.loss());
+  builder.WithResources("m0:0,1;m1:0,1")
+      .WithLearningRate(0.3f)
+      .WithSearch({.warmup_iterations = 2, .measured_iterations = 2});
+  return builder;
+}
+
+TEST(SyncEngineRegistryTest, BuiltinsAreRegistered) {
+  SyncEngineRegistry& registry = SyncEngineRegistry::Global();
+  EXPECT_TRUE(registry.Contains("ps"));
+  EXPECT_TRUE(registry.Contains("ar"));
+  EXPECT_TRUE(registry.Contains("async_ps"));
+  EXPECT_FALSE(registry.Contains("nccl"));
+}
+
+TEST(SyncEngineRegistryTest, CreateNamesTheEngineAndRejectsUnknown) {
+  WordLmModel model(SmallLm(920));
+  SyncEngineEnv env{model.graph(), 4};
+  std::unique_ptr<SyncEngine> engine = SyncEngineRegistry::Global().Create("ps", env);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->name(), "ps");
+  EXPECT_EQ(engine->CostMethod(GradKind::kSparse), SyncMethod::kPs);
+  EXPECT_EQ(SyncEngineRegistry::Global().Create("does_not_exist", env), nullptr);
+}
+
+TEST(SyncEngineRegistryTest, DuplicateRegistrationIsRejected) {
+  EXPECT_FALSE(SyncEngineRegistry::Global().Register(
+      "ps", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+        return std::make_unique<PsNumericEngine>(env.graph);
+      }));
+}
+
+TEST(SyncEngineRegistryTest, RegisteredStrategyRoundTripsThroughBuilder) {
+  // A custom registration is reachable by name from RunnerBuilder::WithEngine and
+  // trains exactly like the engine it wraps.
+  const std::string name = "ps_roundtrip";
+  if (!SyncEngineRegistry::Global().Contains(name)) {
+    ASSERT_TRUE(SyncEngineRegistry::Global().Register(
+        name, [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+          return std::make_unique<PsNumericEngine>(env.graph);
+        }));
+  }
+  std::vector<std::string> names = SyncEngineRegistry::Global().Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), name), names.end());
+
+  auto train = [&](const std::string& engine) {
+    WordLmModel model(SmallLm(921));
+    auto runner = SmallBuilder(model).WithEngine("*", engine).Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    Rng rng(91);
+    float loss = 0.0f;
+    for (int i = 0; i < 4; ++i) {
+      loss = runner.value()->Step(model.TrainShards(4, rng));
+    }
+    for (size_t v = 0; v < runner.value()->plan().engines.size(); ++v) {
+      EXPECT_EQ(runner.value()->plan().engines[v], engine);
+    }
+    return std::make_pair(loss, runner.value()->simulated_seconds());
+  };
+  auto [loss_custom, time_custom] = train(name);
+  auto [loss_ps, time_ps] = train("ps");
+  EXPECT_EQ(loss_custom, loss_ps);
+  EXPECT_EQ(time_custom, time_ps);
+}
+
+TEST(RunnerBuilderTest, ValidatesInputs) {
+  WordLmModel model(SmallLm(922));
+  EXPECT_FALSE(RunnerBuilder(nullptr, model.loss()).WithResources("a:0").Build().ok());
+  EXPECT_FALSE(RunnerBuilder(model.graph(), model.loss()).Build().ok());  // no resources
+  EXPECT_FALSE(
+      RunnerBuilder(model.graph(), model.loss()).WithResources("not-a-spec").Build().ok());
+  EXPECT_FALSE(RunnerBuilder(model.graph(), model.loss())
+                   .WithResources("a:0,1;b:0")  // heterogeneous
+                   .Build()
+                   .ok());
+  auto unknown_engine = RunnerBuilder(model.graph(), model.loss())
+                            .WithResources("a:0,1;b:0,1")
+                            .WithEngine("emb*", "warp_drive")
+                            .Build();
+  ASSERT_FALSE(unknown_engine.ok());
+  EXPECT_NE(unknown_engine.status().ToString().find("warp_drive"), std::string::npos);
+  EXPECT_TRUE(RunnerBuilder(model.graph(), model.loss())
+                  .WithResources("a:0,1;b:0,1")
+                  .WithEngine("emb*", "async_ps")
+                  .Build()
+                  .ok());
+}
+
+TEST(AsyncEngineTest, ReachableFromRunnerAndAppliesEveryPush) {
+  // The satellite fix: PushGradients is now on the runner's step path. One runner step
+  // with R ranks performs R pushes in rank order; values move (training progresses) and
+  // the run is deterministic.
+  auto train = [] {
+    WordLmModel model(SmallLm(923));
+    auto runner = SmallBuilder(model).WithEngine("*", "async_ps").Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    Rng rng(93);
+    float first = runner.value()->Step(model.TrainShards(4, rng));
+    float last = first;
+    for (int i = 0; i < 39; ++i) {
+      last = runner.value()->Step(model.TrainShards(4, rng));
+    }
+    auto* engine = dynamic_cast<AsyncPsEngine*>(runner.value()->engine("async_ps"));
+    EXPECT_NE(engine, nullptr);
+    EXPECT_EQ(engine->pushes_applied(), 40 * 4);
+    EXPECT_LT(last, first * 0.8f);  // async SGD still learns
+    return last;
+  };
+  EXPECT_EQ(train(), train());  // deterministic arrival order => deterministic run
+}
+
+TEST(AsyncEngineTest, StepDiffersFromSynchronousPsTrajectory) {
+  // Rank r+1's push lands on values rank r already moved — after one step the values
+  // must differ from the synchronous aggregated update (the staleness of section 2.1).
+  WordLmModel async_model(SmallLm(924));
+  WordLmModel sync_model(SmallLm(924));
+  auto async_runner = SmallBuilder(async_model).WithEngine("*", "async_ps").Build();
+  auto sync_runner = SmallBuilder(sync_model)
+                         .WithEngine("*", "ps")
+                         .WithAggregation(AggregationMethod::kSum, AggregationMethod::kSum)
+                         .Build();
+  ASSERT_TRUE(async_runner.ok() && sync_runner.ok());
+  Rng rng(94);
+  std::vector<FeedMap> shards = async_model.TrainShards(4, rng);
+  async_runner.value()->Step(shards);
+  sync_runner.value()->Step(shards);
+  VariableStore async_view = async_runner.value()->WorkerView();
+  VariableStore sync_view = sync_runner.value()->WorkerView();
+  float max_diff = 0.0f;
+  for (size_t v = 0; v < async_model.graph()->variables().size(); ++v) {
+    max_diff = std::max(max_diff, MaxAbsDiff(async_view.Get(static_cast<int>(v)),
+                                             sync_view.Get(static_cast<int>(v))));
+  }
+  EXPECT_GT(max_diff, 1e-6f);
+}
+
+TEST(RepartitionTest, RePrepareSwapsPartitionsAndPreservesValues) {
+  WordLmModel model(SmallLm(925));
+  auto runner = SmallBuilder(model).WithManualPartitions(2).Build();
+  ASSERT_TRUE(runner.ok());
+  Rng rng(95);
+  for (int i = 0; i < 3; ++i) {
+    runner.value()->Step(model.TrainShards(4, rng));
+  }
+  VariableStore before = runner.value()->WorkerView();
+
+  runner.value()->Repartition(5);
+
+  EXPECT_EQ(runner.value()->chosen_sparse_partitions(), 5);
+  VariableStore after = runner.value()->WorkerView();
+  for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+    EXPECT_TRUE(AllClose(before.Get(static_cast<int>(v)), after.Get(static_cast<int>(v)),
+                         0.0f))
+        << "re-Prepare must preserve values: " << model.graph()->variables()[v].name;
+  }
+  // The new layout shows up in the plan and the transformed graph.
+  for (const VariableSync& sync : runner.value()->assignment()) {
+    if (sync.method == SyncMethod::kPs && sync.spec.name == "embedding") {
+      EXPECT_EQ(sync.partitions, 5);
+    }
+  }
+  EXPECT_NE(runner.value()->distributed_graph().FindPiece(0, 4), nullptr);
+}
+
+TEST(RepartitionTest, TrainingTrajectoryUnchangedAcrossRepartition) {
+  // Partitioning is layout, not math: a run that re-partitions mid-training must keep
+  // producing the exact losses of an untouched run.
+  auto train = [](bool repartition) {
+    WordLmModel model(SmallLm(926));
+    auto runner = RunnerBuilder(model.graph(), model.loss())
+                      .WithResources("m0:0,1;m1:0,1")
+                      .WithLearningRate(0.3f)
+                      .WithManualPartitions(2)
+                      .Build();
+    EXPECT_TRUE(runner.ok());
+    Rng rng(96);
+    std::vector<float> losses;
+    for (int i = 0; i < 8; ++i) {
+      if (repartition && i == 4) {
+        runner.value()->Repartition(7);
+      }
+      losses.push_back(runner.value()->Step(model.TrainShards(4, rng)));
+    }
+    return losses;
+  };
+  EXPECT_EQ(train(true), train(false));
+}
+
+TEST(SyncEngineInterfaceTest, PreparedEnginesExposeManagedViews) {
+  // Direct interface use: Prepare routes, View exposes exactly the managed variables.
+  WordLmModel model(SmallLm(927));
+  SyncPlan plan;
+  plan.variables.resize(model.graph()->variables().size());
+  plan.engines.assign(model.graph()->variables().size(), "ar");
+  for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+    plan.variables[v].spec.name = model.graph()->variables()[v].name;
+    if (model.graph()->variables()[v].name == "embedding") {
+      plan.engines[v] = "ps";
+    }
+  }
+  plan.num_ranks = 2;
+
+  SyncEngineEnv env{model.graph(), 2};
+  auto ps = SyncEngineRegistry::Global().Create("ps", env);
+  auto ar = SyncEngineRegistry::Global().Create("ar", env);
+  ps->Prepare(plan);
+  ar->Prepare(plan);
+  VariableStore ps_view = ps->View();
+  VariableStore ar_view = ar->View();
+  size_t total = 0;
+  for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+    int key = static_cast<int>(v);
+    bool is_embedding = model.graph()->variables()[v].name == "embedding";
+    EXPECT_EQ(ps_view.Contains(key), is_embedding);
+    EXPECT_EQ(ar_view.Contains(key), !is_embedding);
+    total += ps_view.Contains(key) + ar_view.Contains(key);
+  }
+  EXPECT_EQ(total, model.graph()->variables().size());
+}
+
+}  // namespace
+}  // namespace parallax
