@@ -12,6 +12,7 @@
 #include "src/graph/executor.h"
 #include "src/models/trainable.h"
 #include "src/ps/partition.h"
+#include "src/ps/ps_numeric.h"
 #include "src/tensor/sparse_workspace.h"
 #include "src/tensor/tensor_ops.h"
 #include "tests/naive_reference.h"
@@ -441,6 +442,98 @@ BENCHMARK(BM_MultiVarAggApplyFused)
     ->Args({10'000, 6, 100'000})
     ->Args({256, 64, 8'192})
     ->Args({64, 256, 2'048});
+
+// The fused step path with the sparsity monitor's nnz observation tap engaged: the
+// stream additionally reports each group's coalesced row count (read off the segment
+// table it builds anyway). Compare against BM_MultiVarAggApplyFused at equal args —
+// the delta IS the observation overhead, and it must stay under 1% (docs/perf.md).
+void BM_MultiVarAggApplyFusedObserved(benchmark::State& state) {
+  auto per_var = MakeMultiVarGrads(state.range(0), state.range(1), state.range(2));
+  std::vector<Tensor> params;
+  for (int64_t v = 0; v < state.range(1); ++v) {
+    params.push_back(Tensor::Zeros(TensorShape({state.range(2), 64})));
+  }
+  std::vector<SparseSumGroup> groups(per_var.size());
+  for (size_t v = 0; v < per_var.size(); ++v) {
+    for (const IndexedSlices& s : per_var[v]) {
+      groups[v].inputs.push_back(&s);
+    }
+  }
+  SparseWorkspace ws;
+  std::vector<int64_t> unique_rows;
+  int64_t observed_total = 0;
+  const float scale = 1.0f / static_cast<float>(kMultiRanks);
+  for (auto _ : state) {
+    MultiVariableSumStream(groups, &ws, [&](int64_t g, int64_t row, const float* values) {
+      float* dst = params[static_cast<size_t>(g)].mutable_floats().data() + row * 64;
+      for (int64_t j = 0; j < 64; ++j) {
+        dst[j] -= 0.1f * (values[j] * scale);
+      }
+    }, &unique_rows);
+    for (int64_t rows : unique_rows) {
+      observed_total += rows;  // what an attached SparseAccessObserver would consume
+    }
+  }
+  benchmark::DoNotOptimize(observed_total);
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(1) *
+                          kMultiRanks * 64);
+}
+BENCHMARK(BM_MultiVarAggApplyFusedObserved)
+    ->Args({1'000, 6, 100'000})
+    ->Args({10'000, 6, 100'000})
+    ->Args({256, 64, 8'192})
+    ->Args({64, 256, 2'048});
+
+// ---- PS engine step with/without the nnz observation hook ----------------------------
+//
+// The whole synchronization step of the PS engine (dense AllReduce-style aggregation +
+// fused sparse aggregate-and-apply) on real LM gradients, with and without a
+// SparseAccessObserver attached. The delta is the total cost of the sparsity monitor's
+// per-step tap: one segment-table read per variable plus one virtual call — <1% of the
+// step (docs/perf.md).
+
+class CountingObserver : public SparseAccessObserver {
+ public:
+  void ObserveSparseStep(int variable, int64_t unique_rows, int contributions) override {
+    total_ += unique_rows + variable + contributions;
+  }
+  int64_t total() const { return total_; }
+
+ private:
+  int64_t total_ = 0;
+};
+
+void PsApplyStepBench(benchmark::State& state, bool observed) {
+  WordLmModel model({.vocab_size = 50'000, .embedding_dim = 64, .hidden_dim = 64,
+                     .batch_per_rank = 512, .seed = 21});
+  Executor executor(model.graph());
+  VariableStore store = VariableStore::InitFrom(*model.graph());
+  Rng rng(22);
+  std::vector<StepResult> per_rank;
+  for (const FeedMap& feeds : model.TrainShards(8, rng)) {
+    per_rank.push_back(executor.RunStep(store, feeds, model.loss()));
+  }
+  PsNumericConfig config;
+  config.sparse_partitions = 8;
+  config.local_aggregation = true;
+  config.ranks_per_machine = 2;
+  PsNumericEngine engine(model.graph(), config);
+  CountingObserver observer;
+  if (observed) {
+    engine.set_observer(&observer);
+  }
+  for (auto _ : state) {
+    engine.ApplyStep(per_rank, 0.01f);
+  }
+  benchmark::DoNotOptimize(observer.total());
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PsApplyStep(benchmark::State& state) { PsApplyStepBench(state, false); }
+BENCHMARK(BM_PsApplyStep);
+
+void BM_PsApplyStepObserved(benchmark::State& state) { PsApplyStepBench(state, true); }
+BENCHMARK(BM_PsApplyStepObserved);
 
 // ---- Executor gradient buffer plan ---------------------------------------------------
 

@@ -16,11 +16,12 @@ int main() {
                             .batch_per_rank = 32,
                             .seed = 31});
 
-  ParallaxConfig config;
-  config.learning_rate = 0.4f;
-  auto runner_or = GetRunner(model.graph(), model.loss(), "gpu-a:0,1;gpu-b:0,1", config);
+  auto runner_or = RunnerBuilder(model.graph(), model.loss())
+                       .WithResources("gpu-a:0,1;gpu-b:0,1")
+                       .WithLearningRate(0.4f)
+                       .Build();
   if (!runner_or.ok()) {
-    std::fprintf(stderr, "GetRunner failed: %s\n", runner_or.status().ToString().c_str());
+    std::fprintf(stderr, "Build failed: %s\n", runner_or.status().ToString().c_str());
     return 1;
   }
   std::unique_ptr<GraphRunner>& runner = runner_or.value();

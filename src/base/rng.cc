@@ -18,11 +18,17 @@ ZipfSampler::ZipfSampler(int64_t n, double exponent) : n_(n), exponent_(exponent
   }
 }
 
-int64_t ZipfSampler::Sample(Rng& rng) const {
-  double u = rng.NextDouble();
-  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  if (it == cdf_.end()) {
-    return n_ - 1;
+int64_t ZipfSampler::SampleBounded(Rng& rng, int64_t bound) const {
+  PX_CHECK_GE(bound, 1);
+  PX_CHECK_LE(bound, n_);
+  // Invert within the prefix: u uniform on [0, cdf_[bound-1]) is exactly the
+  // conditional distribution given id < bound.
+  const double mass = cdf_[static_cast<size_t>(bound - 1)];
+  const double u = rng.NextDouble() * mass;
+  auto end = cdf_.begin() + static_cast<ptrdiff_t>(bound);
+  auto it = std::lower_bound(cdf_.begin(), end, u);
+  if (it == end) {
+    return bound - 1;
   }
   return static_cast<int64_t>(it - cdf_.begin());
 }

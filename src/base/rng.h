@@ -90,7 +90,15 @@ class ZipfSampler {
  public:
   ZipfSampler(int64_t n, double exponent);
 
-  int64_t Sample(Rng& rng) const;
+  int64_t Sample(Rng& rng) const { return SampleBounded(rng, n_); }
+
+  // Samples from the Zipf distribution conditioned on id < bound (the truncated /
+  // renormalized head), in O(log bound) via the prefix of the same inverse-CDF table.
+  // Equivalent in distribution to rejection-sampling Sample() until id < bound, but
+  // with one uniform draw per token regardless of how small the bound is — what keeps
+  // a vocabulary warm-up schedule (synthetic.h's active_fraction) O(1) per token.
+  // bound must be in [1, n()].
+  int64_t SampleBounded(Rng& rng, int64_t bound) const;
 
   int64_t n() const { return n_; }
   double exponent() const { return exponent_; }

@@ -42,6 +42,11 @@ RunnerBuilder& RunnerBuilder::WithManualPartitions(int partitions) {
   return *this;
 }
 
+RunnerBuilder& RunnerBuilder::WithAdaptivePartitioning(AdaptivePartitioningPolicy policy) {
+  config_.adaptive_partitioning = policy;
+  return *this;
+}
+
 RunnerBuilder& RunnerBuilder::WithLearningRate(float learning_rate) {
   config_.learning_rate = learning_rate;
   return *this;
@@ -66,6 +71,11 @@ RunnerBuilder& RunnerBuilder::WithAlphaThreshold(double alpha_dense_threshold) {
 
 RunnerBuilder& RunnerBuilder::WithHardware(const ClusterSpec& hardware) {
   config_.hardware = hardware;
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithSyncCosts(const SyncCostParams& costs) {
+  config_.costs = costs;
   return *this;
 }
 
@@ -112,6 +122,22 @@ StatusOr<std::unique_ptr<GraphRunner>> RunnerBuilder::Build() const {
   }
   if (config_.manual_partitions < 1) {
     return Status::InvalidArgument("manual partition count must be >= 1");
+  }
+  if (config_.adaptive_partitioning.has_value()) {
+    const AdaptivePartitioningPolicy& policy = *config_.adaptive_partitioning;
+    if (policy.ewma_decay <= 0.0 || policy.ewma_decay > 1.0) {
+      return Status::InvalidArgument(
+          "WithAdaptivePartitioning: ewma_decay must be in (0, 1]");
+    }
+    if (policy.drift_threshold < 0.0 || policy.hysteresis < 0.0) {
+      return Status::InvalidArgument(
+          "WithAdaptivePartitioning: drift_threshold and hysteresis must be >= 0");
+    }
+    if (policy.warmup_steps < 0 || policy.check_interval < 1 || policy.cooldown_steps < 0) {
+      return Status::InvalidArgument(
+          "WithAdaptivePartitioning: warmup/cooldown must be >= 0 and "
+          "check_interval >= 1");
+    }
   }
   return std::make_unique<GraphRunner>(graph_, loss_, resources_, config_);
 }

@@ -58,11 +58,23 @@ class RunnerBuilder {
   // Fixed partition count; disables the automatic search.
   RunnerBuilder& WithManualPartitions(int partitions);
 
+  // Closes the sparsity loop: the runner monitors each sparse PS variable's measured
+  // alpha (EWMA over the nnz the aggregation path observes), re-runs the partition
+  // search when the measurement drifts past the policy threshold, and swaps the
+  // partition count mid-training (GraphRunner::Repartition) when the simulated
+  // iteration time improves by more than the hysteresis margin. Decision trail and
+  // measured alphas: GraphRunner::sparsity_monitor(). See docs/adaptivity.md.
+  RunnerBuilder& WithAdaptivePartitioning(AdaptivePartitioningPolicy policy = {});
+
   RunnerBuilder& WithLearningRate(float learning_rate);
   RunnerBuilder& WithLocalAggregation(bool enabled);
   RunnerBuilder& WithAggregation(AggregationMethod dense, AggregationMethod sparse);
   RunnerBuilder& WithAlphaThreshold(double alpha_dense_threshold);
   RunnerBuilder& WithHardware(const ClusterSpec& hardware);
+  // Calibration constants of the timing plane (server-side accumulation/update rates,
+  // per-partition overheads, ...) — the knobs that decide where Equation 1's optimum
+  // sits for a given workload.
+  RunnerBuilder& WithSyncCosts(const SyncCostParams& costs);
   RunnerBuilder& WithCompute(double gpu_compute_seconds, int compute_chunks);
   RunnerBuilder& WithSparseFusion(bool fuse);
 

@@ -53,10 +53,7 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
   if (config_.auto_partition && has_partitioned_sparse) {
     PartitionSearchOptions search = config_.search;
     search.initial_partitions = cluster_spec_.num_machines;
-    IterationSimConfig sim_config;
-    sim_config.ps_local_aggregation = config_.local_aggregation;
-    sim_config.ps_machine_level_pulls = config_.local_aggregation;
-    sim_config.costs = config_.costs;
+    IterationSimConfig sim_config = MakeSimConfig();
     // Every sampled P gets a fresh simulator over the shared arena: task storage and
     // cached collective schedules persist across the whole search, so the thousands of
     // simulated iterations behind SearchPartitions run allocation-free in steady state.
@@ -131,20 +128,42 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
   // 4.+5. Graph transformation and the timing plane for this training job.
   RebuildTimingPlane();
   cluster_ = std::make_unique<Cluster>(cluster_spec_);
+  MaybeStartMonitor();
   initialized_ = true;
+}
+
+IterationSimConfig GraphRunner::MakeSimConfig() const {
+  IterationSimConfig sim_config;
+  sim_config.ps_local_aggregation = config_.local_aggregation;
+  sim_config.ps_machine_level_pulls = config_.local_aggregation;
+  sim_config.costs = config_.costs;
+  return sim_config;
 }
 
 void GraphRunner::RebuildTimingPlane() {
   distributed_graph_.emplace(
       TransformGraph(*graph_, plan_.variables, resources_, config_.local_aggregation));
-  IterationSimConfig sim_config;
-  sim_config.ps_local_aggregation = config_.local_aggregation;
-  sim_config.ps_machine_level_pulls = config_.local_aggregation;
-  sim_config.costs = config_.costs;
   timing_ = std::make_unique<IterationSimulator>(cluster_spec_, plan_.variables,
                                                  config_.gpu_compute_seconds,
-                                                 config_.compute_chunks, sim_config,
+                                                 config_.compute_chunks, MakeSimConfig(),
                                                  sim_arena_.get());
+}
+
+std::vector<VariableSync> GraphRunner::VariablesWithPartitions(int sparse_partitions) const {
+  std::vector<VariableSync> variables = plan_.variables;
+  for (size_t v = 0; v < variables.size(); ++v) {
+    // Same per-variable gate as AssignGraphVariables: partitioner-scoped PS-family
+    // variables split up to their row count.
+    if (variables[v].method == SyncMethod::kPs &&
+        graph_->variables()[v].partitioner_scope) {
+      int64_t rows = graph_->variables()[v].shape.rank() >= 1
+                         ? graph_->variables()[v].shape.dim(0)
+                         : 1;
+      variables[v].partitions =
+          static_cast<int>(std::min<int64_t>(rows, sparse_partitions));
+    }
+  }
+  return variables;
 }
 
 void GraphRunner::Repartition(int sparse_partitions) {
@@ -152,22 +171,120 @@ void GraphRunner::Repartition(int sparse_partitions) {
   PX_CHECK_GE(sparse_partitions, 1);
   chosen_partitions_ = sparse_partitions;
   plan_.sparse_partitions = sparse_partitions;
-  for (size_t v = 0; v < plan_.variables.size(); ++v) {
-    // Same per-variable gate as AssignGraphVariables: partitioner-scoped PS-family
-    // variables split up to their row count.
-    if (plan_.variables[v].method == SyncMethod::kPs &&
-        graph_->variables()[v].partitioner_scope) {
-      int64_t rows = graph_->variables()[v].shape.rank() >= 1
-                         ? graph_->variables()[v].shape.dim(0)
-                         : 1;
-      plan_.variables[v].partitions =
-          static_cast<int>(std::min<int64_t>(rows, sparse_partitions));
-    }
-  }
+  plan_.variables = VariablesWithPartitions(sparse_partitions);
   for (const std::unique_ptr<SyncEngine>& engine : engines_) {
     engine->Prepare(plan_);
   }
   RebuildTimingPlane();
+}
+
+void GraphRunner::MaybeStartMonitor() {
+  if (!config_.adaptive_partitioning.has_value()) {
+    return;
+  }
+  auto monitor = std::make_unique<SparsityMonitor>(*config_.adaptive_partitioning);
+  for (size_t v = 0; v < plan_.variables.size(); ++v) {
+    // Monitor what the PS-family engines can observe: sparse variables whose
+    // timing-plane method is PS. (AR-routed sparse variables ride AllGatherv and are
+    // untouched by partitioning, so their drift cannot change the decision.)
+    if (plan_.variables[v].method == SyncMethod::kPs &&
+        sparsity_.at(static_cast<int>(v)).kind == GradKind::kSparse) {
+      const int64_t rows = graph_->variables()[v].shape.rank() >= 1
+                               ? graph_->variables()[v].shape.dim(0)
+                               : 1;
+      monitor->Track(static_cast<int>(v), rows, plan_.variables[v].spec.alpha);
+    }
+  }
+  if (monitor->tracked().empty()) {
+    PX_LOG(Info) << "adaptive partitioning requested but no sparse PS variable to "
+                    "monitor; monitor disabled";
+    return;
+  }
+  monitor_ = std::move(monitor);
+  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+    engine->set_observer(monitor_.get());
+  }
+}
+
+void GraphRunner::MaybeAdapt() {
+  if (monitor_ == nullptr) {
+    return;
+  }
+  monitor_->EndStep();
+  if (!monitor_->DriftCheckDue()) {
+    return;
+  }
+  const AdaptivePartitioningPolicy& policy = monitor_->policy();
+  int drift_variable = -1;
+  const double drift = monitor_->MaxRelativeDrift(&drift_variable);
+  if (drift < policy.drift_threshold) {
+    monitor_->NoteCheck();
+    return;
+  }
+
+  // Drift confirmed. Adopt the measured alphas as the plan's workload description —
+  // from here on the timing plane and every candidate the re-search simulates cost
+  // the access pattern the engines actually observed, not the startup sample.
+  for (int v : monitor_->tracked()) {
+    plan_.variables[static_cast<size_t>(v)].spec.alpha = monitor_->measured_alpha(v);
+  }
+
+  // Re-search over the shared arena: every candidate replays cached schedules and
+  // reuses task storage, so the whole search costs milliseconds (docs/perf.md).
+  auto measure = [&](int partitions) {
+    IterationSimulator sim(cluster_spec_, VariablesWithPartitions(partitions),
+                           config_.gpu_compute_seconds, config_.compute_chunks,
+                           MakeSimConfig(), sim_arena_.get());
+    return sim.MeasureIterationSeconds(config_.search.warmup_iterations,
+                                       config_.search.measured_iterations);
+  };
+  const double current_seconds = measure(chosen_partitions_);
+  int best = chosen_partitions_;
+  double best_seconds = current_seconds;
+  if (policy.repartition) {
+    PartitionSearchOptions search = config_.search;
+    search.initial_partitions = chosen_partitions_;
+    PartitionSearchResult result = SearchPartitions(measure, search);
+    if (result.best_partitions != chosen_partitions_) {
+      best = result.best_partitions;
+      // Measured-vs-measured comparison (not the Equation-1 prediction): both layouts
+      // are simulated on the same arena, so the hysteresis test is deterministic and
+      // free of model error.
+      best_seconds = measure(best);
+    }
+  }
+
+  AdaptationVerdict verdict;
+  verdict.step = iterations_;
+  verdict.variable = drift_variable;
+  verdict.drift = drift;
+  verdict.measured_alpha =
+      drift_variable >= 0 ? monitor_->measured_alpha(drift_variable) : 0.0;
+  verdict.from_partitions = chosen_partitions_;
+  verdict.current_seconds = current_seconds;
+  verdict.best_partitions = best;
+  verdict.best_seconds = best_seconds;
+  verdict.adopted =
+      best != chosen_partitions_ && best_seconds < current_seconds * (1.0 - policy.hysteresis);
+  verdict.to_partitions = verdict.adopted ? best : chosen_partitions_;
+
+  if (verdict.adopted) {
+    PX_LOG(Info) << "adaptive repartition at step " << iterations_ << ": P="
+                 << verdict.from_partitions << " -> " << verdict.to_partitions
+                 << " (simulated " << current_seconds << "s -> " << best_seconds
+                 << "s, drift " << drift << " on variable " << drift_variable << ")";
+    Repartition(best);
+  } else {
+    PX_LOG(Info) << "adaptive re-search at step " << iterations_ << ": keeping P="
+                 << chosen_partitions_ << " (best candidate P=" << best << " at "
+                 << best_seconds << "s vs " << current_seconds
+                 << "s current, hysteresis " << policy.hysteresis << "; drift " << drift
+                 << " on variable " << drift_variable << ")";
+    // Not adopted — but the plan's alphas changed above, so rebuild the timing plane:
+    // the clock should track measured sparsity whether or not the layout moves.
+    RebuildTimingPlane();
+  }
+  monitor_->RecordVerdict(verdict);
 }
 
 VariableStore GraphRunner::ComposeView() const {
@@ -226,9 +343,11 @@ float GraphRunner::Step(const std::vector<FeedMap>& per_rank_feeds) {
     }
   }
 
-  // Advance the simulated clock by this iteration's makespan.
+  // Advance the simulated clock by this iteration's makespan, then give the adaptive
+  // loop its per-step turn (observation fold, drift check, possible re-search).
   simulated_seconds_ = timing_->SimulateIteration(*cluster_, simulated_seconds_);
   ++iterations_;
+  MaybeAdapt();
   return loss_sum / static_cast<float>(num_ranks());
 }
 

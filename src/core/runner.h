@@ -10,7 +10,12 @@
 //   5. trains: each Step() executes every GPU replica's forward/backward on its shard of
 //      the batch (numerics are real), hands the per-rank results to every prepared
 //      SyncEngine, and advances the simulated clock by the iteration's task-graph
-//      makespan.
+//      makespan,
+//   6. adapts (optional, WithAdaptivePartitioning): a SparsityMonitor folds the nnz
+//      each engine observed into per-variable measured alphas, and on drift the
+//      partition search re-runs against the measured workload, swapping the layout
+//      via Repartition when the simulated win clears the hysteresis margin
+//      (docs/adaptivity.md).
 //
 // The runner therefore produces both a *learning curve* (real losses/parameters) and a
 // *time axis* (simulated seconds) — the two ingredients of the paper's Figure 7.
@@ -31,6 +36,7 @@
 #include "src/core/cost_model.h"
 #include "src/core/iteration_sim.h"
 #include "src/core/resources.h"
+#include "src/core/sparsity_monitor.h"
 #include "src/core/sync_engine.h"
 #include "src/core/transform.h"
 #include "src/graph/executor.h"
@@ -72,6 +78,10 @@ struct ParallaxConfig {
   bool fuse_sparse_variables = true;
   // Per-variable engine routing (normally filled by RunnerBuilder::WithEngine).
   std::vector<EngineOverride> engine_overrides;
+  // Adaptive re-partitioning from measured sparsity drift (normally filled by
+  // RunnerBuilder::WithAdaptivePartitioning). Disengaged when unset: the runner then
+  // attaches no observer and every step is bit-identical to a pre-monitor run.
+  std::optional<AdaptivePartitioningPolicy> adaptive_partitioning;
 };
 
 class GraphRunner {
@@ -103,6 +113,14 @@ class GraphRunner {
   const std::optional<PartitionSearchResult>& partition_search() const { return search_result_; }
   double simulated_seconds() const { return simulated_seconds_; }
   int64_t iterations() const { return iterations_; }
+  // The adaptive loop's measurement and decision trail (measured alphas per variable,
+  // every re-search verdict). Null unless the config enables adaptive partitioning and
+  // the plan routes at least one sparse variable to a PS-family engine.
+  const SparsityMonitor* sparsity_monitor() const { return monitor_.get(); }
+  // Repartitions the adaptive loop performed (0 without a monitor).
+  int adaptive_repartitions() const {
+    return monitor_ != nullptr ? monitor_->repartition_count() : 0;
+  }
   // The chief worker's view of all variables (a fresh snapshot of every engine's View).
   VariableStore WorkerView() const;
 
@@ -113,6 +131,19 @@ class GraphRunner {
   VariableStore ComposeView() const;
   // Rebuilds the timing simulator and the inspectable distributed graph from plan_.
   void RebuildTimingPlane();
+  // Simulator configuration shared by the partition search, the training-time timing
+  // plane, and the adaptive re-search.
+  IterationSimConfig MakeSimConfig() const;
+  // Copy of plan_.variables with the sparse partition count swapped (the same
+  // per-variable gate Repartition applies): partitioner-scoped PS-family variables
+  // split up to their row count, everything else untouched.
+  std::vector<VariableSync> VariablesWithPartitions(int sparse_partitions) const;
+  // Creates the sparsity monitor and attaches it to the engines, when the config asks
+  // for adaptive partitioning and the plan has monitorable variables.
+  void MaybeStartMonitor();
+  // The adaptive loop's per-step tail: fold observations, check drift, re-search, and
+  // Repartition when the simulated win clears the hysteresis margin.
+  void MaybeAdapt();
 
   const Graph* graph_;
   NodeId loss_;
@@ -140,6 +171,11 @@ class GraphRunner {
   std::unique_ptr<Cluster> cluster_;
   double simulated_seconds_ = 0.0;
   int64_t iterations_ = 0;
+
+  // Adaptive re-partitioning: engines report observed nnz here; MaybeAdapt reads the
+  // EWMAs back. Engines hold a raw pointer to the monitor, so it must outlive them
+  // within any single step (both live for the runner's lifetime once created).
+  std::unique_ptr<SparsityMonitor> monitor_;
 };
 
 }  // namespace parallax

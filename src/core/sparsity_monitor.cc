@@ -1,0 +1,159 @@
+#include "src/core/sparsity_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace parallax {
+
+SparsityMonitor::SparsityMonitor(AdaptivePartitioningPolicy policy) : policy_(policy) {
+  PX_CHECK_GT(policy_.ewma_decay, 0.0);
+  PX_CHECK_LE(policy_.ewma_decay, 1.0);
+  PX_CHECK_GE(policy_.drift_threshold, 0.0);
+  PX_CHECK_GE(policy_.hysteresis, 0.0);
+  PX_CHECK_GE(policy_.warmup_steps, 0);
+  PX_CHECK_GE(policy_.check_interval, 1);
+  PX_CHECK_GE(policy_.cooldown_steps, 0);
+}
+
+void SparsityMonitor::Track(int variable, int64_t rows, double baseline_alpha) {
+  PX_CHECK_GE(variable, 0);
+  PX_CHECK_GE(rows, 1);
+  PX_CHECK(SlotOf(variable) < 0) << "variable " << variable << " tracked twice";
+  TrackedVariable tracked;
+  tracked.variable = variable;
+  tracked.rows = rows;
+  tracked.baseline = baseline_alpha;
+  tracked.ewma = baseline_alpha;
+  vars_.push_back(tracked);
+}
+
+int SparsityMonitor::SlotOf(int variable) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].variable == variable) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void SparsityMonitor::ObserveSparseStep(int variable, int64_t unique_rows,
+                                        int contributions) {
+  const int slot = SlotOf(variable);
+  if (slot < 0) {
+    return;  // not a monitored variable (e.g. dense, or AR-routed)
+  }
+  TrackedVariable& tracked = vars_[static_cast<size_t>(slot)];
+  const double union_ratio =
+      std::min(1.0, static_cast<double>(unique_rows) / static_cast<double>(tracked.rows));
+  // contributions == 1: a per-worker gradient, the access ratio directly. k > 1: the
+  // union over k workers; invert u = 1 - (1-a)^k under the independent-access model
+  // (model_spec.h's UnionAlpha). The inversion is exact when workers draw rows
+  // independently and biases low when they share hot rows — conservative for drift
+  // detection, since correlated access keeps the union (and the estimate) stable.
+  const double estimate = contributions <= 1
+                              ? union_ratio
+                              : 1.0 - std::pow(1.0 - union_ratio,
+                                               1.0 / static_cast<double>(contributions));
+  tracked.pending_sum += estimate;
+  ++tracked.pending_count;
+}
+
+void SparsityMonitor::EndStep() {
+  for (TrackedVariable& tracked : vars_) {
+    if (tracked.pending_count > 0) {
+      const double step_alpha =
+          tracked.pending_sum / static_cast<double>(tracked.pending_count);
+      tracked.ewma = (1.0 - policy_.ewma_decay) * tracked.ewma +
+                     policy_.ewma_decay * step_alpha;
+      tracked.pending_sum = 0.0;
+      tracked.pending_count = 0;
+    }
+  }
+  ++steps_;
+  // Self-calibration at the end of warmup: drift is measured against the estimator's
+  // own settled value, never against the (differently biased) startup sample.
+  if (!calibrated_ && steps_ >= std::max<int64_t>(policy_.warmup_steps, 1)) {
+    for (TrackedVariable& tracked : vars_) {
+      tracked.baseline = tracked.ewma;
+    }
+    calibrated_ = true;
+  }
+}
+
+bool SparsityMonitor::DriftCheckDue() const {
+  if (vars_.empty() || !calibrated_ || steps_ < policy_.warmup_steps) {
+    return false;
+  }
+  if (steps_ - last_check_step_ < policy_.check_interval) {
+    return false;
+  }
+  if (any_verdict_ && steps_ - last_verdict_step_ < policy_.cooldown_steps) {
+    return false;
+  }
+  return true;
+}
+
+void SparsityMonitor::NoteCheck() { last_check_step_ = steps_; }
+
+void SparsityMonitor::RecordVerdict(const AdaptationVerdict& verdict) {
+  trail_.push_back(verdict);
+  last_check_step_ = steps_;
+  last_verdict_step_ = steps_;
+  any_verdict_ = true;
+  // Re-anchor: the plan now describes the measured state (the runner refreshed its
+  // alphas), so future drift is deviation from *this* point. Without the re-anchor a
+  // below-hysteresis improvement would re-trigger the search every check_interval.
+  for (TrackedVariable& tracked : vars_) {
+    tracked.baseline = tracked.ewma;
+  }
+}
+
+double SparsityMonitor::MaxRelativeDrift(int* argmax_variable) const {
+  double max_drift = -1.0;
+  for (const TrackedVariable& tracked : vars_) {
+    // Guard against a zero baseline (a variable no sampled step ever touched): any
+    // observed access then counts as full drift.
+    const double denom = std::max(tracked.baseline, 1e-12);
+    const double drift = std::abs(tracked.ewma - tracked.baseline) / denom;
+    if (drift > max_drift) {
+      max_drift = drift;
+      if (argmax_variable != nullptr) {
+        *argmax_variable = tracked.variable;
+      }
+    }
+  }
+  return std::max(max_drift, 0.0);
+}
+
+std::vector<int> SparsityMonitor::tracked() const {
+  std::vector<int> variables;
+  variables.reserve(vars_.size());
+  for (const TrackedVariable& tracked : vars_) {
+    variables.push_back(tracked.variable);
+  }
+  return variables;
+}
+
+double SparsityMonitor::measured_alpha(int variable) const {
+  const int slot = SlotOf(variable);
+  PX_CHECK_GE(slot, 0) << "variable " << variable << " is not monitored";
+  return vars_[static_cast<size_t>(slot)].ewma;
+}
+
+double SparsityMonitor::baseline_alpha(int variable) const {
+  const int slot = SlotOf(variable);
+  PX_CHECK_GE(slot, 0) << "variable " << variable << " is not monitored";
+  return vars_[static_cast<size_t>(slot)].baseline;
+}
+
+int SparsityMonitor::repartition_count() const {
+  int count = 0;
+  for (const AdaptationVerdict& verdict : trail_) {
+    count += verdict.adopted ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace parallax

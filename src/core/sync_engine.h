@@ -4,7 +4,7 @@
 // A SyncPlan is the runner's complete per-variable routing: which engine synchronizes
 // each variable, with which partition count, under which aggregation semantics. A
 // SyncEngine is one synchronization mechanism (parameter server, AllReduce, async PS,
-// anything registered) behind a four-call interface:
+// anything registered) behind a small interface:
 //
 //   Prepare(plan)    — (re)configure for the variables the plan routes here. The first
 //                      call initializes from the graph's initial values; later calls
@@ -14,6 +14,10 @@
 //   View()           — the managed variables' current values as a worker observes them.
 //   CostMethod(kind) — the timing-plane model for a variable of this gradient kind
 //                      (the cost hook the iteration simulator consumes).
+//
+// plus two opt-in hooks: SequentialArrival() (asynchronous per-rank delivery) and
+// set_observer() (the sparse-nnz tap behind adaptive re-partitioning,
+// core/sparsity_monitor.h).
 //
 // Engines register by name in the SyncEngineRegistry ("ps", "ar", "async_ps" are
 // built in), so new strategies plug into RunnerBuilder::WithEngine without touching
@@ -80,6 +84,25 @@ struct SyncPlan {
   std::vector<int> ManagedBy(const std::string& engine) const;
 };
 
+// Receives the nonzero structure the synchronization path observes while it applies a
+// step — the raw signal behind measured alpha (core/sparsity_monitor.h). Observations
+// ride data the aggregation kernels compute anyway (coalesced row counts from the fused
+// workspace pass), so an attached observer costs one virtual call per sparse variable
+// per step and a detached one costs nothing.
+class SparseAccessObserver {
+ public:
+  virtual ~SparseAccessObserver() = default;
+
+  // One sparse variable's aggregated gradient in one applied step: `unique_rows`
+  // distinct row indices after coalescing the contributions of `contributions` ranks.
+  // contributions == 1 means a per-worker gradient (e.g. an asynchronous push) — a
+  // direct access-ratio sample; contributions == R means the union over R workers,
+  // which the monitor inverts through the independent-access model (UnionAlpha).
+  // Called from the engine's step path (the runner's thread of control), never from
+  // kernel worker lanes.
+  virtual void ObserveSparseStep(int variable, int64_t unique_rows, int contributions) = 0;
+};
+
 class SyncEngine {
  public:
   virtual ~SyncEngine() = default;
@@ -116,12 +139,22 @@ class SyncEngine {
   // registered under a different name.
   const std::string& name() const { return name_; }
 
+  // Attaches (or, with nullptr, detaches) the observer this engine reports sparse
+  // access structure to. Honored by the PS-family engines — the ones whose variables
+  // the partitioner owns; engines without an observable sparse path ignore the
+  // observer, which is the correct default for mechanisms partitioning cannot affect.
+  // Virtual so wrapper engines (async PS) can forward the observer to the engine they
+  // delegate to. The observer must outlive the engine or be detached first.
+  virtual void set_observer(SparseAccessObserver* observer) { observer_ = observer; }
+
  protected:
   void set_name(std::string name) { name_ = std::move(name); }
+  SparseAccessObserver* observer() const { return observer_; }
 
  private:
   friend class SyncEngineRegistry;
   std::string name_;
+  SparseAccessObserver* observer_ = nullptr;
 };
 
 // What a registered factory gets to construct an engine; per-step specifics arrive via

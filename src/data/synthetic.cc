@@ -1,11 +1,36 @@
 #include "src/data/synthetic.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "src/base/logging.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace parallax {
+
+double AlphaSchedule::ValueAt(int64_t step) const {
+  if (knots.empty()) {
+    return 1.0;
+  }
+  if (step <= knots.front().step) {
+    return knots.front().value;
+  }
+  if (step >= knots.back().step) {
+    return knots.back().value;
+  }
+  for (size_t k = 1; k < knots.size(); ++k) {
+    if (step <= knots[k].step) {
+      const Knot& lo = knots[k - 1];
+      const Knot& hi = knots[k];
+      PX_CHECK_GT(hi.step, lo.step) << "schedule knots must ascend by step";
+      const double t = static_cast<double>(step - lo.step) /
+                       static_cast<double>(hi.step - lo.step);
+      return lo.value + t * (hi.value - lo.value);
+    }
+  }
+  return knots.back().value;  // unreachable: the back() test above covers it
+}
 
 ZipfBigramText::ZipfBigramText(Options options)
     : options_(options), sampler_(options.vocab_size, options.zipf_exponent) {
@@ -20,14 +45,26 @@ ZipfBigramText::ZipfBigramText(Options options)
   }
 }
 
-TokenBatch ZipfBigramText::Sample(int64_t n, Rng& rng) const {
+int64_t ZipfBigramText::ActiveVocab(int64_t step) const {
+  const double fraction = options_.active_fraction.ValueAt(step);
+  const int64_t active = static_cast<int64_t>(
+      std::ceil(fraction * static_cast<double>(options_.vocab_size)));
+  return std::clamp<int64_t>(active, 1, options_.vocab_size);
+}
+
+TokenBatch ZipfBigramText::Sample(int64_t n, Rng& rng, int64_t step) const {
+  const int64_t active = ActiveVocab(step);
+  // The truncated sampler is the Zipf conditional on id < active — the head/tail
+  // shape *within* the prefix is preserved — at one uniform draw per token however
+  // small the active fraction is.
+  auto sample_active = [&] { return sampler_.SampleBounded(rng, active); };
   std::vector<int64_t> ids(static_cast<size_t>(n));
   std::vector<int64_t> labels(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    int64_t id = sampler_.Sample(rng);
+    int64_t id = sample_active();
     ids[static_cast<size_t>(i)] = id;
     if (rng.NextDouble() < options_.noise) {
-      labels[static_cast<size_t>(i)] = sampler_.Sample(rng);
+      labels[static_cast<size_t>(i)] = sample_active();
     } else {
       labels[static_cast<size_t>(i)] = permutation_[static_cast<size_t>(id)];
     }

@@ -24,6 +24,29 @@ struct TokenBatch {
   Tensor labels;  // int64 [n]
 };
 
+// A piecewise-linear scalar schedule over training steps — the data layer's way of
+// *producing* sparsity drift (the signal the adaptive re-partitioning loop consumes;
+// docs/adaptivity.md). Knots must ascend by step; the value is held flat before the
+// first knot and after the last, and linearly interpolated between adjacent knots.
+// An empty schedule means "constant 1" (no drift).
+struct AlphaSchedule {
+  struct Knot {
+    int64_t step = 0;
+    double value = 1.0;
+  };
+  std::vector<Knot> knots;
+
+  bool empty() const { return knots.empty(); }
+  // The scheduled value at `step` (1.0 when empty).
+  double ValueAt(int64_t step) const;
+
+  static AlphaSchedule Constant(double value) { return {{{0, value}}}; }
+  // A hard switch: `before` until at_step (exclusive), `after` from there on.
+  static AlphaSchedule StepChange(int64_t at_step, double before, double after) {
+    return {{{at_step - 1, before}, {at_step, after}}};
+  }
+};
+
 class ZipfBigramText {
  public:
   struct Options {
@@ -32,14 +55,24 @@ class ZipfBigramText {
     // Probability that the label is random (not the permutation of the id).
     double noise = 0.1;
     uint64_t seed = 7;
+    // Fraction of the vocabulary that is *active* at a given training step: ids are
+    // drawn from the first ceil(fraction * vocab_size) tokens only (vocabulary
+    // warm-up / curriculum). This is what makes a batch's embedding access ratio — the
+    // paper's per-batch alpha — drift over time. Empty = the whole vocabulary always.
+    AlphaSchedule active_fraction{};
   };
 
   explicit ZipfBigramText(Options options);
 
-  TokenBatch Sample(int64_t n, Rng& rng) const;
+  // Samples a batch for training step `step` (the step only matters under an
+  // active_fraction schedule). The no-step overload samples at step 0.
+  TokenBatch Sample(int64_t n, Rng& rng) const { return Sample(n, rng, 0); }
+  TokenBatch Sample(int64_t n, Rng& rng, int64_t step) const;
   // The ground-truth next token for `id` (for accuracy metrics).
   int64_t TrueNext(int64_t id) const;
   int64_t vocab_size() const { return options_.vocab_size; }
+  // Tokens the schedule keeps active at `step` (always in [1, vocab_size]).
+  int64_t ActiveVocab(int64_t step) const;
 
  private:
   Options options_;

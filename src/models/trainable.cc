@@ -31,7 +31,8 @@ WordLmModel::WordLmModel(Options options)
       text_({.vocab_size = options.vocab_size,
              .zipf_exponent = options.zipf_exponent,
              .noise = options.label_noise,
-             .seed = options.seed}) {
+             .seed = options.seed,
+             .active_fraction = options.active_vocab_fraction}) {
   Rng init_rng(options_.seed ^ 0xabcdefULL);
   ids_ph_ = graph_.Placeholder("ids", DataType::kInt64);
   candidates_ph_ = graph_.Placeholder("candidates", DataType::kInt64);
@@ -59,11 +60,11 @@ WordLmModel::WordLmModel(Options options)
   loss_ = graph_.SoftmaxXentMean(logits_, ce_labels_ph_, "loss");
 }
 
-std::vector<FeedMap> WordLmModel::TrainShards(int num_ranks, Rng& rng) const {
+std::vector<FeedMap> WordLmModel::TrainShards(int num_ranks, Rng& rng, int64_t step) const {
   std::vector<FeedMap> shards;
   shards.reserve(static_cast<size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
-    TokenBatch batch = text_.Sample(options_.batch_per_rank, rng);
+    TokenBatch batch = text_.Sample(options_.batch_per_rank, rng, step);
     FeedMap feeds;
     feeds[ids_ph_] = batch.ids;
     // In-batch candidate sampling: the label tokens are the logit classes and the

@@ -39,6 +39,10 @@ class WordLmModel {
     double zipf_exponent = 1.05;
     double label_noise = 0.05;
     uint64_t seed = 13;
+    // Time-varying active-vocabulary fraction (ZipfBigramText::Options); drives the
+    // embedding alpha drift the adaptive re-partitioning loop reacts to. Pass the
+    // training step to TrainShards for the schedule to take effect.
+    AlphaSchedule active_vocab_fraction{};
   };
 
   explicit WordLmModel(Options options);
@@ -46,8 +50,13 @@ class WordLmModel {
   Graph* graph() { return &graph_; }
   NodeId loss() const { return loss_; }
 
-  // Per-rank training feeds (each rank gets batch_per_rank fresh examples).
-  std::vector<FeedMap> TrainShards(int num_ranks, Rng& rng) const;
+  // Per-rank training feeds (each rank gets batch_per_rank fresh examples). The
+  // step-taking overload samples the dataset at that step's point of the
+  // active-vocabulary schedule; the no-step one samples at step 0.
+  std::vector<FeedMap> TrainShards(int num_ranks, Rng& rng) const {
+    return TrainShards(num_ranks, rng, 0);
+  }
+  std::vector<FeedMap> TrainShards(int num_ranks, Rng& rng, int64_t step) const;
   // Exact perplexity over the full vocabulary on held-out batches.
   double EvalPerplexity(const VariableStore& variables, int batches, Rng& rng) const;
 

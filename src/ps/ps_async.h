@@ -36,6 +36,13 @@ class AsyncPsEngine : public SyncEngine {
   VariableStore View() const override { return engine_.CurrentValues(); }
   SyncMethod CostMethod(GradKind) const override { return SyncMethod::kPs; }
   bool SequentialArrival() const override { return true; }
+  // Forwarded to the inner engine, whose step path does the reporting. Each push is a
+  // single-contributor apply, so observations arrive as per-worker access-ratio
+  // samples (contributions == 1) — no union inversion needed.
+  void set_observer(SparseAccessObserver* observer) override {
+    SyncEngine::set_observer(observer);
+    engine_.set_observer(observer);
+  }
 
   // Applies one worker's gradients immediately (no aggregation, no barrier). The
   // learning rate is applied per push, matching TF's asynchronous replica semantics.

@@ -196,6 +196,11 @@ void PsNumericEngine::ApplySparsePerVariable(int variable_index,
                                               : IndexedSlices::Sum(local, &workspace_));
   }
   IndexedSlices aggregated = IndexedSlices::Sum(global_inputs, &workspace_);
+  if (observer() != nullptr) {
+    // Sum's output is coalesced, so its nnz *is* the union row count — the same number
+    // the fused path reads off its segment table.
+    observer()->ObserveSparseStep(variable_index, aggregated.nnz_rows(), num_ranks);
+  }
   if (config_.sparse_aggregation == AggregationMethod::kAverage) {
     aggregated.Scale(1.0f / static_cast<float>(num_ranks));
   }
@@ -249,6 +254,9 @@ void PsNumericEngine::ApplySparseFused(const std::vector<int>& variables,
   }
   const bool average = config_.sparse_aggregation == AggregationMethod::kAverage;
   const float scale = 1.0f / static_cast<float>(num_ranks);
+  // The observation tap: with no observer the stream is asked for nothing and the
+  // step is instruction-for-instruction the unobserved one.
+  std::vector<int64_t>* unique_out = observer() != nullptr ? &observed_unique_ : nullptr;
   MultiVariableSumStream(groups, &workspace_,
                          [&](int64_t g, int64_t row, const float* values) {
     PsVariable& variable = variables_[static_cast<size_t>(variables[static_cast<size_t>(g)])];
@@ -264,7 +272,12 @@ void PsNumericEngine::ApplySparseFused(const std::vector<int>& variables,
         dst[j] -= learning_rate * values[j];
       }
     }
-  });
+  }, unique_out);
+  if (observer() != nullptr) {
+    for (size_t i = 0; i < n_vars; ++i) {
+      observer()->ObserveSparseStep(variables[i], observed_unique_[i], num_ranks);
+    }
+  }
 }
 
 VariableStore PsNumericEngine::CurrentValues() const {

@@ -118,6 +118,9 @@ class PsNumericEngine : public SyncEngine {
   // split cursors); reused every ApplyStep so steady-state aggregation never allocates
   // scratch. Not thread-safe: owned by the step path, like the engine's variables.
   SparseWorkspace workspace_;
+  // Per-group coalesced row counts from the fused pass, reported to the attached
+  // SparseAccessObserver; sized only when an observer is present.
+  std::vector<int64_t> observed_unique_;
 };
 
 }  // namespace parallax

@@ -286,12 +286,22 @@ std::vector<IndexedSlices> MultiVariableSum(const std::vector<SparseSumGroup>& g
 
 void MultiVariableSumStream(
     const std::vector<SparseSumGroup>& groups, SparseWorkspace* workspace,
-    const std::function<void(int64_t, int64_t, const float*)>& consume) {
+    const std::function<void(int64_t, int64_t, const float*)>& consume,
+    std::vector<int64_t>* unique_rows_out) {
   SparseWorkspace local;
   SparseWorkspace& ws = workspace != nullptr ? *workspace : local;
   MultiSortLayout layout;
   if (!FusedMultiSort(groups, ws, layout)) {
+    if (unique_rows_out != nullptr) {
+      unique_rows_out->assign(groups.size(), 0);
+    }
     return;
+  }
+  if (unique_rows_out != nullptr) {
+    unique_rows_out->resize(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      (*unique_rows_out)[g] = layout.first_seg[g + 1] - layout.first_seg[g];
+    }
   }
   const std::vector<int64_t>& seg = *layout.seg;
   const std::vector<int64_t>& first_seg = layout.first_seg;

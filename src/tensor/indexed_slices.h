@@ -155,9 +155,17 @@ std::vector<IndexedSlices> MultiVariableSum(const std::vector<SparseSumGroup>& g
 // arrive coalesced (each (group, row) exactly once, summed in the order
 // MultiVariableSum uses); distinct rows may be consumed concurrently from different
 // lanes, so `consume` must only write through its own (group, row).
+//
+// When `unique_rows_out` is non-null it is resized to groups.size() and filled with
+// each group's coalesced row count — the number of distinct indices in the group's
+// aggregated gradient. The counts fall out of the segment table the pass builds
+// anyway (one subtraction per group), so observation costs nothing beyond the copy;
+// passing nullptr — the default — skips even that. This is the nnz tap behind the
+// sparsity monitor's measured alpha (core/sparsity_monitor.h).
 void MultiVariableSumStream(
     const std::vector<SparseSumGroup>& groups, SparseWorkspace* workspace,
-    const std::function<void(int64_t, int64_t, const float*)>& consume);
+    const std::function<void(int64_t, int64_t, const float*)>& consume,
+    std::vector<int64_t>* unique_rows_out = nullptr);
 
 }  // namespace parallax
 

@@ -1,0 +1,46 @@
+// The canonical sparsity-drift scenario shared by the adaptive-loop tests
+// (adaptive_partition_test.cc) and the monitoring bit-identity invariant
+// (engine_equivalence_test.cc): a word LM whose active vocabulary jumps from 2% to
+// 100% at a chosen step, under accumulation-dominated server costs. Single-sourced so
+// that a future retuning keeps every consumer actually repartitioning — the
+// equivalence invariant is only meaningful when a mid-training Repartition fires.
+#ifndef PARALLAX_TESTS_DRIFT_SCENARIO_H_
+#define PARALLAX_TESTS_DRIFT_SCENARIO_H_
+
+#include "src/models/calibration.h"
+#include "src/models/trainable.h"
+
+namespace parallax {
+
+// A word LM whose active vocabulary jumps from 2% to 100% at `drift_step` — the
+// vocabulary-warm-up drift. The wide embedding makes the server-side accumulation
+// cost (the theta1 the partition search divides by P) scale visibly with the rows a
+// step actually touches, so the optimal P genuinely moves when alpha does.
+// Near-uniform token frequencies (small Zipf exponent) keep worker accesses
+// independent, the regime the monitor's union inversion models exactly.
+inline WordLmModel::Options DriftingLm(uint64_t seed, int64_t drift_step) {
+  return {.vocab_size = 250,
+          .embedding_dim = 512,
+          .hidden_dim = 16,
+          .batch_per_rank = 64,
+          .zipf_exponent = 0.05,
+          .seed = seed,
+          .active_vocab_fraction = AlphaSchedule::StepChange(drift_step, 0.02, 1.0)};
+}
+
+// Accumulation-dominated server costs — the paper's LM regime, where iterating the
+// touched rows one by one is what partitioning parallelizes. With the (alpha-blind)
+// per-piece flush cost kept small, the optimal P moves strongly when alpha does,
+// which is exactly the situation the adaptive loop exists for. Pair with
+// RunnerBuilder::WithCompute(2e-3, 4) so synchronization dominates the iteration.
+inline SyncCostParams AccumulationDominatedCosts() {
+  SyncCostParams costs;
+  costs.sparse_agg_seconds_per_element = 100e-9;
+  costs.sparse_update_seconds_per_element = 20e-9;
+  costs.sparse_flush_seconds_per_element = 2e-9;
+  return costs;
+}
+
+}  // namespace parallax
+
+#endif  // PARALLAX_TESTS_DRIFT_SCENARIO_H_

@@ -6,6 +6,7 @@
 #include "src/models/trainable.h"
 #include "src/ps/ps_numeric.h"
 #include "src/tensor/tensor_ops.h"
+#include "tests/drift_scenario.h"
 
 namespace parallax {
 namespace {
@@ -276,6 +277,61 @@ TEST(EngineEquivalenceTest, FusedSparseAggregationBitIdenticalToPerVariable) {
                            view_plain.Get(static_cast<int>(v)), 0.0f))
           << fused_model.graph()->variables()[v].name << " at step " << s;
     }
+  }
+}
+
+TEST(EngineEquivalenceTest, SparsityMonitoringNeverTouchesTheNumerics) {
+  // The adaptive loop is layout and measurement only: a run with the monitor attached
+  // — including one that actually fires a mid-training Repartition — must produce the
+  // exact losses and variable bits of a monitor-free run on the same feeds. (This also
+  // pins the converse: a monitor-disabled runner IS the pre-monitor runner.)
+  // The canonical drift scenario (tests/drift_scenario.h): a wide embedding,
+  // accumulation-dominated server costs, and a vocabulary that opens up at step 6, so
+  // the monitored run's re-search genuinely moves P mid-training. Returns (losses,
+  // repartitions, final worker view snapshot); the view is a deep clone, safe after
+  // the model and runner go out of scope.
+  auto train = [](bool monitored, std::vector<float>* losses, int* repartitions) {
+    WordLmModel model(DriftingLm(/*seed=*/713, /*drift_step=*/6));
+    RunnerBuilder builder(model.graph(), model.loss());
+    builder.WithResources("m0:0,1;m1:0,1")
+        .WithLearningRate(kLr)
+        .WithSyncCosts(AccumulationDominatedCosts())
+        .WithCompute(2e-3, 4)
+        .WithSearch({.warmup_iterations = 2, .measured_iterations = 2});
+    if (monitored) {
+      AdaptivePartitioningPolicy policy;
+      policy.ewma_decay = 0.5;
+      policy.drift_threshold = 0.1;
+      policy.hysteresis = 0.0;  // adopt any improvement: maximize layout churn
+      policy.warmup_steps = 2;
+      policy.check_interval = 2;
+      policy.cooldown_steps = 2;
+      builder.WithAdaptivePartitioning(policy);
+    }
+    auto runner = builder.Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    Rng rng(4444);
+    for (int step = 0; step < 16; ++step) {
+      losses->push_back(runner.value()->Step(model.TrainShards(4, rng, step)));
+    }
+    *repartitions = runner.value()->adaptive_repartitions();
+    return runner.value()->WorkerView();
+  };
+  std::vector<float> monitored_losses;
+  std::vector<float> plain_losses;
+  int monitored_repartitions = 0;
+  int plain_repartitions = 0;
+  VariableStore monitored_view = train(true, &monitored_losses, &monitored_repartitions);
+  VariableStore plain_view = train(false, &plain_losses, &plain_repartitions);
+  // The invariant is only meaningful if the monitored run actually crossed a
+  // mid-training Repartition — assert it did.
+  EXPECT_GE(monitored_repartitions, 1);
+  EXPECT_EQ(plain_repartitions, 0);
+  EXPECT_EQ(monitored_losses, plain_losses);
+  for (size_t v = 0; v < monitored_view.size(); ++v) {
+    EXPECT_TRUE(AllClose(monitored_view.Get(static_cast<int>(v)),
+                         plain_view.Get(static_cast<int>(v)), 0.0f))
+        << "variable " << v << " diverged under monitoring";
   }
 }
 

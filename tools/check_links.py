@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Fails when README.md or docs/*.md contain relative links to paths that don't exist.
+"""Fails when the repo's Markdown contains relative links to paths that don't exist.
 
-Checks every Markdown inline link `[text](target)`. External targets (http/https/
-mailto) and pure in-page anchors (#...) are skipped; everything else is resolved
-relative to the file containing the link and must exist in the repo.
+Coverage: every top-level *.md (README, ROADMAP, CHANGES, ...) plus everything under
+docs/ (recursively), so a new doc is checked the moment it lands. Checks every
+Markdown inline link `[text](target)`. External targets (http/https/mailto) and pure
+in-page anchors (#...) are skipped; everything else is resolved relative to the file
+containing the link and must exist in the repo.
 """
 
 import pathlib
@@ -16,12 +18,12 @@ SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
 def main() -> int:
     root = pathlib.Path(__file__).resolve().parent.parent
-    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").rglob("*.md"))
+    if not files:
+        print("no markdown files found: refusing to pass vacuously")
+        return 1
     dead = []
     for md in files:
-        if not md.exists():
-            dead.append(f"{md.relative_to(root)}: file listed for checking does not exist")
-            continue
         for line_number, line in enumerate(md.read_text().splitlines(), start=1):
             for match in LINK_RE.finditer(line):
                 target = match.group(1)
