@@ -351,6 +351,39 @@ void BM_PartitionSearchSharedArena(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionSearchSharedArena);
 
+// The per-variable generalization (SearchPartitionPlan): two PS variables with skewed
+// alphas, searched by uniform sweep + closed-form seed + coordinate descent, all on
+// the shared arena. Compare against BM_PartitionSearchSharedArena for the cost of
+// per-variable resolution over the same machinery (docs/perf.md).
+void BM_PerVariableSearch(benchmark::State& state) {
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 1024;
+  options.warmup_iterations = 5;
+  options.measured_iterations = 10;
+  std::vector<PartitionSearchVariable> targets = {
+      {.name = "embedding", .alpha = 0.02, .num_elements = 8'000'000},
+      {.name = "wide", .alpha = 0.6, .num_elements = 500'000},
+  };
+  SimulationArena arena;
+  for (auto _ : state) {
+    auto measure = [&](const PartitionPlan& plan) {
+      std::vector<VariableSync> vars = HybridVariables(plan.For("embedding"));
+      VariableSync wide;
+      wide.spec = {"wide", 500'000, 256, true, 0.6};
+      wide.method = SyncMethod::kPs;
+      wide.partitions = plan.For("wide");
+      vars.push_back(wide);
+      IterationSimulator sim(ClusterSpec::Paper(), std::move(vars), 4e-3, 4,
+                             HybridSimConfig(), &arena);
+      return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                         options.measured_iterations);
+    };
+    benchmark::DoNotOptimize(SearchPartitionPlan(measure, targets, options));
+  }
+}
+BENCHMARK(BM_PerVariableSearch);
+
 void BM_CostModelFit(benchmark::State& state) {
   std::vector<std::pair<int, double>> samples;
   for (int p : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {

@@ -59,7 +59,7 @@ SyncMethod DecideSyncMethod(const VariableSparsity& info, const HybridOptions& o
 
 std::vector<VariableSync> AssignGraphVariables(
     const Graph& graph, const std::unordered_map<int, VariableSparsity>& info,
-    const HybridOptions& options, int sparse_partitions) {
+    const HybridOptions& options, const PartitionPlan& plan) {
   std::vector<VariableSpec> specs = ToVariableSpecs(graph, info);
   std::vector<VariableSync> assignment;
   assignment.reserve(specs.size());
@@ -71,12 +71,18 @@ std::vector<VariableSync> AssignGraphVariables(
       int64_t rows = graph.variables()[v].shape.rank() >= 1
                          ? graph.variables()[v].shape.dim(0)
                          : 1;
-      sync.partitions =
-          static_cast<int>(std::min<int64_t>(rows, std::max(sparse_partitions, 1)));
+      sync.partitions = RowCappedPartitions(plan.For(sync.spec.name), rows);
     }
     assignment.push_back(std::move(sync));
   }
   return assignment;
+}
+
+std::vector<VariableSync> AssignGraphVariables(
+    const Graph& graph, const std::unordered_map<int, VariableSparsity>& info,
+    const HybridOptions& options, int sparse_partitions) {
+  return AssignGraphVariables(graph, info, options,
+                              PartitionPlan::Uniform(std::max(sparse_partitions, 1)));
 }
 
 }  // namespace parallax

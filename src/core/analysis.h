@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/iteration_sim.h"
+#include "src/core/partition_plan.h"
 #include "src/graph/executor.h"
 #include "src/graph/graph.h"
 #include "src/models/model_spec.h"
@@ -44,8 +45,14 @@ struct HybridOptions {
 // The per-variable architecture decision.
 SyncMethod DecideSyncMethod(const VariableSparsity& info, const HybridOptions& options);
 
-// Full assignment for a graph: every variable gets a method; partitioner-scoped sparse
-// variables get `sparse_partitions` pieces.
+// Full assignment for a graph: every variable gets a method; each partitioner-scoped
+// PS variable gets the plan's count for its name, capped at its row count.
+std::vector<VariableSync> AssignGraphVariables(
+    const Graph& graph, const std::unordered_map<int, VariableSparsity>& info,
+    const HybridOptions& options, const PartitionPlan& plan);
+
+// Uniform-plan shim: every partitioner-scoped sparse variable gets `sparse_partitions`
+// pieces (row-capped). Exactly AssignGraphVariables(PartitionPlan::Uniform(p)).
 std::vector<VariableSync> AssignGraphVariables(
     const Graph& graph, const std::unordered_map<int, VariableSparsity>& info,
     const HybridOptions& options, int sparse_partitions);

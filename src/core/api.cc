@@ -36,9 +36,21 @@ RunnerBuilder& RunnerBuilder::WithSearch(const PartitionSearchOptions& search) {
   return *this;
 }
 
+RunnerBuilder& RunnerBuilder::WithSearchMode(PartitionSearchMode mode) {
+  config_.search_mode = mode;
+  return *this;
+}
+
 RunnerBuilder& RunnerBuilder::WithManualPartitions(int partitions) {
   config_.auto_partition = false;
   config_.manual_partitions = partitions;
+  config_.manual_plan.reset();
+  return *this;
+}
+
+RunnerBuilder& RunnerBuilder::WithPartitionPlan(PartitionPlan plan) {
+  config_.auto_partition = false;
+  config_.manual_plan = std::move(plan);
   return *this;
 }
 
@@ -122,6 +134,11 @@ StatusOr<std::unique_ptr<GraphRunner>> RunnerBuilder::Build() const {
   }
   if (config_.manual_partitions < 1) {
     return Status::InvalidArgument("manual partition count must be >= 1");
+  }
+  // PartitionPlan's own invariants guarantee every manual_plan count is >= 1.
+  if (config_.search.coordinate_margin < 0.0 || config_.search.max_coordinate_rounds < 1) {
+    return Status::InvalidArgument(
+        "WithSearch: coordinate_margin must be >= 0 and max_coordinate_rounds >= 1");
   }
   if (config_.adaptive_partitioning.has_value()) {
     const AdaptivePartitioningPolicy& policy = *config_.adaptive_partitioning;

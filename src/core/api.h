@@ -53,17 +53,29 @@ class RunnerBuilder {
   // hybrid rule.
   RunnerBuilder& WithEngine(const std::string& variable_pattern, const std::string& engine);
 
-  // Partition search options (auto partitioning stays on).
+  // Partition search options (auto partitioning stays on). Search-mode selection is
+  // orthogonal: WithSearchMode picks uniform (one shared P, the default) vs
+  // per-variable (a PartitionPlan via coordinate descent at each variable's measured
+  // alpha). WithSearch alone keeps the uniform mode — it is an exact shim for the
+  // historical behavior.
   RunnerBuilder& WithSearch(const PartitionSearchOptions& search);
+  RunnerBuilder& WithSearchMode(PartitionSearchMode mode);
   // Fixed partition count; disables the automatic search.
   RunnerBuilder& WithManualPartitions(int partitions);
+  // Fixed per-variable layout; disables the automatic search. The plan's count for
+  // each partitioner-scoped PS variable is applied row-capped; variables the plan does
+  // not name get its default count. WithManualPartitions(p) is exactly
+  // WithPartitionPlan(PartitionPlan::Uniform(p)).
+  RunnerBuilder& WithPartitionPlan(PartitionPlan plan);
 
   // Closes the sparsity loop: the runner monitors each sparse PS variable's measured
   // alpha (EWMA over the nnz the aggregation path observes), re-runs the partition
-  // search when the measurement drifts past the policy threshold, and swaps the
-  // partition count mid-training (GraphRunner::Repartition) when the simulated
-  // iteration time improves by more than the hysteresis margin. Decision trail and
-  // measured alphas: GraphRunner::sparsity_monitor(). See docs/adaptivity.md.
+  // search — uniform or per-variable, per WithSearchMode — when the measurement drifts
+  // past the policy threshold, and swaps the partition layout mid-training
+  // (GraphRunner::Repartition) when the simulated iteration time improves by more than
+  // the hysteresis margin and the win amortizes the layout migration's cost within the
+  // cooldown window. Decision trail and measured alphas:
+  // GraphRunner::sparsity_monitor(). See docs/adaptivity.md.
   RunnerBuilder& WithAdaptivePartitioning(AdaptivePartitioningPolicy policy = {});
 
   RunnerBuilder& WithLearningRate(float learning_rate);

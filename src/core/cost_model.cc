@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <map>
 
 #include "src/base/logging.h"
 #include "src/base/stats.h"
@@ -120,6 +121,140 @@ PartitionSearchResult SearchPartitions(const std::function<double(int)>& measure
   }
   result.best_partitions = best;
   result.predicted_seconds = best_pred;
+  return result;
+}
+
+namespace {
+
+// One measurement cache entry is keyed by the searched variables' counts, in input
+// order; everything else about the plan is fixed across the search.
+using PlanKey = std::vector<int>;
+
+}  // namespace
+
+PartitionPlanSearchResult SearchPartitionPlan(
+    const std::function<double(const PartitionPlan&)>& measure,
+    const std::vector<PartitionSearchVariable>& variables,
+    const PartitionSearchOptions& options) {
+  PX_CHECK(!variables.empty()) << "per-variable search needs at least one variable";
+  PX_CHECK_GE(options.min_partitions, 1);
+  PX_CHECK_GE(options.max_partitions, options.min_partitions);
+  PX_CHECK_GE(options.coordinate_margin, 0.0);
+  PX_CHECK_GE(options.max_coordinate_rounds, 1);
+  const size_t n = variables.size();
+
+  auto cap_of = [&](size_t v) {
+    int cap = options.max_partitions;
+    if (variables[v].max_partitions > 0) {
+      cap = static_cast<int>(std::min<int64_t>(cap, variables[v].max_partitions));
+    }
+    return std::max(cap, options.min_partitions);
+  };
+  auto clamp_count = [&](int p, size_t v) {
+    return std::clamp(p, options.min_partitions, cap_of(v));
+  };
+  auto plan_of = [&](const PlanKey& counts) {
+    PartitionPlan plan;  // default 1: variables outside the search stay whole
+    for (size_t v = 0; v < n; ++v) {
+      plan.Set(variables[v].name, counts[v]);
+    }
+    return plan;
+  };
+
+  PartitionPlanSearchResult result;
+  std::map<PlanKey, double> measured;
+  auto measure_counts = [&](const PlanKey& counts) {
+    auto it = measured.find(counts);
+    if (it != measured.end()) {
+      return it->second;
+    }
+    double seconds = measure(plan_of(counts));
+    ++result.evaluations;
+    measured.emplace(counts, seconds);
+    return seconds;
+  };
+  auto uniform_counts = [&](int p) {
+    PlanKey counts(n);
+    for (size_t v = 0; v < n; ++v) {
+      counts[v] = clamp_count(p, v);
+    }
+    return counts;
+  };
+
+  // Phase 1 — uniform sweep: the paper's doubling/halving search over a shared P
+  // (per-variable caps applied, exactly as the assigner would row-cap a uniform plan).
+  result.uniform = SearchPartitions(
+      [&](int p) { return measure_counts(uniform_counts(p)); }, options);
+  PlanKey best = uniform_counts(result.uniform.best_partitions);
+  double best_seconds = measure_counts(best);
+  result.uniform_seconds = best_seconds;
+
+  // Phase 2 — closed-form seed at each variable's measured alpha. theta1 (the cost
+  // partitioning divides) is proportional to the rows a step actually touches, so
+  // variable v carries a w_v = alpha_v * elements_v share of it; theta2 (per-piece
+  // bookkeeping) is paid per piece regardless of which variable the piece belongs to.
+  // Splitting Equation 1 accordingly puts variable v's own optimum at
+  // sqrt(theta1_v / theta2_v) = P* * sqrt(w_v / mean(w)).
+  double continuous = result.uniform.fit.ok
+                          ? result.uniform.fit.ContinuousOptimum()
+                          : static_cast<double>(result.uniform.best_partitions);
+  continuous = std::clamp(continuous, static_cast<double>(options.min_partitions),
+                          static_cast<double>(options.max_partitions));
+  double weight_sum = 0.0;
+  for (const PartitionSearchVariable& variable : variables) {
+    weight_sum += std::max(variable.alpha, 0.0) *
+                  static_cast<double>(std::max<int64_t>(variable.num_elements, 0));
+  }
+  if (weight_sum > 0.0) {
+    const double mean_weight = weight_sum / static_cast<double>(n);
+    PlanKey seeded(n);
+    for (size_t v = 0; v < n; ++v) {
+      const double w = std::max(variables[v].alpha, 0.0) *
+                       static_cast<double>(std::max<int64_t>(variables[v].num_elements, 0));
+      const double scaled = continuous * std::sqrt(w / mean_weight);
+      seeded[v] = clamp_count(static_cast<int>(std::lround(std::max(scaled, 1.0))), v);
+    }
+    const double seeded_seconds = measure_counts(seeded);
+    if (seeded_seconds < best_seconds) {
+      best = std::move(seeded);
+      best_seconds = seeded_seconds;
+    }
+  }
+
+  // Phase 3 — coordinate descent: the existing doubling/halving sweep is the inner
+  // loop, run for one variable at a time with every other count pinned. Adopting only
+  // margin-beating moves on *measured* times keeps the descent deterministic and
+  // terminating (each adoption strictly shrinks the measured objective).
+  for (int round = 0; round < options.max_coordinate_rounds; ++round) {
+    bool moved = false;
+    for (size_t v = 0; v < n; ++v) {
+      PartitionSearchOptions coordinate = options;
+      coordinate.initial_partitions = best[v];
+      coordinate.max_partitions = cap_of(v);
+      PartitionSearchResult sweep = SearchPartitions(
+          [&](int p) {
+            PlanKey trial = best;
+            trial[v] = clamp_count(p, v);
+            return measure_counts(trial);
+          },
+          coordinate);
+      PlanKey trial = best;
+      trial[v] = clamp_count(sweep.best_partitions, v);
+      const double trial_seconds = measure_counts(trial);
+      if (trial_seconds < best_seconds * (1.0 - options.coordinate_margin)) {
+        best = std::move(trial);
+        best_seconds = trial_seconds;
+        moved = true;
+      }
+    }
+    ++result.rounds;
+    if (!moved) {
+      break;
+    }
+  }
+
+  result.plan = plan_of(best);
+  result.seconds = best_seconds;
   return result;
 }
 

@@ -11,12 +11,21 @@
 // to increase, then halve from the start point until it increases again. The model is a
 // convex function of P, so the sampled interval brackets the optimum and the fit never
 // extrapolates. The fitted optimum is then snapped to the best predicted integer.
+//
+// SearchPartitionPlan generalizes the procedure to one count *per variable* (a
+// PartitionPlan): a uniform sweep seeds the descent, Equation 1's closed form at each
+// variable's measured alpha spreads the seed across variables, and coordinate descent —
+// the same doubling/halving sweep, one variable at a time — refines until no move wins.
 #ifndef PARALLAX_SRC_CORE_COST_MODEL_H_
 #define PARALLAX_SRC_CORE_COST_MODEL_H_
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "src/core/partition_plan.h"
 
 namespace parallax {
 
@@ -45,6 +54,19 @@ struct PartitionSearchOptions {
   // Iterations per sampling run; the paper runs 100 and discards the first 50.
   int warmup_iterations = 50;
   int measured_iterations = 50;
+  // Per-variable search only: a coordinate move is adopted when it beats the incumbent
+  // plan's measured time by this relative margin. The margin keeps the descent from
+  // chasing simulator noise and guarantees termination on a finite landscape.
+  double coordinate_margin = 0.002;
+  // Per-variable search only: full passes over the variables before the descent stops
+  // even if moves keep winning (each pass re-sweeps every coordinate).
+  int max_coordinate_rounds = 4;
+};
+
+// Which search the runner performs for partitioner-scoped sparse variables.
+enum class PartitionSearchMode : uint8_t {
+  kUniform,      // one shared P (the paper's section 3.2 procedure)
+  kPerVariable,  // a PartitionPlan via coordinate descent (SearchPartitionPlan)
 };
 
 struct PartitionSearchResult {
@@ -59,6 +81,56 @@ struct PartitionSearchResult {
 // simulated training for the benches, or any user-supplied profiler).
 PartitionSearchResult SearchPartitions(const std::function<double(int)>& measure,
                                        const PartitionSearchOptions& options);
+
+// One variable the per-variable search may re-shard.
+struct PartitionSearchVariable {
+  std::string name;
+  // Measured per-worker access ratio — the alpha Equation 1's theta1 scales with.
+  double alpha = 1.0;
+  // Variable size; alpha * num_elements is the closed-form seed's workload weight.
+  int64_t num_elements = 0;
+  // Per-variable cap (typically the row count: a variable cannot have more pieces than
+  // rows). 0 means options.max_partitions.
+  int64_t max_partitions = 0;
+};
+
+struct PartitionPlanSearchResult {
+  // The adopted per-variable layout (default count 1; one override per searched
+  // variable).
+  PartitionPlan plan;
+  // Measured mean iteration seconds of the adopted plan.
+  double seconds = 0.0;
+  // Measured seconds at the best *uniform* P (row caps applied) — the baseline the
+  // per-variable plan must beat to be worth its extra sampling runs.
+  double uniform_seconds = 0.0;
+  // The uniform sweep that seeded the descent (fit, samples, best P).
+  PartitionSearchResult uniform;
+  // Coordinate-descent passes performed (a pass with no winning move terminates).
+  int rounds = 0;
+  // Distinct plans measured across all phases (memoized; repeats are free).
+  int evaluations = 0;
+};
+
+// Per-variable partition search (the PartitionPlan generalization of section 3.2):
+//
+//   1. uniform sweep — SearchPartitions over measure(Uniform(p)) brackets the shared
+//      optimum and fits Equation 1;
+//   2. closed-form seed — the fitted continuous optimum sqrt(theta1/theta2) is spread
+//      across variables by their share of the serialized work: theta1 scales with the
+//      rows a step touches (alpha_v * elements_v), theta2 is per-piece bookkeeping paid
+//      by every variable alike, so P_v ~ P* * sqrt(w_v / mean(w));
+//   3. coordinate descent — one variable at a time, the doubling/halving sweep of
+//      SearchPartitions runs over measure(plan with that coordinate varied); the best
+//      candidate is adopted iff it beats the incumbent by coordinate_margin, and the
+//      descent stops after a full pass with no winning move (or max_coordinate_rounds).
+//
+// measure(plan) must return the mean iteration time under that layout. All measurements
+// are memoized by the searched variables' counts, so revisited plans cost nothing. The
+// procedure is deterministic: same inputs, same plan.
+PartitionPlanSearchResult SearchPartitionPlan(
+    const std::function<double(const PartitionPlan&)>& measure,
+    const std::vector<PartitionSearchVariable>& variables,
+    const PartitionSearchOptions& options);
 
 }  // namespace parallax
 

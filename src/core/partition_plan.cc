@@ -1,0 +1,57 @@
+#include "src/core/partition_plan.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace parallax {
+
+PartitionPlan PartitionPlan::Uniform(int partitions) {
+  PartitionPlan plan;
+  plan.set_default_partitions(partitions);
+  return plan;
+}
+
+void PartitionPlan::Set(const std::string& variable, int partitions) {
+  PX_CHECK(!variable.empty());
+  PX_CHECK_GE(partitions, 1);
+  overrides_[variable] = partitions;
+}
+
+void PartitionPlan::set_default_partitions(int partitions) {
+  PX_CHECK_GE(partitions, 1);
+  default_partitions_ = partitions;
+}
+
+int PartitionPlan::For(const std::string& variable) const {
+  auto it = overrides_.find(variable);
+  return it != overrides_.end() ? it->second : default_partitions_;
+}
+
+int PartitionPlan::MaxPartitions() const {
+  int max_partitions = default_partitions_;
+  for (const auto& [name, partitions] : overrides_) {
+    max_partitions = std::max(max_partitions, partitions);
+  }
+  return max_partitions;
+}
+
+std::string PartitionPlan::ToString() const {
+  if (uniform()) {
+    return StrFormat("P=%d", default_partitions_);
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, partitions] : overrides_) {
+    if (!first) {
+      out += ", ";
+    }
+    out += StrFormat("%s:%d", name.c_str(), partitions);
+    first = false;
+  }
+  out += StrFormat("; default P=%d}", default_partitions_);
+  return out;
+}
+
+}  // namespace parallax

@@ -48,37 +48,17 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
       has_partitioned_sparse = true;
     }
   }
-  chosen_partitions_ = config_.manual_partitions;
-  sim_arena_ = std::make_unique<SimulationArena>();
-  if (config_.auto_partition && has_partitioned_sparse) {
-    PartitionSearchOptions search = config_.search;
-    search.initial_partitions = cluster_spec_.num_machines;
-    IterationSimConfig sim_config = MakeSimConfig();
-    // Every sampled P gets a fresh simulator over the shared arena: task storage and
-    // cached collective schedules persist across the whole search, so the thousands of
-    // simulated iterations behind SearchPartitions run allocation-free in steady state.
-    auto measure = [&](int partitions) {
-      std::vector<VariableSync> candidate =
-          AssignGraphVariables(*graph_, sparsity_, hybrid, partitions);
-      IterationSimulator sim(cluster_spec_, candidate, config_.gpu_compute_seconds,
-                             config_.compute_chunks, sim_config, sim_arena_.get());
-      return sim.MeasureIterationSeconds(search.warmup_iterations,
-                                         search.measured_iterations);
-    };
-    search_result_ = SearchPartitions(measure, search);
-    chosen_partitions_ = search_result_->best_partitions;
-    PX_LOG(Info) << "partition search: P=" << chosen_partitions_ << " after "
-                 << search_result_->samples.size() << " sampling runs";
-  }
-
-  // 3. The SyncPlan: hybrid assignment, then per-variable engine routing. Unmatched
-  //    variables follow the hybrid rule; overrides route by name pattern, with the
-  //    engine's cost hook supplying the timing-plane method.
-  plan_.variables = AssignGraphVariables(*graph_, sparsity_, hybrid, chosen_partitions_);
+  // 3a. The SyncPlan's routing and methods — established BEFORE the search, because
+  //     they do not depend on partition counts and the search must simulate the
+  //     methods that will actually run (an engine override can move a variable off
+  //     PS entirely, which changes what is worth partitioning). Hybrid assignment,
+  //     then per-variable engine routing: unmatched variables follow the hybrid rule;
+  //     overrides route by name pattern, with the engine's cost hook supplying the
+  //     timing-plane method.
+  plan_.variables = AssignGraphVariables(*graph_, sparsity_, hybrid, PartitionPlan::Uniform(1));
   plan_.engines.assign(plan_.variables.size(), std::string());
   plan_.num_ranks = num_ranks();
   plan_.ranks_per_machine = cluster_spec_.gpus_per_machine;
-  plan_.sparse_partitions = chosen_partitions_;
   plan_.local_aggregation = config_.local_aggregation;
   plan_.fuse_sparse_variables = config_.fuse_sparse_variables;
   plan_.dense_aggregation = config_.dense_aggregation;
@@ -121,6 +101,55 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
           engines_[static_cast<size_t>(index)]->CostMethod(sparsity_.at(static_cast<int>(v)).kind);
     }
   }
+
+  // 3b. The partition search (uniform or per-variable), simulating candidate layouts
+  //     over the routed methods fixed above.
+  partition_plan_ = config_.manual_plan.has_value()
+                        ? *config_.manual_plan
+                        : PartitionPlan::Uniform(std::max(config_.manual_partitions, 1));
+  sim_arena_ = std::make_unique<SimulationArena>();
+  if (config_.auto_partition && has_partitioned_sparse) {
+    PartitionSearchOptions search = config_.search;
+    search.initial_partitions = cluster_spec_.num_machines;
+    IterationSimConfig sim_config = MakeSimConfig();
+    // Every sampled layout gets a fresh simulator over the shared arena: task storage
+    // and cached collective schedules persist across the whole search, so the thousands
+    // of simulated iterations behind the search run allocation-free in steady state.
+    auto measure_plan = [&](const PartitionPlan& plan) {
+      IterationSimulator sim(cluster_spec_, VariablesWithPartitions(plan),
+                             config_.gpu_compute_seconds, config_.compute_chunks,
+                             sim_config, sim_arena_.get());
+      return sim.MeasureIterationSeconds(search.warmup_iterations,
+                                         search.measured_iterations);
+    };
+    std::vector<PartitionSearchVariable> targets;
+    if (config_.search_mode == PartitionSearchMode::kPerVariable) {
+      targets = SearchTargets();
+    }
+    if (!targets.empty()) {
+      plan_search_result_ = SearchPartitionPlan(measure_plan, targets, search);
+      partition_plan_ = plan_search_result_->plan;
+      search_result_ = plan_search_result_->uniform;
+      PX_LOG(Info) << "partition search: plan " << partition_plan_.ToString()
+                   << " after " << plan_search_result_->evaluations
+                   << " sampling runs (best uniform P="
+                   << plan_search_result_->uniform.best_partitions << " at "
+                   << plan_search_result_->uniform_seconds << "s vs "
+                   << plan_search_result_->seconds << "s per-variable)";
+    } else {
+      auto measure = [&](int partitions) {
+        return measure_plan(PartitionPlan::Uniform(partitions));
+      };
+      search_result_ = SearchPartitions(measure, search);
+      partition_plan_ = PartitionPlan::Uniform(search_result_->best_partitions);
+      PX_LOG(Info) << "partition search: uniform P=" << search_result_->best_partitions
+                   << " after " << search_result_->samples.size() << " sampling runs";
+    }
+  }
+
+  // 3c. Stamp the chosen layout onto the plan and hand it to the engines.
+  plan_.variables = VariablesWithPartitions(partition_plan_);
+  plan_.sparse_partitions = partition_plan_.MaxPartitions();
   for (const std::unique_ptr<SyncEngine>& engine : engines_) {
     engine->Prepare(plan_);
   }
@@ -149,7 +178,8 @@ void GraphRunner::RebuildTimingPlane() {
                                                  sim_arena_.get());
 }
 
-std::vector<VariableSync> GraphRunner::VariablesWithPartitions(int sparse_partitions) const {
+std::vector<VariableSync> GraphRunner::VariablesWithPartitions(
+    const PartitionPlan& plan) const {
   std::vector<VariableSync> variables = plan_.variables;
   for (size_t v = 0; v < variables.size(); ++v) {
     // Same per-variable gate as AssignGraphVariables: partitioner-scoped PS-family
@@ -159,23 +189,87 @@ std::vector<VariableSync> GraphRunner::VariablesWithPartitions(int sparse_partit
       int64_t rows = graph_->variables()[v].shape.rank() >= 1
                          ? graph_->variables()[v].shape.dim(0)
                          : 1;
-      variables[v].partitions =
-          static_cast<int>(std::min<int64_t>(rows, sparse_partitions));
+      variables[v].partitions = RowCappedPartitions(plan.For(variables[v].spec.name), rows);
     }
   }
   return variables;
 }
 
-void GraphRunner::Repartition(int sparse_partitions) {
+std::vector<PartitionSearchVariable> GraphRunner::SearchTargets() const {
+  // plan_.variables carries the routed method and the current (startup-sampled or
+  // monitor-measured) alpha for every variable by the time any search runs, so the
+  // targets reflect what will actually execute — including engine overrides that
+  // moved a variable off PS.
+  std::vector<PartitionSearchVariable> targets;
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    const VariableDef& def = graph_->variables()[v];
+    const VariableSparsity& info = sparsity_.at(static_cast<int>(v));
+    if (!def.partitioner_scope || info.kind != GradKind::kSparse ||
+        plan_.variables[v].method != SyncMethod::kPs) {
+      continue;
+    }
+    PartitionSearchVariable target;
+    target.name = def.name;
+    target.alpha = plan_.variables[v].spec.alpha;
+    target.num_elements = info.num_elements;
+    target.max_partitions = def.shape.rank() >= 1 ? def.shape.dim(0) : 1;
+    targets.push_back(std::move(target));
+  }
+  return targets;
+}
+
+double GraphRunner::MigrationSeconds(const std::vector<VariableSync>& to) const {
+  PX_CHECK_EQ(to.size(), plan_.variables.size());
+  // A re-split materializes the variable and redistributes its pieces: the variable's
+  // bytes cross the server fabric once, and every torn-down or freshly-built piece
+  // costs one round of request handling. Unchanged variables move nothing (the PS
+  // engine keeps their shards as-is).
+  int64_t moved_bytes = 0;
+  double request_seconds = 0.0;
+  for (size_t v = 0; v < to.size(); ++v) {
+    if (to[v].partitions == plan_.variables[v].partitions) {
+      continue;
+    }
+    moved_bytes += to[v].spec.bytes();
+    request_seconds += static_cast<double>(to[v].partitions +
+                                           plan_.variables[v].partitions) *
+                       config_.costs.request_overhead_seconds;
+  }
+  return static_cast<double>(moved_bytes) / cluster_spec_.nic_bandwidth + request_seconds;
+}
+
+void GraphRunner::Repartition(const PartitionPlan& plan) {
   PX_CHECK(initialized_) << "Repartition before the first Step";
-  PX_CHECK_GE(sparse_partitions, 1);
-  chosen_partitions_ = sparse_partitions;
-  plan_.sparse_partitions = sparse_partitions;
-  plan_.variables = VariablesWithPartitions(sparse_partitions);
-  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
-    engine->Prepare(plan_);
+  PX_CHECK_GE(plan.default_partitions(), 1);
+  std::vector<VariableSync> next = VariablesWithPartitions(plan);
+  // Only engines owning a variable whose count actually changes need a re-Prepare;
+  // everything else keeps its shards (Prepare is value-preserving either way, this
+  // just skips the no-op materialize/re-split round-trips).
+  std::vector<bool> engine_dirty(engines_.size(), false);
+  for (size_t v = 0; v < next.size(); ++v) {
+    if (next[v].partitions == plan_.variables[v].partitions) {
+      continue;
+    }
+    for (size_t e = 0; e < engines_.size(); ++e) {
+      if (engines_[e]->name() == plan_.engines[v]) {
+        engine_dirty[e] = true;
+      }
+    }
+  }
+  partition_plan_ = plan;
+  plan_.sparse_partitions = partition_plan_.MaxPartitions();
+  plan_.variables = std::move(next);
+  for (size_t e = 0; e < engines_.size(); ++e) {
+    if (engine_dirty[e]) {
+      engines_[e]->Prepare(plan_);
+    }
   }
   RebuildTimingPlane();
+}
+
+void GraphRunner::Repartition(int sparse_partitions) {
+  PX_CHECK_GE(sparse_partitions, 1);
+  Repartition(PartitionPlan::Uniform(sparse_partitions));
 }
 
 void GraphRunner::MaybeStartMonitor() {
@@ -225,34 +319,73 @@ void GraphRunner::MaybeAdapt() {
   // Drift confirmed. Adopt the measured alphas as the plan's workload description —
   // from here on the timing plane and every candidate the re-search simulates cost
   // the access pattern the engines actually observed, not the startup sample.
+  // plan_alpha prefers the per-rank estimator (no union-inversion bias under
+  // correlated workers) over the drift estimator.
   for (int v : monitor_->tracked()) {
-    plan_.variables[static_cast<size_t>(v)].spec.alpha = monitor_->measured_alpha(v);
+    plan_.variables[static_cast<size_t>(v)].spec.alpha = monitor_->plan_alpha(v);
   }
 
   // Re-search over the shared arena: every candidate replays cached schedules and
   // reuses task storage, so the whole search costs milliseconds (docs/perf.md).
-  auto measure = [&](int partitions) {
-    IterationSimulator sim(cluster_spec_, VariablesWithPartitions(partitions),
+  auto measure_plan = [&](const PartitionPlan& plan) {
+    IterationSimulator sim(cluster_spec_, VariablesWithPartitions(plan),
                            config_.gpu_compute_seconds, config_.compute_chunks,
                            MakeSimConfig(), sim_arena_.get());
     return sim.MeasureIterationSeconds(config_.search.warmup_iterations,
                                        config_.search.measured_iterations);
   };
-  const double current_seconds = measure(chosen_partitions_);
-  int best = chosen_partitions_;
+  auto same_layout = [](const std::vector<VariableSync>& a,
+                        const std::vector<VariableSync>& b) {
+    for (size_t v = 0; v < a.size(); ++v) {
+      if (a[v].partitions != b[v].partitions) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const double current_seconds = measure_plan(partition_plan_);
+  PartitionPlan best_plan = partition_plan_;
   double best_seconds = current_seconds;
   if (policy.repartition) {
     PartitionSearchOptions search = config_.search;
-    search.initial_partitions = chosen_partitions_;
-    PartitionSearchResult result = SearchPartitions(measure, search);
-    if (result.best_partitions != chosen_partitions_) {
-      best = result.best_partitions;
-      // Measured-vs-measured comparison (not the Equation-1 prediction): both layouts
-      // are simulated on the same arena, so the hysteresis test is deterministic and
-      // free of model error.
-      best_seconds = measure(best);
+    search.initial_partitions = partition_plan_.MaxPartitions();
+    std::vector<PartitionSearchVariable> targets;
+    if (config_.search_mode == PartitionSearchMode::kPerVariable) {
+      targets = SearchTargets();
+    }
+    if (!targets.empty()) {
+      // Per-variable re-search at the measured alphas (coordinate descent; the
+      // uniform sweep inside seeds it). Measured-vs-measured comparison on the same
+      // arena, so the hysteresis test is deterministic and free of model error.
+      PartitionPlanSearchResult result = SearchPartitionPlan(measure_plan, targets, search);
+      if (!same_layout(VariablesWithPartitions(result.plan), plan_.variables)) {
+        best_plan = result.plan;
+        best_seconds = result.seconds;
+      }
+    } else {
+      auto measure = [&](int partitions) {
+        return measure_plan(PartitionPlan::Uniform(partitions));
+      };
+      PartitionSearchResult result = SearchPartitions(measure, search);
+      PartitionPlan candidate = PartitionPlan::Uniform(result.best_partitions);
+      if (!same_layout(VariablesWithPartitions(candidate), plan_.variables)) {
+        best_plan = candidate;
+        best_seconds = measure(result.best_partitions);
+      }
     }
   }
+
+  // The swap is not free: re-preparing the changed variables moves their shard bytes
+  // between servers. Adopt only when the per-step win pays that back before the loop
+  // could revisit the decision — which is gated by BOTH the post-verdict cooldown and
+  // the check interval, so the window is whichever is longer.
+  std::vector<VariableSync> best_variables = VariablesWithPartitions(best_plan);
+  const bool layout_changed = !same_layout(best_variables, plan_.variables);
+  const double migration_seconds = layout_changed ? MigrationSeconds(best_variables) : 0.0;
+  const double window_steps = static_cast<double>(
+      std::max({policy.cooldown_steps, policy.check_interval, 1}));
+  const bool amortized =
+      (current_seconds - best_seconds) * window_steps >= migration_seconds;
 
   AdaptationVerdict verdict;
   verdict.step = iterations_;
@@ -260,25 +393,37 @@ void GraphRunner::MaybeAdapt() {
   verdict.drift = drift;
   verdict.measured_alpha =
       drift_variable >= 0 ? monitor_->measured_alpha(drift_variable) : 0.0;
-  verdict.from_partitions = chosen_partitions_;
+  verdict.from_plan = partition_plan_;
+  verdict.best_plan = best_plan;
+  verdict.from_partitions = partition_plan_.MaxPartitions();
   verdict.current_seconds = current_seconds;
-  verdict.best_partitions = best;
+  verdict.best_partitions = best_plan.MaxPartitions();
   verdict.best_seconds = best_seconds;
-  verdict.adopted =
-      best != chosen_partitions_ && best_seconds < current_seconds * (1.0 - policy.hysteresis);
-  verdict.to_partitions = verdict.adopted ? best : chosen_partitions_;
+  verdict.migration_seconds = migration_seconds;
+  verdict.amortized = amortized;
+  verdict.adopted = layout_changed &&
+                    best_seconds < current_seconds * (1.0 - policy.hysteresis) &&
+                    amortized;
+  verdict.to_plan = verdict.adopted ? best_plan : partition_plan_;
+  verdict.to_partitions = verdict.to_plan.MaxPartitions();
 
   if (verdict.adopted) {
-    PX_LOG(Info) << "adaptive repartition at step " << iterations_ << ": P="
-                 << verdict.from_partitions << " -> " << verdict.to_partitions
+    PX_LOG(Info) << "adaptive repartition at step " << iterations_ << ": "
+                 << verdict.from_plan.ToString() << " -> " << verdict.to_plan.ToString()
                  << " (simulated " << current_seconds << "s -> " << best_seconds
-                 << "s, drift " << drift << " on variable " << drift_variable << ")";
-    Repartition(best);
+                 << "s, migration " << migration_seconds << "s, drift " << drift
+                 << " on variable " << drift_variable << ")";
+    // Charge the transition to the simulated clock: the next iterations overlap a
+    // cluster that just spent this long reshuffling shards.
+    simulated_seconds_ += migration_seconds;
+    Repartition(best_plan);
   } else {
-    PX_LOG(Info) << "adaptive re-search at step " << iterations_ << ": keeping P="
-                 << chosen_partitions_ << " (best candidate P=" << best << " at "
-                 << best_seconds << "s vs " << current_seconds
-                 << "s current, hysteresis " << policy.hysteresis << "; drift " << drift
+    PX_LOG(Info) << "adaptive re-search at step " << iterations_ << ": keeping "
+                 << partition_plan_.ToString() << " (best candidate "
+                 << best_plan.ToString() << " at " << best_seconds << "s vs "
+                 << current_seconds << "s current, hysteresis " << policy.hysteresis
+                 << ", migration " << migration_seconds << "s "
+                 << (amortized ? "amortized" : "NOT amortized") << "; drift " << drift
                  << " on variable " << drift_variable << ")";
     // Not adopted — but the plan's alphas changed above, so rebuild the timing plane:
     // the clock should track measured sparsity whether or not the layout moves.

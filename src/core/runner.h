@@ -2,10 +2,13 @@
 //
 // Given a single-GPU graph, a loss node, and a resource specification, the runner:
 //   1. samples a backward pass to classify variables (dense / sparse) and measure alpha,
-//   2. runs the partition search for partitioner-scoped sparse variables (section 3.2),
+//   2. runs the partition search for partitioner-scoped sparse variables (section 3.2):
+//      uniform (one shared P) or per-variable (a PartitionPlan found by coordinate
+//      descent at each variable's measured alpha, PartitionSearchMode::kPerVariable),
 //   3. assigns each variable a synchronization architecture (hybrid rule, section 3.1)
 //      and a SyncEngine (registry name; RunnerBuilder::WithEngine overrides per
-//      variable), summarized as one SyncPlan,
+//      variable), summarized as one SyncPlan carrying each variable's own partition
+//      count,
 //   4. transforms the graph (section 4.3) — the resulting DistributedGraph is inspectable,
 //   5. trains: each Step() executes every GPU replica's forward/backward on its shard of
 //      the batch (numerics are real), hands the per-rank results to every prepared
@@ -14,15 +17,17 @@
 //   6. adapts (optional, WithAdaptivePartitioning): a SparsityMonitor folds the nnz
 //      each engine observed into per-variable measured alphas, and on drift the
 //      partition search re-runs against the measured workload, swapping the layout
-//      via Repartition when the simulated win clears the hysteresis margin
-//      (docs/adaptivity.md).
+//      via Repartition when the simulated win clears the hysteresis margin and
+//      amortizes the migration's shard-byte cost — which is charged to the simulated
+//      clock — before the loop could revisit the decision (docs/adaptivity.md).
 //
 // The runner therefore produces both a *learning curve* (real losses/parameters) and a
 // *time axis* (simulated seconds) — the two ingredients of the paper's Figure 7.
 //
 // Engines are reached exclusively through the SyncEngine interface
-// (core/sync_engine.h); the runner never names a concrete engine type. Repartition()
-// re-Prepares every engine with a new partition count mid-training (values preserved).
+// (core/sync_engine.h); the runner never names a concrete engine type.
+// Repartition(plan) swaps the partition layout mid-training (values preserved),
+// re-preparing only the engines that own a variable whose count actually changed.
 #ifndef PARALLAX_SRC_CORE_RUNNER_H_
 #define PARALLAX_SRC_CORE_RUNNER_H_
 
@@ -57,10 +62,15 @@ struct ParallaxConfig {
   // Use local (per-machine) aggregation and machine-level pulls for PS variables.
   bool local_aggregation = true;
   double alpha_dense_threshold = 0.8;
-  // Automatic partition search for partitioner-scoped variables; when disabled,
-  // manual_partitions is applied directly.
+  // Automatic partition search for partitioner-scoped variables; when disabled, the
+  // manual layout is applied directly (manual_plan when set, else a uniform
+  // manual_partitions).
   bool auto_partition = true;
   int manual_partitions = 1;
+  std::optional<PartitionPlan> manual_plan;
+  // Uniform (one shared P, the default) or per-variable (a PartitionPlan found by
+  // coordinate descent) — applies to both the startup search and adaptive re-searches.
+  PartitionSearchMode search_mode = PartitionSearchMode::kUniform;
   PartitionSearchOptions search{.initial_partitions = 8,
                                 .min_partitions = 1,
                                 .max_partitions = 1024,
@@ -96,9 +106,12 @@ class GraphRunner {
   // Forward evaluation of `fetch` on the chief's current variable view.
   Tensor Evaluate(const FeedMap& feeds, NodeId fetch);
 
-  // Elastic re-partitioning: swaps the sparse partition count mid-training by
-  // re-Preparing every engine with the updated plan. Values are preserved bit-for-bit;
-  // the timing plane and the distributed graph are rebuilt for the new layout.
+  // Elastic re-partitioning: swaps the partition layout mid-training. Values are
+  // preserved bit-for-bit; only engines owning a variable whose count actually changed
+  // are re-Prepared (and the PS engine re-splits only those variables); the timing
+  // plane and the distributed graph are rebuilt for the new layout.
+  void Repartition(const PartitionPlan& plan);
+  // Uniform-plan shim: Repartition(PartitionPlan::Uniform(sparse_partitions)).
   void Repartition(int sparse_partitions);
 
   // ---- introspection ----
@@ -109,8 +122,20 @@ class GraphRunner {
   // variable to it.
   SyncEngine* engine(const std::string& name) const;
   const DistributedGraph& distributed_graph() const;
-  int chosen_sparse_partitions() const { return chosen_partitions_; }
+  // The partition layout in force. Uniform for the int-based entry points; per-variable
+  // once a PartitionPlan was searched, passed via WithPartitionPlan, or adopted by the
+  // adaptive loop.
+  const PartitionPlan& partition_plan() const { return partition_plan_; }
+  // DEPRECATED single-number summary: the max partition count over the plan. Exact for
+  // uniform plans; a heterogeneous plan cannot be described by one int — read
+  // partition_plan() instead.
+  int chosen_sparse_partitions() const { return partition_plan_.MaxPartitions(); }
   const std::optional<PartitionSearchResult>& partition_search() const { return search_result_; }
+  // The per-variable search's full result (plan, measured seconds, uniform baseline).
+  // Set only when the startup search ran in PartitionSearchMode::kPerVariable.
+  const std::optional<PartitionPlanSearchResult>& plan_search() const {
+    return plan_search_result_;
+  }
   double simulated_seconds() const { return simulated_seconds_; }
   int64_t iterations() const { return iterations_; }
   // The adaptive loop's measurement and decision trail (measured alphas per variable,
@@ -134,15 +159,26 @@ class GraphRunner {
   // Simulator configuration shared by the partition search, the training-time timing
   // plane, and the adaptive re-search.
   IterationSimConfig MakeSimConfig() const;
-  // Copy of plan_.variables with the sparse partition count swapped (the same
-  // per-variable gate Repartition applies): partitioner-scoped PS-family variables
-  // split up to their row count, everything else untouched.
-  std::vector<VariableSync> VariablesWithPartitions(int sparse_partitions) const;
+  // Copy of plan_.variables with the partition layout swapped (the same per-variable
+  // gate Repartition applies): each partitioner-scoped PS-family variable gets the
+  // plan's count for its name, capped at its row count; everything else untouched.
+  std::vector<VariableSync> VariablesWithPartitions(const PartitionPlan& plan) const;
+  // Cost-model estimate of swapping plan_.variables for `to`: every variable whose
+  // count changes is materialized and re-split, moving its bytes across the server
+  // fabric once, plus per-piece request handling for the pieces torn down and built.
+  double MigrationSeconds(const std::vector<VariableSync>& to) const;
+  // The variables the per-variable search may re-shard: partitioner-scoped sparse
+  // variables the plan routes to PS (engine overrides respected), with the plan's
+  // current alphas (startup-sampled at initialization, monitor-measured afterwards).
+  // Requires plan_.variables to be routed, which both call sites guarantee.
+  std::vector<PartitionSearchVariable> SearchTargets() const;
   // Creates the sparsity monitor and attaches it to the engines, when the config asks
   // for adaptive partitioning and the plan has monitorable variables.
   void MaybeStartMonitor();
-  // The adaptive loop's per-step tail: fold observations, check drift, re-search, and
-  // Repartition when the simulated win clears the hysteresis margin.
+  // The adaptive loop's per-step tail: fold observations, check drift, re-search
+  // (uniform or per-variable per config_.search_mode), and Repartition when the
+  // simulated win clears the hysteresis margin AND amortizes the migration cost —
+  // which is then charged to the simulated clock — within the cooldown window.
   void MaybeAdapt();
 
   const Graph* graph_;
@@ -161,7 +197,10 @@ class GraphRunner {
   std::vector<std::unique_ptr<SyncEngine>> engines_;
   std::optional<DistributedGraph> distributed_graph_;
   std::optional<PartitionSearchResult> search_result_;
-  int chosen_partitions_ = 1;
+  std::optional<PartitionPlanSearchResult> plan_search_result_;
+  // The layout in force for partitioner-scoped sparse variables (uniform until a
+  // per-variable search or Repartition(plan) says otherwise).
+  PartitionPlan partition_plan_;
   ClusterSpec cluster_spec_;
 
   // One arena for the partition search and the training-time timing plane: cached

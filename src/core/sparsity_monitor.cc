@@ -26,6 +26,7 @@ void SparsityMonitor::Track(int variable, int64_t rows, double baseline_alpha) {
   tracked.rows = rows;
   tracked.baseline = baseline_alpha;
   tracked.ewma = baseline_alpha;
+  tracked.rank_ewma = baseline_alpha;
   vars_.push_back(tracked);
 }
 
@@ -58,6 +59,23 @@ void SparsityMonitor::ObserveSparseStep(int variable, int64_t unique_rows,
                                                1.0 / static_cast<double>(contributions));
   tracked.pending_sum += estimate;
   ++tracked.pending_count;
+  // A single-contribution observation IS one worker's sample: feed the inversion-free
+  // rank estimator too (engines skip the explicit per-rank tap in that case).
+  if (contributions <= 1) {
+    tracked.rank_pending_sum += union_ratio;
+    ++tracked.rank_pending_count;
+  }
+}
+
+void SparsityMonitor::ObserveRankAccess(int variable, int64_t unique_rows) {
+  const int slot = SlotOf(variable);
+  if (slot < 0) {
+    return;
+  }
+  TrackedVariable& tracked = vars_[static_cast<size_t>(slot)];
+  tracked.rank_pending_sum += std::min(
+      1.0, static_cast<double>(unique_rows) / static_cast<double>(tracked.rows));
+  ++tracked.rank_pending_count;
 }
 
 void SparsityMonitor::EndStep() {
@@ -69,6 +87,19 @@ void SparsityMonitor::EndStep() {
                      policy_.ewma_decay * step_alpha;
       tracked.pending_sum = 0.0;
       tracked.pending_count = 0;
+    }
+    if (tracked.rank_pending_count > 0) {
+      const double step_alpha =
+          tracked.rank_pending_sum / static_cast<double>(tracked.rank_pending_count);
+      // Same decay, separate stream: the first rank sample re-seeds the estimator so
+      // it never has to forget a baseline it was only parked at.
+      tracked.rank_ewma = tracked.any_rank_sample
+                              ? (1.0 - policy_.ewma_decay) * tracked.rank_ewma +
+                                    policy_.ewma_decay * step_alpha
+                              : step_alpha;
+      tracked.any_rank_sample = true;
+      tracked.rank_pending_sum = 0.0;
+      tracked.rank_pending_count = 0;
     }
   }
   ++steps_;
@@ -140,6 +171,13 @@ double SparsityMonitor::measured_alpha(int variable) const {
   const int slot = SlotOf(variable);
   PX_CHECK_GE(slot, 0) << "variable " << variable << " is not monitored";
   return vars_[static_cast<size_t>(slot)].ewma;
+}
+
+double SparsityMonitor::plan_alpha(int variable) const {
+  const int slot = SlotOf(variable);
+  PX_CHECK_GE(slot, 0) << "variable " << variable << " is not monitored";
+  const TrackedVariable& tracked = vars_[static_cast<size_t>(slot)];
+  return tracked.any_rank_sample ? tracked.rank_ewma : tracked.ewma;
 }
 
 double SparsityMonitor::baseline_alpha(int variable) const {

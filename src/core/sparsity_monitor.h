@@ -11,21 +11,30 @@
 //               variable's aggregated nnz through the SparseAccessObserver interface
 //               (core/sync_engine.h). The counts fall out of the fused aggregation
 //               pass's segment table, so observation is free; a detached monitor costs
-//               nothing at all.
-//   estimate  — per-step access ratios are folded into one EWMA per variable. Union
-//               observations (k ranks coalesced) are inverted through the
-//               independent-access model of UnionAlpha: u = 1-(1-a)^k, so
-//               a = 1-(1-u)^(1/k). Per-worker observations (async pushes, k == 1) are
-//               used directly.
+//               nothing at all. Multi-rank engines additionally tap each worker's own
+//               coalesced row count (ObserveRankAccess) — a direct per-worker sample.
+//   estimate  — per-step access ratios are folded into TWO EWMAs per variable. The
+//               drift estimator folds union observations (k ranks coalesced) inverted
+//               through the independent-access model of UnionAlpha: u = 1-(1-a)^k, so
+//               a = 1-(1-u)^(1/k); per-worker observations (async pushes, k == 1) fold
+//               directly. The plan estimator folds only per-rank samples, which need
+//               no inversion — so when correlated workers share hot rows (where the
+//               inversion under-reads alpha), the alpha handed to the re-search stays
+//               unbiased. plan_alpha() prefers the rank estimator when samples exist.
 //   detect    — every check_interval steps (after warmup, outside cooldown) the
-//               largest relative deviation of any EWMA from the alpha the current
-//               plan was built with is compared to drift_threshold.
-//   decide    — on drift, the runner re-runs the partition search against the
-//               *measured* alphas over the shared SimulationArena and adopts the new
-//               P via GraphRunner::Repartition only if the simulated iteration time
-//               improves by more than the hysteresis margin. Either way the verdict is
-//               appended to the decision trail and the baseline is re-anchored to the
-//               measured state, so the same drift never triggers twice.
+//               largest relative deviation of the drift EWMA from its self-calibrated
+//               baseline is compared to drift_threshold (estimator-vs-estimator, so a
+//               stable inversion bias cancels; the rank estimator plays no gate role).
+//   decide    — on drift, the runner re-runs the partition search — uniform or
+//               per-variable (a PartitionPlan via coordinate descent), per the
+//               configured search mode — against the *measured* plan alphas over the
+//               shared SimulationArena, and adopts the new layout via
+//               GraphRunner::Repartition only if the simulated iteration time improves
+//               by more than the hysteresis margin AND the win amortizes the layout
+//               migration's shard-byte cost within the cooldown window. Either way the
+//               verdict is appended to the decision trail and the baseline is
+//               re-anchored to the measured state, so the same drift never triggers
+//               twice.
 //
 // The monitor is measurement + policy state; the re-search and the repartition stay in
 // GraphRunner, which owns the plan, the engines, and the simulation arena. See
@@ -36,6 +45,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/partition_plan.h"
 #include "src/core/sync_engine.h"
 
 namespace parallax {
@@ -72,16 +82,32 @@ struct AdaptationVerdict {
   int64_t step = 0;              // runner iteration at which the check fired
   int variable = -1;             // variable with the largest relative drift
   double drift = 0.0;            // that variable's relative drift at the check
-  double measured_alpha = 0.0;   // its EWMA alpha at the check
-  int from_partitions = 1;       // incumbent P
-  int to_partitions = 1;         // P in force after the verdict (== from_partitions
-                                 // when not adopted)
-  int best_partitions = 1;       // the re-search's best candidate, adopted or not —
-                                 // how near-equal a vetoed alternative was is what the
-                                 // hysteresis tuning guide reads off the trail
-  double current_seconds = 0.0;  // simulated iteration time at from_partitions,
+  double measured_alpha = 0.0;   // its drift-EWMA alpha at the check
+  // The full layouts: incumbent, the re-search's best candidate (== from_plan when the
+  // search found nothing better), and the one in force after the verdict. These are
+  // the authoritative record — the int fields below are max-over-plan summaries kept
+  // for the legacy single-P trail and exact only for uniform plans.
+  PartitionPlan from_plan;
+  PartitionPlan best_plan;
+  PartitionPlan to_plan;
+  int from_partitions = 1;       // max over from_plan
+  int to_partitions = 1;         // max over the layout in force after the verdict
+                                 // (== from_partitions when not adopted)
+  int best_partitions = 1;       // max over the re-search's best candidate, adopted or
+                                 // not — how near-equal a vetoed alternative was is
+                                 // what the hysteresis tuning guide reads off the trail
+  double current_seconds = 0.0;  // simulated iteration time at from_plan,
                                  // measured alphas
-  double best_seconds = 0.0;     // simulated iteration time at best_partitions
+  double best_seconds = 0.0;     // simulated iteration time at the best candidate
+  // Estimated cost of swapping from_plan -> best candidate: re-Prepare materializes
+  // and re-splits every variable whose count changes, moving its shard bytes between
+  // servers. Charged to the simulated clock when adopted.
+  double migration_seconds = 0.0;
+  // True iff the per-step win pays the migration back before the loop could revisit
+  // the decision: (current - best) * max(cooldown_steps, check_interval) >=
+  // migration_seconds. A candidate that clears hysteresis but not amortization is
+  // vetoed.
+  bool amortized = true;
   bool adopted = false;          // true iff the runner called Repartition
 };
 
@@ -95,8 +121,13 @@ class SparsityMonitor : public SparseAccessObserver {
   void Track(int variable, int64_t rows, double baseline_alpha);
 
   // SparseAccessObserver: accumulates one aggregated-gradient observation for the
-  // step in flight. Untracked variables are ignored.
+  // step in flight. Untracked variables are ignored. A contributions == 1 observation
+  // is a per-worker sample and also feeds the rank estimator (it needs no inversion).
   void ObserveSparseStep(int variable, int64_t unique_rows, int contributions) override;
+
+  // SparseAccessObserver: one worker's own coalesced row count — folded into the
+  // inversion-free rank estimator behind plan_alpha(). Untracked variables ignored.
+  void ObserveRankAccess(int variable, int64_t unique_rows) override;
 
   // Folds the step's observations into the EWMAs and advances the step counter.
   // Called once per runner Step, after every engine applied its gradients.
@@ -127,8 +158,14 @@ class SparsityMonitor : public SparseAccessObserver {
   // Tracked variable indices, in Track order.
   std::vector<int> tracked() const;
   bool Tracks(int variable) const { return SlotOf(variable) >= 0; }
-  // Current EWMA estimate of the per-worker access ratio.
+  // Current EWMA estimate of the per-worker access ratio — the *drift* estimator
+  // (union observations inverted through the independent-access model).
   double measured_alpha(int variable) const;
+  // The alpha the runner should rebuild the plan with: the per-rank estimator when any
+  // rank sample has been observed (unbiased under correlated workers), the drift
+  // estimator otherwise. This is what the re-search and the refreshed timing plane
+  // consume.
+  double plan_alpha(int variable) const;
   // The alpha drift is currently measured against (the plan's alpha at the last
   // re-anchor).
   double baseline_alpha(int variable) const;
@@ -145,9 +182,15 @@ class SparsityMonitor : public SparseAccessObserver {
     int64_t rows = 1;
     double baseline = 1.0;
     double ewma = 1.0;
+    // Inversion-free estimator over per-rank samples (plan_alpha); tracks ewma until
+    // the first rank sample arrives.
+    double rank_ewma = 1.0;
+    bool any_rank_sample = false;
     // Step-in-flight accumulators: mean of the per-observation alpha estimates.
     double pending_sum = 0.0;
     int pending_count = 0;
+    double rank_pending_sum = 0.0;
+    int rank_pending_count = 0;
   };
 
   int SlotOf(int variable) const;

@@ -58,7 +58,10 @@ enum class GathervAlgorithm : uint8_t {
 struct VariableSync {
   VariableSpec spec;
   SyncMethod method = SyncMethod::kPs;
-  int partitions = 1;  // PS only; >1 splits the shard row-wise across servers
+  // PS only; >1 splits the shard row-wise across servers. This count is per variable —
+  // a PartitionPlan stamps each partitioner-scoped variable's own count here (row-
+  // capped), and the PS-family engines split their shards from exactly this field.
+  int partitions = 1;
 };
 
 // The runner's complete synchronization decision, handed to every engine's Prepare.
@@ -71,8 +74,10 @@ struct SyncPlan {
   int num_ranks = 1;
   // Ranks per machine (local-aggregation grouping for PS-family engines).
   int ranks_per_machine = 1;
-  // Partition count in force for partitioner-scoped sparse variables. Engines apply
-  // their own per-variable gate (a variable with fewer rows than pieces stays whole).
+  // Single-number summary of the partition layout: the max of variables[v].partitions
+  // the runner put in force (legacy field — engines consume the per-variable counts in
+  // `variables`, never this). A heterogeneous plan is NOT one number; this exists only
+  // so old introspection keeps reading something sensible.
   int sparse_partitions = 1;
   bool local_aggregation = true;
   // Batch all of an engine's sparse variables through one fused workspace pass.
@@ -101,6 +106,18 @@ class SparseAccessObserver {
   // Called from the engine's step path (the runner's thread of control), never from
   // kernel worker lanes.
   virtual void ObserveSparseStep(int variable, int64_t unique_rows, int contributions) = 0;
+
+  // Per-rank tap: ONE worker's own coalesced row count for `variable` in the step in
+  // flight — a direct access-ratio sample that needs no union inversion, so it stays
+  // unbiased even when workers share hot rows (where the independent-access inversion
+  // under-reads alpha). Engines with an observer attached call it once per sparse
+  // variable per step for a rotating rank (every worker is represented over time at
+  // the cost of a single count per step); the default no-op keeps single-sample
+  // observers (contributions == 1 paths) free of double counting.
+  virtual void ObserveRankAccess(int variable, int64_t unique_rows) {
+    (void)variable;
+    (void)unique_rows;
+  }
 };
 
 class SyncEngine {

@@ -91,6 +91,65 @@ double WordLmModel::EvalPerplexity(const VariableStore& variables, int batches,
   return std::exp(loss_sum / batches);
 }
 
+EmbeddingSkewModel::EmbeddingSkewModel() : EmbeddingSkewModel(Options{}) {}
+
+EmbeddingSkewModel::EmbeddingSkewModel(Options options) : options_(options) {
+  PX_CHECK_GE(options_.hot_rows, 1);
+  PX_CHECK_LE(options_.hot_rows, options_.hot_vocab);
+  Rng init_rng(options_.seed ^ 0x5ca1edULL);
+  ids_ph_ = graph_.Placeholder("ids", DataType::kInt64);
+  candidates_ph_ = graph_.Placeholder("candidates", DataType::kInt64);
+  ce_labels_ph_ = graph_.Placeholder("ce_labels", DataType::kInt64);
+
+  NodeId hot_emb;
+  NodeId wide_softmax;
+  {
+    PartitionerScope partitioner(graph_);
+    hot_emb = graph_.Variable(
+        "hot_embedding",
+        RandomNormal(TensorShape({options_.hot_vocab, options_.hot_dim}), init_rng, 0.1f));
+    wide_softmax = graph_.Variable(
+        "wide_softmax",
+        RandomNormal(TensorShape({options_.wide_vocab, options_.hidden_dim}), init_rng,
+                     0.1f));
+  }
+  NodeId w1 = graph_.Variable(
+      "w1", GlorotUniform(TensorShape({options_.hot_dim, options_.hidden_dim}), init_rng));
+  NodeId b1 = graph_.Variable("b1", Tensor::Zeros(TensorShape({options_.hidden_dim})));
+
+  NodeId h0 = graph_.Gather(hot_emb, ids_ph_, "hot_lookup");
+  NodeId h1 = graph_.Tanh(graph_.BiasAdd(graph_.MatMul(h0, w1), b1), "hidden");
+  logits_ = graph_.GatherDotT(h1, wide_softmax, candidates_ph_, "sampled_logits");
+  loss_ = graph_.SoftmaxXentMean(logits_, ce_labels_ph_, "loss");
+}
+
+std::vector<FeedMap> EmbeddingSkewModel::TrainShards(int num_ranks, Rng& rng) const {
+  std::vector<FeedMap> shards;
+  shards.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    std::vector<int64_t> ids(static_cast<size_t>(options_.batch_per_rank));
+    std::vector<int64_t> candidates(static_cast<size_t>(options_.batch_per_rank));
+    for (int64_t i = 0; i < options_.batch_per_rank; ++i) {
+      // The hot set: every lookup lands in the first hot_rows rows, so a worker's
+      // access ratio is ~hot_rows / hot_vocab no matter how large the table is.
+      ids[static_cast<size_t>(i)] =
+          static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(options_.hot_rows)));
+      // Candidate classes cover most of the wide vocabulary (coupon-collector
+      // coverage), which is what drives its alpha toward 1.
+      candidates[static_cast<size_t>(i)] = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(options_.wide_vocab)));
+    }
+    FeedMap feeds;
+    feeds[ids_ph_] =
+        Tensor::FromIndices(std::move(ids), TensorShape({options_.batch_per_rank}));
+    feeds[candidates_ph_] = Tensor::FromIndices(std::move(candidates),
+                                                TensorShape({options_.batch_per_rank}));
+    feeds[ce_labels_ph_] = Arange(options_.batch_per_rank);
+    shards.push_back(std::move(feeds));
+  }
+  return shards;
+}
+
 NmtSurrogateModel::NmtSurrogateModel(Options options)
     : options_(options),
       text_({.vocab_size = options.vocab_size,

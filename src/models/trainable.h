@@ -106,6 +106,53 @@ class NmtSurrogateModel {
   NodeId loss_ = kNoNode;
 };
 
+// Two partitioner-scoped sparse variables with deliberately *skewed* access ratios —
+// the workload a single global partition count cannot serve (docs/adaptivity.md,
+// examples/per_variable_partition.cpp):
+//
+//  - "hot_embedding": a large table whose batch ids all land in a small hot set, so a
+//    worker touches a tiny fraction of its rows (alpha ~ hot_rows / hot_vocab). Its
+//    aggregated gradient is tiny; extra pieces only buy per-piece overhead.
+//  - "wide_softmax": a small output table used as sampled-softmax classes over most of
+//    its rows, so alpha is large (but below the dense threshold, keeping it on PS).
+//    Its aggregated gradient touches nearly every row; accumulator serialization
+//    dominates and partitioning pays.
+//
+// The per-variable partition search should therefore adopt a heterogeneous
+// PartitionPlan (few pieces for hot_embedding, several for wide_softmax) that beats
+// the best uniform P on the simulated clock.
+class EmbeddingSkewModel {
+ public:
+  struct Options {
+    int64_t hot_vocab = 4096;   // hot_embedding rows
+    int64_t hot_dim = 32;       // hot_embedding width
+    int64_t hot_rows = 16;      // ids are drawn from this many rows only
+    int64_t wide_vocab = 128;   // wide_softmax rows
+    int64_t hidden_dim = 128;   // hidden width == wide_softmax width
+    int64_t batch_per_rank = 128;
+    uint64_t seed = 29;
+  };
+
+  EmbeddingSkewModel();  // default Options (a nested aggregate cannot default-arg here)
+  explicit EmbeddingSkewModel(Options options);
+
+  Graph* graph() { return &graph_; }
+  NodeId loss() const { return loss_; }
+
+  // Per-rank training feeds: ids uniform over the hot set, candidate classes uniform
+  // over the whole wide vocabulary (≈ (1 - 1/e) coverage at batch == wide_vocab).
+  std::vector<FeedMap> TrainShards(int num_ranks, Rng& rng) const;
+
+ private:
+  Options options_;
+  Graph graph_;
+  NodeId ids_ph_ = kNoNode;
+  NodeId candidates_ph_ = kNoNode;
+  NodeId ce_labels_ph_ = kNoNode;
+  NodeId logits_ = kNoNode;
+  NodeId loss_ = kNoNode;
+};
+
 class MlpClassifierModel {
  public:
   struct Options {

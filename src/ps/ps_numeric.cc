@@ -1,5 +1,8 @@
 #include "src/ps/ps_numeric.h"
 
+#include <algorithm>
+
+#include "src/core/partition_plan.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace parallax {
@@ -72,6 +75,12 @@ PsNumericEngine::PsNumericEngine(const Graph* graph, PsNumericConfig config)
 void PsNumericEngine::Prepare(const SyncPlan& plan) {
   PsNumericConfig config;
   config.sparse_partitions = plan.sparse_partitions;
+  // The plan's layout is per variable: each entry already carries its own (row-capped)
+  // partition count, which is what the shards are split from.
+  config.variable_partitions.reserve(plan.variables.size());
+  for (const VariableSync& sync : plan.variables) {
+    config.variable_partitions.push_back(sync.partitions);
+  }
   config.local_aggregation = plan.local_aggregation;
   config.dense_aggregation = plan.dense_aggregation;
   config.sparse_aggregation = plan.sparse_aggregation;
@@ -84,30 +93,44 @@ void PsNumericEngine::Prepare(const SyncPlan& plan) {
 void PsNumericEngine::Reconfigure(PsNumericConfig config) {
   PX_CHECK_GE(config.sparse_partitions, 1);
   PX_CHECK_GE(config.ranks_per_machine, 1);
+  if (!config.variable_partitions.empty()) {
+    PX_CHECK_EQ(config.variable_partitions.size(), graph_->variables().size())
+        << "variable_partitions must be parallel to the graph's variables";
+  }
   // Re-preparation preserves values: shards are rebuilt around the current state, not
   // the initializers — what makes a mid-training partition swap a plain re-Prepare.
-  std::vector<Tensor> current;
+  // Variables whose partition count does not change are moved over untouched (no
+  // materialize + re-split), so swapping a plan that moves one variable costs only
+  // that variable's bytes.
   const bool preserve = !variables_.empty();
-  if (preserve) {
-    current.reserve(variables_.size());
-    for (const PsVariable& variable : variables_) {
-      current.push_back(variable.Materialize());
+  std::vector<PsVariable> next;
+  next.reserve(graph_->variables().size());
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    const VariableDef& def = graph_->variables()[v];
+    // Only partitioner-scoped variables are split (Figure 3 line 9). On the plan path
+    // the count is per variable and row-capped (the same RowCappedPartitions gate the
+    // assigner and the simulator's layout use, so the engine always builds the layout
+    // that was timed). The legacy direct-config path keeps its historical
+    // all-or-nothing gate: a variable of fewer rows than the uniform count stays
+    // whole, as TF's fixed_size_partitioner would have refused to split it.
+    int partitions = 1;
+    if (def.partitioner_scope && def.shape.rank() >= 1) {
+      if (!config.variable_partitions.empty()) {
+        partitions = RowCappedPartitions(config.variable_partitions[v], def.shape.dim(0));
+      } else if (def.shape.dim(0) >= config.sparse_partitions) {
+        partitions = config.sparse_partitions;
+      }
+    }
+    if (!preserve) {
+      next.emplace_back(def.initial_value, partitions);
+    } else if (variables_[v].num_partitions() == partitions) {
+      next.push_back(std::move(variables_[v]));
+    } else {
+      next.emplace_back(variables_[v].Materialize(), partitions);
     }
   }
   config_ = std::move(config);
-  variables_.clear();
-  for (size_t v = 0; v < graph_->variables().size(); ++v) {
-    const VariableDef& def = graph_->variables()[v];
-    // Only partitioner-scoped variables are split (Figure 3 line 9); TF would refuse to
-    // partition a variable of fewer rows than pieces, and so do we.
-    int partitions = 1;
-    if (def.partitioner_scope && def.shape.rank() >= 1 &&
-        def.shape.dim(0) >= config_.sparse_partitions) {
-      partitions = config_.sparse_partitions;
-    }
-    variables_.emplace_back(preserve ? std::move(current[v]) : def.initial_value,
-                            partitions);
-  }
+  variables_ = std::move(next);
 }
 
 bool PsNumericEngine::Manages(int variable_index) const {
@@ -167,6 +190,21 @@ void PsNumericEngine::ApplyStep(const std::vector<StepResult>& per_rank,
       ScaleInPlace(aggregated, 1.0f / static_cast<float>(num_ranks));
     }
     variables_[v].ApplyDenseSgd(aggregated, learning_rate);
+  }
+
+  // Per-rank taps: one worker's own coalesced row count is a direct access-ratio
+  // sample (no union inversion). One rotating rank per step — the estimator still
+  // sees every worker over time, but the tap costs a single coalesce-count per
+  // variable per step (a fraction of the aggregation pass's own sort work; training
+  // gradients are fresh every step, so unique_rows() is a real count here, not a
+  // cache hit). Emitted only for multi-rank steps — a single-rank step's aggregate
+  // observation below IS the rank sample, and double-reporting it would overweight
+  // it in the monitor's estimators.
+  if (observer() != nullptr && num_ranks > 1 && !sparse_vars.empty()) {
+    const auto tap_rank = static_cast<size_t>(observe_rotation_++ % num_ranks);
+    for (int v : sparse_vars) {
+      observer()->ObserveRankAccess(v, per_rank[tap_rank].grads.at(v).sparse().unique_rows());
+    }
   }
 
   if (config_.fuse_sparse_variables && sparse_vars.size() > 1) {

@@ -31,8 +31,13 @@
 namespace parallax {
 
 struct PsNumericConfig {
-  // Partition count applied to every partitioner-scoped variable with a sparse gradient.
+  // Uniform partition count applied to every partitioner-scoped variable (legacy
+  // direct-configuration path; ignored when variable_partitions is set).
   int sparse_partitions = 1;
+  // Per-variable partition counts, parallel to Graph::variables() — what Prepare fills
+  // from the SyncPlan's per-variable layout. Empty = fall back to the uniform
+  // sparse_partitions above with its historical all-or-nothing row gate.
+  std::vector<int> variable_partitions;
   // Aggregate per machine before pushing (OptPS / Parallax local aggregation).
   bool local_aggregation = false;
   // How gradients combine across workers.
@@ -94,8 +99,10 @@ class PsNumericEngine : public SyncEngine {
   VariableStore View() const override { return CurrentValues(); }
   SyncMethod CostMethod(GradKind) const override { return SyncMethod::kPs; }
 
-  // Swaps in a new configuration, preserving the variables' current values (shards are
-  // re-split around the materialized values). Prepare is this plus plan routing.
+  // Swaps in a new configuration, preserving the variables' current values. Only
+  // variables whose partition count actually changes are materialized and re-split;
+  // unchanged variables keep their shards as-is — what makes a mostly-stable
+  // PartitionPlan swap cheap. Prepare is this plus plan routing.
   void Reconfigure(PsNumericConfig config);
 
   // Current full values, as workers observe them after the chief's notification.
@@ -121,6 +128,9 @@ class PsNumericEngine : public SyncEngine {
   // Per-group coalesced row counts from the fused pass, reported to the attached
   // SparseAccessObserver; sized only when an observer is present.
   std::vector<int64_t> observed_unique_;
+  // Which rank the per-rank access tap samples this step (round-robin across steps,
+  // so every worker is represented without counting all of them every step).
+  int64_t observe_rotation_ = 0;
 };
 
 }  // namespace parallax

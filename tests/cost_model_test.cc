@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/base/rng.h"
@@ -97,6 +98,143 @@ TEST(SearchTest, NoisyMeasurementsStillConverge) {
   // True optimum ~39; accept a generous band under 3% noise.
   EXPECT_GE(result.best_partitions, 8);
   EXPECT_LE(result.best_partitions, 256);
+}
+
+// ---- PartitionPlan -------------------------------------------------------------------
+
+TEST(PartitionPlanTest, UniformPlansAndOverridesRoundTrip) {
+  PartitionPlan uniform = PartitionPlan::Uniform(4);
+  EXPECT_TRUE(uniform.uniform());
+  EXPECT_EQ(uniform.For("anything"), 4);
+  EXPECT_EQ(uniform.MaxPartitions(), 4);
+  EXPECT_EQ(uniform.ToString(), "P=4");
+  EXPECT_EQ(uniform, PartitionPlan::Uniform(4));
+  EXPECT_NE(uniform, PartitionPlan::Uniform(5));
+
+  PartitionPlan plan;
+  plan.Set("emb", 16);
+  plan.Set("softmax", 2);
+  plan.Set("softmax", 3);  // last Set wins
+  EXPECT_FALSE(plan.uniform());
+  EXPECT_EQ(plan.For("emb"), 16);
+  EXPECT_EQ(plan.For("softmax"), 3);
+  EXPECT_EQ(plan.For("unnamed"), 1);  // default
+  EXPECT_EQ(plan.MaxPartitions(), 16);
+  EXPECT_EQ(plan.ToString(), "{emb:16, softmax:3; default P=1}");
+  EXPECT_NE(plan, uniform);
+}
+
+// ---- Per-variable search (SearchPartitionPlan) ---------------------------------------
+
+// A separable synthetic landscape: each variable contributes its own Equation-1 curve,
+// so the joint optimum is each variable at its own continuous optimum — exactly the
+// structure a single uniform P cannot fit when the theta1s differ.
+struct SeparableLandscape {
+  std::vector<PartitionSearchVariable> variables;
+  std::vector<double> theta1;
+  double theta2 = 0.002;
+
+  double operator()(const PartitionPlan& plan) const {
+    double seconds = 0.1;
+    for (size_t v = 0; v < variables.size(); ++v) {
+      double p = plan.For(variables[v].name);
+      seconds += theta1[v] / p + theta2 * p;
+    }
+    return seconds;
+  }
+};
+
+SeparableLandscape SkewedLandscape() {
+  SeparableLandscape landscape;
+  // Variable "a" wants sqrt(2.0/0.002) ~ 32 pieces; "b" wants sqrt(0.02/0.002) ~ 3.
+  // Weights (alpha * elements) mirror the theta1 ratio, as they do in the simulator.
+  landscape.variables = {{.name = "a", .alpha = 0.5, .num_elements = 4'000'000},
+                         {.name = "b", .alpha = 0.5, .num_elements = 40'000}};
+  landscape.theta1 = {2.0, 0.02};
+  return landscape;
+}
+
+TEST(SearchPartitionPlanTest, FindsPerVariableOptimaAndBeatsBestUniform) {
+  SeparableLandscape landscape = SkewedLandscape();
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 512;
+  PartitionPlanSearchResult result =
+      SearchPartitionPlan(landscape, landscape.variables, options);
+
+  EXPECT_GE(result.plan.For("a"), 16);
+  EXPECT_LE(result.plan.For("a"), 64);
+  EXPECT_GE(result.plan.For("b"), 1);
+  EXPECT_LE(result.plan.For("b"), 8);
+
+  // Brute-force best uniform P for comparison.
+  double best_uniform = landscape(PartitionPlan::Uniform(1));
+  for (int p = 2; p <= 512; ++p) {
+    best_uniform = std::min(best_uniform, landscape(PartitionPlan::Uniform(p)));
+  }
+  EXPECT_LT(result.seconds, best_uniform);
+  // And the reported uniform baseline is the best uniform the sweep found (the fitted
+  // search may land near, not exactly at, the brute-force optimum).
+  EXPECT_GE(result.uniform_seconds, best_uniform * 0.999);
+  EXPECT_LT(result.seconds, result.uniform_seconds);
+}
+
+TEST(SearchPartitionPlanTest, DeterministicAcrossRuns) {
+  SeparableLandscape landscape = SkewedLandscape();
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 512;
+  PartitionPlanSearchResult first =
+      SearchPartitionPlan(landscape, landscape.variables, options);
+  PartitionPlanSearchResult second =
+      SearchPartitionPlan(landscape, landscape.variables, options);
+  EXPECT_EQ(first.plan, second.plan);
+  EXPECT_EQ(first.seconds, second.seconds);
+  EXPECT_EQ(first.evaluations, second.evaluations);
+  EXPECT_EQ(first.rounds, second.rounds);
+}
+
+TEST(SearchPartitionPlanTest, RespectsPerVariableCaps) {
+  SeparableLandscape landscape = SkewedLandscape();
+  landscape.variables[0].max_partitions = 4;  // "a" wants ~32 but only has 4 rows
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 512;
+  PartitionPlanSearchResult result =
+      SearchPartitionPlan(landscape, landscape.variables, options);
+  EXPECT_LE(result.plan.For("a"), 4);
+  for (const auto& [name, partitions] : result.plan.overrides()) {
+    EXPECT_GE(partitions, 1);
+  }
+}
+
+TEST(SearchPartitionPlanTest, SymmetricVariablesStayTogether) {
+  // Identical variables: the per-variable search must not invent heterogeneity where
+  // none pays (the coordinate margin suppresses noise-chasing moves).
+  SeparableLandscape landscape;
+  landscape.variables = {{.name = "x", .alpha = 0.3, .num_elements = 1'000'000},
+                         {.name = "y", .alpha = 0.3, .num_elements = 1'000'000}};
+  landscape.theta1 = {0.5, 0.5};
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 512;
+  PartitionPlanSearchResult result =
+      SearchPartitionPlan(landscape, landscape.variables, options);
+  EXPECT_EQ(result.plan.For("x"), result.plan.For("y"));
+}
+
+TEST(SearchPartitionPlanTest, MemoizationKeepsSamplingBudgetSmall) {
+  // The whole point of the paper's procedure is a handful of sampling runs; the
+  // per-variable generalization must stay in the same regime — a few runs per
+  // variable per descent round, with repeats served from the memo.
+  SeparableLandscape landscape = SkewedLandscape();
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 512;
+  PartitionPlanSearchResult result =
+      SearchPartitionPlan(landscape, landscape.variables, options);
+  EXPECT_LE(result.evaluations, 40);
+  EXPECT_GE(result.evaluations, 5);
 }
 
 TEST(SearchTest, PredictionInterpolatesWithinSampledRange) {

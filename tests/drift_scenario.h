@@ -41,6 +41,36 @@ inline SyncCostParams AccumulationDominatedCosts() {
   return costs;
 }
 
+// The canonical *skewed-alpha* scenario behind the per-variable partition plan tests
+// (adaptive_partition_test.cc) and examples/per_variable_partition.cpp: an
+// EmbeddingSkewModel (src/models/trainable.h) — one hot embedding whose workers touch
+// a handful of rows, one near-dense softmax table whose aggregated gradient touches
+// almost every row — under accumulation-dominated servers AND an expensive TF-era
+// client (per-piece session dispatch), so the two variables' optima genuinely differ:
+// the wide table wants many pieces (its serial accumulation divides by P), while every
+// piece added to the hot embedding only lengthens each rank's serial dispatch prologue.
+// On the paper cluster shape "m0:0,1;m1:0,1" with WithCompute(1e-3, 4), the landscape's
+// optimum is {hot:1, wide:~13} at ~4.9 ms/iter vs ~6.1 ms/iter for the best uniform P
+// (~8) — the first workload where no single global P is competitive. Single-sourced so
+// the tests, the example, and the CI smoke grep all exercise the same economics.
+inline EmbeddingSkewModel::Options SkewedTwoVarModel(uint64_t seed) {
+  EmbeddingSkewModel::Options options;
+  options.seed = seed;
+  return options;
+}
+
+inline SyncCostParams SkewedPartitionCosts() {
+  SyncCostParams costs;
+  costs.sparse_agg_seconds_per_element = 400e-9;
+  costs.sparse_update_seconds_per_element = 20e-9;
+  costs.sparse_flush_seconds_per_element = 2e-9;
+  // Client-side per-piece op dispatch is serial per rank and alpha-blind: pieces the
+  // hot embedding does not need are pure loss here, which is what splits its optimum
+  // away from the wide table's.
+  costs.worker_dispatch_seconds_per_piece = 150e-6;
+  return costs;
+}
+
 }  // namespace parallax
 
 #endif  // PARALLAX_TESTS_DRIFT_SCENARIO_H_

@@ -335,6 +335,71 @@ TEST(EngineEquivalenceTest, SparsityMonitoringNeverTouchesTheNumerics) {
   }
 }
 
+TEST(EngineEquivalenceTest, HeterogeneousPlanBitIdenticalToUniformRunRepartitionedOntoIt) {
+  // A heterogeneous PartitionPlan is layout, never math: a run built on the plan from
+  // step 0 must be bit-identical — losses and variable bits — to a run that starts
+  // uniform (every int-based entry point) and swaps to the same per-variable counts
+  // via Repartition(plan) mid-training.
+  WordLmModel model({.vocab_size = 90, .embedding_dim = 6, .hidden_dim = 10,
+                     .batch_per_rank = 12, .seed = 714});
+  PartitionPlan plan;
+  plan.Set("embedding", 3);
+  plan.Set("softmax_emb", 7);
+
+  auto build = [&](bool planned) {
+    RunnerBuilder builder(model.graph(), model.loss());
+    builder.WithResources("m0:0,1;m1:0,1").WithLearningRate(kLr);
+    if (planned) {
+      builder.WithPartitionPlan(plan);
+    } else {
+      builder.WithManualPartitions(1);
+    }
+    auto runner = builder.Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    return std::move(runner.value());
+  };
+  std::unique_ptr<GraphRunner> planned = build(true);
+  std::unique_ptr<GraphRunner> uniform = build(false);
+
+  Rng rng(714);
+  std::vector<std::vector<FeedMap>> shards;
+  for (int s = 0; s < kSteps; ++s) {
+    shards.push_back(model.TrainShards(kRanks, rng));
+  }
+
+  for (int s = 0; s < kSteps; ++s) {
+    float planned_loss = planned->Step(shards[static_cast<size_t>(s)]);
+    float uniform_loss = uniform->Step(shards[static_cast<size_t>(s)]);
+    EXPECT_EQ(planned_loss, uniform_loss) << "loss diverged at step " << s;
+    if (s == 0) {
+      // Mid-training swap onto the heterogeneous layout (values preserved).
+      uniform->Repartition(plan);
+      EXPECT_EQ(uniform->partition_plan(), plan);
+    }
+    VariableStore planned_view = planned->WorkerView();
+    VariableStore uniform_view = uniform->WorkerView();
+    for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+      EXPECT_TRUE(AllClose(planned_view.Get(static_cast<int>(v)),
+                           uniform_view.Get(static_cast<int>(v)), 0.0f))
+          << model.graph()->variables()[v].name << " diverged at step " << s;
+    }
+  }
+
+  // Both runners now hold the same per-variable layout, and the plan's counts reached
+  // the SyncPlan entries (row caps would apply, but 90 rows > 7 pieces).
+  for (const GraphRunner* runner : {planned.get(), uniform.get()}) {
+    EXPECT_EQ(runner->chosen_sparse_partitions(), 7);  // deprecated: max over plan
+    for (const VariableSync& sync : runner->assignment()) {
+      if (sync.spec.name == "embedding") {
+        EXPECT_EQ(sync.partitions, 3);
+      }
+      if (sync.spec.name == "softmax_emb") {
+        EXPECT_EQ(sync.partitions, 7);
+      }
+    }
+  }
+}
+
 TEST(EngineEquivalenceTest, DistributedBatchEqualsBigBatchForDenseModel) {
   // For a plain mean-loss model, K shards of size b with average aggregation equal one
   // device running the concatenated K*b batch — the textbook data-parallel identity.

@@ -240,5 +240,54 @@ TEST(SyncEngineInterfaceTest, PreparedEnginesExposeManagedViews) {
   EXPECT_EQ(total, model.graph()->variables().size());
 }
 
+TEST(PartitionPlanShimTest, IntEntryPointsAreExactUniformPlanShims) {
+  // Every int-P entry point must produce literally the uniform plan: same layout, same
+  // introspection, bit-identical training. WithManualPartitions(p) vs
+  // WithPartitionPlan(Uniform(p)), then Repartition(int) vs Repartition(plan).
+  WordLmModel model(SmallLm(928));
+  auto build = [&](bool via_plan) {
+    RunnerBuilder builder(model.graph(), model.loss());
+    builder.WithResources("m0:0,1;m1:0,1").WithLearningRate(0.3f);
+    if (via_plan) {
+      builder.WithPartitionPlan(PartitionPlan::Uniform(5));
+    } else {
+      builder.WithManualPartitions(5);
+    }
+    auto runner = builder.Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    return std::move(runner.value());
+  };
+  std::unique_ptr<GraphRunner> via_int = build(false);
+  std::unique_ptr<GraphRunner> via_plan = build(true);
+
+  Rng rng(97);
+  std::vector<std::vector<FeedMap>> shards;
+  for (int s = 0; s < 4; ++s) {
+    shards.push_back(model.TrainShards(4, rng));
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(via_int->Step(shards[static_cast<size_t>(s)]),
+              via_plan->Step(shards[static_cast<size_t>(s)]));
+    if (s == 1) {
+      via_int->Repartition(3);
+      via_plan->Repartition(PartitionPlan::Uniform(3));
+    }
+  }
+  EXPECT_EQ(via_int->partition_plan(), via_plan->partition_plan());
+  EXPECT_TRUE(via_int->partition_plan().uniform());
+  EXPECT_EQ(via_int->partition_plan().default_partitions(), 3);
+  EXPECT_EQ(via_int->chosen_sparse_partitions(), 3);
+  ASSERT_EQ(via_int->assignment().size(), via_plan->assignment().size());
+  for (size_t v = 0; v < via_int->assignment().size(); ++v) {
+    EXPECT_EQ(via_int->assignment()[v].partitions, via_plan->assignment()[v].partitions);
+  }
+  VariableStore int_view = via_int->WorkerView();
+  VariableStore plan_view = via_plan->WorkerView();
+  for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+    EXPECT_TRUE(AllClose(int_view.Get(static_cast<int>(v)),
+                         plan_view.Get(static_cast<int>(v)), 0.0f));
+  }
+}
+
 }  // namespace
 }  // namespace parallax
