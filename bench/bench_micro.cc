@@ -384,6 +384,208 @@ void BM_PerVariableSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_PerVariableSearch);
 
+// Warm re-search from a previous plan, the adaptive loop's path when drift is confined
+// to one variable: phases 1-2 are skipped and round 0 sweeps only the drifted variable.
+// Compare against BM_PerVariableSearch (the identical cold search) for the warm-start
+// win (docs/perf.md).
+void BM_PerVariableSearchWarmStart(benchmark::State& state) {
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 1024;
+  options.warmup_iterations = 5;
+  options.measured_iterations = 10;
+  std::vector<PartitionSearchVariable> targets = {
+      {.name = "embedding", .alpha = 0.02, .num_elements = 8'000'000},
+      {.name = "wide", .alpha = 0.6, .num_elements = 500'000},
+  };
+  SimulationArena arena;
+  auto measure = [&](const PartitionPlan& plan) {
+    std::vector<VariableSync> vars = HybridVariables(plan.For("embedding"));
+    VariableSync wide;
+    wide.spec = {"wide", 500'000, 256, true, 0.6};
+    wide.method = SyncMethod::kPs;
+    wide.partitions = plan.For("wide");
+    vars.push_back(wide);
+    IterationSimulator sim(ClusterSpec::Paper(), std::move(vars), 4e-3, 4,
+                           HybridSimConfig(), &arena);
+    return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                       options.measured_iterations);
+  };
+  PartitionPlanSearchResult cold = SearchPartitionPlan(measure, targets, options);
+  for (PartitionSearchVariable& target : targets) {
+    target.previous_partitions = cold.plan.For(target.name);
+    target.drifted = target.name == "embedding";  // only the embedding's alpha moved
+  }
+  targets[0].alpha = 0.05;
+  PartitionSearchOptions warm_options = options;
+  warm_options.warm_start = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SearchPartitionPlan(measure, targets, warm_options));
+  }
+}
+BENCHMARK(BM_PerVariableSearchWarmStart);
+
+// ---- Topology-aware collectives ------------------------------------------------------
+//
+// Simulated makespan of one AllReduce of `w` bytes per participant across M machines
+// x 4 GPUs. The algorithms, each run on the cluster whose asymmetry it addresses:
+//   0 = flat rank-level ring on a flat cluster: 2(MG-1) pipelined steps of w/(MG)
+//       bytes, PCIe between same-machine neighbours, NIC across machines (the
+//       topology-oblivious schedule where "N" in the ring formulas is the GPU count),
+//   1 = two-level hierarchical on the same flat cluster (PCIe reduce, machine-level
+//       NIC ring, PCIe broadcast) — must beat 0 at >= 2 machines,
+//   2 = the same hierarchical schedule on the racked cluster (2 racks, 2:1
+//       oversubscribed spine): the machine ring pays the spine on every crossing,
+//   3 = rack-aware on the racked cluster (per-rack rings feeding cross-rack chunk
+//       rings that traverse each spine link once per direction per step) — must beat 2.
+// Wall time is schedule construction + event-loop cost; the makespan_us counter is the
+// simulated collective latency docs/perf.md records.
+ClusterSpec RackedBenchSpec(int machines, bool racked) {
+  ClusterSpec spec;
+  spec.num_machines = machines;
+  spec.gpus_per_machine = 4;
+  spec.nic_bandwidth = 1.25e9;
+  spec.nic_latency = 5e-6;
+  spec.pcie_bandwidth = 12e9;
+  spec.pcie_latency = 2e-6;
+  if (racked) {
+    spec.topology.num_racks = 2;
+    spec.topology.spine_bandwidth = 6.25e8;  // 2:1 oversubscription per rack
+    spec.topology.spine_latency = 10e-6;
+  }
+  return spec;
+}
+
+// The flat baseline: a reduce-scatter + allgather pipeline over all MG ranks with the
+// ring order a topology-unaware runtime produces — ranks interleaved across machines,
+// so every hop crosses the NICs and each machine's NIC carries G chunks per step
+// (versus one for the machine-major hierarchical ring). Each step every position
+// forwards the chunk it just received to its successor; link FIFO order serializes a
+// machine's concurrent sends.
+void EmitFlatRankRing(TaskGraph& graph, const RankLayout& layout, int64_t bytes,
+                      const CollectiveOptions& options) {
+  const int n = layout.num_ranks();
+  const int64_t chunk = std::max<int64_t>(bytes / n, 1);
+  auto machine_of_position = [&](int p) { return p % layout.num_machines; };
+  std::vector<TaskId> recv(static_cast<size_t>(n), kNoTask);
+  for (int step = 0; step < 2 * (n - 1); ++step) {
+    std::vector<TaskId> next(static_cast<size_t>(n), kNoTask);
+    for (int p = 0; p < n; ++p) {
+      const int to = (p + 1) % n;
+      const int src = machine_of_position(p);
+      const int dst = machine_of_position(to);
+      const TaskId dep = recv[static_cast<size_t>(p)];
+      const std::span<const TaskId> deps(&dep, dep == kNoTask ? 0u : 1u);
+      next[static_cast<size_t>(to)] =
+          src == dst ? graph.AddLocalTransfer(src, chunk, deps, options.step_overhead)
+                     : graph.AddTransfer(src, dst, chunk, deps, options.step_overhead);
+    }
+    recv = std::move(next);
+  }
+}
+
+void BM_HierarchicalAllReduce(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const int64_t bytes = 100'000'000;
+  ClusterSpec spec = RackedBenchSpec(machines, /*racked=*/algo >= 2);
+  RankLayout layout{machines, spec.gpus_per_machine};
+  std::vector<TaskId> deps(static_cast<size_t>(layout.num_ranks()), kNoTask);
+  CollectiveScheduleCache cache;
+  TaskGraph graph;
+  SimTime makespan = 0.0;
+  for (auto _ : state) {
+    Cluster cluster(spec);
+    graph.Reset();
+    switch (algo) {
+      case 0:
+        EmitFlatRankRing(graph, layout, bytes, CollectiveOptions{});
+        break;
+      case 1:
+      case 2:
+        AddHierarchicalAllReduce(graph, layout, bytes, deps, CollectiveOptions{}, &cache);
+        break;
+      default:
+        AddTopologyAllReduce(graph, layout, spec.topology.num_racks, bytes, deps,
+                             CollectiveOptions{}, &cache);
+        break;
+    }
+    makespan = graph.Execute(cluster).makespan;
+    benchmark::DoNotOptimize(makespan);
+  }
+  state.counters["makespan_us"] = makespan * 1e6;
+}
+BENCHMARK(BM_HierarchicalAllReduce)
+    ->ArgNames({"machines", "algo"})
+    ->Args({2, 0})->Args({2, 1})->Args({2, 2})->Args({2, 3})
+    ->Args({4, 0})->Args({4, 1})->Args({4, 2})->Args({4, 3})
+    ->Args({8, 0})->Args({8, 1})->Args({8, 2})->Args({8, 3});
+
+// The placement pass of the per-variable search (cost_model.cc Phase 4) on a 2-rack
+// cluster where round-robin stacks two heavy shards on one server: greedy
+// bottleneck-utilization seeding plus measured-clock swap refinement. algo 0 = the
+// placement-oblivious search (the baseline every sample of which the placed search
+// also pays), 1 = with the placement pass. The seconds counter is each search's
+// adopted simulated iteration time.
+void BM_PlacementSearch(benchmark::State& state) {
+  PartitionSearchOptions options;
+  options.initial_partitions = 4;
+  options.max_partitions = 16;
+  options.warmup_iterations = 3;
+  options.measured_iterations = 3;
+  if (state.range(0) == 1) {
+    options.placement.enabled = true;
+    options.placement.num_machines = 4;
+    options.placement.num_racks = 2;
+    options.placement.nic_bandwidth = 1e9;
+    options.placement.spine_bandwidth = 1e9;
+  }
+  ClusterSpec spec;
+  spec.num_machines = 4;
+  spec.gpus_per_machine = 2;
+  spec.cores_per_machine = 4;
+  spec.nic_bandwidth = 1e9;
+  spec.nic_latency = 1e-6;
+  spec.pcie_bandwidth = 4e9;
+  spec.pcie_latency = 1e-6;
+  spec.topology.num_racks = 2;
+  spec.topology.spine_bandwidth = 1e9;
+  spec.topology.spine_latency = 5e-6;
+  const std::vector<PartitionSearchVariable> targets = {
+      {.name = "emb", .alpha = 0.3, .num_elements = 4'000'000, .max_partitions = 3},
+      {.name = "softmax", .alpha = 0.5, .num_elements = 600'000, .max_partitions = 2}};
+  SimulationArena arena;
+  auto measure = [&](const PartitionPlan& plan) {
+    std::vector<VariableSync> vars;
+    for (const PartitionSearchVariable& searched : targets) {
+      VariableSync sync;
+      sync.spec = {searched.name, searched.num_elements, 64, true, searched.alpha};
+      sync.method = SyncMethod::kPs;
+      sync.partitions = RowCappedPartitions(plan.For(searched.name), searched.max_partitions);
+      const std::vector<int>* placement = plan.PlacementFor(searched.name);
+      if (placement != nullptr &&
+          static_cast<int>(placement->size()) == sync.partitions) {
+        sync.placement = *placement;
+      }
+      vars.push_back(std::move(sync));
+    }
+    IterationSimConfig config;
+    config.ps_local_aggregation = true;
+    config.ps_machine_level_pulls = true;
+    IterationSimulator sim(spec, std::move(vars), 2e-3, 4, config, &arena);
+    return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                       options.measured_iterations);
+  };
+  double seconds = 0.0;
+  for (auto _ : state) {
+    PartitionPlanSearchResult result = SearchPartitionPlan(measure, targets, options);
+    seconds = result.seconds;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["seconds"] = seconds;
+}
+BENCHMARK(BM_PlacementSearch)->ArgName("placed")->Arg(0)->Arg(1);
+
 void BM_CostModelFit(benchmark::State& state) {
   std::vector<std::pair<int, double>> samples;
   for (int p : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {

@@ -51,15 +51,17 @@ int32_t WithOverhead(SchedulePlan& plan, int32_t transfer, const CollectiveOptio
   return transfer;
 }
 
-// Emits a ring AllReduce over participants 0..n-1 (machine slot = participant index),
-// gated by dep_refs. Appends each participant's completion barrier to done_refs and the
-// joint barrier ref to *all_done_ref, mirroring the task order of the original direct
-// builder exactly.
-void EmitRingAllReduce(SchedulePlan& plan, std::span<const int32_t> dep_refs, int64_t bytes,
+// Emits a ring AllReduce over participants 0..n-1, gated by dep_refs. slots[i] is
+// participant i's machine slot (empty = participant index, the historical behavior).
+// Appends each participant's completion barrier to done_refs and the joint barrier ref
+// to *all_done_ref, mirroring the task order of the original direct builder exactly.
+void EmitRingAllReduce(SchedulePlan& plan, std::span<const int> slots,
+                       std::span<const int32_t> dep_refs, int64_t bytes,
                        const CollectiveOptions& options, std::vector<int32_t>& done_refs,
                        int32_t& all_done_ref) {
   const int n = static_cast<int>(dep_refs.size());
   PX_CHECK_GT(n, 0);
+  auto slot = [&slots](int i) { return slots.empty() ? i : slots[static_cast<size_t>(i)]; };
 
   if (n == 1) {
     int32_t refs[] = {dep_refs[0]};
@@ -81,8 +83,8 @@ void EmitRingAllReduce(SchedulePlan& plan, std::span<const int32_t> dep_refs, in
       int32_t send_dep = s == 0 ? dep_refs[static_cast<size_t>(i)]
                                 : prev_arrival[static_cast<size_t>(i)];
       int32_t send_refs[] = {send_dep};
-      int32_t transfer = PlanTransfer(plan, i, recv, BalancedSplitSize(bytes, n, chunk),
-                                      send_refs);
+      int32_t transfer = PlanTransfer(plan, slot(i), slot(recv),
+                                      BalancedSplitSize(bytes, n, chunk), send_refs);
       int32_t arrived = WithOverhead(plan, transfer, options);
       int32_t gate_refs[] = {arrived, dep_refs[static_cast<size_t>(recv)]};
       arrival[static_cast<size_t>(recv)] =
@@ -97,7 +99,7 @@ void EmitRingAllReduce(SchedulePlan& plan, std::span<const int32_t> dep_refs, in
     for (int i = 0; i < n; ++i) {
       int chunk = PosMod(i + 1 - s, n);
       int32_t send_refs[] = {prev_arrival[static_cast<size_t>(i)]};
-      int32_t transfer = PlanTransfer(plan, i, PosMod(i + 1, n),
+      int32_t transfer = PlanTransfer(plan, slot(i), slot(PosMod(i + 1, n)),
                                       BalancedSplitSize(bytes, n, chunk), send_refs);
       arrival[static_cast<size_t>(PosMod(i + 1, n))] = WithOverhead(plan, transfer, options);
     }
@@ -113,6 +115,62 @@ void EmitRingAllReduce(SchedulePlan& plan, std::span<const int32_t> dep_refs, in
       plan, std::span<const int32_t>(done_refs.data() + done_begin, static_cast<size_t>(n)));
 }
 
+// The reduce-scatter half of the ring, standalone: after n-1 steps participant i holds
+// the fully reduced chunk (i+1) mod n; owned[i] is the ref gating that ownership.
+// Chunk c has BalancedSplitSize(bytes, n, c) bytes.
+void EmitRingReduceScatter(SchedulePlan& plan, std::span<const int> slots,
+                           std::span<const int32_t> dep_refs, int64_t bytes,
+                           const CollectiveOptions& options, std::vector<int32_t>& owned) {
+  const int n = static_cast<int>(dep_refs.size());
+  PX_CHECK_GT(n, 0);
+  auto slot = [&slots](int i) { return slots.empty() ? i : slots[static_cast<size_t>(i)]; };
+  owned.assign(dep_refs.begin(), dep_refs.end());
+  if (n == 1) {
+    return;
+  }
+  std::vector<int32_t> arrival(static_cast<size_t>(n), -1);
+  for (int s = 0; s <= n - 2; ++s) {
+    for (int i = 0; i < n; ++i) {
+      int chunk = PosMod(i - s, n);
+      int recv = PosMod(i + 1, n);
+      int32_t send_dep = s == 0 ? dep_refs[static_cast<size_t>(i)]
+                                : owned[static_cast<size_t>(i)];
+      int32_t send_refs[] = {send_dep};
+      int32_t transfer = PlanTransfer(plan, slot(i), slot(recv),
+                                      BalancedSplitSize(bytes, n, chunk), send_refs);
+      int32_t arrived = WithOverhead(plan, transfer, options);
+      int32_t gate_refs[] = {arrived, dep_refs[static_cast<size_t>(recv)]};
+      arrival[static_cast<size_t>(recv)] =
+          PlanBarrier(plan, gate_refs, /*collapse=*/true);
+    }
+    std::swap(owned, arrival);
+  }
+}
+
+// The allgather half: participant i starts owning chunk (i+1) mod n (gated by owned[i])
+// and after n-1 forwarding steps holds all n chunks; done[i] is the ref after which
+// participant i is complete.
+void EmitRingAllGather(SchedulePlan& plan, std::span<const int> slots,
+                       std::span<const int32_t> owned, int64_t bytes,
+                       const CollectiveOptions& options, std::vector<int32_t>& done) {
+  const int n = static_cast<int>(owned.size());
+  PX_CHECK_GT(n, 0);
+  auto slot = [&slots](int i) { return slots.empty() ? i : slots[static_cast<size_t>(i)]; };
+  std::vector<int32_t> prev_arrival(owned.begin(), owned.end());
+  std::vector<int32_t> arrival(static_cast<size_t>(n), -1);
+  for (int s = 0; s <= n - 2; ++s) {
+    for (int i = 0; i < n; ++i) {
+      int chunk = PosMod(i + 1 - s, n);
+      int32_t send_refs[] = {prev_arrival[static_cast<size_t>(i)]};
+      int32_t transfer = PlanTransfer(plan, slot(i), slot(PosMod(i + 1, n)),
+                                      BalancedSplitSize(bytes, n, chunk), send_refs);
+      arrival[static_cast<size_t>(PosMod(i + 1, n))] = WithOverhead(plan, transfer, options);
+    }
+    std::swap(prev_arrival, arrival);
+  }
+  done.assign(prev_arrival.begin(), prev_arrival.end());
+}
+
 }  // namespace
 
 SchedulePlan BuildRingAllReducePlan(int num_participants, int64_t bytes,
@@ -123,7 +181,7 @@ SchedulePlan BuildRingAllReducePlan(int num_participants, int64_t bytes,
   for (int i = 0; i < num_participants; ++i) {
     dep_refs[static_cast<size_t>(i)] = ExternalRef(i);
   }
-  EmitRingAllReduce(plan, dep_refs, bytes, options, plan.done_refs, plan.all_done_ref);
+  EmitRingAllReduce(plan, {}, dep_refs, bytes, options, plan.done_refs, plan.all_done_ref);
   return plan;
 }
 
@@ -191,7 +249,7 @@ SchedulePlan BuildHierarchicalAllReducePlan(const RankLayout& layout, int64_t by
   std::vector<int32_t> ring_done;
   int32_t ring_all_done = -1;
   if (layout.num_machines > 1) {
-    EmitRingAllReduce(plan, machine_ready, bytes, options, ring_done, ring_all_done);
+    EmitRingAllReduce(plan, {}, machine_ready, bytes, options, ring_done, ring_all_done);
   } else {
     ring_done = machine_ready;
   }
@@ -254,6 +312,153 @@ SchedulePlan BuildRankRingAllGathervPlan(const RankLayout& layout,
     plan.done_refs.push_back(PlanBarrier(plan, refs));
   }
   plan.all_done_ref = PlanBarrier(plan, plan.done_refs);
+  return plan;
+}
+
+SchedulePlan BuildTopologyAllReducePlan(const RankLayout& layout, int num_racks,
+                                        int64_t bytes, const CollectiveOptions& options) {
+  const int num_machines = layout.num_machines;
+  PX_CHECK_GT(num_racks, 1);
+  PX_CHECK_EQ(num_machines % num_racks, 0)
+      << "racks must partition the machines evenly";
+  const int per_rack = num_machines / num_racks;
+  const int num_ranks = layout.num_ranks();
+  SchedulePlan plan;
+  plan.num_participants = num_ranks;
+  plan.done_refs.resize(static_cast<size_t>(num_ranks));
+
+  // Phase 1: intra-machine reduce onto each machine's lead GPU, over PCIe (identical to
+  // the hierarchical builder's first phase).
+  std::vector<int32_t> machine_ready(static_cast<size_t>(num_machines), -1);
+  std::vector<int32_t> local_refs(static_cast<size_t>(layout.gpus_per_machine));
+  for (int m = 0; m < num_machines; ++m) {
+    for (int g = 0; g < layout.gpus_per_machine; ++g) {
+      local_refs[static_cast<size_t>(g)] = ExternalRef(layout.RankOf(m, g));
+    }
+    if (layout.gpus_per_machine > 1) {
+      machine_ready[static_cast<size_t>(m)] = PlanLocalTransfer(plan, m, bytes, local_refs);
+    } else {
+      machine_ready[static_cast<size_t>(m)] = PlanBarrier(plan, local_refs);
+    }
+  }
+
+  // Phase 2: ring reduce-scatter inside each rack. Afterwards the machine with local
+  // index j in rack r owns the rack-reduced chunk (j+1) mod per_rack.
+  std::vector<int32_t> owned = machine_ready;
+  std::vector<int> slots(static_cast<size_t>(per_rack));
+  std::vector<int32_t> rack_deps(static_cast<size_t>(per_rack));
+  std::vector<int32_t> rack_out;
+  if (per_rack > 1) {
+    for (int r = 0; r < num_racks; ++r) {
+      for (int j = 0; j < per_rack; ++j) {
+        slots[static_cast<size_t>(j)] = r * per_rack + j;
+        rack_deps[static_cast<size_t>(j)] =
+            machine_ready[static_cast<size_t>(r * per_rack + j)];
+      }
+      EmitRingReduceScatter(plan, slots, rack_deps, bytes, options, rack_out);
+      for (int j = 0; j < per_rack; ++j) {
+        owned[static_cast<size_t>(r * per_rack + j)] = rack_out[static_cast<size_t>(j)];
+      }
+    }
+  }
+
+  // Phase 3: one cross-rack ring AllReduce per chunk, among each rack's owner of that
+  // chunk — the only transfers that leave a rack, so each spine link carries exactly
+  // one (R-1)/R-scaled pass per direction per chunk.
+  std::vector<int32_t> global_owned = owned;
+  std::vector<int> ring_slots(static_cast<size_t>(num_racks));
+  std::vector<int32_t> ring_deps(static_cast<size_t>(num_racks));
+  std::vector<int32_t> ring_done;
+  int32_t ring_all_done = -1;
+  for (int c = 0; c < per_rack; ++c) {
+    const int j = PosMod(c - 1, per_rack);  // local index of chunk c's owner
+    for (int r = 0; r < num_racks; ++r) {
+      ring_slots[static_cast<size_t>(r)] = r * per_rack + j;
+      ring_deps[static_cast<size_t>(r)] = owned[static_cast<size_t>(r * per_rack + j)];
+    }
+    ring_done.clear();
+    EmitRingAllReduce(plan, ring_slots, ring_deps, BalancedSplitSize(bytes, per_rack, c),
+                      options, ring_done, ring_all_done);
+    for (int r = 0; r < num_racks; ++r) {
+      global_owned[static_cast<size_t>(r * per_rack + j)] =
+          ring_done[static_cast<size_t>(r)];
+    }
+  }
+
+  // Phase 4: ring allgather inside each rack rebuilds the full buffer on every machine.
+  std::vector<int32_t> machine_done = global_owned;
+  if (per_rack > 1) {
+    for (int r = 0; r < num_racks; ++r) {
+      for (int j = 0; j < per_rack; ++j) {
+        slots[static_cast<size_t>(j)] = r * per_rack + j;
+        rack_deps[static_cast<size_t>(j)] =
+            global_owned[static_cast<size_t>(r * per_rack + j)];
+      }
+      EmitRingAllGather(plan, slots, rack_deps, bytes, options, rack_out);
+      for (int j = 0; j < per_rack; ++j) {
+        machine_done[static_cast<size_t>(r * per_rack + j)] =
+            rack_out[static_cast<size_t>(j)];
+      }
+    }
+  }
+
+  // Phase 5: intra-machine broadcast back to all GPUs (identical to hierarchical).
+  for (int m = 0; m < num_machines; ++m) {
+    int32_t broadcast = machine_done[static_cast<size_t>(m)];
+    if (layout.gpus_per_machine > 1) {
+      int32_t refs[] = {machine_done[static_cast<size_t>(m)]};
+      broadcast = PlanLocalTransfer(plan, m, bytes, refs);
+    }
+    for (int g = 0; g < layout.gpus_per_machine; ++g) {
+      plan.done_refs[static_cast<size_t>(layout.RankOf(m, g))] = broadcast;
+    }
+  }
+  plan.all_done_ref = PlanBarrier(plan, plan.done_refs);
+  return plan;
+}
+
+SchedulePlan BuildBroadcastAllGathervPlan(const RankLayout& layout, int64_t block_bytes,
+                                          int64_t inflated_bytes) {
+  const int num_ranks = layout.num_ranks();
+  PX_CHECK_GT(num_ranks, 0);
+  SchedulePlan plan;
+  plan.num_participants = num_ranks;
+
+  // Transfers in the historical source-major order; arrival_ref[dst][src] collects the
+  // per-destination fan-in so each gate barrier lists its senders in ascending order.
+  std::vector<int32_t> arrival_ref(
+      static_cast<size_t>(num_ranks) * static_cast<size_t>(num_ranks), -1);
+  for (int src = 0; src < num_ranks; ++src) {
+    for (int dst = 0; dst < num_ranks; ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      const int src_m = layout.MachineOfRank(src);
+      const int dst_m = layout.MachineOfRank(dst);
+      int32_t dep[] = {ExternalRef(src)};
+      int32_t xfer = src_m == dst_m
+                         ? PlanLocalTransfer(plan, src_m, block_bytes, dep)
+                         : PlanTransfer(plan, src_m, dst_m, inflated_bytes, dep);
+      arrival_ref[static_cast<size_t>(dst) * static_cast<size_t>(num_ranks) +
+                  static_cast<size_t>(src)] = xfer;
+    }
+  }
+  std::vector<int32_t> refs;
+  refs.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    refs.clear();
+    for (int src = 0; src < num_ranks; ++src) {
+      int32_t ref = arrival_ref[static_cast<size_t>(r) * static_cast<size_t>(num_ranks) +
+                                static_cast<size_t>(src)];
+      if (ref >= 0) {
+        refs.push_back(ref);
+      }
+    }
+    refs.push_back(ExternalRef(r));  // the rank's own readiness gates last, as before
+    plan.done_refs.push_back(PlanBarrier(plan, refs));
+  }
+  // The historical loop emitted no joint completion barrier; consumers gate on done[r].
+  plan.all_done_ref = -1;
   return plan;
 }
 
@@ -402,6 +607,36 @@ const SchedulePlan& CollectiveScheduleCache::RankRingAllGatherv(
                 [&] { return BuildRankRingAllGathervPlan(layout, bytes_per_rank, options); });
 }
 
+const SchedulePlan& CollectiveScheduleCache::TopologyAllReduce(
+    const RankLayout& layout, int num_racks, int64_t bytes,
+    const CollectiveOptions& options) {
+  const int64_t racks_block[] = {num_racks};
+  Key key;
+  key.kind = 5;
+  key.a = layout.num_machines;
+  key.b = layout.gpus_per_machine;
+  key.bytes = bytes;
+  key.blocks_hash = Fnv64(racks_block);
+  key.overhead = options.step_overhead;
+  return Lookup(key, racks_block, [&] {
+    return BuildTopologyAllReducePlan(layout, num_racks, bytes, options);
+  });
+}
+
+const SchedulePlan& CollectiveScheduleCache::BroadcastAllGatherv(const RankLayout& layout,
+                                                                 int64_t block_bytes,
+                                                                 int64_t inflated_bytes) {
+  const int64_t blocks[] = {block_bytes, inflated_bytes};
+  Key key;
+  key.kind = 6;
+  key.a = layout.num_machines;
+  key.b = layout.gpus_per_machine;
+  key.blocks_hash = Fnv64(blocks);
+  return Lookup(key, blocks, [&] {
+    return BuildBroadcastAllGathervPlan(layout, block_bytes, inflated_bytes);
+  });
+}
+
 CollectiveSchedule AddRingAllReduce(TaskGraph& graph, const std::vector<int>& machines,
                                     int64_t bytes, const std::vector<TaskId>& deps,
                                     const CollectiveOptions& options,
@@ -471,6 +706,41 @@ CollectiveSchedule AddRankRingAllGatherv(TaskGraph& graph, const RankLayout& lay
     cache->Instantiate(plan, graph, {}, deps, &schedule);
   } else {
     SchedulePlan plan = BuildRankRingAllGathervPlan(layout, bytes_per_rank, options);
+    PlanScratch scratch;
+    InstantiatePlan(plan, graph, {}, deps, &schedule, &scratch);
+  }
+  return schedule;
+}
+
+CollectiveSchedule AddTopologyAllReduce(TaskGraph& graph, const RankLayout& layout,
+                                        int num_racks, int64_t bytes,
+                                        const std::vector<TaskId>& deps,
+                                        const CollectiveOptions& options,
+                                        CollectiveScheduleCache* cache) {
+  PX_CHECK_EQ(deps.size(), static_cast<size_t>(layout.num_ranks()));
+  CollectiveSchedule schedule;
+  if (cache != nullptr) {
+    const SchedulePlan& plan = cache->TopologyAllReduce(layout, num_racks, bytes, options);
+    cache->Instantiate(plan, graph, {}, deps, &schedule);
+  } else {
+    SchedulePlan plan = BuildTopologyAllReducePlan(layout, num_racks, bytes, options);
+    PlanScratch scratch;
+    InstantiatePlan(plan, graph, {}, deps, &schedule, &scratch);
+  }
+  return schedule;
+}
+
+CollectiveSchedule AddBroadcastAllGatherv(TaskGraph& graph, const RankLayout& layout,
+                                          int64_t block_bytes, int64_t inflated_bytes,
+                                          const std::vector<TaskId>& deps,
+                                          CollectiveScheduleCache* cache) {
+  PX_CHECK_EQ(deps.size(), static_cast<size_t>(layout.num_ranks()));
+  CollectiveSchedule schedule;
+  if (cache != nullptr) {
+    const SchedulePlan& plan = cache->BroadcastAllGatherv(layout, block_bytes, inflated_bytes);
+    cache->Instantiate(plan, graph, {}, deps, &schedule);
+  } else {
+    SchedulePlan plan = BuildBroadcastAllGathervPlan(layout, block_bytes, inflated_bytes);
     PlanScratch scratch;
     InstantiatePlan(plan, graph, {}, deps, &schedule, &scratch);
   }

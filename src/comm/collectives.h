@@ -105,6 +105,23 @@ SchedulePlan BuildHierarchicalAllReducePlan(const RankLayout& layout, int64_t by
 SchedulePlan BuildRankRingAllGathervPlan(const RankLayout& layout,
                                          std::span<const int64_t> bytes_per_rank,
                                          const CollectiveOptions& options);
+// Rack-aware AllReduce for a layout whose machines are grouped into `num_racks` equal
+// racks (machine-major: machines [r*M/R, (r+1)*M/R) form rack r). Five phases:
+// intra-machine reduce (PCIe), per-rack ring reduce-scatter (NIC), one cross-rack ring
+// per reduced chunk among the racks' chunk owners (these are the only transfers that
+// ride the spine, and each crosses every spine link exactly once per direction per
+// step), per-rack ring allgather, intra-machine broadcast. Per spine link this moves
+// ~2*(R-1)/R * bytes versus the flat machine-major ring's ~2*(M-1)/M * bytes — the win
+// under spine oversubscription. Requires num_racks > 1 and num_machines % num_racks == 0.
+SchedulePlan BuildTopologyAllReducePlan(const RankLayout& layout, int num_racks,
+                                        int64_t bytes, const CollectiveOptions& options);
+// The broadcast-style AllGatherv (every rank ships its block to every other rank;
+// cross-machine hops carry `inflated_bytes`, intra-machine hops `block_bytes`) as a
+// cached plan. Emits exactly the task sequence the historical inline loop in
+// core/iteration_sim.cc produced: all transfers source-major, then one gate barrier per
+// rank whose own readiness dep comes last; no joint completion barrier.
+SchedulePlan BuildBroadcastAllGathervPlan(const RankLayout& layout, int64_t block_bytes,
+                                          int64_t inflated_bytes);
 
 // Keyed plan cache + replay scratch. Single-threaded (one per simulation arena).
 class CollectiveScheduleCache {
@@ -118,6 +135,10 @@ class CollectiveScheduleCache {
   const SchedulePlan& RankRingAllGatherv(const RankLayout& layout,
                                          std::span<const int64_t> bytes_per_rank,
                                          const CollectiveOptions& options);
+  const SchedulePlan& TopologyAllReduce(const RankLayout& layout, int num_racks,
+                                        int64_t bytes, const CollectiveOptions& options);
+  const SchedulePlan& BroadcastAllGatherv(const RankLayout& layout, int64_t block_bytes,
+                                          int64_t inflated_bytes);
 
   // Replay with cache-owned scratch.
   void Instantiate(const SchedulePlan& plan, TaskGraph& graph,
@@ -188,6 +209,22 @@ CollectiveSchedule AddRankRingAllGatherv(TaskGraph& graph, const RankLayout& lay
                                          const std::vector<TaskId>& deps,
                                          const CollectiveOptions& options = {},
                                          CollectiveScheduleCache* cache = nullptr);
+
+// Rack-aware AllReduce over every rank of `layout` grouped into `num_racks` racks (see
+// BuildTopologyAllReducePlan). Executed on a Cluster whose TopologySpec matches, the
+// cross-rack ring transfers ride the spine links. done[] is indexed by rank.
+CollectiveSchedule AddTopologyAllReduce(TaskGraph& graph, const RankLayout& layout,
+                                        int num_racks, int64_t bytes,
+                                        const std::vector<TaskId>& deps,
+                                        const CollectiveOptions& options = {},
+                                        CollectiveScheduleCache* cache = nullptr);
+
+// Broadcast-style AllGatherv over every rank of `layout` (see
+// BuildBroadcastAllGathervPlan). done[] is indexed by rank; no joint barrier.
+CollectiveSchedule AddBroadcastAllGatherv(TaskGraph& graph, const RankLayout& layout,
+                                          int64_t block_bytes, int64_t inflated_bytes,
+                                          const std::vector<TaskId>& deps,
+                                          CollectiveScheduleCache* cache = nullptr);
 
 }  // namespace parallax
 

@@ -41,6 +41,11 @@ RunnerBuilder& RunnerBuilder::WithSearchMode(PartitionSearchMode mode) {
   return *this;
 }
 
+RunnerBuilder& RunnerBuilder::WithPlacementSearch(bool enabled) {
+  config_.search_placement = enabled;
+  return *this;
+}
+
 RunnerBuilder& RunnerBuilder::WithManualPartitions(int partitions) {
   config_.auto_partition = false;
   config_.manual_partitions = partitions;

@@ -60,6 +60,11 @@ class RunnerBuilder {
   // historical behavior.
   RunnerBuilder& WithSearch(const PartitionSearchOptions& search);
   RunnerBuilder& WithSearchMode(PartitionSearchMode mode);
+  // Per-variable mode only: also search each variable's shard *placement* against the
+  // cluster topology (WithHardware's TopologySpec) — greedy bottleneck-utilization
+  // seeding plus simulated-clock swap refinement; the adopted plan carries the chosen
+  // servers and the PS engines pin their shards accordingly. Off by default.
+  RunnerBuilder& WithPlacementSearch(bool enabled = true);
   // Fixed partition count; disables the automatic search.
   RunnerBuilder& WithManualPartitions(int partitions);
   // Fixed per-variable layout; disables the automatic search. The plan's count for

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <utility>
 
 #include "src/base/logging.h"
 #include "src/base/stats.h"
@@ -126,9 +128,15 @@ PartitionSearchResult SearchPartitions(const std::function<double(int)>& measure
 
 namespace {
 
-// One measurement cache entry is keyed by the searched variables' counts, in input
-// order; everything else about the plan is fixed across the search.
-using PlanKey = std::vector<int>;
+// Searched variables' counts, in input order.
+using CountKey = std::vector<int>;
+// Searched variables' shard placements, parallel to CountKey; an empty inner vector
+// (or an empty outer vector) means the historical round-robin.
+using Placements = std::vector<std::vector<int>>;
+// One measurement cache entry is keyed by counts + placements; everything else about
+// the plan is fixed across the search. Count-only phases always pass empty placements,
+// so placement-oblivious searches pay nothing for the wider key.
+using PlanKey = std::pair<CountKey, Placements>;
 
 }  // namespace
 
@@ -153,92 +161,126 @@ PartitionPlanSearchResult SearchPartitionPlan(
   auto clamp_count = [&](int p, size_t v) {
     return std::clamp(p, options.min_partitions, cap_of(v));
   };
-  auto plan_of = [&](const PlanKey& counts) {
+  auto plan_of = [&](const CountKey& counts, const Placements& placements) {
     PartitionPlan plan;  // default 1: variables outside the search stay whole
     for (size_t v = 0; v < n; ++v) {
       plan.Set(variables[v].name, counts[v]);
+      if (!placements.empty() && !placements[v].empty()) {
+        plan.SetPlacement(variables[v].name, placements[v]);
+      }
     }
     return plan;
   };
 
   PartitionPlanSearchResult result;
   std::map<PlanKey, double> measured;
-  auto measure_counts = [&](const PlanKey& counts) {
-    auto it = measured.find(counts);
+  auto measure_placed = [&](const CountKey& counts, const Placements& placements) {
+    PlanKey key{counts, placements};
+    auto it = measured.find(key);
     if (it != measured.end()) {
       return it->second;
     }
-    double seconds = measure(plan_of(counts));
+    double seconds = measure(plan_of(counts, placements));
     ++result.evaluations;
-    measured.emplace(counts, seconds);
+    measured.emplace(std::move(key), seconds);
     return seconds;
   };
+  auto measure_counts = [&](const CountKey& counts) {
+    return measure_placed(counts, Placements());
+  };
   auto uniform_counts = [&](int p) {
-    PlanKey counts(n);
+    CountKey counts(n);
     for (size_t v = 0; v < n; ++v) {
       counts[v] = clamp_count(p, v);
     }
     return counts;
   };
 
-  // Phase 1 — uniform sweep: the paper's doubling/halving search over a shared P
-  // (per-variable caps applied, exactly as the assigner would row-cap a uniform plan).
-  result.uniform = SearchPartitions(
-      [&](int p) { return measure_counts(uniform_counts(p)); }, options);
-  PlanKey best = uniform_counts(result.uniform.best_partitions);
-  double best_seconds = measure_counts(best);
-  result.uniform_seconds = best_seconds;
+  CountKey best;
+  double best_seconds = 0.0;
 
-  // Phase 2 — closed-form seed at each variable's measured alpha. theta1 (the cost
-  // partitioning divides) is proportional to the rows a step actually touches, so
-  // variable v carries a w_v = alpha_v * elements_v share of it; theta2 (per-piece
-  // bookkeeping) is paid per piece regardless of which variable the piece belongs to.
-  // Splitting Equation 1 accordingly puts variable v's own optimum at
-  // sqrt(theta1_v / theta2_v) = P* * sqrt(w_v / mean(w)).
-  double continuous = result.uniform.fit.ok
-                          ? result.uniform.fit.ContinuousOptimum()
-                          : static_cast<double>(result.uniform.best_partitions);
-  continuous = std::clamp(continuous, static_cast<double>(options.min_partitions),
-                          static_cast<double>(options.max_partitions));
-  double weight_sum = 0.0;
-  for (const PartitionSearchVariable& variable : variables) {
-    weight_sum += std::max(variable.alpha, 0.0) *
-                  static_cast<double>(std::max<int64_t>(variable.num_elements, 0));
+  bool warm = options.warm_start;
+  for (size_t v = 0; v < n && warm; ++v) {
+    warm = variables[v].previous_partitions > 0;
   }
-  if (weight_sum > 0.0) {
-    const double mean_weight = weight_sum / static_cast<double>(n);
-    PlanKey seeded(n);
+  if (warm) {
+    // Warm start — the previous adopted plan replaces phases 1 and 2 outright: descent
+    // resumes from its counts, and the baseline the refined plan must beat is the
+    // previous plan itself (the honest comparison for a mid-training re-search).
+    result.warm_started = true;
+    best.resize(n);
     for (size_t v = 0; v < n; ++v) {
-      const double w = std::max(variables[v].alpha, 0.0) *
-                       static_cast<double>(std::max<int64_t>(variables[v].num_elements, 0));
-      const double scaled = continuous * std::sqrt(w / mean_weight);
-      seeded[v] = clamp_count(static_cast<int>(std::lround(std::max(scaled, 1.0))), v);
+      best[v] = clamp_count(variables[v].previous_partitions, v);
     }
-    const double seeded_seconds = measure_counts(seeded);
-    if (seeded_seconds < best_seconds) {
-      best = std::move(seeded);
-      best_seconds = seeded_seconds;
+    best_seconds = measure_counts(best);
+    result.uniform_seconds = best_seconds;
+  } else {
+    // Phase 1 — uniform sweep: the paper's doubling/halving search over a shared P
+    // (per-variable caps applied, exactly as the assigner would row-cap a uniform plan).
+    result.uniform = SearchPartitions(
+        [&](int p) { return measure_counts(uniform_counts(p)); }, options);
+    best = uniform_counts(result.uniform.best_partitions);
+    best_seconds = measure_counts(best);
+    result.uniform_seconds = best_seconds;
+
+    // Phase 2 — closed-form seed at each variable's measured alpha. theta1 (the cost
+    // partitioning divides) is proportional to the rows a step actually touches, so
+    // variable v carries a w_v = alpha_v * elements_v share of it; theta2 (per-piece
+    // bookkeeping) is paid per piece regardless of which variable the piece belongs to.
+    // Splitting Equation 1 accordingly puts variable v's own optimum at
+    // sqrt(theta1_v / theta2_v) = P* * sqrt(w_v / mean(w)).
+    double continuous = result.uniform.fit.ok
+                            ? result.uniform.fit.ContinuousOptimum()
+                            : static_cast<double>(result.uniform.best_partitions);
+    continuous = std::clamp(continuous, static_cast<double>(options.min_partitions),
+                            static_cast<double>(options.max_partitions));
+    double weight_sum = 0.0;
+    for (const PartitionSearchVariable& variable : variables) {
+      weight_sum += std::max(variable.alpha, 0.0) *
+                    static_cast<double>(std::max<int64_t>(variable.num_elements, 0));
+    }
+    if (weight_sum > 0.0) {
+      const double mean_weight = weight_sum / static_cast<double>(n);
+      CountKey seeded(n);
+      for (size_t v = 0; v < n; ++v) {
+        const double w =
+            std::max(variables[v].alpha, 0.0) *
+            static_cast<double>(std::max<int64_t>(variables[v].num_elements, 0));
+        const double scaled = continuous * std::sqrt(w / mean_weight);
+        seeded[v] = clamp_count(static_cast<int>(std::lround(std::max(scaled, 1.0))), v);
+      }
+      const double seeded_seconds = measure_counts(seeded);
+      if (seeded_seconds < best_seconds) {
+        best = std::move(seeded);
+        best_seconds = seeded_seconds;
+      }
     }
   }
 
   // Phase 3 — coordinate descent: the existing doubling/halving sweep is the inner
   // loop, run for one variable at a time with every other count pinned. Adopting only
   // margin-beating moves on *measured* times keeps the descent deterministic and
-  // terminating (each adoption strictly shrinks the measured objective).
+  // terminating (each adoption strictly shrinks the measured objective). A warm-started
+  // round 0 sweeps only the drifted variables — the others' counts were right last time
+  // and nothing about them changed; later rounds (reached only if round 0 moved) sweep
+  // everything, because a drifted variable's new count can shift its neighbours'.
   for (int round = 0; round < options.max_coordinate_rounds; ++round) {
     bool moved = false;
     for (size_t v = 0; v < n; ++v) {
+      if (result.warm_started && round == 0 && !variables[v].drifted) {
+        continue;
+      }
       PartitionSearchOptions coordinate = options;
       coordinate.initial_partitions = best[v];
       coordinate.max_partitions = cap_of(v);
       PartitionSearchResult sweep = SearchPartitions(
           [&](int p) {
-            PlanKey trial = best;
+            CountKey trial = best;
             trial[v] = clamp_count(p, v);
             return measure_counts(trial);
           },
           coordinate);
-      PlanKey trial = best;
+      CountKey trial = best;
       trial[v] = clamp_count(sweep.best_partitions, v);
       const double trial_seconds = measure_counts(trial);
       if (trial_seconds < best_seconds * (1.0 - options.coordinate_margin)) {
@@ -253,7 +295,147 @@ PartitionPlanSearchResult SearchPartitionPlan(
     }
   }
 
-  result.plan = plan_of(best);
+  // Phase 4 — placement (optional): greedily seed each piece onto the server that
+  // minimizes the bottleneck link utilization under the static traffic model, refine
+  // with bounded busiest-to-idlest swaps on the measured clock, and adopt only if the
+  // placed plan measures strictly better than round-robin at the same counts.
+  Placements best_placements;
+  result.unplaced_seconds = best_seconds;
+  const PlacementSearchOptions& pl = options.placement;
+  if (pl.enabled && pl.num_machines > 1) {
+    const int machines = pl.num_machines;
+    const int racks =
+        (pl.num_racks > 1 && machines % pl.num_racks == 0) ? pl.num_racks : 1;
+    const int per_rack = machines / racks;
+    auto rack_of = [per_rack](int m) { return m / per_rack; };
+
+    // Every piece of every searched variable, heaviest traffic first. Per step each
+    // worker machine pushes and pulls a piece once, so a piece of b bytes loads its
+    // server's NIC with 2b per remote worker (the incast), each remote worker's NIC
+    // with 2b, and — when server and worker sit in different racks — both racks' spine
+    // links with 2b each.
+    struct Piece {
+      size_t var;
+      int index;
+      double bytes;
+    };
+    std::vector<Piece> pieces;
+    for (size_t v = 0; v < n; ++v) {
+      const double bytes =
+          std::max(variables[v].alpha, 0.0) *
+          static_cast<double>(std::max<int64_t>(variables[v].num_elements, 0)) * 4.0 /
+          static_cast<double>(best[v]);
+      for (int p = 0; p < best[v]; ++p) {
+        pieces.push_back({v, p, bytes});
+      }
+    }
+    std::stable_sort(pieces.begin(), pieces.end(),
+                     [](const Piece& a, const Piece& b) { return a.bytes > b.bytes; });
+
+    std::vector<double> nic(machines, 0.0);
+    std::vector<double> spine(racks, 0.0);
+    auto add_piece = [&](std::vector<double>& nic_load, std::vector<double>& spine_load,
+                         int server, double bytes) {
+      for (int m = 0; m < machines; ++m) {
+        if (m == server) {
+          continue;
+        }
+        nic_load[server] += 2.0 * bytes;
+        nic_load[m] += 2.0 * bytes;
+        if (racks > 1 && rack_of(m) != rack_of(server)) {
+          spine_load[rack_of(server)] += 2.0 * bytes;
+          spine_load[rack_of(m)] += 2.0 * bytes;
+        }
+      }
+    };
+    auto bottleneck = [&](const std::vector<double>& nic_load,
+                          const std::vector<double>& spine_load) {
+      double worst = 0.0;
+      for (double bytes : nic_load) {
+        worst = std::max(worst, bytes / pl.nic_bandwidth);
+      }
+      for (double bytes : spine_load) {
+        worst = std::max(worst, bytes / pl.spine_bandwidth);
+      }
+      return worst;
+    };
+
+    Placements placed(n);
+    for (size_t v = 0; v < n; ++v) {
+      placed[v].assign(best[v], 0);
+    }
+    std::vector<double> trial_nic, trial_spine;
+    for (const Piece& piece : pieces) {
+      int chosen = 0;
+      double chosen_worst = std::numeric_limits<double>::infinity();
+      for (int s = 0; s < machines; ++s) {
+        trial_nic = nic;
+        trial_spine = spine;
+        add_piece(trial_nic, trial_spine, s, piece.bytes);
+        const double worst = bottleneck(trial_nic, trial_spine);
+        if (worst < chosen_worst) {  // strict: ties keep the lowest server id
+          chosen_worst = worst;
+          chosen = s;
+        }
+      }
+      add_piece(nic, spine, chosen, piece.bytes);
+      placed[piece.var][piece.index] = chosen;
+    }
+
+    double placed_seconds = measure_placed(best, placed);
+
+    // Swap refinement: move a piece off the statically busiest NIC onto the idlest and
+    // keep the move only when the simulated clock agrees by the margin.
+    for (int round = 0; round < pl.max_swap_rounds; ++round) {
+      int busiest = 0;
+      int idlest = 0;
+      for (int m = 1; m < machines; ++m) {
+        if (nic[m] > nic[busiest]) {
+          busiest = m;
+        }
+        if (nic[m] < nic[idlest]) {
+          idlest = m;
+        }
+      }
+      if (busiest == idlest) {
+        break;
+      }
+      bool moved = false;
+      int trials = 0;
+      for (const Piece& piece : pieces) {
+        if (placed[piece.var][piece.index] != busiest) {
+          continue;
+        }
+        if (trials++ >= pl.max_swap_trials) {
+          break;
+        }
+        Placements trial = placed;
+        trial[piece.var][piece.index] = idlest;
+        const double seconds = measure_placed(best, trial);
+        if (seconds < placed_seconds * (1.0 - pl.swap_margin)) {
+          placed = std::move(trial);
+          placed_seconds = seconds;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) {
+        break;
+      }
+      std::fill(nic.begin(), nic.end(), 0.0);
+      std::fill(spine.begin(), spine.end(), 0.0);
+      for (const Piece& piece : pieces) {
+        add_piece(nic, spine, placed[piece.var][piece.index], piece.bytes);
+      }
+    }
+
+    if (placed_seconds < best_seconds) {
+      best_placements = std::move(placed);
+      best_seconds = placed_seconds;
+    }
+  }
+
+  result.plan = plan_of(best, best_placements);
   result.seconds = best_seconds;
   return result;
 }

@@ -46,6 +46,29 @@ struct CostModelFit {
 // Least-squares fit of Equation 1 to (partition count, iteration seconds) samples.
 CostModelFit FitCostModel(const std::vector<std::pair<int, double>>& samples);
 
+// PS-shard placement as a searched dimension (SearchPartitionPlan's final phase).
+// The greedy seed assigns each piece to the server machine minimizing the bottleneck
+// *link utilization* under a static traffic model — every worker machine pushes and
+// pulls each piece once per step, loading the server's NIC (incast), each worker's NIC,
+// and, across racks, both spine directions — then bounded local swaps refine on the
+// measured (simulated) clock. Disabled by default: flat clusters and placement-oblivious
+// searches pay nothing.
+struct PlacementSearchOptions {
+  bool enabled = false;
+  // The hierarchical machine view (mirrors sim TopologySpec; plain ints/doubles so the
+  // cost model stays independent of the simulator headers). num_machines <= 1 or a rack
+  // count that does not divide the machines degrades gracefully (flat / no-op).
+  int num_machines = 0;
+  int num_racks = 1;
+  double nic_bandwidth = 1.25e9;
+  double spine_bandwidth = 6.25e9;
+  // Local-swap refinement: rounds of busiest-to-idlest piece moves, candidate moves
+  // tried per round, and the relative measured-time margin a move must beat.
+  int max_swap_rounds = 2;
+  int max_swap_trials = 4;
+  double swap_margin = 0.002;
+};
+
 struct PartitionSearchOptions {
   // Initial sample point; the paper uses the number of machines.
   int initial_partitions = 8;
@@ -61,6 +84,14 @@ struct PartitionSearchOptions {
   // Per-variable search only: full passes over the variables before the descent stops
   // even if moves keep winning (each pass re-sweeps every coordinate).
   int max_coordinate_rounds = 4;
+  // Per-variable search only: when true AND every variable carries previous_partitions,
+  // the uniform sweep and closed-form seed are skipped — coordinate descent starts at
+  // the previous counts and its first round sweeps only the variables marked drifted.
+  // This is the re-search the adaptive runner performs when alpha drift is confined to
+  // one variable: O(one sweep) instead of O(full search).
+  bool warm_start = false;
+  // Per-variable search only: shard placement search (see PlacementSearchOptions).
+  PlacementSearchOptions placement;
 };
 
 // Which search the runner performs for partitioner-scoped sparse variables.
@@ -92,6 +123,12 @@ struct PartitionSearchVariable {
   // Per-variable cap (typically the row count: a variable cannot have more pieces than
   // rows). 0 means options.max_partitions.
   int64_t max_partitions = 0;
+  // Warm start (options.warm_start): the count this variable held in the previous
+  // adopted plan (0 = unknown, which disables the warm start for the whole search) and
+  // whether its measured alpha drifted since. Round 0 of a warm-started descent sweeps
+  // only drifted variables.
+  int previous_partitions = 0;
+  bool drifted = true;
 };
 
 struct PartitionPlanSearchResult {
@@ -109,6 +146,14 @@ struct PartitionPlanSearchResult {
   int rounds = 0;
   // Distinct plans measured across all phases (memoized; repeats are free).
   int evaluations = 0;
+  // True when the uniform sweep and closed-form seed were skipped because every
+  // variable carried a previous count (options.warm_start). uniform_seconds then holds
+  // the measured time of the previous plan, and `uniform` stays empty.
+  bool warm_started = false;
+  // Placement search only: the measured seconds of the adopted counts under the
+  // historical round-robin placement — the placement-oblivious baseline the placed plan
+  // had to beat. Equal to `seconds` when no placement was adopted.
+  double unplaced_seconds = 0.0;
 };
 
 // Per-variable partition search (the PartitionPlan generalization of section 3.2):

@@ -5,6 +5,28 @@
 
 namespace parallax {
 
+std::vector<int> ResolveShardServers(std::span<const VariableSync> variables,
+                                     int num_machines) {
+  std::vector<int> servers;
+  int server_rr = 0;  // advances for every shard, placed or not, so a placement on one
+                      // variable never shifts its neighbors' round-robin assignment
+  for (const VariableSync& sync : variables) {
+    if (sync.method != SyncMethod::kPs) {
+      continue;
+    }
+    const bool placed =
+        static_cast<int>(sync.placement.size()) == sync.partitions;
+    for (int p = 0; p < sync.partitions; ++p) {
+      int rr = server_rr++ % num_machines;
+      int server = placed ? sync.placement[static_cast<size_t>(p)] : rr;
+      PX_CHECK_GE(server, 0);
+      PX_CHECK_LT(server, num_machines);
+      servers.push_back(server);
+    }
+  }
+  return servers;
+}
+
 IterationSimulator::IterationSimulator(const ClusterSpec& cluster_spec,
                                        std::vector<VariableSync> variables,
                                        double gpu_compute_seconds, int compute_chunks,
@@ -28,7 +50,10 @@ IterationSimulator::IterationSimulator(const ClusterSpec& cluster_spec,
   const int num_vars = static_cast<int>(variables_.size());
   pull_chunk_.resize(static_cast<size_t>(num_vars));
   grad_chunk_.resize(static_cast<size_t>(num_vars));
-  int server_rr = 0;  // round-robin shard placement across server machines
+  // Round-robin shard placement across server machines, unless a variable carries an
+  // explicit placement vector (searched placements, ResolveShardServers).
+  std::vector<int> servers = ResolveShardServers(variables_, cluster_spec_.num_machines);
+  size_t next_server = 0;
   for (int v = 0; v < num_vars; ++v) {
     // Variables are listed in layer order; the first variable is consumed by the first
     // forward chunk and its gradient is produced by the last backward chunk.
@@ -48,7 +73,7 @@ IterationSimulator::IterationSimulator(const ClusterSpec& cluster_spec,
         Shard shard;
         shard.var = v;
         shard.piece = p;
-        shard.server = server_rr++ % cluster_spec_.num_machines;
+        shard.server = servers[next_server++];
         shard.elements = base + (p < rem ? 1 : 0);
         shards_.push_back(shard);
       }
@@ -270,8 +295,14 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
     for (int r = 0; r < num_ranks; ++r) {
       deps[static_cast<size_t>(r)] = chunk_task[static_cast<size_t>(r)][static_cast<size_t>(c)];
     }
+    // Rack-aware composition when the cluster has a spine; flat clusters take the
+    // historical hierarchical schedule unchanged (bit-identity).
+    const bool rack_aware =
+        !cluster_spec_.topology.flat() && layout.num_machines > 1;
     const SchedulePlan& plan =
-        a.schedules.HierarchicalAllReduce(layout, group_elements * 4, collective);
+        rack_aware ? a.schedules.TopologyAllReduce(layout, cluster_spec_.topology.num_racks,
+                                                   group_elements * 4, collective)
+                   : a.schedules.HierarchicalAllReduce(layout, group_elements * 4, collective);
     a.schedules.Instantiate(plan, graph, {}, deps, &a.schedule);
     for (int r = 0; r < num_ranks; ++r) {
       TaskId apply = graph.AddGpuCompute(
@@ -299,9 +330,11 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
           chunk_task[static_cast<size_t>(r)][static_cast<size_t>(
               grad_chunk_[static_cast<size_t>(v)])];
     }
-    std::vector<TaskId>& done = a.done;
     // OpenMPI tuned-collective behavior: large blocks ride the bandwidth-efficient ring;
-    // smaller ones take the broadcast-style path (calibration.h).
+    // smaller ones take the broadcast-style path (calibration.h). Both are cached
+    // SchedulePlans now — the broadcast fan-in used to be an inline double loop whose
+    // per-rank arrival lists were rebuilt (and reallocated) per collective, which adds
+    // up past ~100 ranks; its plan emits the identical task sequence.
     bool use_ring = config_.gatherv_algorithm == GathervAlgorithm::kRing ||
                     block_bytes >= costs.gatherv_ring_threshold_bytes;
     if (use_ring) {
@@ -309,47 +342,22 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
       blocks.assign(static_cast<size_t>(num_ranks), block_bytes);
       const SchedulePlan& plan = a.schedules.RankRingAllGatherv(layout, blocks, collective);
       a.schedules.Instantiate(plan, graph, {}, deps, &a.schedule);
-      done.assign(a.schedule.done.begin(), a.schedule.done.end());
     } else {
       // Broadcast (OpenMPI-style): every rank ships its block to every other rank.
       // Cross-machine hops are inflated by the OpenMPI effective-bandwidth derate
       // (calibration.h); intra-machine hops ride shared memory / PCIe at full speed.
       int64_t inflated_bytes = static_cast<int64_t>(
           static_cast<double>(block_bytes) * costs.gatherv_cross_machine_inflation);
-      std::vector<std::vector<TaskId>>& arrivals = a.arrivals;
-      arrivals.resize(static_cast<size_t>(num_ranks));
-      for (auto& per_rank : arrivals) {
-        per_rank.clear();
-      }
-      for (int src = 0; src < num_ranks; ++src) {
-        for (int dst = 0; dst < num_ranks; ++dst) {
-          if (src == dst) {
-            continue;
-          }
-          int src_m = layout.MachineOfRank(src);
-          int dst_m = layout.MachineOfRank(dst);
-          TaskId xfer =
-              (src_m == dst_m)
-                  ? graph.AddLocalTransfer(src_m, block_bytes,
-                                           {deps[static_cast<size_t>(src)]})
-                  : graph.AddTransfer(src_m, dst_m, inflated_bytes,
-                                      {deps[static_cast<size_t>(src)]});
-          arrivals[static_cast<size_t>(dst)].push_back(xfer);
-        }
-      }
-      done.resize(static_cast<size_t>(num_ranks));
-      for (int r = 0; r < num_ranks; ++r) {
-        arrivals[static_cast<size_t>(r)].push_back(deps[static_cast<size_t>(r)]);
-        done[static_cast<size_t>(r)] =
-            graph.AddBarrier(std::span<const TaskId>(arrivals[static_cast<size_t>(r)]));
-      }
+      const SchedulePlan& plan =
+          a.schedules.BroadcastAllGatherv(layout, block_bytes, inflated_bytes);
+      a.schedules.Instantiate(plan, graph, {}, deps, &a.schedule);
     }
     for (int r = 0; r < num_ranks; ++r) {
       TaskId apply = graph.AddGpuCompute(
           layout.MachineOfRank(r), layout.LocalGpuOfRank(r),
           costs.gpu_sparse_apply_seconds_per_element *
               static_cast<double>(gathered_elements),
-          {done[static_cast<size_t>(r)]});
+          {a.schedule.done[static_cast<size_t>(r)]});
       end_tasks.push_back(apply);
     }
   }

@@ -73,20 +73,29 @@ struct SimulationArena {
   uint64_t build_serial = 0;
 
   // SimulateIteration scratch (iteration_sim.cc). avail/gate/chunk are the rank-major
-  // DAG tables; the rest are small per-phase staging buffers.
+  // DAG tables; the rest are small per-phase staging buffers. (The broadcast-gatherv
+  // fan-in and per-collective done copies that used to live here are folded into
+  // cached SchedulePlans — see comm/collectives.h.)
   std::vector<std::vector<TaskId>> avail;     // [rank][shard]
   std::vector<std::vector<TaskId>> gate;      // [rank][variable]
   std::vector<std::vector<TaskId>> chunk;     // [rank][chunk]
-  std::vector<std::vector<TaskId>> arrivals;  // [rank], broadcast-gatherv fan-in
   std::vector<TaskId> end_tasks;
   std::vector<TaskId> deps;
   std::vector<TaskId> collective_deps;
   std::vector<TaskId> local_deps;
-  std::vector<TaskId> done;
   std::vector<int64_t> blocks;
   std::vector<size_t> var_shards;
   CollectiveSchedule schedule;
 };
+
+// The effective server machine of every PS shard in `variables` (in variable order,
+// pieces ascending): piece p of a variable with a matching-length placement vector
+// lives on placement[p]; every other shard follows the historical round-robin, whose
+// counter advances for EVERY shard so placing one variable never shifts another's
+// assignment. This is the single shard-ownership rule — the iteration simulator builds
+// its DAG from it and the runner's migration estimate replays it.
+std::vector<int> ResolveShardServers(std::span<const VariableSync> variables,
+                                     int num_machines);
 
 class IterationSimulator {
  public:

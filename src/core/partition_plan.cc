@@ -29,6 +29,23 @@ int PartitionPlan::For(const std::string& variable) const {
   return it != overrides_.end() ? it->second : default_partitions_;
 }
 
+void PartitionPlan::SetPlacement(const std::string& variable, std::vector<int> placement) {
+  PX_CHECK(!variable.empty());
+  if (placement.empty()) {
+    placements_.erase(variable);
+    return;
+  }
+  for (int server : placement) {
+    PX_CHECK_GE(server, 0);
+  }
+  placements_[variable] = std::move(placement);
+}
+
+const std::vector<int>* PartitionPlan::PlacementFor(const std::string& variable) const {
+  auto it = placements_.find(variable);
+  return it != placements_.end() ? &it->second : nullptr;
+}
+
 int PartitionPlan::MaxPartitions() const {
   int max_partitions = default_partitions_;
   for (const auto& [name, partitions] : overrides_) {
@@ -43,12 +60,32 @@ std::string PartitionPlan::ToString() const {
   }
   std::string out = "{";
   bool first = true;
-  for (const auto& [name, partitions] : overrides_) {
+  // "emb:4@(0,1,2,3)" — count, then the placement servers when the plan carries one.
+  auto append = [&](const std::string& name, int partitions) {
     if (!first) {
       out += ", ";
     }
     out += StrFormat("%s:%d", name.c_str(), partitions);
+    auto it = placements_.find(name);
+    if (it != placements_.end()) {
+      out += "@(";
+      for (size_t p = 0; p < it->second.size(); ++p) {
+        if (p > 0) {
+          out += ",";
+        }
+        out += StrFormat("%d", it->second[p]);
+      }
+      out += ")";
+    }
     first = false;
+  };
+  for (const auto& [name, partitions] : overrides_) {
+    append(name, partitions);
+  }
+  for (const auto& [name, placement] : placements_) {
+    if (overrides_.find(name) == overrides_.end()) {
+      append(name, default_partitions_);
+    }
   }
   out += StrFormat("; default P=%d}", default_partitions_);
   return out;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace parallax {
 
@@ -63,8 +64,21 @@ class PartitionPlan {
   // Per-variable overrides, ordered by name (deterministic iteration).
   const std::map<std::string, int>& overrides() const { return overrides_; }
 
+  // Sets the shard placement for one variable: placement[p] is the server machine
+  // hosting piece p. An empty vector clears the entry (back to round-robin). Placement
+  // is intent like the counts are — appliers ignore a vector whose length does not
+  // match the variable's row-capped count.
+  void SetPlacement(const std::string& variable, std::vector<int> placement);
+
+  // The placement this plan assigns to `variable`, or nullptr for round-robin.
+  const std::vector<int>* PlacementFor(const std::string& variable) const;
+
+  // Per-variable placements, ordered by name (deterministic iteration).
+  const std::map<std::string, std::vector<int>>& placements() const { return placements_; }
+
   // True when no variable deviates from the default — the plans the int shims build.
-  bool uniform() const { return overrides_.empty(); }
+  // A placed variable is a deviation: its shards no longer follow round-robin.
+  bool uniform() const { return overrides_.empty() && placements_.empty(); }
 
   // Largest count the plan assigns to any variable (default included). This is the
   // honest single-number summary of a heterogeneous plan — what the deprecated
@@ -76,7 +90,8 @@ class PartitionPlan {
   std::string ToString() const;
 
   friend bool operator==(const PartitionPlan& a, const PartitionPlan& b) {
-    return a.default_partitions_ == b.default_partitions_ && a.overrides_ == b.overrides_;
+    return a.default_partitions_ == b.default_partitions_ &&
+           a.overrides_ == b.overrides_ && a.placements_ == b.placements_;
   }
   friend bool operator!=(const PartitionPlan& a, const PartitionPlan& b) {
     return !(a == b);
@@ -85,6 +100,7 @@ class PartitionPlan {
  private:
   int default_partitions_ = 1;
   std::map<std::string, int> overrides_;
+  std::map<std::string, std::vector<int>> placements_;
 };
 
 }  // namespace parallax

@@ -43,6 +43,13 @@ ClusterSpec ResourceSpec::ToClusterSpec(const ClusterSpec& base) const {
   ClusterSpec spec = base;
   spec.num_machines = num_machines();
   spec.gpus_per_machine = static_cast<int>(machines.front().gpu_ids.size());
+  // A rack layout the machine count cannot fill collapses to the flat fabric instead
+  // of tripping the Topology invariant — the base spec's racks describe the hardware
+  // template, not necessarily this job's machine subset.
+  if (spec.topology.num_racks > 1 &&
+      spec.num_machines % spec.topology.num_racks != 0) {
+    spec.topology.num_racks = 1;
+  }
   return spec;
 }
 

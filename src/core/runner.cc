@@ -1,6 +1,8 @@
 #include "src/core/runner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "src/base/strings.h"
 
@@ -109,7 +111,7 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
                         : PartitionPlan::Uniform(std::max(config_.manual_partitions, 1));
   sim_arena_ = std::make_unique<SimulationArena>();
   if (config_.auto_partition && has_partitioned_sparse) {
-    PartitionSearchOptions search = config_.search;
+    PartitionSearchOptions search = SearchOptionsForCluster();
     search.initial_partitions = cluster_spec_.num_machines;
     IterationSimConfig sim_config = MakeSimConfig();
     // Every sampled layout gets a fresh simulator over the shared arena: task storage
@@ -190,9 +192,32 @@ std::vector<VariableSync> GraphRunner::VariablesWithPartitions(
                          ? graph_->variables()[v].shape.dim(0)
                          : 1;
       variables[v].partitions = RowCappedPartitions(plan.For(variables[v].spec.name), rows);
+      // A placement rides along only when its length survives the row cap — a vector
+      // sized for a count the cap rejected is stale intent, and stamping it would make
+      // ResolveShardServers ignore it anyway. Clearing otherwise keeps a placement
+      // from an older plan from outliving the plan that carried it.
+      const std::vector<int>* placement = plan.PlacementFor(variables[v].spec.name);
+      if (placement != nullptr &&
+          static_cast<int>(placement->size()) == variables[v].partitions) {
+        variables[v].placement = *placement;
+      } else {
+        variables[v].placement.clear();
+      }
     }
   }
   return variables;
+}
+
+PartitionSearchOptions GraphRunner::SearchOptionsForCluster() const {
+  PartitionSearchOptions search = config_.search;
+  if (config_.search_placement) {
+    search.placement.enabled = true;
+    search.placement.num_machines = cluster_spec_.num_machines;
+    search.placement.num_racks = cluster_spec_.topology.num_racks;
+    search.placement.nic_bandwidth = cluster_spec_.nic_bandwidth;
+    search.placement.spine_bandwidth = cluster_spec_.topology.spine_bandwidth;
+  }
+  return search;
 }
 
 std::vector<PartitionSearchVariable> GraphRunner::SearchTargets() const {
@@ -213,6 +238,18 @@ std::vector<PartitionSearchVariable> GraphRunner::SearchTargets() const {
     target.alpha = plan_.variables[v].spec.alpha;
     target.num_elements = info.num_elements;
     target.max_partitions = def.shape.rank() >= 1 ? def.shape.dim(0) : 1;
+    // Warm-start bookkeeping for adaptive re-searches: the count the variable holds
+    // now, and whether its measured alpha moved past the drift threshold since the
+    // last re-anchor. Without a monitor every variable counts as drifted, which
+    // disables the warm start (the conservative default).
+    target.previous_partitions = plan_.variables[v].partitions;
+    if (monitor_ != nullptr && monitor_->Tracks(static_cast<int>(v))) {
+      const double baseline = monitor_->baseline_alpha(static_cast<int>(v));
+      const double drift =
+          std::abs(monitor_->measured_alpha(static_cast<int>(v)) - baseline) /
+          std::max(baseline, 1e-12);
+      target.drifted = drift >= monitor_->policy().drift_threshold;
+    }
     targets.push_back(std::move(target));
   }
   return targets;
@@ -220,34 +257,108 @@ std::vector<PartitionSearchVariable> GraphRunner::SearchTargets() const {
 
 double GraphRunner::MigrationSeconds(const std::vector<VariableSync>& to) const {
   PX_CHECK_EQ(to.size(), plan_.variables.size());
-  // A re-split materializes the variable and redistributes its pieces: the variable's
-  // bytes cross the server fabric once, and every torn-down or freshly-built piece
-  // costs one round of request handling. Unchanged variables move nothing (the PS
-  // engine keeps their shards as-is).
-  int64_t moved_bytes = 0;
+  // Placement-aware estimate: resolve both layouts to effective shard servers with the
+  // one ownership rule the simulator and the engines use (ResolveShardServers), then
+  // walk each variable's old and new piece ranges in lockstep. Only overlap bytes whose
+  // owning server changes move, over the actual path's bottleneck link — a piece that
+  // stays put is free even when its neighbours re-split, and a same-rack move never
+  // gets charged spine bandwidth it would not use. Every piece that sends or receives
+  // any bytes costs one round of request handling.
+  const int machines = cluster_spec_.num_machines;
+  const Topology topology(cluster_spec_);
+  const std::vector<int> from_servers = ResolveShardServers(plan_.variables, machines);
+  const std::vector<int> to_servers = ResolveShardServers(to, machines);
+
+  // Element range of piece `piece` out of `count` — the same base/remainder split the
+  // simulator's shards and the PS engine's row splitter apply.
+  auto piece_range = [](int64_t elements, int count, int piece) {
+    const int64_t base = elements / count;
+    const int64_t rem = elements % count;
+    const int64_t start =
+        static_cast<int64_t>(piece) * base + std::min<int64_t>(piece, rem);
+    return std::pair<int64_t, int64_t>(start, start + base + (piece < rem ? 1 : 0));
+  };
+
+  double transfer_seconds = 0.0;
   double request_seconds = 0.0;
+  size_t from_base = 0;
+  size_t to_base = 0;
   for (size_t v = 0; v < to.size(); ++v) {
-    if (to[v].partitions == plan_.variables[v].partitions) {
+    const VariableSync& from_sync = plan_.variables[v];
+    const VariableSync& to_sync = to[v];
+    PX_CHECK(from_sync.method == to_sync.method);
+    if (from_sync.method != SyncMethod::kPs) {
       continue;
     }
-    moved_bytes += to[v].spec.bytes();
-    request_seconds += static_cast<double>(to[v].partitions +
-                                           plan_.variables[v].partitions) *
-                       config_.costs.request_overhead_seconds;
+    const size_t from_at = from_base;
+    const size_t to_at = to_base;
+    from_base += static_cast<size_t>(from_sync.partitions);
+    to_base += static_cast<size_t>(to_sync.partitions);
+
+    bool same = from_sync.partitions == to_sync.partitions;
+    for (int p = 0; same && p < from_sync.partitions; ++p) {
+      same = from_servers[from_at + static_cast<size_t>(p)] ==
+             to_servers[to_at + static_cast<size_t>(p)];
+    }
+    if (same) {
+      continue;  // identical shard layout: the engine keeps these shards as-is
+    }
+
+    const int64_t elements = std::max<int64_t>(from_sync.spec.num_elements, 1);
+    const double bytes_per_element =
+        static_cast<double>(from_sync.spec.bytes()) / static_cast<double>(elements);
+    // A count change materializes and re-splits the variable: every old piece is torn
+    // down and every new piece built, so each costs one round of request handling even
+    // when its bytes happen to stay on the same server. A pure placement change keeps
+    // the split and touches only the pieces that actually move.
+    const bool resplit = from_sync.partitions != to_sync.partitions;
+    if (resplit) {
+      request_seconds += static_cast<double>(from_sync.partitions + to_sync.partitions) *
+                         config_.costs.request_overhead_seconds;
+    }
+    int sending = -1;    // last old piece charged a send request
+    int receiving = -1;  // last new piece charged a receive request
+    int p = 0;
+    int q = 0;
+    while (p < from_sync.partitions && q < to_sync.partitions) {
+      const auto [ps, pe] = piece_range(elements, from_sync.partitions, p);
+      const auto [qs, qe] = piece_range(elements, to_sync.partitions, q);
+      const int64_t overlap = std::min(pe, qe) - std::max(ps, qs);
+      const int src = from_servers[from_at + static_cast<size_t>(p)];
+      const int dst = to_servers[to_at + static_cast<size_t>(q)];
+      if (overlap > 0 && src != dst) {
+        transfer_seconds += static_cast<double>(overlap) * bytes_per_element /
+                            topology.PathBandwidth(src, dst);
+        if (!resplit && sending != p) {
+          sending = p;
+          request_seconds += config_.costs.request_overhead_seconds;
+        }
+        if (!resplit && receiving != q) {
+          receiving = q;
+          request_seconds += config_.costs.request_overhead_seconds;
+        }
+      }
+      if (pe <= qe) {
+        ++p;
+      } else {
+        ++q;
+      }
+    }
   }
-  return static_cast<double>(moved_bytes) / cluster_spec_.nic_bandwidth + request_seconds;
+  return transfer_seconds + request_seconds;
 }
 
 void GraphRunner::Repartition(const PartitionPlan& plan) {
   PX_CHECK(initialized_) << "Repartition before the first Step";
   PX_CHECK_GE(plan.default_partitions(), 1);
   std::vector<VariableSync> next = VariablesWithPartitions(plan);
-  // Only engines owning a variable whose count actually changes need a re-Prepare;
-  // everything else keeps its shards (Prepare is value-preserving either way, this
-  // just skips the no-op materialize/re-split round-trips).
+  // Only engines owning a variable whose count or placement actually changes need a
+  // re-Prepare; everything else keeps its shards (Prepare is value-preserving either
+  // way, this just skips the no-op materialize/re-split round-trips).
   std::vector<bool> engine_dirty(engines_.size(), false);
   for (size_t v = 0; v < next.size(); ++v) {
-    if (next[v].partitions == plan_.variables[v].partitions) {
+    if (next[v].partitions == plan_.variables[v].partitions &&
+        next[v].placement == plan_.variables[v].placement) {
       continue;
     }
     for (size_t e = 0; e < engines_.size(); ++e) {
@@ -337,7 +448,7 @@ void GraphRunner::MaybeAdapt() {
   auto same_layout = [](const std::vector<VariableSync>& a,
                         const std::vector<VariableSync>& b) {
     for (size_t v = 0; v < a.size(); ++v) {
-      if (a[v].partitions != b[v].partitions) {
+      if (a[v].partitions != b[v].partitions || a[v].placement != b[v].placement) {
         return false;
       }
     }
@@ -347,16 +458,26 @@ void GraphRunner::MaybeAdapt() {
   PartitionPlan best_plan = partition_plan_;
   double best_seconds = current_seconds;
   if (policy.repartition) {
-    PartitionSearchOptions search = config_.search;
+    PartitionSearchOptions search = SearchOptionsForCluster();
     search.initial_partitions = partition_plan_.MaxPartitions();
     std::vector<PartitionSearchVariable> targets;
     if (config_.search_mode == PartitionSearchMode::kPerVariable) {
       targets = SearchTargets();
     }
     if (!targets.empty()) {
+      // Warm start the re-search when the drift is confined to a single variable:
+      // the other counts were right at the last verdict and their workloads have not
+      // moved, so the descent resumes from the incumbent plan and round 0 sweeps only
+      // the drifted coordinate — one sweep instead of a full search.
+      int drifted_targets = 0;
+      for (const PartitionSearchVariable& target : targets) {
+        drifted_targets += target.drifted ? 1 : 0;
+      }
+      search.warm_start = drifted_targets == 1;
       // Per-variable re-search at the measured alphas (coordinate descent; the
-      // uniform sweep inside seeds it). Measured-vs-measured comparison on the same
-      // arena, so the hysteresis test is deterministic and free of model error.
+      // uniform sweep inside seeds it, unless warm-started). Measured-vs-measured
+      // comparison on the same arena, so the hysteresis test is deterministic and
+      // free of model error.
       PartitionPlanSearchResult result = SearchPartitionPlan(measure_plan, targets, search);
       if (!same_layout(VariablesWithPartitions(result.plan), plan_.variables)) {
         best_plan = result.plan;

@@ -71,6 +71,11 @@ struct ParallaxConfig {
   // Uniform (one shared P, the default) or per-variable (a PartitionPlan found by
   // coordinate descent) — applies to both the startup search and adaptive re-searches.
   PartitionSearchMode search_mode = PartitionSearchMode::kUniform;
+  // Per-variable search only: also search each variable's shard *placement* (which
+  // server machine hosts each piece) against the cluster's topology — the greedy
+  // bottleneck-utilization seed plus measured-clock swap refinement of
+  // PlacementSearchOptions. Off by default: placement-oblivious runs stay bit-identical.
+  bool search_placement = false;
   PartitionSearchOptions search{.initial_partitions = 8,
                                 .min_partitions = 1,
                                 .max_partitions = 1024,
@@ -163,10 +168,16 @@ class GraphRunner {
   // gate Repartition applies): each partitioner-scoped PS-family variable gets the
   // plan's count for its name, capped at its row count; everything else untouched.
   std::vector<VariableSync> VariablesWithPartitions(const PartitionPlan& plan) const;
-  // Cost-model estimate of swapping plan_.variables for `to`: every variable whose
-  // count changes is materialized and re-split, moving its bytes across the server
-  // fabric once, plus per-piece request handling for the pieces torn down and built.
+  // Cost-model estimate of swapping plan_.variables for `to`, placement-aware: both
+  // layouts are resolved to effective shard servers (ResolveShardServers), and only
+  // the bytes whose owning server actually changes move — charged over the actual
+  // path's bottleneck link (NIC within a rack, min(NIC, spine) across racks; a piece
+  // staying on its server moves nothing). Every piece that sends or receives bytes
+  // costs one round of request handling.
   double MigrationSeconds(const std::vector<VariableSync>& to) const;
+  // config_.search with the placement block filled from the cluster topology when
+  // config_.search_placement asks for it (call sites still set initial_partitions).
+  PartitionSearchOptions SearchOptionsForCluster() const;
   // The variables the per-variable search may re-shard: partitioner-scoped sparse
   // variables the plan routes to PS (engine overrides respected), with the plan's
   // current alphas (startup-sampled at initialization, monitor-measured afterwards).

@@ -62,6 +62,12 @@ struct VariableSync {
   // a PartitionPlan stamps each partitioner-scoped variable's own count here (row-
   // capped), and the PS-family engines split their shards from exactly this field.
   int partitions = 1;
+  // PS only; placement[p] is the server machine hosting piece p. Empty (the default)
+  // means the historical round-robin assignment; when a PartitionPlan carries a
+  // searched placement the runner stamps it here (only if its length matches the
+  // row-capped partition count), and the timing plane, the migration estimate, and the
+  // PS-family engines all read shard ownership from this one field.
+  std::vector<int> placement;
 };
 
 // The runner's complete synchronization decision, handed to every engine's Prepare.

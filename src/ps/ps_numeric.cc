@@ -78,8 +78,10 @@ void PsNumericEngine::Prepare(const SyncPlan& plan) {
   // The plan's layout is per variable: each entry already carries its own (row-capped)
   // partition count, which is what the shards are split from.
   config.variable_partitions.reserve(plan.variables.size());
+  config.variable_placements.reserve(plan.variables.size());
   for (const VariableSync& sync : plan.variables) {
     config.variable_partitions.push_back(sync.partitions);
+    config.variable_placements.push_back(sync.placement);
   }
   config.local_aggregation = plan.local_aggregation;
   config.dense_aggregation = plan.dense_aggregation;
@@ -96,6 +98,10 @@ void PsNumericEngine::Reconfigure(PsNumericConfig config) {
   if (!config.variable_partitions.empty()) {
     PX_CHECK_EQ(config.variable_partitions.size(), graph_->variables().size())
         << "variable_partitions must be parallel to the graph's variables";
+  }
+  if (!config.variable_placements.empty()) {
+    PX_CHECK_EQ(config.variable_placements.size(), graph_->variables().size())
+        << "variable_placements must be parallel to the graph's variables";
   }
   // Re-preparation preserves values: shards are rebuilt around the current state, not
   // the initializers — what makes a mid-training partition swap a plain re-Prepare.

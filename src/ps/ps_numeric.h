@@ -38,6 +38,12 @@ struct PsNumericConfig {
   // from the SyncPlan's per-variable layout. Empty = fall back to the uniform
   // sparse_partitions above with its historical all-or-nothing row gate.
   std::vector<int> variable_partitions;
+  // Per-variable shard placements, parallel to Graph::variables() when non-empty; an
+  // empty inner vector means round-robin. The numeric runtime stores every shard in
+  // process, so placement changes values not at all — the field records the layout in
+  // force so introspection agrees with the plan, and a placement-only Reconfigure is a
+  // pure config update: counts unchanged means no shard is materialized or re-split.
+  std::vector<std::vector<int>> variable_placements;
   // Aggregate per machine before pushing (OptPS / Parallax local aggregation).
   bool local_aggregation = false;
   // How gradients combine across workers.

@@ -34,12 +34,24 @@ MachineSim::MachineSim(const ClusterSpec& spec)
       cores(spec.cores_per_machine),
       gpus(static_cast<size_t>(spec.gpus_per_machine)) {}
 
-Cluster::Cluster(const ClusterSpec& spec) : spec_(spec) {
+Cluster::Cluster(const ClusterSpec& spec) : spec_(spec), topology_(spec) {
   PX_CHECK_GT(spec.num_machines, 0);
   PX_CHECK_GT(spec.gpus_per_machine, 0);
   machines_.reserve(static_cast<size_t>(spec.num_machines));
   for (int m = 0; m < spec.num_machines; ++m) {
     machines_.emplace_back(spec);
+  }
+  if (!topology_.flat()) {
+    rack_of_.reserve(static_cast<size_t>(spec.num_machines));
+    for (int m = 0; m < spec.num_machines; ++m) {
+      rack_of_.push_back(topology_.RackOfMachine(m));
+    }
+    spine_up_.reserve(static_cast<size_t>(topology_.num_racks()));
+    spine_down_.reserve(static_cast<size_t>(topology_.num_racks()));
+    for (int r = 0; r < topology_.num_racks(); ++r) {
+      spine_up_.emplace_back(spec.topology.spine_bandwidth, spec.topology.spine_latency);
+      spine_down_.emplace_back(spec.topology.spine_bandwidth, spec.topology.spine_latency);
+    }
   }
 }
 
@@ -48,12 +60,28 @@ int64_t Cluster::NicBytes(int m) const {
   return machine_sim.nic_in.total_bytes() + machine_sim.nic_out.total_bytes();
 }
 
+int64_t Cluster::SpineBytes(int r) const {
+  if (spine_up_.empty()) {
+    return 0;
+  }
+  PX_CHECK_GE(r, 0);
+  PX_CHECK_LT(r, static_cast<int>(spine_up_.size()));
+  return spine_up_[static_cast<size_t>(r)].total_bytes() +
+         spine_down_[static_cast<size_t>(r)].total_bytes();
+}
+
 void Cluster::ResetByteAccounting() {
   for (MachineSim& m : machines_) {
     m.nic_in.ResetAccounting();
     m.nic_out.ResetAccounting();
     m.pcie_in.ResetAccounting();
     m.pcie_out.ResetAccounting();
+  }
+  for (LinkQueue& link : spine_up_) {
+    link.ResetAccounting();
+  }
+  for (LinkQueue& link : spine_down_) {
+    link.ResetAccounting();
   }
 }
 

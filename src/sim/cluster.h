@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -144,6 +145,20 @@ class GpuDevice {
   double total_busy_ = 0.0;
 };
 
+// Rack level of the hierarchy: machines are grouped into `num_racks` equal racks, and
+// rack-to-rack traffic rides a per-rack spine uplink/downlink pair — typically
+// oversubscribed (spine_bandwidth < nic_bandwidth), which is exactly the asymmetry a
+// topology-aware collective or placement search exploits. num_racks <= 1 is the flat
+// cluster: no spine links exist and every transfer takes the two-level {nic, pcie}
+// path unchanged, so a flat TopologySpec is a verified degenerate tree.
+struct TopologySpec {
+  int num_racks = 1;
+  double spine_bandwidth = 6.25e9;     // 2:1 oversubscription vs the paper's NIC
+  double spine_latency = 10e-6;        // two extra switch hops
+
+  bool flat() const { return num_racks <= 1; }
+};
+
 // Static description of the simulated cluster. Defaults model the paper's testbed.
 struct ClusterSpec {
   int num_machines = 8;
@@ -153,6 +168,7 @@ struct ClusterSpec {
   double nic_latency = 5e-6;           // 5 us
   double pcie_bandwidth = 12.0e9;      // intra-machine GPU<->host, bytes/sec
   double pcie_latency = 2e-6;          // 2 us
+  TopologySpec topology;               // flat by default (one rack, no spine)
 
   int total_gpus() const { return num_machines * gpus_per_machine; }
 
@@ -160,6 +176,50 @@ struct ClusterSpec {
   // n machines with one GPU each: the 1-worker-per-machine setting of the paper's
   // section 3.1 analysis (used to validate Table 3's closed forms).
   static ClusterSpec SingleGpuMachines(int n);
+};
+
+// Read-only view of the level structure of a ClusterSpec: which rack a machine lives
+// in and what the bottleneck bandwidth of a machine-to-machine path is. Pure
+// arithmetic over the spec — cheap to construct anywhere a placement or migration
+// decision needs topology awareness (cost model, runner) without a live Cluster.
+class Topology {
+ public:
+  explicit Topology(const ClusterSpec& spec)
+      : num_machines_(spec.num_machines),
+        num_racks_(spec.topology.flat() ? 1 : spec.topology.num_racks),
+        machines_per_rack_(num_machines_ / num_racks_),
+        nic_bandwidth_(spec.nic_bandwidth),
+        spine_bandwidth_(spec.topology.spine_bandwidth) {
+    PX_CHECK_GT(num_machines_, 0);
+    PX_CHECK_EQ(num_machines_ % num_racks_, 0)
+        << "racks must partition the machines evenly";
+  }
+
+  bool flat() const { return num_racks_ <= 1; }
+  int num_racks() const { return num_racks_; }
+  int machines_per_rack() const { return machines_per_rack_; }
+  int RackOfMachine(int m) const { return m / machines_per_rack_; }
+  // The rack's designated leader for hierarchical collectives: its first machine.
+  int LeaderOfRack(int r) const { return r * machines_per_rack_; }
+
+  // Bottleneck bandwidth of the src -> dst path: the NIC within a rack, the weaker of
+  // NIC and spine across racks. Same-machine traffic never touches the fabric.
+  double PathBandwidth(int src, int dst) const {
+    if (src == dst) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (RackOfMachine(src) == RackOfMachine(dst)) {
+      return nic_bandwidth_;
+    }
+    return std::min(nic_bandwidth_, spine_bandwidth_);
+  }
+
+ private:
+  int num_machines_;
+  int num_racks_;
+  int machines_per_rack_;
+  double nic_bandwidth_;
+  double spine_bandwidth_;
 };
 
 // Global rank <-> (machine, local gpu) mapping. Ranks are laid out machine-major, which
@@ -205,14 +265,47 @@ class Cluster {
     return machines_[static_cast<size_t>(m)];
   }
   int num_machines() const { return spec_.num_machines; }
+  const Topology& topology() const { return topology_; }
+
+  // Routes one machine-to-machine transfer through the topology. Same-rack traffic
+  // (which is ALL traffic on a flat cluster — rack_of_ is empty then) takes exactly
+  // the historical two-queue store-and-forward path, so flat clusters are bit-identical
+  // to the pre-topology model. Cross-rack traffic additionally serializes through the
+  // source rack's spine uplink and the destination rack's spine downlink, with one
+  // propagation latency per leg (machine->switch, switch->switch, switch->machine):
+  // 2*nic_latency + spine_latency in total. Inline for the same reason as the
+  // schedulers above: one call per transfer task inside Execute's event loop.
+  SimTime ScheduleTransfer(int src, int dst, SimTime ready, int64_t bytes) {
+    MachineSim& s = machine(src);
+    MachineSim& d = machine(dst);
+    if (rack_of_.empty() ||
+        rack_of_[static_cast<size_t>(src)] == rack_of_[static_cast<size_t>(dst)]) {
+      return ScheduleStoreAndForward(s.nic_out, d.nic_in, ready, bytes);
+    }
+    LinkQueue& up = spine_up_[static_cast<size_t>(rack_of_[static_cast<size_t>(src)])];
+    LinkQueue& down = spine_down_[static_cast<size_t>(rack_of_[static_cast<size_t>(dst)])];
+    SimTime t = s.nic_out.ScheduleSerialization(ready, bytes);
+    t = up.ScheduleSerialization(t, bytes);
+    t = down.ScheduleSerialization(t, bytes);
+    t = d.nic_in.ScheduleSerialization(t, bytes);
+    return t + s.nic_out.latency() + up.latency() + d.nic_in.latency();
+  }
 
   // Total NIC bytes (in + out) that crossed machine m's network interface.
   int64_t NicBytes(int m) const;
+  // Total bytes (up + down) that crossed rack r's spine links (0 on flat clusters).
+  int64_t SpineBytes(int r) const;
   void ResetByteAccounting();
 
  private:
   ClusterSpec spec_;
+  Topology topology_;
   std::vector<MachineSim> machines_;
+  // Rack structure; all three empty on flat clusters so the hot path above stays a
+  // single branch away from the historical code.
+  std::vector<int> rack_of_;
+  std::vector<LinkQueue> spine_up_;
+  std::vector<LinkQueue> spine_down_;
 };
 
 }  // namespace parallax

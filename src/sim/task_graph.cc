@@ -182,9 +182,8 @@ TaskResult TaskGraph::Execute(Cluster& cluster, SimTime start_time) {
         break;
       }
       case TaskKind::kTransfer: {
-        MachineSim& src = cluster.machine(task.machine);
-        MachineSim& dst = cluster.machine(task.dst_machine);
-        finish = ScheduleStoreAndForward(src.nic_out, dst.nic_in, ready, task.bytes) +
+        finish = cluster.ScheduleTransfer(task.machine, task.dst_machine, ready,
+                                          task.bytes) +
                  task.seconds;
         break;
       }

@@ -5,6 +5,8 @@
 
 #include "src/base/rng.h"
 #include "src/core/cost_model.h"
+#include "src/core/iteration_sim.h"
+#include "src/sim/cluster.h"
 
 namespace parallax {
 namespace {
@@ -124,6 +126,31 @@ TEST(PartitionPlanTest, UniformPlansAndOverridesRoundTrip) {
   EXPECT_NE(plan, uniform);
 }
 
+TEST(PartitionPlanTest, PlacementsRoundTripAndPrint) {
+  PartitionPlan plan;
+  plan.Set("emb", 4);
+  plan.SetPlacement("emb", {0, 1, 2, 3});
+  EXPECT_FALSE(plan.uniform());
+  ASSERT_NE(plan.PlacementFor("emb"), nullptr);
+  EXPECT_EQ(*plan.PlacementFor("emb"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.PlacementFor("other"), nullptr);
+  EXPECT_EQ(plan.ToString(), "{emb:4@(0,1,2,3); default P=1}");
+
+  PartitionPlan copy = plan;
+  EXPECT_EQ(copy, plan);
+  copy.SetPlacement("emb", {0, 0, 2, 3});
+  EXPECT_NE(copy, plan);
+  copy.SetPlacement("emb", {});  // empty clears back to round-robin
+  EXPECT_EQ(copy.PlacementFor("emb"), nullptr);
+
+  // A placement alone — no count override — is still a deviation from uniform: its
+  // shards no longer follow round-robin.
+  PartitionPlan placed_only;
+  placed_only.SetPlacement("solo", {1});
+  EXPECT_FALSE(placed_only.uniform());
+  EXPECT_EQ(placed_only.ToString(), "{solo:1@(1); default P=1}");
+}
+
 // ---- Per-variable search (SearchPartitionPlan) ---------------------------------------
 
 // A separable synthetic landscape: each variable contributes its own Equation-1 curve,
@@ -235,6 +262,146 @@ TEST(SearchPartitionPlanTest, MemoizationKeepsSamplingBudgetSmall) {
       SearchPartitionPlan(landscape, landscape.variables, options);
   EXPECT_LE(result.evaluations, 40);
   EXPECT_GE(result.evaluations, 5);
+}
+
+// ---- Warm start ----------------------------------------------------------------------
+
+TEST(SearchPartitionPlanTest, WarmStartSkipsSweepAndKeepsQuality) {
+  SeparableLandscape landscape = SkewedLandscape();
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 512;
+  PartitionPlanSearchResult cold =
+      SearchPartitionPlan(landscape, landscape.variables, options);
+  ASSERT_FALSE(cold.warm_started);
+
+  // Re-search after drift confined to "a": every previous count is known, only "a"
+  // is marked drifted — the uniform sweep and the closed-form seed must not run.
+  std::vector<PartitionSearchVariable> warm_vars = landscape.variables;
+  for (PartitionSearchVariable& v : warm_vars) {
+    v.previous_partitions = cold.plan.For(v.name);
+    v.drifted = v.name == "a";
+  }
+  PartitionSearchOptions warm_options = options;
+  warm_options.warm_start = true;
+  PartitionPlanSearchResult warm = SearchPartitionPlan(landscape, warm_vars, warm_options);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_TRUE(warm.uniform.samples.empty()) << "uniform sweep ran despite warm start";
+  EXPECT_LT(warm.evaluations, cold.evaluations);
+  // Same landscape, started from the cold optimum: the warm plan cannot be worse.
+  EXPECT_LE(warm.seconds, cold.seconds * 1.0001);
+}
+
+TEST(SearchPartitionPlanTest, WarmStartNeedsEveryPreviousCount) {
+  SeparableLandscape landscape = SkewedLandscape();
+  std::vector<PartitionSearchVariable> vars = landscape.variables;
+  vars[0].previous_partitions = 32;
+  vars[1].previous_partitions = 0;  // unknown: the warm start must disable itself
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 512;
+  options.warm_start = true;
+  PartitionPlanSearchResult result = SearchPartitionPlan(landscape, vars, options);
+  EXPECT_FALSE(result.warm_started);
+  EXPECT_FALSE(result.uniform.samples.empty());
+}
+
+// ---- Placement search (the 2-rack demo scenario) -------------------------------------
+
+// 2 racks x 2 machines over an oversubscribed spine — the topology of
+// examples/topology_placement.cpp. The row caps (3 and 2 pieces) are chosen so the
+// historical round-robin necessarily stacks the heavy embedding piece and a softmax
+// piece on machine 0 while machine 3 idles: exactly the imbalance a searched placement
+// can undo.
+ClusterSpec TwoRackSpec() {
+  ClusterSpec spec;
+  spec.num_machines = 4;
+  spec.gpus_per_machine = 2;
+  spec.cores_per_machine = 4;
+  spec.nic_bandwidth = 1e9;
+  spec.nic_latency = 1e-6;
+  spec.pcie_bandwidth = 4e9;
+  spec.pcie_latency = 1e-6;
+  spec.topology.num_racks = 2;
+  spec.topology.spine_bandwidth = 1e9;  // 2:1 oversubscription per rack
+  spec.topology.spine_latency = 5e-6;
+  return spec;
+}
+
+std::vector<PartitionSearchVariable> TwoRackSearchVariables() {
+  return {{.name = "emb", .alpha = 0.3, .num_elements = 4'000'000, .max_partitions = 3},
+          {.name = "softmax", .alpha = 0.5, .num_elements = 600'000, .max_partitions = 2}};
+}
+
+// Measures a candidate plan on the simulated clock, the way the runner's search does:
+// the searched variables as PS shards (counts row-capped, placement applied when its
+// length matches), a fresh simulator per sample over one shared arena.
+double MeasureTwoRackPlan(const PartitionPlan& plan, SimulationArena* arena) {
+  const ClusterSpec spec = TwoRackSpec();
+  std::vector<VariableSync> variables;
+  for (const PartitionSearchVariable& searched : TwoRackSearchVariables()) {
+    VariableSync sync;
+    sync.spec = {searched.name, searched.num_elements, 64, true, searched.alpha};
+    sync.method = SyncMethod::kPs;
+    sync.partitions = RowCappedPartitions(plan.For(searched.name), searched.max_partitions);
+    const std::vector<int>* placement = plan.PlacementFor(searched.name);
+    if (placement != nullptr &&
+        static_cast<int>(placement->size()) == sync.partitions) {
+      sync.placement = *placement;
+    }
+    variables.push_back(std::move(sync));
+  }
+  IterationSimConfig config;
+  config.ps_local_aggregation = true;
+  config.ps_machine_level_pulls = true;
+  IterationSimulator sim(spec, std::move(variables), 2e-3, 4, config, arena);
+  return sim.MeasureIterationSeconds(3, 3);
+}
+
+TEST(PlacementSearchTest, TwoRackPlacedPlanBeatsBestObliviousPlan) {
+  PartitionSearchOptions options;
+  options.initial_partitions = 4;
+  options.max_partitions = 16;
+  options.warmup_iterations = 3;
+  options.measured_iterations = 3;
+
+  SimulationArena arena;
+  auto measure = [&](const PartitionPlan& plan) {
+    return MeasureTwoRackPlan(plan, &arena);
+  };
+
+  // The placement-oblivious baseline: the identical search with the placement pass off.
+  PartitionPlanSearchResult oblivious =
+      SearchPartitionPlan(measure, TwoRackSearchVariables(), options);
+  EXPECT_TRUE(oblivious.plan.placements().empty());
+
+  PartitionSearchOptions placed_options = options;
+  placed_options.placement.enabled = true;
+  placed_options.placement.num_machines = 4;
+  placed_options.placement.num_racks = 2;
+  placed_options.placement.nic_bandwidth = 1e9;
+  placed_options.placement.spine_bandwidth = 1e9;
+  PartitionPlanSearchResult placed =
+      SearchPartitionPlan(measure, TwoRackSearchVariables(), placed_options);
+
+  // The counts phases are identical, so the oblivious optimum IS the placed search's
+  // round-robin baseline — and the adopted placement must beat it on the simulated
+  // clock by a real margin (the tentpole's payoff).
+  ASSERT_FALSE(placed.plan.placements().empty()) << placed.plan.ToString();
+  EXPECT_EQ(placed.unplaced_seconds, oblivious.seconds);
+  EXPECT_LT(placed.seconds, oblivious.seconds * (1.0 - 0.01))
+      << "placed " << placed.plan.ToString() << " at " << placed.seconds
+      << "s vs oblivious " << oblivious.plan.ToString() << " at " << oblivious.seconds;
+
+  // Deterministic: the same search twice adopts the same placement.
+  SimulationArena second_arena;
+  auto second_measure = [&](const PartitionPlan& plan) {
+    return MeasureTwoRackPlan(plan, &second_arena);
+  };
+  PartitionPlanSearchResult again =
+      SearchPartitionPlan(second_measure, TwoRackSearchVariables(), placed_options);
+  EXPECT_EQ(again.plan, placed.plan);
+  EXPECT_EQ(again.seconds, placed.seconds);
 }
 
 TEST(SearchTest, PredictionInterpolatesWithinSampledRange) {

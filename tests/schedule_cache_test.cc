@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <tuple>
+#include <utility>
 
 #include "src/comm/collectives.h"
 
@@ -189,6 +191,55 @@ TEST(ScheduleCacheTest, RankRingAllGathervAcrossLayouts) {
                           CollectiveScheduleCache* cache) {
           return AddRankRingAllGatherv(graph, layout, blocks, deps, CollectiveOptions{},
                                        cache);
+        });
+  }
+}
+
+TEST(ScheduleCacheTest, TopologyAllReduceAcrossRackLayouts) {
+  // The rack-aware plan replays byte-identically from the cache, across machine/GPU/
+  // rack shapes, executed on a cluster whose spine links actually serialize.
+  for (auto [machines, gpus, racks] :
+       {std::tuple{2, 1, 2}, {4, 2, 2}, {8, 1, 2}, {6, 2, 3}}) {
+    SCOPED_TRACE(testing::Message() << machines << "x" << gpus << " racks=" << racks);
+    ClusterSpec spec = FlatSpec(machines, gpus);
+    spec.topology.num_racks = racks;
+    spec.topology.spine_bandwidth = 5e8;
+    spec.topology.spine_latency = 5e-6;
+    RankLayout layout{machines, gpus};
+    const int num_racks = racks;
+    ExpectCachedMatchesFresh(
+        spec,
+        [layout](TaskGraph& graph) {
+          std::vector<TaskId> deps;
+          for (int r = 0; r < layout.num_ranks(); ++r) {
+            deps.push_back(graph.AddDelay(1e-5 * (r % 3 + 1)));
+          }
+          return deps;
+        },
+        [layout, num_racks](TaskGraph& graph, const std::vector<TaskId>& deps,
+                            CollectiveScheduleCache* cache) {
+          return AddTopologyAllReduce(graph, layout, num_racks, 4'000'000, deps,
+                                      CollectiveOptions{}, cache);
+        });
+  }
+}
+
+TEST(ScheduleCacheTest, BroadcastAllGathervAcrossLayouts) {
+  for (auto [machines, gpus] : {std::pair{1, 2}, {2, 2}, {4, 1}}) {
+    SCOPED_TRACE(testing::Message() << machines << "x" << gpus);
+    RankLayout layout{machines, gpus};
+    ExpectCachedMatchesFresh(
+        FlatSpec(machines, gpus),
+        [layout](TaskGraph& graph) {
+          std::vector<TaskId> deps;
+          for (int r = 0; r < layout.num_ranks(); ++r) {
+            deps.push_back(graph.AddDelay(1e-5 * (r + 1)));
+          }
+          return deps;
+        },
+        [layout](TaskGraph& graph, const std::vector<TaskId>& deps,
+                 CollectiveScheduleCache* cache) {
+          return AddBroadcastAllGatherv(graph, layout, 250'000, 300'000, deps, cache);
         });
   }
 }

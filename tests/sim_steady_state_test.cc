@@ -178,6 +178,29 @@ INSTANTIATE_TEST_SUITE_P(Gatherv, SimulatorSteadyStateTest,
                          ::testing::Values(GathervAlgorithm::kRing,
                                            GathervAlgorithm::kBroadcast));
 
+TEST(SimulatorSteadyStateTest, RackedPlacedIterationIsAllocationFreeOnceWarm) {
+  // The hierarchical plans (spine links, rack-aware rings, pinned shard placements)
+  // must keep the zero-steady-state-allocation invariant the search relies on.
+  ClusterSpec spec = TinySpec();
+  spec.topology.num_racks = 2;
+  spec.topology.spine_bandwidth = 2e9;
+  spec.topology.spine_latency = 5e-6;
+  std::vector<VariableSync> vars = HybridVariables(6);
+  vars[0].placement = {0, 2, 1, 3, 0, 2};  // pin embedding shards across both racks
+  IterationSimulator sim(spec, std::move(vars), 4e-3, 4,
+                         HybridSimConfig(GathervAlgorithm::kRing));
+  Cluster cluster(spec);
+  SimTime t = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    t = sim.SimulateIteration(cluster, t);
+  }
+  size_t before = AllocCount();
+  for (int i = 0; i < 5; ++i) {
+    t = sim.SimulateIteration(cluster, t);
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+}
+
 TEST(SimulatorSteadyStateTest, RepeatedRunsAreIdentical) {
   IterationSimulator sim(TinySpec(), HybridVariables(6), 4e-3, 4,
                          HybridSimConfig(GathervAlgorithm::kRing));

@@ -208,6 +208,86 @@ TEST(RepartitionTest, TrainingTrajectoryUnchangedAcrossRepartition) {
   EXPECT_EQ(train(true), train(false));
 }
 
+TEST(RepartitionTest, PlacementRoundTripPreservesValuesAndStampsAssignment) {
+  // A placement is layout metadata: pinning the embedding's shards to explicit
+  // servers, moving them, and releasing them back to round-robin must preserve every
+  // variable bit-for-bit at each hop, and the placement must be visible in the
+  // SyncPlan exactly while a plan carries it.
+  WordLmModel model(SmallLm(929));
+  auto runner = SmallBuilder(model).WithManualPartitions(2).Build();
+  ASSERT_TRUE(runner.ok());
+  Rng rng(98);
+  for (int i = 0; i < 3; ++i) {
+    runner.value()->Step(model.TrainShards(4, rng));
+  }
+  VariableStore before = runner.value()->WorkerView();
+
+  auto expect_unchanged = [&](const char* hop) {
+    VariableStore view = runner.value()->WorkerView();
+    for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+      EXPECT_TRUE(AllClose(before.Get(static_cast<int>(v)),
+                           view.Get(static_cast<int>(v)), 0.0f))
+          << hop << ": " << model.graph()->variables()[v].name;
+    }
+  };
+  auto embedding_placement = [&]() -> const std::vector<int>& {
+    for (const VariableSync& sync : runner.value()->assignment()) {
+      if (sync.spec.name == "embedding") {
+        return sync.placement;
+      }
+    }
+    static const std::vector<int> none;
+    return none;
+  };
+
+  PartitionPlan pinned = PartitionPlan::Uniform(2);
+  pinned.SetPlacement("embedding", {1, 0});  // both pieces, swapped vs round-robin
+  runner.value()->Repartition(pinned);
+  expect_unchanged("pin");
+  EXPECT_EQ(embedding_placement(), (std::vector<int>{1, 0}));
+
+  PartitionPlan moved = PartitionPlan::Uniform(2);
+  moved.SetPlacement("embedding", {1, 1});  // migrate piece 1 across machines
+  runner.value()->Repartition(moved);
+  expect_unchanged("move");
+  EXPECT_EQ(embedding_placement(), (std::vector<int>{1, 1}));
+
+  runner.value()->Repartition(PartitionPlan::Uniform(2));  // release to round-robin
+  expect_unchanged("release");
+  EXPECT_TRUE(embedding_placement().empty());
+
+  // The layout metadata round-trips through the runner's adopted plan too.
+  EXPECT_EQ(runner.value()->partition_plan().PlacementFor("embedding"), nullptr);
+}
+
+TEST(RepartitionTest, TrajectoryUnchangedAcrossPlacementRoundTrip) {
+  // Placement changes mid-training must never touch the math: a run that pins, moves,
+  // and releases shard placements produces the exact losses of an untouched run.
+  auto train = [](bool place) {
+    WordLmModel model(SmallLm(930));
+    auto runner = RunnerBuilder(model.graph(), model.loss())
+                      .WithResources("m0:0,1;m1:0,1")
+                      .WithLearningRate(0.3f)
+                      .WithManualPartitions(2)
+                      .Build();
+    EXPECT_TRUE(runner.ok());
+    Rng rng(99);
+    std::vector<float> losses;
+    for (int i = 0; i < 9; ++i) {
+      if (place && (i == 3 || i == 6)) {
+        PartitionPlan plan = PartitionPlan::Uniform(2);
+        if (i == 3) {
+          plan.SetPlacement("embedding", {1, 0});
+        }  // i == 6 releases the placement again
+        runner.value()->Repartition(plan);
+      }
+      losses.push_back(runner.value()->Step(model.TrainShards(4, rng)));
+    }
+    return losses;
+  };
+  EXPECT_EQ(train(true), train(false));
+}
+
 TEST(SyncEngineInterfaceTest, PreparedEnginesExposeManagedViews) {
   // Direct interface use: Prepare routes, View exposes exactly the managed variables.
   WordLmModel model(SmallLm(927));
