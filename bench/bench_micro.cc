@@ -7,6 +7,7 @@
 
 #include "src/base/rng.h"
 #include "src/comm/collectives.h"
+#include "src/core/api.h"
 #include "src/core/cost_model.h"
 #include "src/core/iteration_sim.h"
 #include "src/graph/executor.h"
@@ -792,6 +793,30 @@ BENCHMARK(BM_ExecutorRunStep);
 
 void BM_ExecutorRunStepScratch(benchmark::State& state) { RunStepBench(state, true); }
 BENCHMARK(BM_ExecutorRunStepScratch);
+
+// ---- Elastic rescale ------------------------------------------------------------------
+
+// One grow + one shrink per iteration: shard migration cost estimation, stale-placement
+// sanitization, partition re-search on the new cluster, and the engine re-Prepare pass
+// (docs/elasticity.md). This is the full control-plane cost of a membership change.
+void BM_RescaleMigration(benchmark::State& state) {
+  WordLmModel model({.vocab_size = 2000, .embedding_dim = 32, .hidden_dim = 16,
+                     .batch_per_rank = 32, .seed = 31});
+  ParallaxConfig config;
+  config.learning_rate = 0.1f;
+  config.search.warmup_iterations = 2;
+  config.search.measured_iterations = 2;
+  GraphRunner runner(model.graph(), model.loss(), ResourceSpec::Homogeneous(2, 1),
+                     config);
+  Rng rng(32);
+  runner.Step(model.TrainShards(2, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Rescale(ResourceSpec::Homogeneous(4, 1)));
+    benchmark::DoNotOptimize(runner.Rescale(ResourceSpec::Homogeneous(2, 1)));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RescaleMigration);
 
 }  // namespace
 }  // namespace parallax

@@ -1,5 +1,7 @@
 #include "src/ar/ar_numeric.h"
 
+#include <algorithm>
+
 #include "src/tensor/tensor_ops.h"
 
 namespace parallax {
@@ -17,10 +19,20 @@ ArNumericEngine::ArNumericEngine(const Graph* graph, int num_ranks, ArNumericCon
 
 void ArNumericEngine::Prepare(const SyncPlan& plan) {
   // Replicas persist (value-preserving re-Prepare); only the routing and aggregation
-  // semantics are refreshed.
+  // semantics are refreshed — unless the plan's rank count moved (an elastic rescale),
+  // in which case the replica set grows or shrinks around the incumbent values.
   config_.dense_aggregation = plan.dense_aggregation;
   config_.sparse_aggregation = plan.sparse_aggregation;
   config_.managed_variables = plan.ManagedBy(name());
+  const size_t ranks = static_cast<size_t>(std::max(plan.num_ranks, 1));
+  if (ranks < replicas_.size()) {
+    replicas_.resize(ranks);
+  }
+  while (replicas_.size() < ranks) {
+    // Between steps every replica holds identical values, so a joining rank bootstraps
+    // from a deep copy of replica 0 — the broadcast a real AR job performs on join.
+    replicas_.push_back(replicas_.front().Clone());
+  }
 }
 
 VariableStore ArNumericEngine::View() const {
@@ -84,6 +96,18 @@ void ArNumericEngine::ApplyStep(const std::vector<StepResult>& per_rank,
   }
   if (!config_.skip_consistency_check) {
     CheckReplicasConsistent();
+  }
+}
+
+void ArNumericEngine::LoadValues(const VariableStore& values) {
+  for (size_t v = 0; v < graph_->variables().size(); ++v) {
+    const int key = static_cast<int>(v);
+    if (!Manages(key) || !values.Contains(key)) {
+      continue;
+    }
+    for (VariableStore& replica : replicas_) {
+      replica.Set(key, values.Get(key).Clone());
+    }
   }
 }
 

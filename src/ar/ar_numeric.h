@@ -36,6 +36,10 @@ class ArNumericEngine : public SyncEngine {
   ArNumericEngine(const Graph* graph, int num_ranks, ArNumericConfig config = {});
 
   // SyncEngine:
+  // Refreshes routing/aggregation semantics, and — when the plan's rank count moved
+  // (GraphRunner::Rescale) — resizes the replica set value-preservingly: joining ranks
+  // clone the incumbent replica (all replicas are identical between steps), leaving
+  // ranks are dropped. Values never change across a Prepare, only the replica count.
   void Prepare(const SyncPlan& plan) override;
   // One synchronous step: aggregates per-rank gradients with collective semantics and
   // applies the result to every replica.
@@ -47,6 +51,9 @@ class ArNumericEngine : public SyncEngine {
     return kind == GradKind::kSparse ? SyncMethod::kArAllGatherv
                                      : SyncMethod::kArAllReduce;
   }
+  // Checkpoint restore: every replica adopts the managed variables' loaded values
+  // (deep copies — replicas must never share buffers).
+  void LoadValues(const VariableStore& values) override;
 
   // Rank r's replica (all replicas are identical after any step).
   const VariableStore& replica(int rank) const;

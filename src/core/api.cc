@@ -64,6 +64,16 @@ RunnerBuilder& RunnerBuilder::WithAdaptivePartitioning(AdaptivePartitioningPolic
   return *this;
 }
 
+RunnerBuilder& RunnerBuilder::WithCheckpoint(std::string path, int interval_steps,
+                                             double disk_bandwidth) {
+  CheckpointConfig checkpoint;
+  checkpoint.path = std::move(path);
+  checkpoint.interval_steps = interval_steps;
+  checkpoint.disk_bandwidth = disk_bandwidth;
+  config_.checkpoint = std::move(checkpoint);
+  return *this;
+}
+
 RunnerBuilder& RunnerBuilder::WithLearningRate(float learning_rate) {
   config_.learning_rate = learning_rate;
   return *this;
@@ -159,6 +169,19 @@ StatusOr<std::unique_ptr<GraphRunner>> RunnerBuilder::Build() const {
       return Status::InvalidArgument(
           "WithAdaptivePartitioning: warmup/cooldown must be >= 0 and "
           "check_interval >= 1");
+    }
+  }
+  if (config_.checkpoint.has_value()) {
+    const CheckpointConfig& checkpoint = *config_.checkpoint;
+    if (checkpoint.path.empty()) {
+      return Status::InvalidArgument("WithCheckpoint: empty checkpoint path");
+    }
+    if (checkpoint.interval_steps < 0) {
+      return Status::InvalidArgument(
+          "WithCheckpoint: interval_steps must be >= 0 (0 = on-demand only)");
+    }
+    if (!(checkpoint.disk_bandwidth > 0.0)) {
+      return Status::InvalidArgument("WithCheckpoint: disk_bandwidth must be > 0");
     }
   }
   return std::make_unique<GraphRunner>(graph_, loss_, resources_, config_);

@@ -83,6 +83,15 @@ class RunnerBuilder {
   // GraphRunner::sparsity_monitor(). See docs/adaptivity.md.
   RunnerBuilder& WithAdaptivePartitioning(AdaptivePartitioningPolicy policy = {});
 
+  // Periodic checkpointing (docs/elasticity.md): every `interval_steps` applied steps
+  // the runner writes the full variable state + training clock to `path`
+  // (interval_steps == 0: on-demand GraphRunner::Checkpoint() only). A dead run
+  // resumes via a fresh runner + RestoreFrom(path) and replays at most interval_steps
+  // steps, bit-for-bit. Writes/reads charge the file's bytes over `disk_bandwidth`
+  // to the *simulated* clock; the numerics are untouched.
+  RunnerBuilder& WithCheckpoint(std::string path, int interval_steps,
+                                double disk_bandwidth = 2e9);
+
   RunnerBuilder& WithLearningRate(float learning_rate);
   RunnerBuilder& WithLocalAggregation(bool enabled);
   RunnerBuilder& WithAggregation(AggregationMethod dense, AggregationMethod sparse);

@@ -1,5 +1,7 @@
 // Resource specification — the paper's resource_info_file (section 4.1): which machines
 // participate and which GPUs each contributes. Parsed from "host:gpu,gpu;host:gpu" text.
+// This is the *initial* membership: GraphRunner::Rescale(ResourceSpec) swaps it
+// mid-training, migrating shards value-preservingly (docs/elasticity.md).
 #ifndef PARALLAX_SRC_CORE_RESOURCES_H_
 #define PARALLAX_SRC_CORE_RESOURCES_H_
 

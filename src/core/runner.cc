@@ -27,8 +27,12 @@ GraphRunner::GraphRunner(const Graph* graph, NodeId loss, const ResourceSpec& re
 
 void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_feeds) {
   // 1. Sample backward passes on the initial values to classify variables and measure
-  //    alpha (section 5: gradient type identifies sparsity).
-  VariableStore initial = VariableStore::InitFrom(*graph_);
+  //    alpha (section 5: gradient type identifies sparsity). A deferred RestoreFrom
+  //    supplies the initial values instead: the sampled alphas then describe the
+  //    workload at the restored parameters, not a cold start.
+  VariableStore initial = pending_restore_.has_value()
+                              ? pending_restore_->store.Clone()
+                              : VariableStore::InitFrom(*graph_);
   std::vector<StepResult> samples;
   size_t sample_count = std::min<size_t>(per_rank_feeds.size(), 4);
   samples.reserve(sample_count);
@@ -160,6 +164,21 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
   RebuildTimingPlane();
   cluster_ = std::make_unique<Cluster>(cluster_spec_);
   MaybeStartMonitor();
+
+  // Deferred RestoreFrom: the engines exist now, so the checkpointed values replace
+  // the freshly initialized ones and the training clock resumes where the file says,
+  // plus the read charge. Replay from here is bit-for-bit regardless of the layout
+  // the search above picked — partitioning never affects numerics.
+  if (pending_restore_.has_value()) {
+    for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+      engine->LoadValues(pending_restore_->store);
+    }
+    iterations_ = pending_restore_->meta.step;
+    simulated_seconds_ =
+        pending_restore_->meta.simulated_seconds + pending_restore_->read_seconds;
+    last_checkpoint_step_ = pending_restore_->meta.step;
+    pending_restore_.reset();
+  }
   initialized_ = true;
 }
 
@@ -256,18 +275,32 @@ std::vector<PartitionSearchVariable> GraphRunner::SearchTargets() const {
 }
 
 double GraphRunner::MigrationSeconds(const std::vector<VariableSync>& to) const {
-  PX_CHECK_EQ(to.size(), plan_.variables.size());
+  // Same-membership shim: both layouts live on the current cluster.
+  const Topology topology(cluster_spec_);
+  return MigrationSecondsBetween(plan_.variables, cluster_spec_.num_machines, to,
+                                 cluster_spec_.num_machines, topology);
+}
+
+double GraphRunner::MigrationSecondsBetween(const std::vector<VariableSync>& from,
+                                            int from_machines,
+                                            const std::vector<VariableSync>& to,
+                                            int to_machines,
+                                            const Topology& topology) const {
+  PX_CHECK_EQ(to.size(), from.size());
+  PX_CHECK_GE(from_machines, 1);
+  PX_CHECK_GE(to_machines, 1);
   // Placement-aware estimate: resolve both layouts to effective shard servers with the
   // one ownership rule the simulator and the engines use (ResolveShardServers), then
   // walk each variable's old and new piece ranges in lockstep. Only overlap bytes whose
   // owning server changes move, over the actual path's bottleneck link — a piece that
   // stays put is free even when its neighbours re-split, and a same-rack move never
   // gets charged spine bandwidth it would not use. Every piece that sends or receives
-  // any bytes costs one round of request handling.
-  const int machines = cluster_spec_.num_machines;
-  const Topology topology(cluster_spec_);
-  const std::vector<int> from_servers = ResolveShardServers(plan_.variables, machines);
-  const std::vector<int> to_servers = ResolveShardServers(to, machines);
+  // any bytes costs one round of request handling. The two layouts may live on
+  // different machine counts (a rescale): survivors keep their machine indices, so
+  // `topology` must be the larger membership's — it covers every index either side
+  // resolves to.
+  const std::vector<int> from_servers = ResolveShardServers(from, from_machines);
+  const std::vector<int> to_servers = ResolveShardServers(to, to_machines);
 
   // Element range of piece `piece` out of `count` — the same base/remainder split the
   // simulator's shards and the PS engine's row splitter apply.
@@ -284,7 +317,7 @@ double GraphRunner::MigrationSeconds(const std::vector<VariableSync>& to) const 
   size_t from_base = 0;
   size_t to_base = 0;
   for (size_t v = 0; v < to.size(); ++v) {
-    const VariableSync& from_sync = plan_.variables[v];
+    const VariableSync& from_sync = from[v];
     const VariableSync& to_sync = to[v];
     PX_CHECK(from_sync.method == to_sync.method);
     if (from_sync.method != SyncMethod::kPs) {
@@ -381,6 +414,210 @@ void GraphRunner::Repartition(const PartitionPlan& plan) {
 void GraphRunner::Repartition(int sparse_partitions) {
   PX_CHECK_GE(sparse_partitions, 1);
   Repartition(PartitionPlan::Uniform(sparse_partitions));
+}
+
+Status GraphRunner::Rescale(const ResourceSpec& to) {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "Rescale before the first Step — there is no layout to migrate yet");
+  }
+  if (to.total_gpus() < 1) {
+    return Status::InvalidArgument("Rescale target has no GPUs");
+  }
+  if (!to.IsHomogeneous()) {
+    return Status::InvalidArgument(
+        "Rescale target must be homogeneous (same GPU count on every machine)");
+  }
+  const ClusterSpec to_spec = to.ToClusterSpec(config_.hardware);
+  if (to_spec.num_machines == cluster_spec_.num_machines &&
+      to_spec.gpus_per_machine == cluster_spec_.gpus_per_machine) {
+    // Hostnames may differ; the simulated shape is identical, so nothing migrates.
+    resources_ = to;
+    return Status::Ok();
+  }
+
+  // Snapshot the outgoing membership — the migration estimate needs both sides.
+  const std::vector<VariableSync> from_variables = plan_.variables;
+  const ClusterSpec from_spec = cluster_spec_;
+  const int from_ranks = num_ranks();
+  const PartitionPlan from_plan = partition_plan_;
+
+  resources_ = to;
+  cluster_spec_ = to_spec;
+  plan_.num_ranks = num_ranks();
+  plan_.ranks_per_machine = cluster_spec_.gpus_per_machine;
+
+  // A placement naming a departed server is stale intent: clear it before any layout
+  // is resolved or simulated on the new cluster, or ResolveShardServers would be
+  // handed out-of-range machine indices.
+  const auto placements = partition_plan_.placements();
+  for (const auto& [name, placement] : placements) {
+    bool departed = false;
+    for (int server : placement) {
+      departed = departed || server >= cluster_spec_.num_machines;
+    }
+    if (departed) {
+      partition_plan_.SetPlacement(name, {});
+    }
+  }
+
+  // Re-search against the NEW topology, adopting the result only if it simulates
+  // faster there than the incumbent layout does — the incumbent never loses to its
+  // own re-search, so adopted_seconds <= incumbent_seconds by construction.
+  auto measure_plan = [&](const PartitionPlan& plan) {
+    IterationSimulator sim(cluster_spec_, VariablesWithPartitions(plan),
+                           config_.gpu_compute_seconds, config_.compute_chunks,
+                           MakeSimConfig(), sim_arena_.get());
+    return sim.MeasureIterationSeconds(config_.search.warmup_iterations,
+                                       config_.search.measured_iterations);
+  };
+  const double incumbent_seconds = measure_plan(partition_plan_);
+  PartitionPlan best_plan = partition_plan_;
+  double best_seconds = incumbent_seconds;
+  bool has_partitioned_sparse = false;
+  for (size_t v = 0; v < plan_.variables.size(); ++v) {
+    has_partitioned_sparse =
+        has_partitioned_sparse ||
+        (graph_->variables()[v].partitioner_scope &&
+         sparsity_.at(static_cast<int>(v)).kind == GradKind::kSparse &&
+         plan_.variables[v].method == SyncMethod::kPs);
+  }
+  if (config_.auto_partition && has_partitioned_sparse) {
+    PartitionSearchOptions search = SearchOptionsForCluster();
+    search.initial_partitions = cluster_spec_.num_machines;
+    std::vector<PartitionSearchVariable> targets;
+    if (config_.search_mode == PartitionSearchMode::kPerVariable) {
+      targets = SearchTargets();
+    }
+    if (!targets.empty()) {
+      PartitionPlanSearchResult result = SearchPartitionPlan(measure_plan, targets, search);
+      if (result.seconds < best_seconds) {
+        best_plan = result.plan;
+        best_seconds = result.seconds;
+      }
+    } else {
+      auto measure = [&](int partitions) {
+        return measure_plan(PartitionPlan::Uniform(partitions));
+      };
+      PartitionSearchResult result = SearchPartitions(measure, search);
+      const double seconds = measure(result.best_partitions);
+      if (seconds < best_seconds) {
+        best_plan = PartitionPlan::Uniform(result.best_partitions);
+        best_seconds = seconds;
+      }
+    }
+  }
+
+  partition_plan_ = best_plan;
+  plan_.variables = VariablesWithPartitions(partition_plan_);
+  plan_.sparse_partitions = partition_plan_.MaxPartitions();
+  // Every engine re-Prepares: the rank count changed for all of them. AR resizes its
+  // replica set around the incumbent values; PS re-splits only the variables the
+  // adopted plan actually moved. Both are value-preserving, which is what makes an
+  // immediate N -> M -> N round trip bit-identical.
+  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+    engine->Prepare(plan_);
+  }
+
+  // Charge the shard migration over the larger membership's topology (survivors keep
+  // their machine indices, so it covers every index either side resolves to).
+  const Topology topology(from_spec.num_machines >= cluster_spec_.num_machines
+                              ? from_spec
+                              : cluster_spec_);
+  const double migration_seconds =
+      MigrationSecondsBetween(from_variables, from_spec.num_machines, plan_.variables,
+                              cluster_spec_.num_machines, topology);
+  simulated_seconds_ += migration_seconds;
+
+  RebuildTimingPlane();
+  cluster_ = std::make_unique<Cluster>(cluster_spec_);
+  if (monitor_ != nullptr) {
+    monitor_->NoteMembershipChange();
+  }
+
+  RescaleEvent event;
+  event.step = iterations_;
+  event.from_machines = from_spec.num_machines;
+  event.to_machines = cluster_spec_.num_machines;
+  event.from_ranks = from_ranks;
+  event.to_ranks = num_ranks();
+  event.from_plan = from_plan;
+  event.to_plan = partition_plan_;
+  event.incumbent_seconds = incumbent_seconds;
+  event.adopted_seconds = best_seconds;
+  event.migration_seconds = migration_seconds;
+  rescale_trail_.push_back(std::move(event));
+  PX_LOG(Info) << "rescale at step " << iterations_ << ": " << from_spec.num_machines
+               << " -> " << cluster_spec_.num_machines << " machines (" << from_ranks
+               << " -> " << num_ranks() << " ranks), plan " << from_plan.ToString()
+               << " -> " << partition_plan_.ToString() << " (" << incumbent_seconds
+               << "s incumbent vs " << best_seconds
+               << "s adopted on the new topology, migration " << migration_seconds
+               << "s)";
+  return Status::Ok();
+}
+
+Status GraphRunner::Checkpoint() {
+  if (!config_.checkpoint.has_value()) {
+    return Status::FailedPrecondition(
+        "Checkpoint() without a checkpoint config (RunnerBuilder::WithCheckpoint); "
+        "use CheckpointTo(path) for one-off saves");
+  }
+  return CheckpointTo(config_.checkpoint->path);
+}
+
+Status GraphRunner::CheckpointTo(const std::string& path) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Checkpoint before the first Step");
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("empty checkpoint path");
+  }
+  const double bandwidth = config_.checkpoint.has_value()
+                               ? config_.checkpoint->disk_bandwidth
+                               : CheckpointConfig{}.disk_bandwidth;
+  // The write occupies the cluster for bytes/bandwidth simulated seconds; the stored
+  // clock includes that charge, so a restore resumes from *after* the write finished.
+  const double write_seconds =
+      static_cast<double>(CheckpointFileBytes(*graph_)) / bandwidth;
+  CheckpointMeta meta;
+  meta.step = iterations_;
+  meta.simulated_seconds = simulated_seconds_ + write_seconds;
+  PX_RETURN_IF_ERROR(SaveCheckpoint(*graph_, ComposeView(), path, meta));
+  simulated_seconds_ += write_seconds;
+  last_checkpoint_step_ = iterations_;
+  ++checkpoints_written_;
+  return Status::Ok();
+}
+
+Status GraphRunner::RestoreFrom(const std::string& path) {
+  CheckpointMeta meta;
+  StatusOr<VariableStore> loaded = LoadCheckpoint(*graph_, path, &meta);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  const double bandwidth = config_.checkpoint.has_value()
+                               ? config_.checkpoint->disk_bandwidth
+                               : CheckpointConfig{}.disk_bandwidth;
+  const double read_seconds =
+      static_cast<double>(CheckpointFileBytes(*graph_)) / bandwidth;
+  if (!initialized_) {
+    // Deferred restore: the engines do not exist yet. The first Step samples the
+    // restored values and InitializeFromSamples applies them once the engines are
+    // prepared — so a fresh runner + RestoreFrom replays a dead run bit-for-bit.
+    // last_checkpoint_step_ is set now: the recovery driver reads it to decide which
+    // feeds to replay before it ever steps.
+    pending_restore_ = PendingRestore{std::move(loaded).value(), meta, read_seconds};
+    last_checkpoint_step_ = meta.step;
+    return Status::Ok();
+  }
+  for (const std::unique_ptr<SyncEngine>& engine : engines_) {
+    engine->LoadValues(loaded.value());
+  }
+  iterations_ = meta.step;
+  simulated_seconds_ = meta.simulated_seconds + read_seconds;
+  last_checkpoint_step_ = meta.step;
+  return Status::Ok();
 }
 
 void GraphRunner::MaybeStartMonitor() {
@@ -614,6 +851,12 @@ float GraphRunner::Step(const std::vector<FeedMap>& per_rank_feeds) {
   simulated_seconds_ = timing_->SimulateIteration(*cluster_, simulated_seconds_);
   ++iterations_;
   MaybeAdapt();
+  if (config_.checkpoint.has_value() && config_.checkpoint->interval_steps > 0 &&
+      iterations_ % config_.checkpoint->interval_steps == 0) {
+    const Status status = CheckpointTo(config_.checkpoint->path);
+    PX_CHECK(status.ok()) << "periodic checkpoint to '" << config_.checkpoint->path
+                          << "' failed: " << status.ToString();
+  }
   return loss_sum / static_cast<float>(num_ranks());
 }
 

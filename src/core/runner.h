@@ -24,6 +24,12 @@
 // The runner therefore produces both a *learning curve* (real losses/parameters) and a
 // *time axis* (simulated seconds) — the two ingredients of the paper's Figure 7.
 //
+// The resource set is NOT fixed for the runner's life: Rescale(ResourceSpec) swaps the
+// worker/server membership mid-training — shards migrate value-preservingly, the
+// partition/placement search re-runs against the new topology, and the migration's
+// bytes are charged to the simulated clock (docs/elasticity.md). Checkpoint/RestoreFrom
+// (WithCheckpoint) add crash recovery with replay bounded by the checkpoint interval.
+//
 // Engines are reached exclusively through the SyncEngine interface
 // (core/sync_engine.h); the runner never names a concrete engine type.
 // Repartition(plan) swaps the partition layout mid-training (values preserved),
@@ -44,6 +50,7 @@
 #include "src/core/sparsity_monitor.h"
 #include "src/core/sync_engine.h"
 #include "src/core/transform.h"
+#include "src/graph/checkpoint.h"
 #include "src/graph/executor.h"
 
 namespace parallax {
@@ -54,6 +61,36 @@ namespace parallax {
 struct EngineOverride {
   std::string pattern;
   std::string engine;
+};
+
+// Periodic checkpointing (RunnerBuilder::WithCheckpoint): the crash-recovery half of
+// elasticity (docs/elasticity.md). Every interval_steps applied steps the runner
+// writes the full variable state plus the training clock to `path`; a rank death
+// therefore replays at most interval_steps steps after RestoreFrom. Writes and reads
+// charge the checkpoint's bytes over disk_bandwidth to the *simulated* clock — the
+// recovery cost is honest while the numerics stay untouched.
+struct CheckpointConfig {
+  std::string path;
+  // 0 = no periodic writes; Checkpoint() still works on demand.
+  int interval_steps = 0;
+  // Bytes per second of the checkpoint store (simulated-clock charge only).
+  double disk_bandwidth = 2e9;
+};
+
+// One entry of the rescale trail: a membership change GraphRunner::Rescale performed.
+// Both seconds are measured on the NEW topology, so adopted_seconds <= incumbent_seconds
+// always holds — Rescale keeps the incumbent layout unless the re-search beats it.
+struct RescaleEvent {
+  int64_t step = 0;
+  int from_machines = 0;
+  int to_machines = 0;
+  int from_ranks = 0;
+  int to_ranks = 0;
+  PartitionPlan from_plan;
+  PartitionPlan to_plan;
+  double incumbent_seconds = 0.0;  // old layout simulated on the new cluster
+  double adopted_seconds = 0.0;    // layout in force after the rescale
+  double migration_seconds = 0.0;  // shard-move estimate charged to the clock
 };
 
 struct ParallaxConfig {
@@ -97,6 +134,9 @@ struct ParallaxConfig {
   // RunnerBuilder::WithAdaptivePartitioning). Disengaged when unset: the runner then
   // attaches no observer and every step is bit-identical to a pre-monitor run.
   std::optional<AdaptivePartitioningPolicy> adaptive_partitioning;
+  // Periodic checkpointing (normally filled by RunnerBuilder::WithCheckpoint).
+  // Disengaged when unset: Checkpoint()/CheckpointTo still work on demand.
+  std::optional<CheckpointConfig> checkpoint;
 };
 
 class GraphRunner {
@@ -118,6 +158,31 @@ class GraphRunner {
   void Repartition(const PartitionPlan& plan);
   // Uniform-plan shim: Repartition(PartitionPlan::Uniform(sparse_partitions)).
   void Repartition(int sparse_partitions);
+
+  // Elastic membership change (docs/elasticity.md): workers and servers join or leave
+  // mid-training. Values are preserved bit-for-bit — PS shards re-split around the
+  // current values, AR replicas clone on grow / truncate on shrink. The partition and
+  // placement search re-runs against the NEW cluster's topology, and the result is
+  // adopted only if it beats the incumbent layout simulated on that same topology
+  // (placements referencing departed machines are cleared first). The shard-migration
+  // estimate — placement-aware, surviving machines keep their indices so stay-put
+  // shards are free — is charged to the simulated clock, and the monitor (if any)
+  // re-anchors its baselines like an adopted drift verdict. Requires an initialized
+  // runner (the first Step samples the graph) and a homogeneous non-empty spec.
+  Status Rescale(const ResourceSpec& resources);
+
+  // Writes the full variable state + training clock to the configured checkpoint path
+  // (FailedPrecondition without WithCheckpoint). Charges the file's bytes over the
+  // configured disk bandwidth to the simulated clock.
+  Status Checkpoint();
+  // Same, to an explicit path (works without a CheckpointConfig).
+  Status CheckpointTo(const std::string& path);
+  // Loads a checkpoint into the live engines: values replace the current state, the
+  // step counter and simulated clock resume from the stored metadata plus the read
+  // charge. On an uninitialized runner the restore is deferred: the first Step samples
+  // the restored values and applies them once the engines exist — replay after a rank
+  // death is therefore bit-for-bit (partition layout never affects numerics).
+  Status RestoreFrom(const std::string& path);
 
   // ---- introspection ----
   int num_ranks() const { return resources_.total_gpus(); }
@@ -151,6 +216,14 @@ class GraphRunner {
   int adaptive_repartitions() const {
     return monitor_ != nullptr ? monitor_->repartition_count() : 0;
   }
+  // The membership in force (the constructor's spec until Rescale swaps it).
+  const ResourceSpec& resources() const { return resources_; }
+  // Every membership change performed, oldest first.
+  const std::vector<RescaleEvent>& rescale_trail() const { return rescale_trail_; }
+  int rescales() const { return static_cast<int>(rescale_trail_.size()); }
+  // Step at which the last checkpoint was written (or restored from); -1 if none.
+  int64_t last_checkpoint_step() const { return last_checkpoint_step_; }
+  int checkpoints_written() const { return checkpoints_written_; }
   // The chief worker's view of all variables (a fresh snapshot of every engine's View).
   VariableStore WorkerView() const;
 
@@ -175,6 +248,13 @@ class GraphRunner {
   // staying on its server moves nothing). Every piece that sends or receives bytes
   // costs one round of request handling.
   double MigrationSeconds(const std::vector<VariableSync>& to) const;
+  // Cross-membership generalization behind MigrationSeconds and Rescale: `from` and
+  // `to` resolve their shard servers against their own machine counts; `topology` must
+  // be the larger cluster's (its machine indices cover both sides — survivors keep
+  // their indices, so a shard on a surviving server moves nothing).
+  double MigrationSecondsBetween(const std::vector<VariableSync>& from, int from_machines,
+                                 const std::vector<VariableSync>& to, int to_machines,
+                                 const Topology& topology) const;
   // config_.search with the placement block filled from the cluster topology when
   // config_.search_placement asks for it (call sites still set initial_partitions).
   PartitionSearchOptions SearchOptionsForCluster() const;
@@ -226,6 +306,19 @@ class GraphRunner {
   // EWMAs back. Engines hold a raw pointer to the monitor, so it must outlive them
   // within any single step (both live for the runner's lifetime once created).
   std::unique_ptr<SparsityMonitor> monitor_;
+
+  // Elasticity state. rescale_trail_ records every membership change;
+  // pending_restore_ holds a checkpoint loaded before the first Step (applied to the
+  // engines the moment they exist, inside InitializeFromSamples).
+  std::vector<RescaleEvent> rescale_trail_;
+  struct PendingRestore {
+    VariableStore store;
+    CheckpointMeta meta;
+    double read_seconds = 0.0;
+  };
+  std::optional<PendingRestore> pending_restore_;
+  int64_t last_checkpoint_step_ = -1;
+  int checkpoints_written_ = 0;
 };
 
 }  // namespace parallax

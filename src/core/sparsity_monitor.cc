@@ -141,6 +141,18 @@ void SparsityMonitor::RecordVerdict(const AdaptationVerdict& verdict) {
   }
 }
 
+void SparsityMonitor::NoteMembershipChange() {
+  // A rescale is drift by another name: the layout was just re-searched against the
+  // new topology, so the measured state becomes the new baseline and the cooldown
+  // starts — otherwise the next check would re-litigate the rescale's own re-search.
+  last_check_step_ = steps_;
+  last_verdict_step_ = steps_;
+  any_verdict_ = true;
+  for (TrackedVariable& tracked : vars_) {
+    tracked.baseline = tracked.ewma;
+  }
+}
+
 double SparsityMonitor::MaxRelativeDrift(int* argmax_variable) const {
   double max_drift = -1.0;
   for (const TrackedVariable& tracked : vars_) {

@@ -148,6 +148,10 @@ class SparsityMonitor : public SparseAccessObserver {
   // Appends a re-search verdict to the trail, re-anchors every baseline to the
   // current EWMA, and starts the cooldown.
   void RecordVerdict(const AdaptationVerdict& verdict);
+  // The adaptive loop's rescale hook (GraphRunner::Rescale): membership change is
+  // treated like adopted drift — baselines re-anchor to the current EWMAs and the
+  // cooldown starts — without a trail entry (the runner keeps its own rescale trail).
+  void NoteMembershipChange();
 
   // Largest relative EWMA-vs-baseline deviation over tracked variables; the variable
   // attaining it is written to *argmax_variable (unchanged when nothing is tracked).

@@ -144,6 +144,16 @@ class SyncEngine {
   // ApplyStep/Prepare; callers that need a snapshot Clone() the store.
   virtual VariableStore View() const = 0;
 
+  // Overwrites the managed variables' current values from `values` (a full worker
+  // view, e.g. a loaded checkpoint), keeping the engine's layout — partition counts,
+  // placements, replica structure — untouched. The restore counterpart of the
+  // value-preserving re-Prepare: Prepare carries values across a layout change,
+  // LoadValues carries a layout across a value change (crash recovery,
+  // GraphRunner::RestoreFrom). Engines must copy, never alias, the incoming tensors.
+  // Only variables present in `values` AND managed by this engine move; the default
+  // no-op suits engines that hold no persistent state.
+  virtual void LoadValues(const VariableStore& values) { (void)values; }
+
   // Cost hook for the timing plane: how the iteration simulator models a variable of
   // this gradient kind when it is synchronized by this engine.
   virtual SyncMethod CostMethod(GradKind kind) const = 0;

@@ -36,6 +36,8 @@ class AsyncPsEngine : public SyncEngine {
   VariableStore View() const override { return engine_.CurrentValues(); }
   SyncMethod CostMethod(GradKind) const override { return SyncMethod::kPs; }
   bool SequentialArrival() const override { return true; }
+  // Checkpoint restore: the inner engine owns the shards, so it does the loading.
+  void LoadValues(const VariableStore& values) override { engine_.LoadValues(values); }
   // Forwarded to the inner engine, whose step path does the reporting. Each push is a
   // single-contributor apply, so observations arrive as per-worker access-ratio
   // samples (contributions == 1) — no union inversion needed.

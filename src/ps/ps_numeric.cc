@@ -139,6 +139,20 @@ void PsNumericEngine::Reconfigure(PsNumericConfig config) {
   variables_ = std::move(next);
 }
 
+void PsNumericEngine::LoadValues(const VariableStore& values) {
+  PX_CHECK_EQ(variables_.size(), graph_->variables().size())
+      << "LoadValues before Prepare/Reconfigure";
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (!Manages(static_cast<int>(v)) || !values.Contains(static_cast<int>(v))) {
+      continue;
+    }
+    // The PsVariable constructor splits (or clones) the incoming tensor, so the shards
+    // never alias the caller's buffer; the partition count in force is kept.
+    variables_[v] =
+        PsVariable(values.Get(static_cast<int>(v)), variables_[v].num_partitions());
+  }
+}
+
 bool PsNumericEngine::Manages(int variable_index) const {
   if (config_.managed_variables.empty()) {
     return true;

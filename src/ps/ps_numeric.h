@@ -104,6 +104,9 @@ class PsNumericEngine : public SyncEngine {
   void ApplyStep(const std::vector<StepResult>& per_rank, float learning_rate) override;
   VariableStore View() const override { return CurrentValues(); }
   SyncMethod CostMethod(GradKind) const override { return SyncMethod::kPs; }
+  // Re-splits each managed variable's shards around the values in `values` (checkpoint
+  // restore), keeping every partition count. Requires a prior Prepare/Reconfigure.
+  void LoadValues(const VariableStore& values) override;
 
   // Swaps in a new configuration, preserving the variables' current values. Only
   // variables whose partition count actually changes are materialized and re-split;

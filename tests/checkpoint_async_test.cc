@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/graph/checkpoint.h"
@@ -13,6 +16,23 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// The on-disk header layout of a v2 checkpoint (src/graph/checkpoint.cc): the
+// corruption tests below craft hostile files word by word.
+constexpr uint64_t kMagic = 0x70784c4158ull;
+constexpr uint64_t kVersion = 2;
+
+void WriteWords(const std::string& path, const std::vector<uint64_t>& words) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(words.data(), sizeof(uint64_t), words.size(), f), words.size());
+  std::fclose(f);
+}
+
+WordLmModel::Options TinyLm(uint64_t seed) {
+  return {.vocab_size = 40, .embedding_dim = 4, .hidden_dim = 6,
+          .batch_per_rank = 8, .seed = seed};
 }
 
 TEST(CheckpointTest, SaveLoadRoundTrip) {
@@ -60,6 +80,118 @@ TEST(CheckpointTest, LoadRejectsGarbage) {
   std::fputs("this is not a checkpoint", f);
   std::fclose(f);
   EXPECT_FALSE(LoadCheckpoint(*model.graph(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MetaRoundTrip) {
+  WordLmModel model(TinyLm(907));
+  VariableStore store = VariableStore::InitFrom(*model.graph());
+  std::string path = TempPath("ckpt_meta.px");
+  CheckpointMeta saved;
+  saved.step = 12345;
+  saved.simulated_seconds = 67.875;  // exactly representable: bits must round-trip
+  ASSERT_TRUE(SaveCheckpoint(*model.graph(), store, path, saved).ok());
+  CheckpointMeta loaded_meta;
+  auto loaded = LoadCheckpoint(*model.graph(), path, &loaded_meta);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded_meta.step, 12345);
+  EXPECT_EQ(loaded_meta.simulated_seconds, 67.875);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsTruncatedDataSection) {
+  // Cut a valid checkpoint mid-data: the loader must return a clean Status for every
+  // possible truncation point — never UB, never a partial store.
+  WordLmModel model(TinyLm(908));
+  VariableStore store = VariableStore::InitFrom(*model.graph());
+  std::string path = TempPath("ckpt_truncated.px");
+  ASSERT_TRUE(SaveCheckpoint(*model.graph(), store, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(full, CheckpointFileBytes(*model.graph()));
+  for (long keep : {full - 1, full / 2, full / 4, 5 * 8L, 3 * 8L, 8L, 1L}) {
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    std::vector<char> bytes(static_cast<size_t>(keep));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), in), bytes.size());
+    std::fclose(in);
+    std::string cut = TempPath("ckpt_cut.px");
+    std::FILE* out = std::fopen(cut.c_str(), "wb");
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), out), bytes.size());
+    std::fclose(out);
+    auto loaded = LoadCheckpoint(*model.graph(), cut);
+    EXPECT_FALSE(loaded.ok()) << "accepted a checkpoint truncated to " << keep << " bytes";
+    std::remove(cut.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsDimsOverflow) {
+  // A crafted header whose dims would overflow num_elements (or stall the allocator)
+  // must fail the bounds check BEFORE any shape or tensor is built.
+  WordLmModel model(TinyLm(909));
+  const uint64_t count = model.graph()->variables().size();
+  std::string path = TempPath("ckpt_overflow.px");
+  WriteWords(path, {kMagic, kVersion, /*step=*/0, /*seconds bits=*/0, count,
+                    /*index=*/0, /*rank=*/2, /*dims=*/1ull << 62, 1ull << 62});
+  auto loaded = LoadCheckpoint(*model.graph(), path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsAbsurdRank) {
+  WordLmModel model(TinyLm(910));
+  const uint64_t count = model.graph()->variables().size();
+  std::string path = TempPath("ckpt_rank.px");
+  // rank = 2^40: without the rank cap, the loader would try to read a trillion dims.
+  WriteWords(path, {kMagic, kVersion, 0, 0, count, /*index=*/0, /*rank=*/1ull << 40});
+  auto loaded = LoadCheckpoint(*model.graph(), path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsVariableCountMismatch) {
+  // A syntactically valid header whose variable count disagrees with the graph is a
+  // checkpoint from a different model — a precondition failure, not a parse error.
+  WordLmModel model(TinyLm(911));
+  const uint64_t count = model.graph()->variables().size();
+  std::string path = TempPath("ckpt_count.px");
+  WriteWords(path, {kMagic, kVersion, 0, 0, count + 3});
+  auto loaded = LoadCheckpoint(*model.graph(), path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsUnsupportedVersion) {
+  WordLmModel model(TinyLm(912));
+  std::string path = TempPath("ckpt_version.px");
+  WriteWords(path, {kMagic, /*version=*/99, 0, 0, 0});
+  auto loaded = LoadCheckpoint(*model.graph(), path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FailedSaveLeavesPreviousCheckpointIntact) {
+  // The atomic-write property the recovery path relies on: when a save cannot
+  // complete, the previous checkpoint at the target path survives untouched.
+  WordLmModel model(TinyLm(913));
+  VariableStore store = VariableStore::InitFrom(*model.graph());
+  store.GetMutable(0).mutable_floats()[0] = 7.25f;
+  std::string path = TempPath("ckpt_atomic.px");
+  ASSERT_TRUE(SaveCheckpoint(*model.graph(), store, path).ok());
+  // A save to an unwritable location fails cleanly...
+  EXPECT_FALSE(
+      SaveCheckpoint(*model.graph(), store, "/nonexistent-dir/nope.px").ok());
+  // ...and the original is still loadable with the original bits.
+  auto loaded = LoadCheckpoint(*model.graph(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().Get(0).floats()[0], 7.25f);
   std::remove(path.c_str());
 }
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "src/ar/ar_numeric.h"
 #include "src/base/rng.h"
 #include "src/core/api.h"
@@ -446,6 +449,59 @@ TEST(EngineEquivalenceTest, DistributedBatchEqualsBigBatchForDenseModel) {
     EXPECT_TRUE(AllClose(distributed.Get(static_cast<int>(v)),
                          big_batch.Get(static_cast<int>(v)), 1e-5f))
         << graph.variables()[v].name;
+  }
+}
+
+TEST(EngineEquivalenceTest, CheckpointingNeverTouchesTheNumerics) {
+  // The elasticity counterpart of the monitoring invariant above: a monitored,
+  // periodically-checkpointed, never-rescaled run must produce the exact losses and
+  // variable bits of a plain run on the same feeds. Checkpoint writes charge only the
+  // simulated clock — so the checkpointed clock runs AHEAD of the plain one while the
+  // learning curve stays bit-identical.
+  auto train = [](bool checkpointed, std::vector<float>* losses, double* clock) {
+    WordLmModel model(DriftingLm(/*seed=*/719, /*drift_step=*/6));
+    RunnerBuilder builder(model.graph(), model.loss());
+    builder.WithResources("m0:0,1;m1:0,1")
+        .WithLearningRate(kLr)
+        .WithSyncCosts(AccumulationDominatedCosts())
+        .WithCompute(2e-3, 4)
+        .WithSearch({.warmup_iterations = 2, .measured_iterations = 2});
+    AdaptivePartitioningPolicy policy;
+    policy.warmup_steps = 2;
+    policy.check_interval = 2;
+    policy.cooldown_steps = 2;
+    builder.WithAdaptivePartitioning(policy);
+    std::string path;
+    if (checkpointed) {
+      path = std::string(::testing::TempDir()) + "/equiv_ckpt.px";
+      builder.WithCheckpoint(path, /*interval_steps=*/3);
+    }
+    auto runner = builder.Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    Rng rng(5555);
+    for (int step = 0; step < 12; ++step) {
+      losses->push_back(runner.value()->Step(model.TrainShards(4, rng, step)));
+    }
+    if (checkpointed) {
+      EXPECT_EQ(runner.value()->checkpoints_written(), 4);
+      std::remove(path.c_str());
+    }
+    *clock = runner.value()->simulated_seconds();
+    return runner.value()->WorkerView();
+  };
+  std::vector<float> checkpointed_losses;
+  std::vector<float> plain_losses;
+  double checkpointed_clock = 0.0;
+  double plain_clock = 0.0;
+  VariableStore checkpointed_view =
+      train(true, &checkpointed_losses, &checkpointed_clock);
+  VariableStore plain_view = train(false, &plain_losses, &plain_clock);
+  EXPECT_EQ(checkpointed_losses, plain_losses);
+  EXPECT_GT(checkpointed_clock, plain_clock);
+  for (size_t v = 0; v < checkpointed_view.size(); ++v) {
+    EXPECT_TRUE(AllClose(checkpointed_view.Get(static_cast<int>(v)),
+                         plain_view.Get(static_cast<int>(v)), 0.0f))
+        << "variable " << v << " diverged under checkpointing";
   }
 }
 

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "src/base/rng.h"
 #include "src/core/api.h"
 #include "src/core/frameworks.h"
@@ -88,6 +92,122 @@ TEST(FailureInjectionTest, NumericsUnaffectedByHardwareDegradation) {
   auto [degraded_loss, degraded_time] = train(1.25e9);
   EXPECT_EQ(healthy_loss, degraded_loss);
   EXPECT_GT(degraded_time, healthy_time);
+}
+
+TEST(FailureInjectionTest, RankDeathRecoversFromLastCheckpointWithBoundedReplay) {
+  // The crash-recovery contract (docs/elasticity.md): a run that dies between
+  // checkpoints resumes from the LAST checkpoint via a fresh runner + RestoreFrom and
+  // replays at most interval_steps steps — and because partition layout never touches
+  // the numerics, the replayed steps reproduce the uninterrupted run bit-for-bit on
+  // the same sample sequence. The recovery is also honestly charged: the recovered
+  // clock ends strictly above the uninterrupted one (it paid the checkpoint read).
+  WordLmModel model({.vocab_size = 100, .embedding_dim = 8, .hidden_dim = 12,
+                     .batch_per_rank = 16, .seed = 811});
+  constexpr int kSteps = 12;
+  constexpr int kInterval = 4;
+  constexpr int kDeathStep = 10;  // dies 2 steps after the checkpoint at step 8
+  Rng feed_rng(91);
+  std::vector<std::vector<FeedMap>> feed_log;
+  feed_log.reserve(kSteps);
+  for (int i = 0; i < kSteps; ++i) {
+    feed_log.push_back(model.TrainShards(2, feed_rng));
+  }
+  auto build = [&](const std::string& path) {
+    auto runner = RunnerBuilder(model.graph(), model.loss())
+                      .WithResources(ResourceSpec::Homogeneous(2, 1))
+                      .WithLearningRate(0.4f)
+                      .WithSearch({.warmup_iterations = 2, .measured_iterations = 2})
+                      .WithCheckpoint(path, kInterval)
+                      .Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    return std::move(runner).value();
+  };
+
+  const std::string path_a = std::string(::testing::TempDir()) + "/fi_uninterrupted.px";
+  auto uninterrupted = build(path_a);
+  std::vector<float> reference_losses;
+  for (int i = 0; i < kSteps; ++i) {
+    reference_losses.push_back(uninterrupted->Step(feed_log[i]));
+  }
+
+  const std::string path_b = std::string(::testing::TempDir()) + "/fi_interrupted.px";
+  {
+    auto doomed = build(path_b);
+    for (int i = 0; i < kDeathStep; ++i) {
+      doomed->Step(feed_log[i]);
+    }
+    // Rank death: the runner is destroyed here with 2 steps of progress never saved.
+  }
+
+  auto recovered = build(path_b);
+  ASSERT_TRUE(recovered->RestoreFrom(path_b).ok());
+  ASSERT_EQ(recovered->last_checkpoint_step(), 8);
+  const int replayed = kSteps - static_cast<int>(recovered->last_checkpoint_step());
+  EXPECT_LE(replayed, kInterval);  // bounded replay: never more than one interval
+  std::vector<float> replay_losses;
+  for (int i = static_cast<int>(recovered->last_checkpoint_step()); i < kSteps; ++i) {
+    replay_losses.push_back(recovered->Step(feed_log[i]));
+  }
+  EXPECT_EQ(recovered->iterations(), kSteps);
+  for (int k = 0; k < replayed; ++k) {
+    EXPECT_EQ(replay_losses[static_cast<size_t>(k)],
+              reference_losses[static_cast<size_t>(kSteps - replayed + k)])
+        << "replayed step " << kSteps - replayed + k;
+  }
+  VariableStore recovered_view = recovered->WorkerView();
+  VariableStore reference_view = uninterrupted->WorkerView();
+  for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+    EXPECT_TRUE(AllClose(recovered_view.Get(static_cast<int>(v)),
+                         reference_view.Get(static_cast<int>(v)), 0.0f))
+        << model.graph()->variables()[v].name;
+  }
+  EXPECT_GT(recovered->simulated_seconds(), uninterrupted->simulated_seconds());
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(FailureInjectionTest, RestoreOntoLiveRunnerRewindsToTheCheckpoint) {
+  // The non-deferred restore path: RestoreFrom on an already-initialized runner swaps
+  // the live engine values and rewinds the step counter to the checkpoint's.
+  WordLmModel model({.vocab_size = 80, .embedding_dim = 6, .hidden_dim = 10,
+                     .batch_per_rank = 12, .seed = 812});
+  ParallaxConfig config;
+  config.learning_rate = 0.4f;
+  config.search.warmup_iterations = 2;
+  config.search.measured_iterations = 2;
+  GraphRunner runner(model.graph(), model.loss(), ResourceSpec::Homogeneous(2, 1),
+                     config);
+  Rng rng(92);
+  std::vector<std::vector<FeedMap>> feed_log;
+  for (int i = 0; i < 8; ++i) {
+    feed_log.push_back(model.TrainShards(2, rng));
+  }
+  for (int i = 0; i < 4; ++i) {
+    runner.Step(feed_log[static_cast<size_t>(i)]);
+  }
+  const std::string path = std::string(::testing::TempDir()) + "/fi_rewind.px";
+  ASSERT_TRUE(runner.CheckpointTo(path).ok());
+  VariableStore at_checkpoint = runner.WorkerView();
+  std::vector<float> first_pass;
+  for (int i = 4; i < 8; ++i) {
+    first_pass.push_back(runner.Step(feed_log[static_cast<size_t>(i)]));
+  }
+
+  ASSERT_TRUE(runner.RestoreFrom(path).ok());
+  EXPECT_EQ(runner.iterations(), 4);
+  VariableStore rewound = runner.WorkerView();
+  for (size_t v = 0; v < model.graph()->variables().size(); ++v) {
+    EXPECT_TRUE(AllClose(rewound.Get(static_cast<int>(v)),
+                         at_checkpoint.Get(static_cast<int>(v)), 0.0f))
+        << model.graph()->variables()[v].name;
+  }
+  // Replaying the same feeds reproduces the same losses, bit-for-bit.
+  std::vector<float> second_pass;
+  for (int i = 4; i < 8; ++i) {
+    second_pass.push_back(runner.Step(feed_log[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(first_pass, second_pass);
+  std::remove(path.c_str());
 }
 
 TEST(FailureInjectionTest, StragglerGpuStretchesEveryIteration) {
