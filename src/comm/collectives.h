@@ -140,10 +140,12 @@ class CollectiveScheduleCache {
   const SchedulePlan& BroadcastAllGatherv(const RankLayout& layout, int64_t block_bytes,
                                           int64_t inflated_bytes);
 
-  // Replay with cache-owned scratch.
+  // Replay with cache-owned scratch. Logically read-only (the plan set is untouched);
+  // the replay scratch it reuses is `mutable` state of the owning arena's thread, like
+  // everything else here — see the thread-ownership contract below.
   void Instantiate(const SchedulePlan& plan, TaskGraph& graph,
                    std::span<const int> machine_of_slot, std::span<const TaskId> deps,
-                   CollectiveSchedule* out) {
+                   CollectiveSchedule* out) const {
     InstantiatePlan(plan, graph, machine_of_slot, deps, out, &scratch_);
   }
 
@@ -169,10 +171,12 @@ class CollectiveScheduleCache {
   template <typename BuildFn>
   const SchedulePlan& Lookup(Key key, std::span<const int64_t> blocks, BuildFn&& build);
 
-  std::unordered_map<Key, SchedulePlan, KeyHash> plans_;
-  PlanScratch scratch_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  // Thread-ownership contract: every member below is owned by the one thread driving
+  // the enclosing SimulationArena — no internal locking anywhere in this class.
+  std::unordered_map<Key, SchedulePlan, KeyHash> plans_;  // owned by the arena's thread
+  mutable PlanScratch scratch_;  // replay scratch; reused (and mutated) by const Instantiate
+  size_t hits_ = 0;    // owned by the arena's thread
+  size_t misses_ = 0;  // owned by the arena's thread
 };
 
 // Ring AllReduce across `machines` (distinct machine ids, ring in the given order) moving

@@ -74,6 +74,11 @@ RunnerBuilder& RunnerBuilder::WithCheckpoint(std::string path, int interval_step
   return *this;
 }
 
+RunnerBuilder& RunnerBuilder::WithPlanner(std::shared_ptr<PlannerService> planner) {
+  config_.planner = std::move(planner);
+  return *this;
+}
+
 RunnerBuilder& RunnerBuilder::WithLearningRate(float learning_rate) {
   config_.learning_rate = learning_rate;
   return *this;

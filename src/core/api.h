@@ -92,6 +92,13 @@ class RunnerBuilder {
   RunnerBuilder& WithCheckpoint(std::string path, int interval_steps,
                                 double disk_bandwidth = 2e9);
 
+  // Routes this session's partition searches (startup, adaptive re-search, rescale)
+  // through a shared PlannerService: identical queries across sessions hit its plan
+  // cache or coalesce onto one in-flight search instead of simulating again. Pass the
+  // same service to every session of a multi-tenant process (docs/planner_service.md).
+  // Unset keeps the private-arena search — the default and the bit-for-bit oracle.
+  RunnerBuilder& WithPlanner(std::shared_ptr<PlannerService> planner);
+
   RunnerBuilder& WithLearningRate(float learning_rate);
   RunnerBuilder& WithLocalAggregation(bool enabled);
   RunnerBuilder& WithAggregation(AggregationMethod dense, AggregationMethod sparse);

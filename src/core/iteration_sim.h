@@ -59,33 +59,40 @@ struct IterationSimConfig {
 // sequence — the partition search constructs a fresh IterationSimulator per sampled P
 // but passes the same arena, so cached schedules and task storage persist across the
 // whole search and the steady-state iteration performs zero heap allocations
-// (tests/sim_steady_state_test.cc). Not thread-safe: one arena per simulating thread.
+// (tests/sim_steady_state_test.cc).
+//
+// Thread-ownership contract: NOT thread-safe — every member below is shared mutable
+// state owned by exactly one simulating thread at a time, with no internal locking.
+// Concurrent simulations take one arena each (the PlannerService's arena pool hands
+// them out RAII-style, src/service/planner_service.h); handing an arena to another
+// thread requires external synchronization for the transfer and exclusive use after.
 struct SimulationArena {
-  TaskGraph graph;
-  CollectiveScheduleCache schedules;
+  TaskGraph graph;                  // owned by the simulating thread; rebuilt/executed in place
+  CollectiveScheduleCache schedules;  // owned by the simulating thread; grows monotonically
 
   // DAG build cache bookkeeping: which simulator's iteration DAG currently occupies
   // `graph`, and a serial stamped on every rebuild. A simulator's iteration DAG depends
   // only on its (variables, config, layout), all fixed at construction, so re-simulating
   // with the same simulator skips the rebuild entirely and goes straight to Execute
   // (see IterationSimulator::SimulateIteration).
-  const void* built_by = nullptr;
-  uint64_t build_serial = 0;
+  const void* built_by = nullptr;  // owned by the simulating thread (cache tag, see above)
+  uint64_t build_serial = 0;       // owned by the simulating thread (cache tag, see above)
 
   // SimulateIteration scratch (iteration_sim.cc). avail/gate/chunk are the rank-major
   // DAG tables; the rest are small per-phase staging buffers. (The broadcast-gatherv
   // fan-in and per-collective done copies that used to live here are folded into
-  // cached SchedulePlans — see comm/collectives.h.)
-  std::vector<std::vector<TaskId>> avail;     // [rank][shard]
-  std::vector<std::vector<TaskId>> gate;      // [rank][variable]
-  std::vector<std::vector<TaskId>> chunk;     // [rank][chunk]
-  std::vector<TaskId> end_tasks;
-  std::vector<TaskId> deps;
-  std::vector<TaskId> collective_deps;
-  std::vector<TaskId> local_deps;
-  std::vector<int64_t> blocks;
-  std::vector<size_t> var_shards;
-  CollectiveSchedule schedule;
+  // cached SchedulePlans — see comm/collectives.h.) All owned by the simulating
+  // thread: overwritten by every build, valid only within one SimulateIteration.
+  std::vector<std::vector<TaskId>> avail;     // [rank][shard]; per-build scratch
+  std::vector<std::vector<TaskId>> gate;      // [rank][variable]; per-build scratch
+  std::vector<std::vector<TaskId>> chunk;     // [rank][chunk]; per-build scratch
+  std::vector<TaskId> end_tasks;              // per-build scratch
+  std::vector<TaskId> deps;                   // per-build scratch
+  std::vector<TaskId> collective_deps;        // per-build scratch
+  std::vector<TaskId> local_deps;             // per-build scratch
+  std::vector<int64_t> blocks;                // per-build scratch
+  std::vector<size_t> var_shards;             // per-build scratch
+  CollectiveSchedule schedule;                // per-collective replay target
 };
 
 // The effective server machine of every PS shard in `variables` (in variable order,

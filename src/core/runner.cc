@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/strings.h"
+#include "src/service/planner_service.h"
 
 namespace parallax {
 
@@ -132,7 +133,35 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
     if (config_.search_mode == PartitionSearchMode::kPerVariable) {
       targets = SearchTargets();
     }
-    if (!targets.empty()) {
+    if (config_.planner != nullptr) {
+      // Shared planning service: the search (or a memoized twin of it) runs on a
+      // pooled arena, coalesced with identical queries from other tenants. The
+      // introspection results a private search would have filled are synthesized from
+      // the service's answer.
+      PlannerResult answer = config_.planner->Plan(MakePlannerQuery(search, targets));
+      partition_plan_ = answer.plan;
+      if (!answer.uniform) {
+        PartitionPlanSearchResult synth;
+        synth.plan = answer.plan;
+        synth.seconds = answer.seconds;
+        synth.uniform_seconds = answer.uniform_seconds;
+        synth.uniform.best_partitions = answer.best_uniform_partitions;
+        synth.uniform.predicted_seconds = answer.uniform_seconds;
+        synth.evaluations = answer.evaluations;
+        plan_search_result_ = synth;
+        search_result_ = synth.uniform;
+      } else {
+        PartitionSearchResult synth;
+        synth.best_partitions = answer.best_uniform_partitions;
+        synth.predicted_seconds = answer.seconds;
+        search_result_ = synth;
+      }
+      PX_LOG(Info) << "partition search (shared planner): plan "
+                   << partition_plan_.ToString() << " after " << answer.evaluations
+                   << " sampling runs"
+                   << (answer.cache_hit ? " (cache hit)"
+                                        : (answer.coalesced ? " (coalesced)" : ""));
+    } else if (!targets.empty()) {
       plan_search_result_ = SearchPartitionPlan(measure_plan, targets, search);
       partition_plan_ = plan_search_result_->plan;
       search_result_ = plan_search_result_->uniform;
@@ -272,6 +301,32 @@ std::vector<PartitionSearchVariable> GraphRunner::SearchTargets() const {
     targets.push_back(std::move(target));
   }
   return targets;
+}
+
+PlannerQuery GraphRunner::MakePlannerQuery(
+    const PartitionSearchOptions& options,
+    const std::vector<PartitionSearchVariable>& targets) const {
+  PlannerQuery query;
+  query.variables.reserve(plan_.variables.size());
+  for (size_t v = 0; v < plan_.variables.size(); ++v) {
+    PlannerVariable variable;
+    variable.sync = plan_.variables[v];
+    // Same predicate as VariablesWithPartitions: these are the variables whose
+    // partitions/placement the searched plan will override (row-capped).
+    variable.partitioned = plan_.variables[v].method == SyncMethod::kPs &&
+                           graph_->variables()[v].partitioner_scope;
+    variable.rows = graph_->variables()[v].shape.rank() >= 1
+                        ? graph_->variables()[v].shape.dim(0)
+                        : 1;
+    query.variables.push_back(std::move(variable));
+  }
+  query.targets = targets;
+  query.cluster = cluster_spec_;
+  query.sim_config = MakeSimConfig();
+  query.gpu_compute_seconds = config_.gpu_compute_seconds;
+  query.compute_chunks = config_.compute_chunks;
+  query.options = options;
+  return query;
 }
 
 double GraphRunner::MigrationSeconds(const std::vector<VariableSync>& to) const {
@@ -489,7 +544,17 @@ Status GraphRunner::Rescale(const ResourceSpec& to) {
     if (config_.search_mode == PartitionSearchMode::kPerVariable) {
       targets = SearchTargets();
     }
-    if (!targets.empty()) {
+    if (config_.planner != nullptr) {
+      // The service searched at the bucket-representative alphas; re-measure its plan
+      // locally at the exact ones so the best-of against the incumbent stays
+      // apples-to-apples on this runner's own clock.
+      PlannerResult answer = config_.planner->Plan(MakePlannerQuery(search, targets));
+      const double seconds = measure_plan(answer.plan);
+      if (seconds < best_seconds) {
+        best_plan = answer.plan;
+        best_seconds = seconds;
+      }
+    } else if (!targets.empty()) {
       PartitionPlanSearchResult result = SearchPartitionPlan(measure_plan, targets, search);
       if (result.seconds < best_seconds) {
         best_plan = result.plan;
@@ -701,16 +766,27 @@ void GraphRunner::MaybeAdapt() {
     if (config_.search_mode == PartitionSearchMode::kPerVariable) {
       targets = SearchTargets();
     }
+    // Warm start the re-search when the drift is confined to a single variable:
+    // the other counts were right at the last verdict and their workloads have not
+    // moved, so the descent resumes from the incumbent plan and round 0 sweeps only
+    // the drifted coordinate — one sweep instead of a full search.
     if (!targets.empty()) {
-      // Warm start the re-search when the drift is confined to a single variable:
-      // the other counts were right at the last verdict and their workloads have not
-      // moved, so the descent resumes from the incumbent plan and round 0 sweeps only
-      // the drifted coordinate — one sweep instead of a full search.
       int drifted_targets = 0;
       for (const PartitionSearchVariable& target : targets) {
         drifted_targets += target.drifted ? 1 : 0;
       }
       search.warm_start = drifted_targets == 1;
+    }
+    if (config_.planner != nullptr) {
+      // Shared planner path: take its candidate but re-measure it locally at the
+      // measured (unsnapped) alphas, so the hysteresis comparison against
+      // current_seconds is the same measured-vs-measured test the private path runs.
+      PlannerResult answer = config_.planner->Plan(MakePlannerQuery(search, targets));
+      if (!same_layout(VariablesWithPartitions(answer.plan), plan_.variables)) {
+        best_plan = answer.plan;
+        best_seconds = measure_plan(answer.plan);
+      }
+    } else if (!targets.empty()) {
       // Per-variable re-search at the measured alphas (coordinate descent; the
       // uniform sweep inside seeds it, unless warm-started). Measured-vs-measured
       // comparison on the same arena, so the hysteresis test is deterministic and
@@ -818,31 +894,30 @@ float GraphRunner::Step(const std::vector<FeedMap>& per_rank_feeds) {
     // Barrier-free protocol (every engine is asynchronous): each rank computes against
     // the freshest values and its gradients are applied the moment they exist, so the
     // next rank sees them — the staleness of section 2.1, in deterministic rank order.
-    std::vector<StepResult> single(1);
+    step_results_.resize(1);
     for (int r = 0; r < num_ranks(); ++r) {
       VariableStore view = ComposeView();
-      single[0] = executor_.RunStep(view, per_rank_feeds[static_cast<size_t>(r)], loss_,
-                                    &exec_scratch_);
-      loss_sum += single[0].loss;
+      executor_.RunStepInto(view, per_rank_feeds[static_cast<size_t>(r)], loss_,
+                            &exec_scratch_, &step_results_[0]);
+      loss_sum += step_results_[0].loss;
       for (const std::unique_ptr<SyncEngine>& engine : engines_) {
-        engine->ApplyStep(single, config_.learning_rate);
+        engine->ApplyStep(step_results_, config_.learning_rate);
       }
     }
   } else {
     // Synchronous barrier: every replica computes on its shard against the step-start
     // view (shared across ranks — reads only, valid until the engines apply the step),
     // then every engine applies the batch to the variables the plan routes to it.
+    // step_results_[r] recycles rank r's gradient storage from the previous step.
     VariableStore view = ComposeView();
-    std::vector<StepResult> per_rank;
-    per_rank.reserve(per_rank_feeds.size());
+    step_results_.resize(per_rank_feeds.size());
     for (int r = 0; r < num_ranks(); ++r) {
-      StepResult result = executor_.RunStep(view, per_rank_feeds[static_cast<size_t>(r)],
-                                            loss_, &exec_scratch_);
-      loss_sum += result.loss;
-      per_rank.push_back(std::move(result));
+      executor_.RunStepInto(view, per_rank_feeds[static_cast<size_t>(r)], loss_,
+                            &exec_scratch_, &step_results_[static_cast<size_t>(r)]);
+      loss_sum += step_results_[static_cast<size_t>(r)].loss;
     }
     for (const std::unique_ptr<SyncEngine>& engine : engines_) {
-      engine->ApplyStep(per_rank, config_.learning_rate);
+      engine->ApplyStep(step_results_, config_.learning_rate);
     }
   }
 

@@ -55,6 +55,9 @@
 
 namespace parallax {
 
+class PlannerService;
+struct PlannerQuery;
+
 // Routes every variable whose name matches `pattern` (GlobMatch: '*'/'?') to the
 // registered engine `engine`. Later overrides win; unmatched variables follow the
 // hybrid rule ("ps" for sparse, "ar" for dense / high-alpha sparse).
@@ -137,6 +140,12 @@ struct ParallaxConfig {
   // Periodic checkpointing (normally filled by RunnerBuilder::WithCheckpoint).
   // Disengaged when unset: Checkpoint()/CheckpointTo still work on demand.
   std::optional<CheckpointConfig> checkpoint;
+  // Shared planning front-end (normally filled by RunnerBuilder::WithPlanner). When
+  // set, the startup search, adaptive re-searches, and rescale re-searches route
+  // through the service's cache/coalescing instead of searching on the private arena;
+  // a cache hit is byte-identical to what the private search would have produced.
+  // Unset = the private-arena path, the default and the bit-for-bit oracle.
+  std::shared_ptr<PlannerService> planner;
 };
 
 class GraphRunner {
@@ -263,6 +272,11 @@ class GraphRunner {
   // current alphas (startup-sampled at initialization, monitor-measured afterwards).
   // Requires plan_.variables to be routed, which both call sites guarantee.
   std::vector<PartitionSearchVariable> SearchTargets() const;
+  // Packages this runner's current search inputs (variables, targets, cluster, sim
+  // config, options) as a PlannerService query. The query fully determines the search
+  // outcome; alphas are the plan's current (startup-sampled or monitor-measured) ones.
+  PlannerQuery MakePlannerQuery(const PartitionSearchOptions& options,
+                                const std::vector<PartitionSearchVariable>& targets) const;
   // Creates the sparsity monitor and attaches it to the engines, when the config asks
   // for adaptive partitioning and the plan has monitorable variables.
   void MaybeStartMonitor();
@@ -280,6 +294,10 @@ class GraphRunner {
   // Gradient buffer plan: backward-pass scratch reused by every RunStep this runner
   // issues (sampling and training).
   ExecScratch exec_scratch_;
+  // Per-rank StepResults reused across training steps (RunStepInto recycles their map
+  // nodes and gradient storage, so steady-state steps stay off the allocator). Engines
+  // must not retain references into them past ApplyStep.
+  std::vector<StepResult> step_results_;
 
   bool initialized_ = false;
   std::unordered_map<int, VariableSparsity> sparsity_;

@@ -1,6 +1,7 @@
 #include "src/graph/executor.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/tensor/tensor_ops.h"
 
@@ -202,7 +203,8 @@ void Executor::Forward(const VariableStore& variables, const FeedMap& feeds, Nod
         break;
       }
       case OpType::kSoftmaxXentMean: {
-        float loss = SoftmaxCrossEntropy(in(0), in(1), nullptr);
+        Tensor& probs = scratch.NextTemp();
+        float loss = SoftmaxCrossEntropyInto(probs, in(0), in(1), nullptr);
         if (out.is_float() && out.shape().rank() == 0 && out.UniquelyOwned()) {
           out.mutable_floats()[0] = loss;
         } else {
@@ -224,33 +226,56 @@ Tensor Executor::RunForward(const VariableStore& variables, const FeedMap& feeds
 
 StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feeds,
                              NodeId loss, ExecScratch* scratch) const {
+  StepResult result;
+  RunStepInto(variables, feeds, loss, scratch, &result);
+  return result;
+}
+
+void Executor::RunStepInto(const VariableStore& variables, const FeedMap& feeds,
+                           NodeId loss, ExecScratch* scratch, StepResult* out) const {
+  PX_CHECK(out != nullptr);
   const auto& nodes = graph_->nodes();
   PX_CHECK(nodes[static_cast<size_t>(loss)].type == OpType::kSoftmaxXentMean)
       << "loss must be a SoftmaxXentMean node";
 
-  ExecScratch local;
-  ExecScratch& s = scratch != nullptr ? *scratch : local;
+  // The fallback scratch is constructed only when actually needed: ExecScratch's
+  // members (the temp deque in particular) allocate on construction, which would
+  // charge every scratch-carrying step for a scratch it never uses.
+  std::optional<ExecScratch> local;
+  ExecScratch& s = scratch != nullptr ? *scratch : local.emplace();
   Forward(variables, feeds, loss, s);
   std::vector<Tensor>& values = s.values;
   std::vector<uint8_t>& computed = s.computed;
 
-  StepResult result;
-  result.loss = values[static_cast<size_t>(loss)].at(0);
+  out->loss = values[static_cast<size_t>(loss)].at(0);
 
   // Per-node dense upstream gradients; sparse variable gradients accumulate separately.
   // Interior node_grad buffers persist across steps (the gradient buffer plan); variable
-  // nodes are reset so their gradients — which escape into the result — are fresh.
+  // nodes recycle the dense gradient that escaped into `out` last step — moving it back
+  // lets the *Into kernels below overwrite it in place. If the caller retained a copy,
+  // the kernels' unique-ownership check falls back to fresh storage.
   std::vector<Tensor>& node_grad = s.node_grad;
   std::vector<uint8_t>& has_grad = s.has_grad;
   node_grad.resize(nodes.size());
   has_grad.assign(nodes.size(), 0);
   for (size_t i = 0; i < nodes.size(); ++i) {
-    if (nodes[i].type == OpType::kVariable) {
-      node_grad[i] = Tensor();
+    if (nodes[i].type != OpType::kVariable) {
+      continue;
+    }
+    // No reset for the other variable nodes: whatever the slot holds (a moved-from
+    // tensor, or a stale gradient for a variable the loss no longer reaches) is either
+    // overwritten by the kernels below or never read — and a default Tensor is not
+    // free, its [0] shape and empty buffer both allocate.
+    auto it = out->grads.find(nodes[i].variable_index);
+    if (it != out->grads.end() && !it->second.is_sparse()) {
+      node_grad[i] = std::move(it->second.mutable_dense());
     }
   }
-  std::unordered_map<int, std::vector<IndexedSlices>>& sparse_grads = s.sparse_grads;
-  sparse_grads.clear();
+  auto& sparse_grads = s.sparse_grads;
+  for (auto& [variable_index, contributions] : sparse_grads) {
+    (void)variable_index;
+    contributions.clear();
+  }
 
   // Routes a producer kernel at the accumulation target: the first contribution writes
   // straight into the node's plan buffer; later ones go through a reusable temporary
@@ -266,9 +291,6 @@ StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feed
       AddInPlace(node_grad[i], tmp);
     }
   };
-  auto accumulate = [&](NodeId id, Tensor grad) {
-    emit(id, [&](Tensor& dst) { dst = std::move(grad); });
-  };
 
   for (NodeId id = loss; id >= 0; --id) {
     size_t i = static_cast<size_t>(id);
@@ -279,10 +301,11 @@ StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feed
     if (n.type == OpType::kSoftmaxXentMean) {
       // Seed: d(loss)/d(logits); upstream of the loss node itself is 1 (it is the fetch).
       PX_CHECK_EQ(id, loss) << "interior SoftmaxXentMean nodes are not differentiable here";
-      Tensor grad_logits;
-      SoftmaxCrossEntropy(values[static_cast<size_t>(n.inputs[0])],
-                          values[static_cast<size_t>(n.inputs[1])], &grad_logits);
-      accumulate(n.inputs[0], std::move(grad_logits));
+      Tensor& probs = s.NextTemp();
+      emit(n.inputs[0], [&](Tensor& dst) {
+        SoftmaxCrossEntropyInto(probs, values[static_cast<size_t>(n.inputs[0])],
+                                values[static_cast<size_t>(n.inputs[1])], &dst);
+      });
       continue;
     }
     if (!has_grad[i]) {
@@ -322,9 +345,9 @@ StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feed
       case OpType::kGather: {
         const Node& var_node = nodes[static_cast<size_t>(n.inputs[0])];
         const Tensor& ids = values[static_cast<size_t>(n.inputs[1])];
-        std::vector<int64_t> indices(ids.ints().begin(), ids.ints().end());
-        sparse_grads[var_node.variable_index].emplace_back(std::move(indices), g.Clone(),
-                                                           var_node.shape);
+        // `g` is final here — every consumer of this node has a higher id — so the
+        // contribution just views it; materialization happens at collection.
+        sparse_grads[var_node.variable_index].push_back({ids.ints(), &g});
         break;
       }
       case OpType::kGatherDotT: {
@@ -336,10 +359,9 @@ StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feed
         Tensor& selected = s.NextTemp();
         GatherRowsInto(selected, var_value, ids.ints());
         emit(n.inputs[0], [&](Tensor& dst) { MatMulInto(dst, g, selected); });
-        std::vector<int64_t> indices(ids.ints().begin(), ids.ints().end());
-        sparse_grads[var_node.variable_index].emplace_back(std::move(indices),
-                                                           MatMulTransposeA(g, x),
-                                                           var_node.shape);
+        Tensor& dselected = s.NextTemp();
+        MatMulTransposeAInto(dselected, g, x);
+        sparse_grads[var_node.variable_index].push_back({ids.ints(), &dselected});
         break;
       }
       case OpType::kSoftmaxXentMean:
@@ -349,31 +371,80 @@ StepResult Executor::RunStep(const VariableStore& variables, const FeedMap& feed
 
   // Collect per-variable gradients: dense upstream on the variable node, plus any sparse
   // contributions. A variable with both becomes dense (matching GradKind analysis).
+  // Results are materialized into `out`'s existing entries — map node, dense buffer, and
+  // IndexedSlices index/value storage are all reused in place — then entries for
+  // variables that no longer receive a gradient are dropped.
+  std::vector<uint8_t>& grad_present = s.grad_present;
+  grad_present.assign(graph_->variables().size(), 0);
   for (size_t v = 0; v < graph_->variables().size(); ++v) {
     const VariableDef& def = graph_->variables()[v];
     size_t node_index = static_cast<size_t>(def.node);
     bool dense_present = has_grad[node_index];
     auto sparse_it = sparse_grads.find(static_cast<int>(v));
-    bool sparse_present = sparse_it != sparse_grads.end();
+    bool sparse_present = sparse_it != sparse_grads.end() && !sparse_it->second.empty();
     if (!dense_present && !sparse_present) {
       continue;
     }
-    if (dense_present && !sparse_present) {
-      result.grads.emplace(static_cast<int>(v), GradValue::MakeDense(node_grad[node_index]));
-    } else if (!dense_present && sparse_present) {
-      IndexedSlices combined = sparse_it->second.size() == 1
-                                   ? std::move(sparse_it->second.front())
-                                   : IndexedSlices::Concat(sparse_it->second);
-      result.grads.emplace(static_cast<int>(v), GradValue::MakeSparse(std::move(combined)));
-    } else {
-      Tensor dense = node_grad[node_index].Clone();
-      for (const IndexedSlices& slices : sparse_it->second) {
-        ScatterAddInPlace(dense, slices);
+    grad_present[v] = 1;
+    GradValue& gv = out->grads[static_cast<int>(v)];
+    // Dense adoption reuses the entry in place when it is already dense — building a
+    // fresh GradValue default-constructs a Tensor, which allocates.
+    auto adopt_dense = [&gv](Tensor&& tensor) {
+      if (gv.is_sparse()) {
+        gv = GradValue::MakeDense(std::move(tensor));
+      } else {
+        gv.mutable_dense() = std::move(tensor);
       }
-      result.grads.emplace(static_cast<int>(v), GradValue::MakeDense(std::move(dense)));
+    };
+    if (!sparse_present) {
+      adopt_dense(std::move(node_grad[node_index]));
+    } else if (!dense_present) {
+      if (!gv.is_sparse()) {
+        gv = GradValue::MakeSparse(IndexedSlices());
+      }
+      IndexedSlices& dst = gv.mutable_sparse();
+      const auto& contributions = sparse_it->second;
+      if (contributions.size() == 1) {
+        dst.ResetForReuse(contributions.front().ids, def.shape);
+        CopyInto(dst.mutable_values(), *contributions.front().values);
+      } else {
+        std::vector<int64_t>& indices = s.concat_indices;
+        std::vector<const Tensor*>& parts = s.concat_parts;
+        indices.clear();
+        parts.clear();
+        for (const ExecScratch::SparseContribution& c : contributions) {
+          indices.insert(indices.end(), c.ids.begin(), c.ids.end());
+          parts.push_back(c.values);
+        }
+        dst.ResetForReuse(indices, def.shape);
+        ConcatRowsInto(dst.mutable_values(), parts);
+      }
+    } else {
+      adopt_dense(std::move(node_grad[node_index]));
+      auto dense = gv.mutable_dense().mutable_floats();
+      int64_t row = def.shape.row_elements();
+      // Inline scatter-add (contribution order, then row order) — the same accumulation
+      // order as ScatterAddInPlace over the previously materialized slices.
+      for (const ExecScratch::SparseContribution& c : sparse_it->second) {
+        auto src = c.values->floats();
+        for (size_t r = 0; r < c.ids.size(); ++r) {
+          float* d = dense.data() + c.ids[r] * row;
+          const float* sv = src.data() + static_cast<int64_t>(r) * row;
+          for (int64_t e = 0; e < row; ++e) {
+            d[e] += sv[e];
+          }
+        }
+      }
     }
   }
-  return result;
+  for (auto it = out->grads.begin(); it != out->grads.end();) {
+    if (static_cast<size_t>(it->first) < grad_present.size() &&
+        grad_present[static_cast<size_t>(it->first)] != 0) {
+      ++it;
+    } else {
+      it = out->grads.erase(it);
+    }
+  }
 }
 
 }  // namespace parallax

@@ -11,6 +11,7 @@
 #define PARALLAX_SRC_GRAPH_EXECUTOR_H_
 
 #include <deque>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -86,8 +87,10 @@ struct StepResult {
 // gradient tensors the backward pass writes into. Threading one ExecScratch through a
 // training loop makes RunStep reuse the same gradient buffers every step (shapes are
 // stable across steps, so after the first step the intermediate backward pass stops
-// touching the allocator); gradients that escape into the StepResult (variable nodes,
-// sparse slices) are always freshly allocated, so results never alias the scratch.
+// touching the allocator). Pairing a persistent scratch with a persistent StepResult
+// via RunStepInto extends the reuse to the escaping gradients too: the result's dense
+// buffers, IndexedSlices storage, and map nodes are recycled, making a steady-state
+// step allocation-free end to end.
 // Single-owner state, like a SparseWorkspace: one per thread of control.
 class ExecScratch {
  public:
@@ -106,15 +109,32 @@ class ExecScratch {
   const Graph* needed_graph = nullptr;
 
   // Backward tables. node_grad entries for interior nodes persist across steps and are
-  // reused via the *Into kernels; variable-node entries are reset each step (they
-  // escape into the StepResult).
+  // reused via the *Into kernels; variable-node entries are recycled from the previous
+  // StepResult (RunStepInto moves the escaped dense gradient back in, so the result and
+  // scratch buffers ping-pong across steps without touching the allocator).
   std::vector<Tensor> node_grad;
   std::vector<uint8_t> has_grad;
   // Gather/fan-in temporaries, acquired in deterministic order per step. A deque so
   // references stay valid while the pool grows mid-step.
   std::deque<Tensor> temps;
   size_t temp_cursor = 0;
-  std::unordered_map<int, std::vector<IndexedSlices>> sparse_grads;
+  // A sparse gradient contribution recorded during the backward pass: views into stable
+  // per-step storage — the graph's index tensor and a node_grad/temps slot (final by the
+  // time it is recorded; every consumer of the producing node has a higher id). Owning
+  // IndexedSlices are materialized only at collection time, straight into the reused
+  // StepResult storage.
+  struct SparseContribution {
+    std::span<const int64_t> ids;
+    const Tensor* values = nullptr;
+  };
+  // variable_index -> contributions. Vectors are cleared, never erased, each step, so
+  // the map nodes and vector capacity persist across steps.
+  std::unordered_map<int, std::vector<SparseContribution>> sparse_grads;
+  // Collection staging for multi-contribution concats, plus the per-variable presence
+  // set used to drop StepResult entries for variables no longer reached by the loss.
+  std::vector<int64_t> concat_indices;
+  std::vector<const Tensor*> concat_parts;
+  std::vector<uint8_t> grad_present;
 
   Tensor& NextTemp() {
     if (temp_cursor == temps.size()) {
@@ -136,6 +156,16 @@ class Executor {
   // buffer plan across steps. Results are bit-identical either way.
   StepResult RunStep(const VariableStore& variables, const FeedMap& feeds, NodeId loss,
                      ExecScratch* scratch = nullptr) const;
+
+  // Destination-passing RunStep: recycles `out`'s storage from the previous step — the
+  // grads map nodes, dense gradient buffers, and IndexedSlices index/value storage are
+  // all reused in place (entries for variables no longer reached by the loss are
+  // erased). With a persistent scratch AND a persistent `out`, a steady-state step
+  // performs no heap allocation at all. Bit-identical to RunStep, which wraps this.
+  // Callers that retain tensors out of a previous result keep correctness (the reuse
+  // checks fall back to fresh storage) but lose the allocation-free property.
+  void RunStepInto(const VariableStore& variables, const FeedMap& feeds, NodeId loss,
+                   ExecScratch* scratch, StepResult* out) const;
 
  private:
   // Evaluates all nodes needed for `fetch` into the scratch's forward tables.

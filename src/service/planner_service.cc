@@ -1,0 +1,403 @@
+#include "src/service/planner_service.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/core/partition_plan.h"
+
+namespace parallax {
+namespace {
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+  return h;
+}
+
+inline uint64_t MixDouble(uint64_t h, double v) { return Mix(h, std::bit_cast<uint64_t>(v)); }
+
+inline uint64_t MixString(uint64_t h, std::string_view s) {
+  uint64_t fnv = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    fnv = (fnv ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  }
+  return Mix(h, Mix(fnv, s.size()));
+}
+
+// Log-space alpha quantization: alphas within a relative factor of (1 + quantum) share
+// a bucket, so the representative's relative error is bounded by ~quantum/2 (see
+// docs/planner_service.md). Bucket 0 is alpha = 1.0 (dense); the clamp floor keeps
+// pathological alphas from producing unbounded bucket ids.
+int64_t AlphaBucket(double alpha, double quantum) {
+  if (quantum <= 0.0) {
+    return std::bit_cast<int64_t>(alpha);  // quantization disabled: exact bit identity
+  }
+  const double clamped = std::clamp(alpha, 1e-9, 1.0);
+  return std::llround(std::log(clamped) / std::log1p(quantum));
+}
+
+double BucketRepresentative(int64_t bucket, double quantum) {
+  return std::exp(static_cast<double>(bucket) * std::log1p(quantum));
+}
+
+uint64_t ModelFingerprint(const PlannerQuery& query) {
+  uint64_t h = 0x6d6f64656cull;  // "model"
+  h = Mix(h, query.variables.size());
+  for (const PlannerVariable& v : query.variables) {
+    h = MixString(h, v.sync.spec.name);
+    h = Mix(h, static_cast<uint64_t>(v.sync.spec.num_elements));
+    h = Mix(h, static_cast<uint64_t>(v.sync.spec.row_elements));
+    h = Mix(h, v.sync.spec.is_sparse ? 1 : 0);
+    h = Mix(h, static_cast<uint64_t>(v.sync.method));
+    h = Mix(h, v.partitioned ? 1 : 0);
+    h = Mix(h, static_cast<uint64_t>(v.rows));
+    if (!v.partitioned) {
+      // Fixed layout the plan does not control — part of the simulated model. For
+      // partitioned variables the searched plan overrides both fields, so including
+      // them would split identical searches across keys.
+      h = Mix(h, static_cast<uint64_t>(v.sync.partitions));
+      h = Mix(h, v.sync.placement.size());
+      for (int server : v.sync.placement) {
+        h = Mix(h, static_cast<uint64_t>(server));
+      }
+    }
+  }
+  h = Mix(h, query.targets.size());
+  for (const PartitionSearchVariable& t : query.targets) {
+    h = MixString(h, t.name);
+    h = Mix(h, static_cast<uint64_t>(t.num_elements));
+    h = Mix(h, static_cast<uint64_t>(t.max_partitions));
+    if (query.options.warm_start) {
+      // Warm-start state steers the search only when warm_start is set (the search
+      // never reads it otherwise — keying on it cold would split identical searches).
+      h = Mix(h, static_cast<uint64_t>(t.previous_partitions));
+      h = Mix(h, t.drifted ? 1 : 0);
+    }
+  }
+  return h;
+}
+
+uint64_t ResourcesFingerprint(const PlannerQuery& query) {
+  uint64_t h = 0x7265736f75726365ull;  // "resource"
+  const ClusterSpec& c = query.cluster;
+  h = Mix(h, static_cast<uint64_t>(c.num_machines));
+  h = Mix(h, static_cast<uint64_t>(c.gpus_per_machine));
+  h = Mix(h, static_cast<uint64_t>(c.cores_per_machine));
+  h = MixDouble(h, c.nic_bandwidth);
+  h = MixDouble(h, c.nic_latency);
+  h = MixDouble(h, c.pcie_bandwidth);
+  h = MixDouble(h, c.pcie_latency);
+  h = Mix(h, static_cast<uint64_t>(c.topology.num_racks));
+  h = MixDouble(h, c.topology.spine_bandwidth);
+  h = MixDouble(h, c.topology.spine_latency);
+  const IterationSimConfig& s = query.sim_config;
+  h = Mix(h, s.ps_local_aggregation ? 1 : 0);
+  h = Mix(h, s.ps_machine_level_pulls ? 1 : 0);
+  h = Mix(h, static_cast<uint64_t>(s.gatherv_algorithm));
+  h = Mix(h, s.include_index_bytes ? 1 : 0);
+  const SyncCostParams& p = s.costs;
+  h = MixDouble(h, p.sparse_agg_seconds_per_element);
+  h = MixDouble(h, p.sparse_update_seconds_per_element);
+  h = MixDouble(h, p.sparse_flush_seconds_per_element);
+  h = MixDouble(h, p.dense_agg_seconds_per_element);
+  h = MixDouble(h, p.dense_update_seconds_per_element);
+  h = MixDouble(h, p.request_overhead_seconds);
+  h = MixDouble(h, p.partition_overhead_seconds);
+  h = MixDouble(h, p.stitch_seconds_per_partition);
+  h = MixDouble(h, p.worker_dispatch_seconds_per_piece);
+  h = MixDouble(h, p.gpu_dense_apply_seconds_per_element);
+  h = MixDouble(h, p.gpu_sparse_apply_seconds_per_element);
+  h = MixDouble(h, p.collective_step_overhead_seconds);
+  h = MixDouble(h, p.gatherv_cross_machine_inflation);
+  h = Mix(h, static_cast<uint64_t>(p.gatherv_ring_threshold_bytes));
+  h = MixDouble(h, query.gpu_compute_seconds);
+  h = Mix(h, static_cast<uint64_t>(query.compute_chunks));
+  return h;
+}
+
+uint64_t OptionsFingerprint(const PartitionSearchOptions& o) {
+  uint64_t h = 0x6f7074696f6e73ull;  // "options"
+  h = Mix(h, static_cast<uint64_t>(o.initial_partitions));
+  h = Mix(h, static_cast<uint64_t>(o.min_partitions));
+  h = Mix(h, static_cast<uint64_t>(o.max_partitions));
+  h = Mix(h, static_cast<uint64_t>(o.warmup_iterations));
+  h = Mix(h, static_cast<uint64_t>(o.measured_iterations));
+  h = MixDouble(h, o.coordinate_margin);
+  h = Mix(h, static_cast<uint64_t>(o.max_coordinate_rounds));
+  h = Mix(h, o.warm_start ? 1 : 0);
+  h = Mix(h, o.placement.enabled ? 1 : 0);
+  h = Mix(h, static_cast<uint64_t>(o.placement.num_machines));
+  h = Mix(h, static_cast<uint64_t>(o.placement.num_racks));
+  h = MixDouble(h, o.placement.nic_bandwidth);
+  h = MixDouble(h, o.placement.spine_bandwidth);
+  h = Mix(h, static_cast<uint64_t>(o.placement.max_swap_rounds));
+  h = Mix(h, static_cast<uint64_t>(o.placement.max_swap_trials));
+  h = MixDouble(h, o.placement.swap_margin);
+  return h;
+}
+
+PlannerResult ResultFrom(const CachedPlan& cached) {
+  PlannerResult result;
+  result.plan = cached.plan;
+  result.seconds = cached.seconds;
+  result.uniform_seconds = cached.uniform_seconds;
+  result.best_uniform_partitions = cached.best_uniform_partitions;
+  result.evaluations = cached.evaluations;
+  result.uniform = cached.uniform;
+  return result;
+}
+
+}  // namespace
+
+std::vector<VariableSync> ApplyPlanToVariables(const std::vector<PlannerVariable>& variables,
+                                               const PartitionPlan& plan) {
+  std::vector<VariableSync> result;
+  result.reserve(variables.size());
+  for (const PlannerVariable& v : variables) {
+    VariableSync sync = v.sync;
+    if (v.partitioned) {
+      // Same gate as GraphRunner::VariablesWithPartitions: row-capped count, placement
+      // stamped only when its length survives the cap.
+      sync.partitions = RowCappedPartitions(plan.For(sync.spec.name), v.rows);
+      const std::vector<int>* placement = plan.PlacementFor(sync.spec.name);
+      if (placement != nullptr &&
+          static_cast<int>(placement->size()) == sync.partitions) {
+        sync.placement = *placement;
+      } else {
+        sync.placement.clear();
+      }
+    }
+    result.push_back(std::move(sync));
+  }
+  return result;
+}
+
+PlannerService::PlannerService(PlannerServiceOptions options)
+    : options_(options), cache_(options.cache_capacity) {}
+
+PlannerService::ArenaLease::~ArenaLease() {
+  if (service_ != nullptr && arena_ != nullptr) {
+    service_->ReleaseArena(std::move(arena_));
+  }
+}
+
+PlannerService::ArenaLease PlannerService::AcquireArena() {
+  std::unique_ptr<SimulationArena> arena;
+  {
+    std::lock_guard<std::mutex> lock(arena_mu_);
+    if (!free_arenas_.empty()) {
+      arena = std::move(free_arenas_.back());
+      free_arenas_.pop_back();
+    } else {
+      ++total_arenas_;
+    }
+  }
+  if (arena == nullptr) {
+    arena = std::make_unique<SimulationArena>();
+  }
+  return ArenaLease(this, std::move(arena));
+}
+
+void PlannerService::ReleaseArena(std::unique_ptr<SimulationArena> arena) {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (free_arenas_.size() < options_.max_pooled_arenas) {
+    free_arenas_.push_back(std::move(arena));
+  } else {
+    --total_arenas_;  // pool is full; the arena is dropped
+  }
+}
+
+void PlannerService::Canonicalize(PlannerQuery* query) const {
+  PX_CHECK(query != nullptr);
+  const double quantum = options_.alpha_quantum;
+  if (quantum <= 0.0) {
+    return;  // exact-alpha keys; nothing to snap
+  }
+  for (PlannerVariable& v : query->variables) {
+    v.sync.spec.alpha = BucketRepresentative(AlphaBucket(v.sync.spec.alpha, quantum), quantum);
+  }
+  for (PartitionSearchVariable& t : query->targets) {
+    t.alpha = BucketRepresentative(AlphaBucket(t.alpha, quantum), quantum);
+  }
+}
+
+PlanCacheKey PlannerService::KeyFor(const PlannerQuery& query) const {
+  PlanCacheKey key;
+  key.model = ModelFingerprint(query);
+  key.resources = ResourcesFingerprint(query);
+  key.options = OptionsFingerprint(query.options);
+  key.alpha_buckets.reserve(query.variables.size() + query.targets.size());
+  for (const PlannerVariable& v : query.variables) {
+    key.alpha_buckets.push_back(AlphaBucket(v.sync.spec.alpha, options_.alpha_quantum));
+  }
+  for (const PartitionSearchVariable& t : query.targets) {
+    key.alpha_buckets.push_back(AlphaBucket(t.alpha, options_.alpha_quantum));
+  }
+  return key;
+}
+
+CachedPlan PlannerService::Search(const PlannerQuery& query) {
+  ArenaLease lease = AcquireArena();
+  // The same measure the runner's private path uses: a fresh simulator per candidate
+  // layout over the leased arena, so cached schedules and task storage persist across
+  // the whole search. Simulated times are arena-independent, which is what makes the
+  // memoized result valid for every future tenant at this key.
+  auto measure_plan = [&](const PartitionPlan& plan) {
+    IterationSimulator sim(query.cluster, ApplyPlanToVariables(query.variables, plan),
+                           query.gpu_compute_seconds, query.compute_chunks,
+                           query.sim_config, lease.get());
+    return sim.MeasureIterationSeconds(query.options.warmup_iterations,
+                                       query.options.measured_iterations);
+  };
+  CachedPlan cached;
+  if (!query.targets.empty()) {
+    PartitionPlanSearchResult result =
+        SearchPartitionPlan(measure_plan, query.targets, query.options);
+    cached.plan = result.plan;
+    cached.seconds = result.seconds;
+    cached.uniform_seconds = result.uniform_seconds;
+    cached.best_uniform_partitions = result.uniform.best_partitions;
+    cached.evaluations = result.evaluations;
+    cached.uniform = false;
+  } else {
+    auto measure = [&](int partitions) {
+      return measure_plan(PartitionPlan::Uniform(partitions));
+    };
+    PartitionSearchResult result = SearchPartitions(measure, query.options);
+    cached.plan = PartitionPlan::Uniform(result.best_partitions);
+    cached.seconds = measure(result.best_partitions);
+    cached.uniform_seconds = cached.seconds;
+    cached.best_uniform_partitions = result.best_partitions;
+    cached.evaluations = static_cast<int>(result.samples.size());
+    cached.uniform = true;
+  }
+  return cached;
+}
+
+PlannerResult PlannerService::Plan(const PlannerQuery& original) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  PlannerQuery query = original;
+  Canonicalize(&query);
+  const PlanCacheKey key = KeyFor(query);
+
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    // One mu_ hold covers both the cache probe and the in-flight probe. The owner
+    // publishes (Put, then erase) inside a single mu_ section below, so a query
+    // either sees the cached plan or the in-flight marker — a duplicate search is
+    // impossible.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::optional<CachedPlan> hit = cache_.Get(key)) {
+      PlannerResult result = ResultFrom(*hit);
+      result.cache_hit = true;
+      return result;
+    }
+    auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      flight = it->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      in_flight_.emplace(key, flight);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    PlannerResult result = ResultFrom(flight->result);
+    result.coalesced = true;
+    return result;
+  }
+
+  searches_.fetch_add(1, std::memory_order_relaxed);
+  CachedPlan searched = Search(query);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.Put(key, searched);
+    in_flight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = searched;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return ResultFrom(searched);
+}
+
+std::vector<PlannerResult> PlannerService::PlanMany(const std::vector<PlannerQuery>& queries) {
+  std::vector<PlannerResult> results(queries.size());
+  if (queries.empty()) {
+    return results;
+  }
+  // Group by key: one representative per distinct key actually plans; duplicates share
+  // its result (the batch-level form of in-flight coalescing).
+  std::vector<PlannerQuery> canonical = queries;
+  std::unordered_map<PlanCacheKey, std::vector<size_t>, PlanCacheKeyHash> groups;
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    Canonicalize(&canonical[i]);
+    groups[KeyFor(canonical[i])].push_back(i);
+  }
+  std::vector<size_t> representatives;
+  representatives.reserve(groups.size());
+  for (const auto& [key, members] : groups) {
+    representatives.push_back(members.front());
+  }
+  // Fan the representatives across worker threads: each distinct key's candidate
+  // simulations run concurrently on its own leased arena.
+  const size_t workers = std::min<size_t>(
+      representatives.size(),
+      std::max<unsigned>(std::thread::hardware_concurrency(), 1));
+  std::atomic<size_t> next{0};
+  auto drain = [&] {
+    for (size_t i = next.fetch_add(1); i < representatives.size(); i = next.fetch_add(1)) {
+      const size_t index = representatives[i];
+      results[index] = Plan(canonical[index]);
+    }
+  };
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back(drain);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  for (const auto& [key, members] : groups) {
+    for (size_t m = 1; m < members.size(); ++m) {
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      results[members[m]] = results[members.front()];
+      results[members[m]].cache_hit = false;
+      results[members[m]].coalesced = true;
+    }
+  }
+  return results;
+}
+
+PlannerServiceStats PlannerService::stats() const {
+  PlannerServiceStats stats;
+  stats.cache = cache_.stats();
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.searches = searches_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(arena_mu_);
+    stats.pooled_arenas = free_arenas_.size();
+    stats.total_arenas = total_arenas_;
+  }
+  return stats;
+}
+
+}  // namespace parallax

@@ -124,15 +124,19 @@ class TaskGraph {
 
   TaskId AddTask(Task task, std::span<const TaskId> deps);
 
-  std::vector<Task> tasks_;
-  std::vector<ChildEdge> child_edges_;
+  // Thread-ownership contract: a TaskGraph (like the SimulationArena that usually owns
+  // it) belongs to exactly one simulating thread — Add*/Reset/Execute all mutate the
+  // members below without locking. Share nothing; one graph per thread.
+  std::vector<Task> tasks_;             // owned by the simulating thread; Reset keeps capacity
+  std::vector<ChildEdge> child_edges_;  // owned by the simulating thread; Reset keeps capacity
 
-  // Per-run working state, sized on demand and reused across Execute() calls.
-  std::vector<int32_t> deps_remaining_;
-  std::vector<SimTime> ready_time_;
-  std::vector<SimTime> finish_time_;
-  std::vector<std::pair<SimTime, TaskId>> ready_heap_;
-  bool executed_ = false;
+  // Per-run working state, sized on demand and reused across Execute() calls — mutated
+  // by every Execute, so even a structurally frozen graph is single-threaded.
+  std::vector<int32_t> deps_remaining_;               // overwritten per Execute
+  std::vector<SimTime> ready_time_;                   // overwritten per Execute
+  std::vector<SimTime> finish_time_;                  // valid after the most recent Execute
+  std::vector<std::pair<SimTime, TaskId>> ready_heap_;  // overwritten per Execute
+  bool executed_ = false;                             // guards FinishTime reads
 };
 
 }  // namespace parallax

@@ -56,6 +56,14 @@ IndexedSlices::IndexedSlices(std::vector<int64_t> indices, Tensor values,
   }
 }
 
+void IndexedSlices::ResetForReuse(std::span<const int64_t> indices,
+                                  const TensorShape& dense_shape) {
+  PX_CHECK_GE(dense_shape.rank(), 1);
+  indices_.assign(indices.begin(), indices.end());
+  dense_shape_ = dense_shape;  // copy-assign: the dims vector's capacity is reused
+  unique_rows_cache_.store(-1, std::memory_order_relaxed);
+}
+
 int64_t IndexedSlices::WireBytes() const {
   return nnz_rows() * row_elements() * static_cast<int64_t>(sizeof(float)) +
          nnz_rows() * static_cast<int64_t>(sizeof(int64_t));

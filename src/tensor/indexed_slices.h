@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,6 +60,13 @@ class IndexedSlices {
                              std::memory_order_relaxed);
     return *this;
   }
+
+  // Rebuilds this object in place for pooled reuse: the indices are copied into the
+  // existing vector (capacity reused), the dense shape replaced, and the unique-rows
+  // cache invalidated. The values tensor is left untouched — the caller fills it
+  // through mutable_values(), typically with an *Into kernel so its buffer is reused
+  // too. The steady-state-allocation-free counterpart of constructing a fresh object.
+  void ResetForReuse(std::span<const int64_t> indices, const TensorShape& dense_shape);
 
   int64_t nnz_rows() const { return static_cast<int64_t>(indices_.size()); }
   const std::vector<int64_t>& indices() const { return indices_; }

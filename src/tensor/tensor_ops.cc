@@ -91,6 +91,57 @@ float* PrepareDense(Tensor& out, const TensorShape& shape, bool zero_fill) {
   return data.data();
 }
 
+// PrepareDense for a [rows, cols] target without constructing a TensorShape on the hot
+// path — the steady-state reuse check compares dims directly, so a kernel whose output
+// buffer is reusable performs zero allocations (the shape vector included).
+float* PrepareDense2D(Tensor& out, int64_t rows, int64_t cols, bool zero_fill) {
+  if (out.is_float() && out.UniquelyOwned() && out.shape().rank() == 2 &&
+      out.shape().dim(0) == rows && out.shape().dim(1) == cols) {
+    auto data = out.mutable_floats();
+    if (zero_fill) {
+      std::fill(data.begin(), data.end(), 0.0f);
+    }
+    return data.data();
+  }
+  out = Tensor::Zeros(TensorShape({rows, cols}));
+  return out.mutable_floats().data();
+}
+
+// Same, for a 1-D [n] target.
+float* PrepareDense1D(Tensor& out, int64_t n, bool zero_fill) {
+  if (out.is_float() && out.UniquelyOwned() && out.shape().rank() == 1 &&
+      out.shape().dim(0) == n) {
+    auto data = out.mutable_floats();
+    if (zero_fill) {
+      std::fill(data.begin(), data.end(), 0.0f);
+    }
+    return data.data();
+  }
+  out = Tensor::Zeros(TensorShape({n}));
+  return out.mutable_floats().data();
+}
+
+// Same, for `like` with dim 0 replaced by `rows` (the GatherRows/ConcatRows shape):
+// like.WithDim0(rows) is only materialized on the cold (allocate) path.
+float* PrepareDenseRows(Tensor& out, const TensorShape& like, int64_t rows, bool zero_fill) {
+  const std::vector<int64_t>& want = like.dims();
+  const std::vector<int64_t>& have = out.shape().dims();
+  bool match = out.is_float() && out.UniquelyOwned() && have.size() == want.size() &&
+               !have.empty() && have[0] == rows;
+  for (size_t d = 1; match && d < want.size(); ++d) {
+    match = have[d] == want[d];
+  }
+  if (match) {
+    auto data = out.mutable_floats();
+    if (zero_fill) {
+      std::fill(data.begin(), data.end(), 0.0f);
+    }
+    return data.data();
+  }
+  out = Tensor::Zeros(like.WithDim0(rows));
+  return out.mutable_floats().data();
+}
+
 }  // namespace
 
 void MatMulInto(Tensor& out, const Tensor& a, const Tensor& b) {
@@ -100,7 +151,7 @@ void MatMulInto(Tensor& out, const Tensor& a, const Tensor& b) {
   int64_t k = a.shape().dim(1);
   int64_t n = b.shape().dim(1);
   PX_CHECK_EQ(k, b.shape().dim(0));
-  float* cv = PrepareDense(out, TensorShape({m, n}), /*zero_fill=*/true);
+  float* cv = PrepareDense2D(out, m, n, /*zero_fill=*/true);
   auto av = a.floats();
   auto bv = b.floats();
   // i-k-j loop order: unit-stride inner loop over both B and C rows.
@@ -132,7 +183,7 @@ void MatMulTransposeAInto(Tensor& out, const Tensor& a, const Tensor& b) {
   int64_t m = a.shape().dim(1);
   int64_t n = b.shape().dim(1);
   PX_CHECK_EQ(k, b.shape().dim(0));
-  float* cv = PrepareDense(out, TensorShape({m, n}), /*zero_fill=*/true);
+  float* cv = PrepareDense2D(out, m, n, /*zero_fill=*/true);
   auto av = a.floats();
   auto bv = b.floats();
   for (int64_t p = 0; p < k; ++p) {
@@ -165,7 +216,7 @@ void MatMulTransposeBInto(Tensor& out, const Tensor& a, const Tensor& b) {
   int64_t n = b.shape().dim(0);
   PX_CHECK_EQ(k, b.shape().dim(1));
   // Every element is assigned below — no zero fill needed.
-  float* cv = PrepareDense(out, TensorShape({m, n}), /*zero_fill=*/false);
+  float* cv = PrepareDense2D(out, m, n, /*zero_fill=*/false);
   auto av = a.floats();
   auto bv = b.floats();
   for (int64_t i = 0; i < m; ++i) {
@@ -272,11 +323,19 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {
+  Tensor out;
+  SoftmaxRowsInto(out, logits);
+  return out;
+}
+
+void SoftmaxRowsInto(Tensor& out, const Tensor& logits) {
   PX_CHECK_EQ(logits.shape().rank(), 2);
   int64_t rows = logits.shape().dim(0);
   int64_t cols = logits.shape().dim(1);
-  Tensor out = logits.Clone();
-  auto data = out.mutable_floats();
+  float* dst = PrepareDense(out, logits.shape(), /*zero_fill=*/false);
+  auto src = logits.floats();
+  std::copy(src.begin(), src.end(), dst);
+  std::span<float> data(dst, static_cast<size_t>(rows * cols));
   for (int64_t r = 0; r < rows; ++r) {
     float* row = &data[static_cast<size_t>(r * cols)];
     float max_val = row[0];
@@ -292,16 +351,21 @@ Tensor SoftmaxRows(const Tensor& logits) {
       row[c] /= sum;
     }
   }
-  return out;
 }
 
 float SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels, Tensor* grad_logits) {
+  Tensor probs;
+  return SoftmaxCrossEntropyInto(probs, logits, labels, grad_logits);
+}
+
+float SoftmaxCrossEntropyInto(Tensor& probs, const Tensor& logits, const Tensor& labels,
+                              Tensor* grad_logits) {
   PX_CHECK_EQ(logits.shape().rank(), 2);
   int64_t rows = logits.shape().dim(0);
   int64_t cols = logits.shape().dim(1);
   auto label_ids = labels.ints();
   PX_CHECK_EQ(static_cast<int64_t>(label_ids.size()), rows);
-  Tensor probs = SoftmaxRows(logits);
+  SoftmaxRowsInto(probs, logits);
   auto p = probs.floats();
   double loss = 0.0;
   for (int64_t r = 0; r < rows; ++r) {
@@ -313,7 +377,7 @@ float SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels, Tensor* gr
   }
   loss /= static_cast<double>(rows);
   if (grad_logits != nullptr) {
-    *grad_logits = probs.Clone();
+    CopyInto(*grad_logits, probs);
     auto g = grad_logits->mutable_floats();
     float inv_rows = 1.0f / static_cast<float>(rows);
     for (int64_t r = 0; r < rows; ++r) {
@@ -330,8 +394,8 @@ float SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels, Tensor* gr
 void GatherRowsInto(Tensor& out, const Tensor& params, std::span<const int64_t> indices) {
   PX_CHECK_GE(params.shape().rank(), 1);
   int64_t row = params.shape().row_elements();
-  float* dst = PrepareDense(out, params.shape().WithDim0(static_cast<int64_t>(indices.size())),
-                            /*zero_fill=*/false);
+  float* dst = PrepareDenseRows(out, params.shape(), static_cast<int64_t>(indices.size()),
+                                /*zero_fill=*/false);
   auto src = params.floats();
   for (size_t i = 0; i < indices.size(); ++i) {
     int64_t index = indices[i];
@@ -438,7 +502,7 @@ void SliceColsInto(Tensor& out, const Tensor& input, int64_t col_begin, int64_t 
   int64_t rows = input.shape().dim(0);
   int64_t cols = input.shape().dim(1);
   int64_t out_cols = col_end - col_begin;
-  float* dst = PrepareDense(out, TensorShape({rows, out_cols}), /*zero_fill=*/false);
+  float* dst = PrepareDense2D(out, rows, out_cols, /*zero_fill=*/false);
   auto src = input.floats();
   for (int64_t r = 0; r < rows; ++r) {
     std::copy_n(src.begin() + static_cast<ptrdiff_t>(r * cols + col_begin), out_cols,
@@ -456,7 +520,7 @@ void ColumnSumInto(Tensor& out, const Tensor& input) {
   PX_CHECK_EQ(input.shape().rank(), 2);
   int64_t rows = input.shape().dim(0);
   int64_t cols = input.shape().dim(1);
-  float* dst = PrepareDense(out, TensorShape({cols}), /*zero_fill=*/true);
+  float* dst = PrepareDense1D(out, cols, /*zero_fill=*/true);
   auto src = input.floats();
   for (int64_t r = 0; r < rows; ++r) {
     for (int64_t c = 0; c < cols; ++c) {
@@ -478,6 +542,24 @@ void CopyInto(Tensor& out, const Tensor& in) {
   std::copy(src.begin(), src.end(), dst);
 }
 
+void ConcatRowsInto(Tensor& out, std::span<const Tensor* const> parts) {
+  PX_CHECK(!parts.empty());
+  int64_t total_rows = 0;
+  const TensorShape& first = parts.front()->shape();
+  for (const Tensor* part : parts) {
+    PX_CHECK(part != nullptr && part->is_float());
+    PX_CHECK_GE(part->shape().rank(), 1);
+    PX_CHECK_EQ(part->shape().row_elements(), first.row_elements());
+    total_rows += part->shape().dim(0);
+  }
+  float* dst = PrepareDenseRows(out, first, total_rows, /*zero_fill=*/false);
+  for (const Tensor* part : parts) {
+    auto src = part->floats();
+    std::copy(src.begin(), src.end(), dst);
+    dst += src.size();
+  }
+}
+
 void ConcatColsPairInto(Tensor& out, const Tensor& a, const Tensor& b) {
   PX_CHECK_EQ(a.shape().rank(), 2);
   PX_CHECK_EQ(b.shape().rank(), 2);
@@ -485,7 +567,7 @@ void ConcatColsPairInto(Tensor& out, const Tensor& a, const Tensor& b) {
   int64_t rows = a.shape().dim(0);
   int64_t pa = a.shape().dim(1);
   int64_t pb = b.shape().dim(1);
-  float* dst = PrepareDense(out, TensorShape({rows, pa + pb}), /*zero_fill=*/false);
+  float* dst = PrepareDense2D(out, rows, pa + pb, /*zero_fill=*/false);
   auto av = a.floats();
   auto bv = b.floats();
   for (int64_t r = 0; r < rows; ++r) {

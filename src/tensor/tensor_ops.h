@@ -108,6 +108,17 @@ void ConcatColsPairInto(Tensor& out, const Tensor& a, const Tensor& b);
 void GatherRowsInto(Tensor& out, const Tensor& params, std::span<const int64_t> indices);
 // out <- in (element copy; the buffer-reusing counterpart of in.Clone()).
 void CopyInto(Tensor& out, const Tensor& in);
+// out <- rows of all parts concatenated (parts share trailing dims; out gets
+// [sum(rows), trailing...]). The buffer-reusing counterpart of IndexedSlices::Concat's
+// value assembly.
+void ConcatRowsInto(Tensor& out, std::span<const Tensor* const> parts);
+// out <- row-wise softmax of logits.
+void SoftmaxRowsInto(Tensor& out, const Tensor& logits);
+// SoftmaxCrossEntropy with every intermediate in caller-owned buffers: the row
+// probabilities land in `probs` and the gradient (when requested) in *grad_logits,
+// both via buffer reuse. Bit-identical to SoftmaxCrossEntropy, which wraps this.
+float SoftmaxCrossEntropyInto(Tensor& probs, const Tensor& logits, const Tensor& labels,
+                              Tensor* grad_logits);
 
 // ---- Initializers ----
 

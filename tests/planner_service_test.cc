@@ -1,0 +1,345 @@
+// PlannerService correctness:
+//  - a service plan is byte-identical (ToString + placements) to a private-arena
+//    SearchPartitionPlan at the same canonicalized key — the cache never changes the
+//    answer, only who pays for it,
+//  - a cache hit returns the same plan state as the search that populated it,
+//  - N threads issuing the same query coalesce onto ONE simulation; distinct keys
+//    search separately,
+//  - LRU eviction respects the configured capacity,
+//  - ApplyPlanToVariables replicates the runner's row-cap/placement gate,
+//  - a runner using the shared planner trains bit-identically to a private-search
+//    runner (monitored and unmonitored alike).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/api.h"
+#include "src/models/trainable.h"
+#include "src/service/planner_service.h"
+
+namespace parallax {
+namespace {
+
+ClusterSpec TinySpec() {
+  ClusterSpec spec;
+  spec.num_machines = 4;
+  spec.gpus_per_machine = 2;
+  spec.cores_per_machine = 4;
+  spec.nic_bandwidth = 1e9;
+  spec.nic_latency = 1e-6;
+  spec.pcie_bandwidth = 4e9;
+  spec.pcie_latency = 1e-6;
+  return spec;
+}
+
+// A hybrid two-sparse-one-dense model, embedding searchable per-variable.
+PlannerQuery MakeQuery(double embedding_alpha, double softmax_alpha = 0.05) {
+  PlannerQuery query;
+  VariableSync embedding;
+  embedding.spec = {"embedding", 640'000, 64, true, embedding_alpha};
+  embedding.method = SyncMethod::kPs;
+  query.variables.push_back({embedding, /*partitioned=*/true, /*rows=*/10'000});
+  VariableSync softmax;
+  softmax.spec = {"softmax", 320'000, 64, true, softmax_alpha};
+  softmax.method = SyncMethod::kPs;
+  query.variables.push_back({softmax, /*partitioned=*/true, /*rows=*/5'000});
+  VariableSync dense;
+  dense.spec = {"dense", 500'000, 1, false, 1.0};
+  dense.method = SyncMethod::kArAllReduce;
+  query.variables.push_back({dense, /*partitioned=*/false, /*rows=*/1});
+
+  PartitionSearchVariable emb_target;
+  emb_target.name = "embedding";
+  emb_target.alpha = embedding_alpha;
+  emb_target.num_elements = 640'000;
+  emb_target.max_partitions = 10'000;
+  query.targets.push_back(emb_target);
+  PartitionSearchVariable sm_target;
+  sm_target.name = "softmax";
+  sm_target.alpha = softmax_alpha;
+  sm_target.num_elements = 320'000;
+  sm_target.max_partitions = 5'000;
+  query.targets.push_back(sm_target);
+
+  query.cluster = TinySpec();
+  query.sim_config.ps_local_aggregation = true;
+  query.sim_config.ps_machine_level_pulls = true;
+  query.gpu_compute_seconds = 4e-3;
+  query.compute_chunks = 4;
+  query.options.initial_partitions = 4;
+  query.options.warmup_iterations = 2;
+  query.options.measured_iterations = 2;
+  return query;
+}
+
+// The private-arena oracle: exactly the search the service would run for the
+// canonicalized query, on a fresh arena with no cache anywhere.
+PartitionPlanSearchResult PrivateSearch(const PlannerQuery& canonical) {
+  SimulationArena arena;
+  auto measure_plan = [&](const PartitionPlan& plan) {
+    IterationSimulator sim(canonical.cluster,
+                           ApplyPlanToVariables(canonical.variables, plan),
+                           canonical.gpu_compute_seconds, canonical.compute_chunks,
+                           canonical.sim_config, &arena);
+    return sim.MeasureIterationSeconds(canonical.options.warmup_iterations,
+                                       canonical.options.measured_iterations);
+  };
+  return SearchPartitionPlan(measure_plan, canonical.targets, canonical.options);
+}
+
+void ExpectPlansIdentical(const PartitionPlan& a, const PartitionPlan& b) {
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(a.placements(), b.placements());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(PlannerServiceTest, PlanMatchesPrivateArenaSearchByteForByte) {
+  PlannerService service;
+  PlannerQuery query = MakeQuery(0.02);
+  PlannerResult result = service.Plan(query);
+  EXPECT_FALSE(result.cache_hit);
+  EXPECT_FALSE(result.uniform);
+
+  PlannerQuery canonical = query;
+  service.Canonicalize(&canonical);
+  PartitionPlanSearchResult oracle = PrivateSearch(canonical);
+  ExpectPlansIdentical(result.plan, oracle.plan);
+  EXPECT_EQ(result.seconds, oracle.seconds);
+  EXPECT_EQ(result.uniform_seconds, oracle.uniform_seconds);
+  EXPECT_EQ(result.evaluations, oracle.evaluations);
+}
+
+TEST(PlannerServiceTest, CacheHitReturnsIdenticalPlanState) {
+  PlannerService service;
+  PlannerQuery query = MakeQuery(0.02);
+  PlannerResult first = service.Plan(query);
+  PlannerResult second = service.Plan(query);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  ExpectPlansIdentical(first.plan, second.plan);
+  EXPECT_EQ(first.seconds, second.seconds);
+  EXPECT_EQ(first.uniform_seconds, second.uniform_seconds);
+  EXPECT_EQ(first.evaluations, second.evaluations);
+  EXPECT_EQ(service.stats().searches, 1u);
+  EXPECT_EQ(service.stats().cache.hits, 1u);
+}
+
+TEST(PlannerServiceTest, NearbyAlphasShareABucketDistantOnesDoNot) {
+  PlannerService service;  // default alpha_quantum = 0.05
+  PlannerQuery a = MakeQuery(0.0200);
+  PlannerQuery b = MakeQuery(0.0201);  // within one bucket of a
+  PlannerQuery c = MakeQuery(0.0800);  // far outside
+  service.Canonicalize(&a);
+  service.Canonicalize(&b);
+  service.Canonicalize(&c);
+  EXPECT_EQ(service.KeyFor(a), service.KeyFor(b));
+  EXPECT_FALSE(service.KeyFor(a) == service.KeyFor(c));
+  // Canonicalize is idempotent: the representative maps to itself.
+  PlannerQuery twice = a;
+  service.Canonicalize(&twice);
+  EXPECT_EQ(twice.variables[0].sync.spec.alpha, a.variables[0].sync.spec.alpha);
+  EXPECT_EQ(twice.targets[0].alpha, a.targets[0].alpha);
+  // The representative stays within ~quantum/2 relative error of the raw alpha.
+  EXPECT_NEAR(a.variables[0].sync.spec.alpha, 0.02, 0.02 * 0.05);
+}
+
+TEST(PlannerServiceTest, ConcurrentIdenticalQueriesCoalesceToOneSearch) {
+  PlannerService service;
+  PlannerQuery query = MakeQuery(0.02);
+  constexpr int kThreads = 8;
+  std::vector<PlannerResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { results[static_cast<size_t>(t)] = service.Plan(query); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    ExpectPlansIdentical(results[0].plan, results[static_cast<size_t>(t)].plan);
+    EXPECT_EQ(results[0].seconds, results[static_cast<size_t>(t)].seconds);
+  }
+  PlannerServiceStats stats = service.stats();
+  EXPECT_EQ(stats.searches, 1u) << "duplicate in-flight queries must share one search";
+  EXPECT_EQ(stats.queries, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.coalesced + stats.cache.hits + stats.searches,
+            static_cast<uint64_t>(kThreads));
+}
+
+TEST(PlannerServiceTest, ConcurrentDistinctQueriesSearchSeparatelyAndMatchOracles) {
+  PlannerService service;
+  const std::vector<double> alphas = {0.01, 0.03, 0.1, 0.3};
+  std::vector<PlannerResult> results(alphas.size());
+  std::vector<std::thread> threads;
+  threads.reserve(alphas.size());
+  for (size_t t = 0; t < alphas.size(); ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = service.Plan(MakeQuery(alphas[t])); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(service.stats().searches, alphas.size());
+  for (size_t t = 0; t < alphas.size(); ++t) {
+    PlannerQuery canonical = MakeQuery(alphas[t]);
+    service.Canonicalize(&canonical);
+    ExpectPlansIdentical(results[t].plan, PrivateSearch(canonical).plan);
+  }
+}
+
+TEST(PlannerServiceTest, PlanManyCoalescesDuplicatesWithinTheBatch) {
+  PlannerService service;
+  std::vector<PlannerQuery> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(MakeQuery(i % 2 == 0 ? 0.02 : 0.2));  // two distinct keys
+  }
+  std::vector<PlannerResult> results = service.PlanMany(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  EXPECT_EQ(service.stats().searches, 2u);
+  EXPECT_EQ(service.stats().queries, 6u);
+  for (size_t i = 2; i < results.size(); ++i) {
+    ExpectPlansIdentical(results[i].plan, results[i - 2].plan);
+  }
+}
+
+TEST(PlannerServiceTest, EvictionRespectsCapacity) {
+  PlannerServiceOptions options;
+  options.cache_capacity = 2;
+  PlannerService service(options);
+  service.Plan(MakeQuery(0.01));
+  service.Plan(MakeQuery(0.05));
+  service.Plan(MakeQuery(0.3));  // evicts the 0.01 entry (LRU)
+  PlanCacheStats cache = service.stats().cache;
+  EXPECT_EQ(cache.size, 2u);
+  EXPECT_EQ(cache.capacity, 2u);
+  EXPECT_EQ(cache.evictions, 1u);
+  // The evicted key misses (and re-searches); the most recent keys still hit.
+  PlannerResult again = service.Plan(MakeQuery(0.3));
+  EXPECT_TRUE(again.cache_hit);
+  PlannerResult evicted = service.Plan(MakeQuery(0.01));
+  EXPECT_FALSE(evicted.cache_hit);
+  EXPECT_EQ(service.stats().searches, 4u);
+}
+
+TEST(PlannerServiceTest, ApplyPlanToVariablesReplicatesRowCapAndPlacementGate) {
+  PlannerQuery query = MakeQuery(0.02);
+  PartitionPlan plan = PartitionPlan::Uniform(1);
+  plan.Set("embedding", 20'000);  // above the 10'000-row cap
+  plan.Set("softmax", 4);
+  plan.SetPlacement("softmax", {0, 1, 2, 3});
+  plan.SetPlacement("embedding", {0, 1});  // stale length: must be dropped by the cap
+  std::vector<VariableSync> applied = ApplyPlanToVariables(query.variables, plan);
+  ASSERT_EQ(applied.size(), 3u);
+  EXPECT_EQ(applied[0].partitions, 10'000);  // row-capped
+  EXPECT_TRUE(applied[0].placement.empty());
+  EXPECT_EQ(applied[1].partitions, 4);
+  EXPECT_EQ(applied[1].placement, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(applied[2].partitions, 1);  // non-partitioned passes through
+}
+
+TEST(PlannerServiceTest, ArenaPoolGrowsOnDemandAndRetainsUpToCap) {
+  PlannerServiceOptions options;
+  options.max_pooled_arenas = 2;
+  PlannerService service(options);
+  {
+    PlannerService::ArenaLease a = service.AcquireArena();
+    PlannerService::ArenaLease b = service.AcquireArena();
+    PlannerService::ArenaLease c = service.AcquireArena();
+    EXPECT_NE(a.get(), nullptr);
+    EXPECT_NE(b.get(), nullptr);
+    EXPECT_NE(c.get(), nullptr);
+    EXPECT_EQ(service.stats().total_arenas, 3u);
+    EXPECT_EQ(service.stats().pooled_arenas, 0u);
+  }
+  // Releases past the cap are dropped, not pooled.
+  EXPECT_EQ(service.stats().pooled_arenas, 2u);
+  EXPECT_EQ(service.stats().total_arenas, 2u);
+  // A pooled arena is reused, not reallocated.
+  PlannerService::ArenaLease reused = service.AcquireArena();
+  EXPECT_NE(reused.get(), nullptr);
+  EXPECT_EQ(service.stats().total_arenas, 2u);
+  EXPECT_EQ(service.stats().pooled_arenas, 1u);
+}
+
+// ---- runner integration ----
+
+WordLmModel::Options SmallLm(uint64_t seed) {
+  return {.vocab_size = 120, .embedding_dim = 8, .hidden_dim = 12,
+          .batch_per_rank = 16, .seed = seed};
+}
+
+ParallaxConfig FastConfig() {
+  ParallaxConfig config;
+  config.learning_rate = 0.4f;
+  config.search.warmup_iterations = 2;
+  config.search.measured_iterations = 2;
+  config.search_mode = PartitionSearchMode::kPerVariable;
+  return config;
+}
+
+TEST(PlannerServiceRunnerTest, SharedPlannerRunnerIsBitIdenticalToPrivateSearch) {
+  // Two identical sessions, one routed through a shared planner: every loss must match
+  // bitwise (plans never affect numerics; the service must not either), and the second
+  // tenant's startup search must be served from the cache.
+  auto service = std::make_shared<PlannerService>();
+  WordLmModel model_private(SmallLm(601));
+  WordLmModel model_shared(SmallLm(601));
+  GraphRunner private_runner(model_private.graph(), model_private.loss(),
+                             ResourceSpec::Homogeneous(2, 2), FastConfig());
+  ParallaxConfig shared_config = FastConfig();
+  shared_config.planner = service;
+  GraphRunner shared_runner(model_shared.graph(), model_shared.loss(),
+                            ResourceSpec::Homogeneous(2, 2), shared_config);
+  Rng rng_a(61);
+  Rng rng_b(61);
+  for (int step = 0; step < 12; ++step) {
+    float a = private_runner.Step(model_private.TrainShards(4, rng_a));
+    float b = shared_runner.Step(model_shared.TrainShards(4, rng_b));
+    EXPECT_EQ(a, b) << "step " << step;
+  }
+  EXPECT_EQ(shared_runner.partition_plan().ToString(),
+            private_runner.partition_plan().ToString());
+  EXPECT_EQ(service->stats().searches, 1u);
+
+  // A third tenant with the same model shape hits the cache outright.
+  WordLmModel model_third(SmallLm(601));
+  GraphRunner third_runner(model_third.graph(), model_third.loss(),
+                           ResourceSpec::Homogeneous(2, 2), shared_config);
+  Rng rng_c(61);
+  third_runner.Step(model_third.TrainShards(4, rng_c));
+  EXPECT_EQ(service->stats().searches, 1u);
+  EXPECT_GE(service->stats().cache.hits, 1u);
+  EXPECT_EQ(third_runner.partition_plan().ToString(),
+            shared_runner.partition_plan().ToString());
+}
+
+TEST(PlannerServiceRunnerTest, MonitoredSharedPlannerRunnerMatchesUnmonitoredPrivate) {
+  // The adaptive loop re-searches through the service; numerics must stay bit-identical
+  // to an unmonitored private-search run regardless of what the planner answers.
+  auto service = std::make_shared<PlannerService>();
+  WordLmModel model_plain(SmallLm(602));
+  WordLmModel model_monitored(SmallLm(602));
+  GraphRunner plain(model_plain.graph(), model_plain.loss(),
+                    ResourceSpec::Homogeneous(2, 2), FastConfig());
+  ParallaxConfig monitored_config = FastConfig();
+  monitored_config.planner = service;
+  AdaptivePartitioningPolicy policy;
+  policy.check_interval = 4;
+  policy.warmup_steps = 4;
+  monitored_config.adaptive_partitioning = policy;
+  GraphRunner monitored(model_monitored.graph(), model_monitored.loss(),
+                        ResourceSpec::Homogeneous(2, 2), monitored_config);
+  Rng rng_a(62);
+  Rng rng_b(62);
+  for (int step = 0; step < 16; ++step) {
+    float a = plain.Step(model_plain.TrainShards(4, rng_a));
+    float b = monitored.Step(model_monitored.TrainShards(4, rng_b));
+    EXPECT_EQ(a, b) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace parallax

@@ -3,7 +3,10 @@
 //    repeated runs on a reused graph),
 //  - the Reset/rebuild/Execute cycle and SimulateIteration perform zero heap
 //    allocations once warm (the property the partition search relies on),
-//  - sharing a SimulationArena across simulators changes nothing about the results.
+//  - sharing a SimulationArena across simulators changes nothing about the results,
+//  - a full training RunStep (forward + backward + escaping gradients, via
+//    Executor::RunStepInto with recycled StepResult storage) is allocation-free once
+//    warm — the numeric twin of the simulation guarantee.
 //
 // Allocation counting replaces global operator new/delete for this binary; the counters
 // are only inspected inside explicit windows, so gtest's own allocations don't matter.
@@ -13,7 +16,10 @@
 #include <cstdlib>
 #include <new>
 
+#include "src/base/rng.h"
 #include "src/core/iteration_sim.h"
+#include "src/graph/executor.h"
+#include "src/models/trainable.h"
 
 namespace {
 std::atomic<size_t> g_alloc_count{0};
@@ -257,6 +263,41 @@ TEST(SimulatorSteadyStateTest, SharedArenaSearchSteadyStateIsAllocationFree) {
     }
     EXPECT_EQ(AllocCount() - before, 0u) << "P=" << partitions;
   }
+}
+
+TEST(ExecutorSteadyStateTest, FullRunStepIsAllocationFreeOnceWarm) {
+  // The gather-bearing WordLM graph produces every gradient flavour: sparse slices for
+  // the embedding, dense tensors for the MLP, and a softmax that concatenates two
+  // gather contributions. RunStepInto must recycle the StepResult's map nodes and
+  // gradient storage so the whole step — not just the interior backward pass — stays
+  // off the allocator in steady state.
+  WordLmModel model({.vocab_size = 80, .embedding_dim = 6, .hidden_dim = 10,
+                     .batch_per_rank = 12, .seed = 907});
+  Executor executor(model.graph());
+  VariableStore store = VariableStore::InitFrom(*model.graph());
+  ExecScratch scratch;
+  StepResult result;
+  Rng rng(31);
+  std::vector<FeedMap> feeds;
+  for (int s = 0; s < 4; ++s) {
+    feeds.push_back(model.TrainShards(1, rng)[0]);
+  }
+
+  // Warm: the first steps size every buffer (temps, node gradients, slice storage).
+  for (int s = 0; s < 4; ++s) {
+    executor.RunStepInto(store, feeds[static_cast<size_t>(s)], model.loss(), &scratch,
+                         &result);
+  }
+
+  size_t before = AllocCount();
+  for (int round = 0; round < 3; ++round) {
+    for (int s = 0; s < 4; ++s) {
+      executor.RunStepInto(store, feeds[static_cast<size_t>(s)], model.loss(), &scratch,
+                           &result);
+    }
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+  EXPECT_GT(result.grads.size(), 0u);
 }
 
 }  // namespace
