@@ -14,6 +14,7 @@
 #include "src/models/trainable.h"
 #include "src/ps/partition.h"
 #include "src/ps/ps_numeric.h"
+#include "src/sync/compression.h"
 #include "src/tensor/sparse_workspace.h"
 #include "src/tensor/tensor_ops.h"
 #include "tests/naive_reference.h"
@@ -817,6 +818,51 @@ void BM_RescaleMigration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_RescaleMigration);
+
+// ---- Gradient compression kernels -----------------------------------------------------
+
+// Top-k row selection over a pre-scored candidate set — the per-variable, per-rank
+// inner loop of the "topk_ps" engine (src/sync/compression.h). Arg is the candidate
+// count; k is 10% of it, the engine's default ratio. The nth_element path plus the
+// ascending sort of the survivors is what calibration.h's compress_seconds_per_element
+// summarizes on the simulated clock.
+void BM_TopKCompress(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(41);
+  std::vector<int64_t> rows(static_cast<size_t>(n));
+  std::vector<float> scores(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows[static_cast<size_t>(i)] = i;
+    scores[static_cast<size_t>(i)] = static_cast<float>(rng.NextDouble());
+  }
+  const int64_t k = std::max<int64_t>(1, n / 10);
+  SparseWorkspace ws;
+  std::vector<int64_t> selected;
+  for (auto _ : state) {
+    TopKSelectRows(rows, scores, k, selected, &ws);
+    benchmark::DoNotOptimize(selected.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKCompress)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+// Per-row int8 quantize-dequantize over a [rows, 64] gradient block — the "int8_ps"
+// engine's whole per-variable cost. In-place, allocation-free; items processed counts
+// elements scanned (the unit of compress_seconds_per_element).
+void BM_Int8Quantize(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const int64_t width = 64;
+  Rng rng(42);
+  Tensor values = RandomNormal(TensorShape({rows, width}), rng);
+  std::vector<float> scales;
+  for (auto _ : state) {
+    QuantizeDequantizeInt8Rows(values.floats(), values.mutable_floats(), rows, width,
+                               &scales);
+    benchmark::DoNotOptimize(scales.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * width);
+}
+BENCHMARK(BM_Int8Quantize)->Arg(1'000)->Arg(10'000);
 
 }  // namespace
 }  // namespace parallax

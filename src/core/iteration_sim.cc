@@ -98,6 +98,52 @@ int64_t IterationSimulator::PullBytesPerWorker(const Shard& shard) const {
   return touched * 4 + SparseIndexBytes(touched, spec.row_elements);
 }
 
+double IterationSimulator::PushAlpha(const VariableSync& sync) const {
+  const CompressionSpec& compression = sync.compression;
+  if (compression.kind == CompressionKind::kTopK && compression.ratio > 0.0 &&
+      compression.ratio < 1.0) {
+    return sync.spec.alpha * compression.ratio;
+  }
+  return sync.spec.alpha;
+}
+
+int64_t IterationSimulator::SparseWireBytes(const VariableSync& sync,
+                                            int64_t touched) const {
+  if (sync.compression.kind == CompressionKind::kInt8) {
+    // 1 byte per element plus a float scale per transmitted row.
+    const int64_t rows = touched / std::max<int64_t>(sync.spec.row_elements, 1);
+    return touched + rows * 4 + SparseIndexBytes(touched, sync.spec.row_elements);
+  }
+  return touched * 4 + SparseIndexBytes(touched, sync.spec.row_elements);
+}
+
+int64_t IterationSimulator::PushBytesPerWorker(const Shard& shard) const {
+  const VariableSync& sync = variables_[static_cast<size_t>(shard.var)];
+  const VariableSpec& spec = sync.spec;
+  if (!spec.is_sparse) {
+    if (sync.compression.kind == CompressionKind::kInt8) {
+      const int64_t rows = shard.elements / std::max<int64_t>(spec.row_elements, 1);
+      return shard.elements + rows * 4;
+    }
+    return shard.elements * 4;
+  }
+  const int64_t touched =
+      static_cast<int64_t>(PushAlpha(sync) * static_cast<double>(shard.elements));
+  return SparseWireBytes(sync, touched);
+}
+
+double IterationSimulator::CompressSeconds(const Shard& shard) const {
+  const VariableSync& sync = variables_[static_cast<size_t>(shard.var)];
+  if (sync.compression.kind == CompressionKind::kNone) {
+    return 0.0;
+  }
+  const int64_t raw_elements =
+      sync.spec.is_sparse
+          ? static_cast<int64_t>(sync.spec.alpha * static_cast<double>(shard.elements))
+          : shard.elements;
+  return config_.costs.compress_seconds_per_element * static_cast<double>(raw_elements);
+}
+
 SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_time) {
   const RankLayout layout = cluster.layout();
   const int num_ranks = layout.num_ranks();
@@ -363,14 +409,20 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
   }
 
   // ---- Phase 4: PS pushes, accumulator chains, updates ------------------------------
+  // Compression (VariableSync::compression) acts here and only here: the backward
+  // output is selected/quantized on the worker (a CpuWork task, added only when a
+  // CompressionSpec is in force), the push moves the compressed wire bytes, and the
+  // accumulators/update op walk the compressed support. Pulls stay uncompressed.
   for (size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = shards_[s];
     const VariableSync& sync = variables_[static_cast<size_t>(shard.var)];
     const VariableSpec& spec = sync.spec;
     const int producing_chunk = grad_chunk_[static_cast<size_t>(shard.var)];
+    const double push_alpha = PushAlpha(sync);
+    const double compress_seconds = CompressSeconds(shard);
     int64_t touched_per_rank =
         spec.is_sparse
-            ? static_cast<int64_t>(spec.alpha * static_cast<double>(shard.elements))
+            ? static_cast<int64_t>(push_alpha * static_cast<double>(shard.elements))
             : shard.elements;
 
     TaskId acc_tail = kNoTask;
@@ -384,7 +436,14 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
           local_deps.push_back(chunk_task[static_cast<size_t>(layout.RankOf(m, g))]
                                          [static_cast<size_t>(producing_chunk)]);
         }
-        int64_t per_rank_bytes = PullBytesPerWorker(shard);
+        if (compress_seconds > 0.0) {
+          // Each local rank's gradient is compressed before it crosses PCIe.
+          TaskId compress = graph.AddCpuWork(m, compress_seconds * gpus,
+                                             std::span<const TaskId>(local_deps));
+          local_deps.clear();
+          local_deps.push_back(compress);
+        }
+        int64_t per_rank_bytes = PushBytesPerWorker(shard);
         TaskId ready;
         if (gpus > 1) {
           TaskId local_gather = graph.AddLocalTransfer(
@@ -406,12 +465,11 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
         double acc_elements;
         if (spec.is_sparse) {
           int64_t machine_touched = static_cast<int64_t>(
-              UnionAlpha(spec.alpha, gpus) * static_cast<double>(shard.elements));
-          push_bytes =
-              machine_touched * 4 + SparseIndexBytes(machine_touched, spec.row_elements);
+              UnionAlpha(push_alpha, gpus) * static_cast<double>(shard.elements));
+          push_bytes = SparseWireBytes(sync, machine_touched);
           acc_elements = static_cast<double>(machine_touched);
         } else {
-          push_bytes = shard.elements * 4;
+          push_bytes = PushBytesPerWorker(shard);
           acc_elements = static_cast<double>(shard.elements);
         }
         TaskId push = (m == shard.server)
@@ -430,9 +488,12 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
     } else {
       for (int r = 0; r < num_ranks; ++r) {
         int machine = layout.MachineOfRank(r);
-        int64_t push_bytes = PullBytesPerWorker(shard);
+        int64_t push_bytes = PushBytesPerWorker(shard);
         TaskId grad_ready =
             chunk_task[static_cast<size_t>(r)][static_cast<size_t>(producing_chunk)];
+        if (compress_seconds > 0.0) {
+          grad_ready = graph.AddCpuWork(machine, compress_seconds, {grad_ready});
+        }
         TaskId push = (machine == shard.server)
                           ? graph.AddLocalTransfer(machine, push_bytes, {grad_ready})
                           : graph.AddTransfer(machine, shard.server, push_bytes,
@@ -453,7 +514,7 @@ SimTime IterationSimulator::SimulateIteration(Cluster& cluster, SimTime start_ti
     // updates pay for the touched-row scatter plus a full traversal of the piece
     // (accumulator flush + variable write) — the piece-size term partitioning divides.
     double update_elements =
-        spec.is_sparse ? UnionAlpha(spec.alpha, num_ranks) * static_cast<double>(shard.elements)
+        spec.is_sparse ? UnionAlpha(push_alpha, num_ranks) * static_cast<double>(shard.elements)
                        : static_cast<double>(shard.elements);
     double update_seconds =
         costs.partition_overhead_seconds +

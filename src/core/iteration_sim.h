@@ -138,6 +138,25 @@ class IterationSimulator {
   int64_t PullBytesPerWorker(const Shard& shard) const;
   int64_t SparseIndexBytes(int64_t touched_elements, int64_t row_elements) const;
 
+  // Push-side cost plane, honoring the variable's CompressionSpec (pulls always move
+  // uncompressed values — forward passes need full precision rows, so only the helpers
+  // below diverge from the pull path). With kind == kNone every helper reduces exactly
+  // to the historical uncompressed expression, so uncompressed simulations build
+  // bit-identical task graphs.
+  //
+  // Fraction of a sparse shard's elements one worker ships after compression
+  // (kTopK: alpha * ratio; otherwise alpha).
+  double PushAlpha(const VariableSync& sync) const;
+  // Wire bytes for `touched` sparse elements pushed under the variable's compression
+  // (kInt8: 1 byte/element + a 4-byte scale per row; otherwise 4 bytes/element).
+  int64_t SparseWireBytes(const VariableSync& sync, int64_t touched) const;
+  // Wire bytes one worker pushes for this shard (dense or sparse, compressed).
+  int64_t PushBytesPerWorker(const Shard& shard) const;
+  // Worker-side select/quantize cost for one rank's gradient of this shard: the
+  // compression scan reads the RAW (pre-compression) support. 0 when kind == kNone —
+  // no task is added, preserving task-graph identity for uncompressed plans.
+  double CompressSeconds(const Shard& shard) const;
+
   ClusterSpec cluster_spec_;
   std::vector<VariableSync> variables_;
   double gpu_compute_seconds_;

@@ -107,6 +107,13 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
       plan_.variables[v].method =
           engines_[static_cast<size_t>(index)]->CostMethod(sparsity_.at(static_cast<int>(v)).kind);
     }
+    // Every variable also adopts its engine's compression model (kNone for the
+    // built-ins). Stamped before the partition search so every simulated candidate —
+    // startup, adaptive, rescale — prices the compressed wire volume; the stamp rides
+    // plan_.variables through VariablesWithPartitions into each of them.
+    plan_.variables[v].compression =
+        engines_[static_cast<size_t>(index)]->CostCompression(
+            sparsity_.at(static_cast<int>(v)).kind);
   }
 
   // 3b. The partition search (uniform or per-variable), simulating candidate layouts
@@ -733,9 +740,20 @@ void GraphRunner::MaybeAdapt() {
   // from here on the timing plane and every candidate the re-search simulates cost
   // the access pattern the engines actually observed, not the startup sample.
   // plan_alpha prefers the per-rank estimator (no union-inversion bias under
-  // correlated workers) over the drift estimator.
+  // correlated workers) over the drift estimator. The observation tap sits AFTER
+  // gradient compression, so a top-k variable's measurement is ~ratio * raw alpha;
+  // spec.alpha keeps raw pre-wire semantics (pulls are uncompressed) and the
+  // simulator re-applies the ratio on the push side, so dividing here is what keeps
+  // the compressed wire volume priced exactly once.
   for (int v : monitor_->tracked()) {
-    plan_.variables[static_cast<size_t>(v)].spec.alpha = monitor_->plan_alpha(v);
+    const CompressionSpec& compression =
+        plan_.variables[static_cast<size_t>(v)].compression;
+    double alpha = monitor_->plan_alpha(v);
+    if (compression.kind == CompressionKind::kTopK && compression.ratio > 0.0 &&
+        compression.ratio < 1.0) {
+      alpha = std::min(1.0, alpha / compression.ratio);
+    }
+    plan_.variables[static_cast<size_t>(v)].spec.alpha = alpha;
   }
 
   // Re-search over the shared arena: every candidate replays cached schedules and

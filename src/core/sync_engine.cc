@@ -3,6 +3,8 @@
 #include "src/ar/ar_numeric.h"
 #include "src/ps/ps_async.h"
 #include "src/ps/ps_numeric.h"
+#include "src/sync/int8_ps.h"
+#include "src/sync/topk_ps.h"
 
 namespace parallax {
 
@@ -20,24 +22,43 @@ std::vector<int> SyncPlan::ManagedBy(const std::string& engine) const {
 SyncEngineRegistry& SyncEngineRegistry::Global() {
   static SyncEngineRegistry* registry = [] {
     auto* r = new SyncEngineRegistry();
-    r->Register("ps", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+    auto must = [&](Status status) { PX_CHECK(status.ok()) << status.ToString(); };
+    must(r->Register("ps", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
       return std::make_unique<PsNumericEngine>(env.graph);
-    });
-    r->Register("ar", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+    }));
+    must(r->Register("ar", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
       return std::make_unique<ArNumericEngine>(env.graph, env.num_ranks);
-    });
-    r->Register("async_ps", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
-      return std::make_unique<AsyncPsEngine>(env.graph);
-    });
+    }));
+    must(r->Register("async_ps",
+                     [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+                       return std::make_unique<AsyncPsEngine>(env.graph);
+                     }));
+    // Gradient compression engines (docs/compression.md): synchronous PS semantics
+    // with the gradient transformed before it reaches the accumulators.
+    must(r->Register("topk_ps",
+                     [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+                       return std::make_unique<TopKPsEngine>(env.graph, TopKPsConfig{});
+                     }));
+    must(r->Register("int8_ps",
+                     [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+                       return std::make_unique<Int8PsEngine>(env.graph, Int8PsConfig{});
+                     }));
     return r;
   }();
   return *registry;
 }
 
-bool SyncEngineRegistry::Register(const std::string& name, Factory factory) {
-  PX_CHECK(!name.empty());
-  PX_CHECK(factory != nullptr);
-  return factories_.emplace(name, std::move(factory)).second;
+Status SyncEngineRegistry::Register(const std::string& name, Factory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("sync engine registration needs a non-empty name");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("sync engine '" + name + "' registered a null factory");
+  }
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    return Status::InvalidArgument("sync engine '" + name + "' is already registered");
+  }
+  return Status::Ok();
 }
 
 bool SyncEngineRegistry::Contains(const std::string& name) const {
@@ -55,9 +76,20 @@ std::vector<std::string> SyncEngineRegistry::Names() const {
 
 std::unique_ptr<SyncEngine> SyncEngineRegistry::Create(const std::string& name,
                                                        const SyncEngineEnv& env) const {
+  StatusOr<std::unique_ptr<SyncEngine>> engine = CreateChecked(name, env);
+  return engine.ok() ? std::move(engine.value()) : nullptr;
+}
+
+StatusOr<std::unique_ptr<SyncEngine>> SyncEngineRegistry::CreateChecked(
+    const std::string& name, const SyncEngineEnv& env) const {
   auto it = factories_.find(name);
   if (it == factories_.end()) {
-    return nullptr;
+    std::string registered;
+    for (const std::string& known : Names()) {
+      registered += registered.empty() ? known : ", " + known;
+    }
+    return Status::NotFound("unknown sync engine '" + name + "' (registered: " +
+                            registered + ")");
   }
   std::unique_ptr<SyncEngine> engine = it->second(env);
   PX_CHECK(engine != nullptr) << "factory for '" << name << "' returned null";

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/comm/reduce.h"
 #include "src/graph/executor.h"
 #include "src/graph/graph.h"
@@ -55,9 +56,32 @@ enum class GathervAlgorithm : uint8_t {
   kBroadcast,
 };
 
+// How a compression engine transforms one variable's gradient before it reaches the
+// wire — the timing-plane vocabulary for the compressed-push cost (engines declare
+// theirs through SyncEngine::CostCompression; the iteration simulator prices it).
+enum class CompressionKind : uint8_t {
+  kNone,  // uncompressed (the default for every built-in engine)
+  kTopK,  // magnitude top-k row sparsification: only ratio * nnz rows reach the wire
+  kInt8,  // per-row int8 quantization: values shrink 4x, one float scale per row
+};
+
+struct CompressionSpec {
+  CompressionKind kind = CompressionKind::kNone;
+  // kTopK: fraction of the touched rows that survive selection (k = ceil(ratio * nnz)).
+  double ratio = 1.0;
+  // kTopK: unsent rows accumulate into a residual and re-compete next step (DGC-style
+  // error feedback) instead of being dropped. Changes numerics, not wire volume.
+  bool error_feedback = true;
+};
+
 struct VariableSync {
   VariableSpec spec;
   SyncMethod method = SyncMethod::kPs;
+  // How this variable's gradient is compressed before the push. Stamped by the runner
+  // from the routed engine's CostCompression hook; kNone for the built-in engines. The
+  // simulator prices the compressed wire bytes plus the select/quantize compute from
+  // this, which is what lets the partition search exploit compression.
+  CompressionSpec compression;
   // PS only; >1 splits the shard row-wise across servers. This count is per variable —
   // a PartitionPlan stamps each partitioner-scoped variable's own count here (row-
   // capped), and the PS-family engines split their shards from exactly this field.
@@ -158,6 +182,15 @@ class SyncEngine {
   // this gradient kind when it is synchronized by this engine.
   virtual SyncMethod CostMethod(GradKind kind) const = 0;
 
+  // Companion cost hook: how this engine compresses a gradient of `kind` before the
+  // wire. The default (kNone) keeps every existing engine's timing plane untouched;
+  // compression engines return their configured spec so the simulator and the
+  // partition search price the compressed volume.
+  virtual CompressionSpec CostCompression(GradKind kind) const {
+    (void)kind;
+    return {};
+  }
+
   // Arrival semantics. An engine returning true wants each rank's gradients the moment
   // they are computed — the barrier-free asynchronous protocol: the runner then runs
   // ranks sequentially, refreshing the worker view between them, and delivers each
@@ -197,8 +230,9 @@ struct SyncEngineEnv {
   int num_ranks = 1;
 };
 
-// Name -> factory registry. "ps", "ar", and "async_ps" are pre-registered; libraries and
-// tests add strategies with Register and reach them through RunnerBuilder::WithEngine.
+// Name -> factory registry. "ps", "ar", "async_ps", "topk_ps", and "int8_ps" are
+// pre-registered; libraries and tests add strategies with Register and reach them
+// through RunnerBuilder::WithEngine.
 class SyncEngineRegistry {
  public:
   using Factory = std::function<std::unique_ptr<SyncEngine>(const SyncEngineEnv&)>;
@@ -206,14 +240,20 @@ class SyncEngineRegistry {
   // The process-wide registry (the one RunnerBuilder consults).
   static SyncEngineRegistry& Global();
 
-  // False (and no-op) when the name is already taken.
-  bool Register(const std::string& name, Factory factory);
+  // InvalidArgument naming the offender for a duplicate, empty name, or null factory;
+  // the registry is unchanged on error.
+  Status Register(const std::string& name, Factory factory);
   bool Contains(const std::string& name) const;
   // Registered names, ascending.
   std::vector<std::string> Names() const;
 
-  // Constructs and names an engine; nullptr for an unknown name.
+  // Constructs and names an engine; nullptr for an unknown name (legacy shim over
+  // CreateChecked for callers that already validated the name).
   std::unique_ptr<SyncEngine> Create(const std::string& name, const SyncEngineEnv& env) const;
+  // Constructs and names an engine; NotFound naming the unknown engine and listing the
+  // registered names — the error RunnerBuilder::Build surfaces for a bad WithEngine.
+  StatusOr<std::unique_ptr<SyncEngine>> CreateChecked(const std::string& name,
+                                                      const SyncEngineEnv& env) const;
 
  private:
   std::map<std::string, Factory> factories_;

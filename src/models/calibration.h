@@ -45,6 +45,11 @@ struct SyncCostParams {
   double gpu_sparse_apply_seconds_per_element = 1.5e-9;
   // Collective per-step launch overhead.
   double collective_step_overhead_seconds = 25e-6;
+  // Worker-side gradient compression (top-k selection / int8 quantization) per RAW
+  // gradient element scanned before the push — a single streaming pass over the
+  // backward output (~500M elements/s on host cores). Charged only for variables
+  // whose engine declares a CompressionSpec; uncompressed plans add no task at all.
+  double compress_seconds_per_element = 2e-9;
   // Effective-bandwidth derate for the OpenMPI broadcast-style AllGatherv on cross-
   // machine hops (the paper had to run AllGatherv over OpenMPI rather than NCCL,
   // section 6.1; OpenMPI's mid-size-message path underutilizes InfiniBand).

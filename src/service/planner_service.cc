@@ -53,6 +53,9 @@ uint64_t ModelFingerprint(const PlannerQuery& query) {
     h = Mix(h, static_cast<uint64_t>(v.sync.spec.row_elements));
     h = Mix(h, v.sync.spec.is_sparse ? 1 : 0);
     h = Mix(h, static_cast<uint64_t>(v.sync.method));
+    h = Mix(h, static_cast<uint64_t>(v.sync.compression.kind));
+    h = MixDouble(h, v.sync.compression.ratio);
+    h = Mix(h, v.sync.compression.error_feedback ? 1 : 0);
     h = Mix(h, v.partitioned ? 1 : 0);
     h = Mix(h, static_cast<uint64_t>(v.rows));
     if (!v.partitioned) {
@@ -112,6 +115,7 @@ uint64_t ResourcesFingerprint(const PlannerQuery& query) {
   h = MixDouble(h, p.gpu_dense_apply_seconds_per_element);
   h = MixDouble(h, p.gpu_sparse_apply_seconds_per_element);
   h = MixDouble(h, p.collective_step_overhead_seconds);
+  h = MixDouble(h, p.compress_seconds_per_element);
   h = MixDouble(h, p.gatherv_cross_machine_inflation);
   h = Mix(h, static_cast<uint64_t>(p.gatherv_ring_threshold_bytes));
   h = MixDouble(h, query.gpu_compute_seconds);

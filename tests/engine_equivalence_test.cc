@@ -8,6 +8,8 @@
 #include "src/core/api.h"
 #include "src/models/trainable.h"
 #include "src/ps/ps_numeric.h"
+#include "src/sync/int8_ps.h"
+#include "src/sync/topk_ps.h"
 #include "src/tensor/tensor_ops.h"
 #include "tests/drift_scenario.h"
 
@@ -399,6 +401,62 @@ TEST(EngineEquivalenceTest, HeterogeneousPlanBitIdenticalToUniformRunRepartition
       if (sync.spec.name == "softmax_emb") {
         EXPECT_EQ(sync.partitions, 7);
       }
+    }
+  }
+}
+
+TEST(EngineEquivalenceTest, IdentityCompressionEnginesBitIdenticalToPs) {
+  // The compression engines' escape hatch is EXACT: a top-k engine at ratio >= 1.0
+  // and an int8 engine in identity mode must delegate untouched — bit-identical
+  // losses and variable bits against "ps", including float summation order. (This is
+  // why the pass-through hands the ORIGINAL per-rank results to the inner engine
+  // instead of round-tripping through the compression buffers.) Registering the two
+  // extra engines must also leave the built-in routings untouched — the runs below
+  // build after the registrations.
+  if (!SyncEngineRegistry::Global().Contains("topk_identity")) {
+    ASSERT_TRUE(RegisterTopKPsEngine("topk_identity", {.ratio = 1.0}).ok());
+  }
+  if (!SyncEngineRegistry::Global().Contains("int8_identity")) {
+    ASSERT_TRUE(RegisterInt8PsEngine("int8_identity", {.identity = true}).ok());
+  }
+
+  auto train = [](const std::string& engine, VariableStore* view) {
+    WordLmModel model({.vocab_size = 90, .embedding_dim = 6, .hidden_dim = 10,
+                       .batch_per_rank = 12, .seed = 715});
+    auto runner = RunnerBuilder(model.graph(), model.loss())
+                      .WithResources("m0:0,1;m1:0,1")
+                      .WithLearningRate(kLr)
+                      .WithSearch({.warmup_iterations = 2, .measured_iterations = 2})
+                      .WithEngine("*", engine)
+                      .Build();
+    EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+    Rng rng(715);
+    std::vector<float> losses;
+    for (int s = 0; s < kSteps; ++s) {
+      losses.push_back(runner.value()->Step(model.TrainShards(kRanks, rng)));
+    }
+    *view = runner.value()->WorkerView();
+    return losses;
+  };
+
+  VariableStore ps_view;
+  std::vector<float> ps_losses = train("ps", &ps_view);
+  for (const char* engine : {"topk_identity", "int8_identity", "async_ps"}) {
+    // async_ps rides along as the registration-isolation control: its trajectory was
+    // never bit-equal to "ps", but it must still build and train after the new
+    // registrations (the satellite invariant is "registering engines changes nothing
+    // for anyone else").
+    VariableStore view;
+    std::vector<float> losses = train(engine, &view);
+    if (std::string(engine) == "async_ps") {
+      EXPECT_EQ(losses.size(), ps_losses.size());
+      continue;
+    }
+    EXPECT_EQ(losses, ps_losses) << engine;
+    for (size_t v = 0; v < view.size(); ++v) {
+      EXPECT_TRUE(AllClose(view.Get(static_cast<int>(v)),
+                           ps_view.Get(static_cast<int>(v)), 0.0f))
+          << engine << " variable " << v;
     }
   }
 }

@@ -32,6 +32,8 @@ TEST(SyncEngineRegistryTest, BuiltinsAreRegistered) {
   EXPECT_TRUE(registry.Contains("ps"));
   EXPECT_TRUE(registry.Contains("ar"));
   EXPECT_TRUE(registry.Contains("async_ps"));
+  EXPECT_TRUE(registry.Contains("topk_ps"));
+  EXPECT_TRUE(registry.Contains("int8_ps"));
   EXPECT_FALSE(registry.Contains("nccl"));
 }
 
@@ -45,11 +47,49 @@ TEST(SyncEngineRegistryTest, CreateNamesTheEngineAndRejectsUnknown) {
   EXPECT_EQ(SyncEngineRegistry::Global().Create("does_not_exist", env), nullptr);
 }
 
-TEST(SyncEngineRegistryTest, DuplicateRegistrationIsRejected) {
-  EXPECT_FALSE(SyncEngineRegistry::Global().Register(
+TEST(SyncEngineRegistryTest, CreateCheckedNamesTheUnknownEngineAndTheAlternatives) {
+  // The checked factory turns a typo into an actionable Status: NotFound, carrying the
+  // offending name and the registered alternatives, instead of a bare nullptr.
+  WordLmModel model(SmallLm(931));
+  SyncEngineEnv env{model.graph(), 4};
+  auto engine = SyncEngineRegistry::Global().CreateChecked("warp_drive", env);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(engine.status().ToString().find("warp_drive"), std::string::npos);
+  EXPECT_NE(engine.status().ToString().find("ps"), std::string::npos);
+
+  auto ok = SyncEngineRegistry::Global().CreateChecked("ps", env);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value()->name(), "ps");
+}
+
+TEST(SyncEngineRegistryTest, DuplicateRegistrationIsRejectedWithTheOffendingName) {
+  Status status = SyncEngineRegistry::Global().Register(
       "ps", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
         return std::make_unique<PsNumericEngine>(env.graph);
-      }));
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("'ps'"), std::string::npos);
+  // The original registration is untouched.
+  WordLmModel model(SmallLm(932));
+  SyncEngineEnv env{model.graph(), 2};
+  auto engine = SyncEngineRegistry::Global().Create("ps", env);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->CostMethod(GradKind::kSparse), SyncMethod::kPs);
+}
+
+TEST(SyncEngineRegistryTest, RejectsEmptyNameAndNullFactory) {
+  Status empty_name = SyncEngineRegistry::Global().Register(
+      "", [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+        return std::make_unique<PsNumericEngine>(env.graph);
+      });
+  EXPECT_EQ(empty_name.code(), StatusCode::kInvalidArgument);
+  Status null_factory = SyncEngineRegistry::Global().Register("null_factory", nullptr);
+  ASSERT_FALSE(null_factory.ok());
+  EXPECT_EQ(null_factory.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(null_factory.ToString().find("null_factory"), std::string::npos);
+  EXPECT_FALSE(SyncEngineRegistry::Global().Contains("null_factory"));
 }
 
 TEST(SyncEngineRegistryTest, RegisteredStrategyRoundTripsThroughBuilder) {
@@ -57,10 +97,12 @@ TEST(SyncEngineRegistryTest, RegisteredStrategyRoundTripsThroughBuilder) {
   // trains exactly like the engine it wraps.
   const std::string name = "ps_roundtrip";
   if (!SyncEngineRegistry::Global().Contains(name)) {
-    ASSERT_TRUE(SyncEngineRegistry::Global().Register(
-        name, [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
-          return std::make_unique<PsNumericEngine>(env.graph);
-        }));
+    ASSERT_TRUE(SyncEngineRegistry::Global()
+                    .Register(name,
+                              [](const SyncEngineEnv& env) -> std::unique_ptr<SyncEngine> {
+                                return std::make_unique<PsNumericEngine>(env.graph);
+                              })
+                    .ok());
   }
   std::vector<std::string> names = SyncEngineRegistry::Global().Names();
   EXPECT_NE(std::find(names.begin(), names.end(), name), names.end());
