@@ -6,10 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include "src/base/rng.h"
+#include "src/base/thread_pool.h"
 #include "src/comm/collectives.h"
 #include "src/core/api.h"
 #include "src/core/cost_model.h"
 #include "src/core/iteration_sim.h"
+#include "src/core/parallel_measure.h"
+#include "src/sim/arena_pool.h"
 #include "src/graph/executor.h"
 #include "src/models/trainable.h"
 #include "src/ps/partition.h"
@@ -353,6 +356,23 @@ void BM_PartitionSearchSharedArena(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionSearchSharedArena);
 
+// The hybrid step plus a small hot "wide" PS variable — the two-coordinate landscape
+// the per-variable and parallel search benches all measure over.
+std::vector<VariableSync> PerVariableSearchVariables(const PartitionPlan& plan) {
+  std::vector<VariableSync> vars = HybridVariables(plan.For("embedding"));
+  VariableSync wide;
+  wide.spec = {"wide", 500'000, 256, true, 0.6};
+  wide.method = SyncMethod::kPs;
+  wide.partitions = plan.For("wide");
+  vars.push_back(wide);
+  return vars;
+}
+
+std::vector<PartitionSearchVariable> PerVariableSearchTargets() {
+  return {{.name = "embedding", .alpha = 0.02, .num_elements = 8'000'000},
+          {.name = "wide", .alpha = 0.6, .num_elements = 500'000}};
+}
+
 // The per-variable generalization (SearchPartitionPlan): two PS variables with skewed
 // alphas, searched by uniform sweep + closed-form seed + coordinate descent, all on
 // the shared arena. Compare against BM_PartitionSearchSharedArena for the cost of
@@ -363,21 +383,12 @@ void BM_PerVariableSearch(benchmark::State& state) {
   options.max_partitions = 1024;
   options.warmup_iterations = 5;
   options.measured_iterations = 10;
-  std::vector<PartitionSearchVariable> targets = {
-      {.name = "embedding", .alpha = 0.02, .num_elements = 8'000'000},
-      {.name = "wide", .alpha = 0.6, .num_elements = 500'000},
-  };
+  std::vector<PartitionSearchVariable> targets = PerVariableSearchTargets();
   SimulationArena arena;
   for (auto _ : state) {
     auto measure = [&](const PartitionPlan& plan) {
-      std::vector<VariableSync> vars = HybridVariables(plan.For("embedding"));
-      VariableSync wide;
-      wide.spec = {"wide", 500'000, 256, true, 0.6};
-      wide.method = SyncMethod::kPs;
-      wide.partitions = plan.For("wide");
-      vars.push_back(wide);
-      IterationSimulator sim(ClusterSpec::Paper(), std::move(vars), 4e-3, 4,
-                             HybridSimConfig(), &arena);
+      IterationSimulator sim(ClusterSpec::Paper(), PerVariableSearchVariables(plan),
+                             4e-3, 4, HybridSimConfig(), &arena);
       return sim.MeasureIterationSeconds(options.warmup_iterations,
                                          options.measured_iterations);
     };
@@ -396,20 +407,11 @@ void BM_PerVariableSearchWarmStart(benchmark::State& state) {
   options.max_partitions = 1024;
   options.warmup_iterations = 5;
   options.measured_iterations = 10;
-  std::vector<PartitionSearchVariable> targets = {
-      {.name = "embedding", .alpha = 0.02, .num_elements = 8'000'000},
-      {.name = "wide", .alpha = 0.6, .num_elements = 500'000},
-  };
+  std::vector<PartitionSearchVariable> targets = PerVariableSearchTargets();
   SimulationArena arena;
   auto measure = [&](const PartitionPlan& plan) {
-    std::vector<VariableSync> vars = HybridVariables(plan.For("embedding"));
-    VariableSync wide;
-    wide.spec = {"wide", 500'000, 256, true, 0.6};
-    wide.method = SyncMethod::kPs;
-    wide.partitions = plan.For("wide");
-    vars.push_back(wide);
-    IterationSimulator sim(ClusterSpec::Paper(), std::move(vars), 4e-3, 4,
-                           HybridSimConfig(), &arena);
+    IterationSimulator sim(ClusterSpec::Paper(), PerVariableSearchVariables(plan),
+                           4e-3, 4, HybridSimConfig(), &arena);
     return sim.MeasureIterationSeconds(options.warmup_iterations,
                                        options.measured_iterations);
   };
@@ -426,6 +428,199 @@ void BM_PerVariableSearchWarmStart(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PerVariableSearchWarmStart);
+
+// ---- Parallel partition search -------------------------------------------------------
+//
+// The batched-candidate searches at 1/2/4/8 workers (Arg = pool lanes; 1 leaves the
+// batch provider null, i.e. the serial search — the in-family baseline). The adopted
+// plan and full trail are bit-identical across args (tests/parallel_search_test.cc);
+// only wall-clock and the speculation counters move. docs/perf.md's "Parallel
+// partition search" table reads from these four benches.
+
+PlanBatchMeasure MakeBenchBatchMeasure(ThreadPool* pool, ArenaPool* arenas,
+                                       const PartitionSearchOptions& options) {
+  ParallelMeasureSpec spec;
+  spec.cluster = ClusterSpec::Paper();
+  spec.apply_plan = [](const PartitionPlan& plan) {
+    return PerVariableSearchVariables(plan);
+  };
+  spec.gpu_compute_seconds = 4e-3;
+  spec.compute_chunks = 4;
+  spec.sim_config = HybridSimConfig();
+  spec.warmup_iterations = options.warmup_iterations;
+  spec.measured_iterations = options.measured_iterations;
+  return MakeParallelPlanMeasure(std::move(spec), SearchConcurrency{pool, 0}, arenas);
+}
+
+PartitionSearchOptions ParallelSearchBenchOptions() {
+  PartitionSearchOptions options;
+  options.initial_partitions = 8;
+  options.max_partitions = 1024;
+  options.warmup_iterations = 5;
+  options.measured_iterations = 10;
+  return options;
+}
+
+void ReportSpeculation(benchmark::State& state, const BatchMeasureStats& batch) {
+  state.counters["batched_evals"] = static_cast<double>(batch.batched_evaluations);
+  state.counters["spec_waste"] = static_cast<double>(batch.speculative_waste);
+}
+
+void BM_ParallelSearchUniform(benchmark::State& state) {
+  PartitionSearchOptions options = ParallelSearchBenchOptions();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  options.concurrency = {&pool, 0};
+  ArenaPool arenas;
+  const UniformBatchMeasure batch =
+      MakeUniformBatchMeasure(MakeBenchBatchMeasure(&pool, &arenas, options));
+  SimulationArena arena;
+  PartitionSearchResult result;
+  for (auto _ : state) {
+    auto measure = [&](int partitions) {
+      IterationSimulator sim(ClusterSpec::Paper(),
+                             PerVariableSearchVariables(PartitionPlan::Uniform(partitions)),
+                             4e-3, 4, HybridSimConfig(), &arena);
+      return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                         options.measured_iterations);
+    };
+    result = SearchPartitions(measure, batch, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportSpeculation(state, result.batch);
+}
+BENCHMARK(BM_ParallelSearchUniform)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelSearchPerVariable(benchmark::State& state) {
+  PartitionSearchOptions options = ParallelSearchBenchOptions();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  options.concurrency = {&pool, 0};
+  ArenaPool arenas;
+  const PlanBatchMeasure batch = MakeBenchBatchMeasure(&pool, &arenas, options);
+  const std::vector<PartitionSearchVariable> targets = PerVariableSearchTargets();
+  SimulationArena arena;
+  PartitionPlanSearchResult result;
+  for (auto _ : state) {
+    auto measure = [&](const PartitionPlan& plan) {
+      IterationSimulator sim(ClusterSpec::Paper(), PerVariableSearchVariables(plan),
+                             4e-3, 4, HybridSimConfig(), &arena);
+      return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                         options.measured_iterations);
+    };
+    result = SearchPartitionPlan(measure, batch, targets, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportSpeculation(state, result.batch);
+}
+BENCHMARK(BM_ParallelSearchPerVariable)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelSearchWarmStart(benchmark::State& state) {
+  PartitionSearchOptions options = ParallelSearchBenchOptions();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  options.concurrency = {&pool, 0};
+  ArenaPool arenas;
+  const PlanBatchMeasure batch = MakeBenchBatchMeasure(&pool, &arenas, options);
+  std::vector<PartitionSearchVariable> targets = PerVariableSearchTargets();
+  SimulationArena arena;
+  auto measure = [&](const PartitionPlan& plan) {
+    IterationSimulator sim(ClusterSpec::Paper(), PerVariableSearchVariables(plan),
+                           4e-3, 4, HybridSimConfig(), &arena);
+    return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                       options.measured_iterations);
+  };
+  PartitionPlanSearchResult cold = SearchPartitionPlan(measure, targets, options);
+  for (PartitionSearchVariable& target : targets) {
+    target.previous_partitions = cold.plan.For(target.name);
+    target.drifted = target.name == "embedding";
+  }
+  targets[0].alpha = 0.05;
+  options.warm_start = true;
+  PartitionPlanSearchResult result;
+  for (auto _ : state) {
+    result = SearchPartitionPlan(measure, batch, targets, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportSpeculation(state, result.batch);
+}
+BENCHMARK(BM_ParallelSearchWarmStart)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Placement trials are the widest independent-candidate stage (every piece-move of a
+// swap round), so this is where speculation fans out hardest. 2 racks x 2 machines
+// over an oversubscribed spine — the topology demo's scenario.
+void BM_ParallelSearchPlacement(benchmark::State& state) {
+  ClusterSpec spec;
+  spec.num_machines = 4;
+  spec.gpus_per_machine = 2;
+  spec.cores_per_machine = 4;
+  spec.nic_bandwidth = 1e9;
+  spec.nic_latency = 1e-6;
+  spec.pcie_bandwidth = 4e9;
+  spec.pcie_latency = 1e-6;
+  spec.topology.num_racks = 2;
+  spec.topology.spine_bandwidth = 1e9;
+  spec.topology.spine_latency = 5e-6;
+  const std::vector<PartitionSearchVariable> targets = {
+      {.name = "emb", .alpha = 0.3, .num_elements = 4'000'000, .max_partitions = 3},
+      {.name = "softmax", .alpha = 0.5, .num_elements = 600'000, .max_partitions = 2}};
+  auto apply_plan = [targets](const PartitionPlan& plan) {
+    std::vector<VariableSync> variables;
+    for (const PartitionSearchVariable& searched : targets) {
+      VariableSync sync;
+      sync.spec = {searched.name, searched.num_elements, 64, true, searched.alpha};
+      sync.method = SyncMethod::kPs;
+      sync.partitions =
+          RowCappedPartitions(plan.For(searched.name), searched.max_partitions);
+      const std::vector<int>* placement = plan.PlacementFor(searched.name);
+      if (placement != nullptr &&
+          static_cast<int>(placement->size()) == sync.partitions) {
+        sync.placement = *placement;
+      }
+      variables.push_back(std::move(sync));
+    }
+    return variables;
+  };
+  IterationSimConfig sim_config;
+  sim_config.ps_local_aggregation = true;
+  sim_config.ps_machine_level_pulls = true;
+
+  PartitionSearchOptions options;
+  options.initial_partitions = 4;
+  options.max_partitions = 16;
+  options.warmup_iterations = 3;
+  options.measured_iterations = 3;
+  options.placement.enabled = true;
+  options.placement.num_machines = 4;
+  options.placement.num_racks = 2;
+  options.placement.nic_bandwidth = 1e9;
+  options.placement.spine_bandwidth = 1e9;
+
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  options.concurrency = {&pool, 0};
+  ArenaPool arenas;
+  ParallelMeasureSpec measure_spec;
+  measure_spec.cluster = spec;
+  measure_spec.apply_plan = apply_plan;
+  measure_spec.gpu_compute_seconds = 2e-3;
+  measure_spec.compute_chunks = 4;
+  measure_spec.sim_config = sim_config;
+  measure_spec.warmup_iterations = options.warmup_iterations;
+  measure_spec.measured_iterations = options.measured_iterations;
+  const PlanBatchMeasure batch = MakeParallelPlanMeasure(
+      std::move(measure_spec), SearchConcurrency{&pool, 0}, &arenas);
+
+  SimulationArena arena;
+  PartitionPlanSearchResult result;
+  for (auto _ : state) {
+    auto measure = [&](const PartitionPlan& plan) {
+      IterationSimulator sim(spec, apply_plan(plan), 2e-3, 4, sim_config, &arena);
+      return sim.MeasureIterationSeconds(options.warmup_iterations,
+                                         options.measured_iterations);
+    };
+    result = SearchPartitionPlan(measure, batch, targets, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportSpeculation(state, result.batch);
+}
+BENCHMARK(BM_ParallelSearchPlacement)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // ---- Topology-aware collectives ------------------------------------------------------
 //

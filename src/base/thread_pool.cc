@@ -7,6 +7,26 @@
 
 namespace parallax {
 
+namespace {
+
+// The pool this thread is currently draining a batch for (caller lane or worker lane).
+// A nested ParallelFor on the same pool detects itself here and runs inline — the
+// submission lock is held by the outer call, so queueing would deadlock.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
+class ActivePoolScope {
+ public:
+  explicit ActivePoolScope(const ThreadPool* pool) : saved_(tls_active_pool) {
+    tls_active_pool = pool;
+  }
+  ~ActivePoolScope() { tls_active_pool = saved_; }
+
+ private:
+  const ThreadPool* saved_;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   PX_CHECK_GE(num_threads, 1);
   workers_.reserve(static_cast<size_t>(num_threads - 1));
@@ -40,6 +60,7 @@ void ThreadPool::WorkerLoop() {
       batch = batch_;
     }
     if (batch != nullptr) {
+      ActivePoolScope scope(this);
       RunChunks(*batch, done_cv_, mu_);
     }
   }
@@ -67,7 +88,7 @@ void ThreadPool::ParallelFor(int64_t total, int64_t grain,
   }
   grain = std::max<int64_t>(grain, 1);
   const int64_t chunks = (total + grain - 1) / grain;
-  if (chunks <= 1 || num_threads_ <= 1) {
+  if (chunks <= 1 || num_threads_ <= 1 || tls_active_pool == this) {
     fn(0, total);
     return;
   }
@@ -83,11 +104,21 @@ void ThreadPool::ParallelFor(int64_t total, int64_t grain,
     ++epoch_;
   }
   work_cv_.notify_all();
-  RunChunks(*batch, done_cv_, mu_);
+  {
+    ActivePoolScope scope(this);
+    RunChunks(*batch, done_cv_, mu_);
+  }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] {
     return batch->remaining_chunks.load(std::memory_order_acquire) == 0;
   });
+}
+
+int DefaultWorkerCount(int cap) {
+  PX_CHECK_GE(cap, 1);
+  unsigned hw = std::thread::hardware_concurrency();
+  int workers = hw == 0 ? 1 : static_cast<int>(hw);
+  return std::clamp(workers, 1, cap);
 }
 
 int DefaultSparseThreads() {
@@ -98,8 +129,7 @@ int DefaultSparseThreads() {
         return std::min(parsed, 16);
       }
     }
-    unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<int>(std::clamp<unsigned>(hw == 0 ? 1 : hw, 1, 16));
+    return DefaultWorkerCount();
   }();
   return threads;
 }

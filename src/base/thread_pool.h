@@ -11,8 +11,13 @@
 // bit-identical for every pool size, because no float accumulation order ever crosses a
 // shard boundary (see docs/perf.md).
 //
-// ParallelFor is not reentrant: a body that calls ParallelFor on the same pool
-// deadlocks. Kernel code keeps parallelism at one level.
+// Nested ParallelFor on the same pool runs inline: a body that calls ParallelFor on
+// the pool it is already running on executes the nested range serially on the calling
+// lane instead of deadlocking on the submission lock. Under the disjoint-shard
+// contract this preserves bit-identity (serial order is the reference order), so one
+// pool can serve both an outer fan-out (e.g. the planner's query batch) and inner
+// candidate batches. Keep kernel code at one level of parallelism regardless — the
+// inline fallback forfeits the inner level's speedup.
 #ifndef PARALLAX_SRC_BASE_THREAD_POOL_H_
 #define PARALLAX_SRC_BASE_THREAD_POOL_H_
 
@@ -71,9 +76,15 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+// Hardware concurrency with the `hardware_concurrency() == 0` ("unknown") fallback
+// applied, clamped to [1, cap]. The one place that fallback rule lives — planner
+// fan-out, batched candidate measurement, and the sparse-kernel default all size
+// their worker counts through it.
+int DefaultWorkerCount(int cap = 16);
+
 // Threads used for sparse kernels when no explicit pool is supplied: the
-// PARALLAX_THREADS environment variable if set, else hardware concurrency, clamped to
-// [1, 16]. Read once at first use.
+// PARALLAX_THREADS environment variable if set, else DefaultWorkerCount(). Read once
+// at first use.
 int DefaultSparseThreads();
 
 // Process-wide pool shared by sparse kernels that are not handed a workspace-scoped

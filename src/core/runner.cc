@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/strings.h"
+#include "src/core/parallel_measure.h"
 #include "src/service/planner_service.h"
 
 namespace parallax {
@@ -169,7 +170,8 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
                    << (answer.cache_hit ? " (cache hit)"
                                         : (answer.coalesced ? " (coalesced)" : ""));
     } else if (!targets.empty()) {
-      plan_search_result_ = SearchPartitionPlan(measure_plan, targets, search);
+      plan_search_result_ =
+          SearchPartitionPlan(measure_plan, MakeSearchBatchMeasure(search), targets, search);
       partition_plan_ = plan_search_result_->plan;
       search_result_ = plan_search_result_->uniform;
       PX_LOG(Info) << "partition search: plan " << partition_plan_.ToString()
@@ -178,11 +180,19 @@ void GraphRunner::InitializeFromSamples(const std::vector<FeedMap>& per_rank_fee
                    << plan_search_result_->uniform.best_partitions << " at "
                    << plan_search_result_->uniform_seconds << "s vs "
                    << plan_search_result_->seconds << "s per-variable)";
+      if (plan_search_result_->batch.batches > 0) {
+        PX_LOG(Info) << "partition search: " << plan_search_result_->batch.batched_evaluations
+                     << " candidates simulated across "
+                     << plan_search_result_->batch.batches << " parallel batches ("
+                     << plan_search_result_->batch.speculative_waste
+                     << " speculative-waste)";
+      }
     } else {
       auto measure = [&](int partitions) {
         return measure_plan(PartitionPlan::Uniform(partitions));
       };
-      search_result_ = SearchPartitions(measure, search);
+      search_result_ = SearchPartitions(
+          measure, MakeUniformBatchMeasure(MakeSearchBatchMeasure(search)), search);
       partition_plan_ = PartitionPlan::Uniform(search_result_->best_partitions);
       PX_LOG(Info) << "partition search: uniform P=" << search_result_->best_partitions
                    << " after " << search_result_->samples.size() << " sampling runs";
@@ -273,6 +283,29 @@ PartitionSearchOptions GraphRunner::SearchOptionsForCluster() const {
     search.placement.spine_bandwidth = cluster_spec_.topology.spine_bandwidth;
   }
   return search;
+}
+
+PlanBatchMeasure GraphRunner::MakeSearchBatchMeasure(const PartitionSearchOptions& options) {
+  if (options.concurrency.pool == nullptr) {
+    return PlanBatchMeasure();
+  }
+  if (search_arenas_ == nullptr) {
+    search_arenas_ = std::make_unique<ArenaPool>();
+  }
+  ParallelMeasureSpec spec;
+  spec.cluster = cluster_spec_;
+  // VariablesWithPartitions is a pure read of plan_/graph_ state that no search
+  // mutates mid-flight, so concurrent calls from pool workers are safe.
+  spec.apply_plan = [this](const PartitionPlan& plan) {
+    return VariablesWithPartitions(plan);
+  };
+  spec.gpu_compute_seconds = config_.gpu_compute_seconds;
+  spec.compute_chunks = config_.compute_chunks;
+  spec.sim_config = MakeSimConfig();
+  spec.warmup_iterations = options.warmup_iterations;
+  spec.measured_iterations = options.measured_iterations;
+  return MakeParallelPlanMeasure(std::move(spec), options.concurrency,
+                                 search_arenas_.get());
 }
 
 std::vector<PartitionSearchVariable> GraphRunner::SearchTargets() const {
@@ -562,7 +595,8 @@ Status GraphRunner::Rescale(const ResourceSpec& to) {
         best_seconds = seconds;
       }
     } else if (!targets.empty()) {
-      PartitionPlanSearchResult result = SearchPartitionPlan(measure_plan, targets, search);
+      PartitionPlanSearchResult result = SearchPartitionPlan(
+          measure_plan, MakeSearchBatchMeasure(search), targets, search);
       if (result.seconds < best_seconds) {
         best_plan = result.plan;
         best_seconds = result.seconds;
@@ -571,7 +605,8 @@ Status GraphRunner::Rescale(const ResourceSpec& to) {
       auto measure = [&](int partitions) {
         return measure_plan(PartitionPlan::Uniform(partitions));
       };
-      PartitionSearchResult result = SearchPartitions(measure, search);
+      PartitionSearchResult result = SearchPartitions(
+          measure, MakeUniformBatchMeasure(MakeSearchBatchMeasure(search)), search);
       const double seconds = measure(result.best_partitions);
       if (seconds < best_seconds) {
         best_plan = PartitionPlan::Uniform(result.best_partitions);
@@ -809,7 +844,8 @@ void GraphRunner::MaybeAdapt() {
       // uniform sweep inside seeds it, unless warm-started). Measured-vs-measured
       // comparison on the same arena, so the hysteresis test is deterministic and
       // free of model error.
-      PartitionPlanSearchResult result = SearchPartitionPlan(measure_plan, targets, search);
+      PartitionPlanSearchResult result = SearchPartitionPlan(
+          measure_plan, MakeSearchBatchMeasure(search), targets, search);
       if (!same_layout(VariablesWithPartitions(result.plan), plan_.variables)) {
         best_plan = result.plan;
         best_seconds = result.seconds;
@@ -818,7 +854,8 @@ void GraphRunner::MaybeAdapt() {
       auto measure = [&](int partitions) {
         return measure_plan(PartitionPlan::Uniform(partitions));
       };
-      PartitionSearchResult result = SearchPartitions(measure, search);
+      PartitionSearchResult result = SearchPartitions(
+          measure, MakeUniformBatchMeasure(MakeSearchBatchMeasure(search)), search);
       PartitionPlan candidate = PartitionPlan::Uniform(result.best_partitions);
       if (!same_layout(VariablesWithPartitions(candidate), plan_.variables)) {
         best_plan = candidate;

@@ -52,6 +52,7 @@
 #include "src/core/transform.h"
 #include "src/graph/checkpoint.h"
 #include "src/graph/executor.h"
+#include "src/sim/arena_pool.h"
 
 namespace parallax {
 
@@ -277,6 +278,11 @@ class GraphRunner {
   // outcome; alphas are the plan's current (startup-sampled or monitor-measured) ones.
   PlannerQuery MakePlannerQuery(const PartitionSearchOptions& options,
                                 const std::vector<PartitionSearchVariable>& targets) const;
+  // The batch-measure callback the private searches hand to the batched overloads —
+  // candidates fan out over options.concurrency's pool, one leased arena per worker
+  // (search_arenas_, created on first use). Null (= serial search) when no pool is
+  // configured; results are bit-identical either way (cost_model.h).
+  PlanBatchMeasure MakeSearchBatchMeasure(const PartitionSearchOptions& options);
   // Creates the sparsity monitor and attaches it to the engines, when the config asks
   // for adaptive partitioning and the plan has monitorable variables.
   void MaybeStartMonitor();
@@ -315,6 +321,10 @@ class GraphRunner {
   // One arena for the partition search and the training-time timing plane: cached
   // collective schedules and task storage persist for the runner's lifetime.
   std::unique_ptr<SimulationArena> sim_arena_;
+  // Extra arenas for parallel candidate evaluation (WithSearchConcurrency), created
+  // lazily on the first concurrent search and kept warm across startup/adaptive/
+  // rescale re-searches.
+  std::unique_ptr<ArenaPool> search_arenas_;
   std::unique_ptr<IterationSimulator> timing_;
   std::unique_ptr<Cluster> cluster_;
   double simulated_seconds_ = 0.0;

@@ -4,10 +4,10 @@
 #include <bit>
 #include <cmath>
 #include <string_view>
-#include <thread>
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/core/parallel_measure.h"
 #include "src/core/partition_plan.h"
 
 namespace parallax {
@@ -123,6 +123,9 @@ uint64_t ResourcesFingerprint(const PlannerQuery& query) {
   return h;
 }
 
+// Deliberately excludes o.concurrency: parallel candidate evaluation is bit-identical
+// to serial (cost_model.h), so keying on it would split identical searches — and the
+// service substitutes its own pool regardless of what the query carries.
 uint64_t OptionsFingerprint(const PartitionSearchOptions& o) {
   uint64_t h = 0x6f7074696f6e73ull;  // "options"
   h = Mix(h, static_cast<uint64_t>(o.initial_partitions));
@@ -181,39 +184,17 @@ std::vector<VariableSync> ApplyPlanToVariables(const std::vector<PlannerVariable
 }
 
 PlannerService::PlannerService(PlannerServiceOptions options)
-    : options_(options), cache_(options.cache_capacity) {}
-
-PlannerService::ArenaLease::~ArenaLease() {
-  if (service_ != nullptr && arena_ != nullptr) {
-    service_->ReleaseArena(std::move(arena_));
+    : options_(options),
+      cache_(options.cache_capacity),
+      arenas_(options.max_pooled_arenas) {
+  const int lanes =
+      options_.max_workers > 0 ? options_.max_workers : DefaultWorkerCount();
+  if (lanes > 1) {
+    pool_ = std::make_unique<ThreadPool>(lanes);
   }
 }
 
-PlannerService::ArenaLease PlannerService::AcquireArena() {
-  std::unique_ptr<SimulationArena> arena;
-  {
-    std::lock_guard<std::mutex> lock(arena_mu_);
-    if (!free_arenas_.empty()) {
-      arena = std::move(free_arenas_.back());
-      free_arenas_.pop_back();
-    } else {
-      ++total_arenas_;
-    }
-  }
-  if (arena == nullptr) {
-    arena = std::make_unique<SimulationArena>();
-  }
-  return ArenaLease(this, std::move(arena));
-}
-
-void PlannerService::ReleaseArena(std::unique_ptr<SimulationArena> arena) {
-  std::lock_guard<std::mutex> lock(arena_mu_);
-  if (free_arenas_.size() < options_.max_pooled_arenas) {
-    free_arenas_.push_back(std::move(arena));
-  } else {
-    --total_arenas_;  // pool is full; the arena is dropped
-  }
-}
+PlannerService::ArenaLease PlannerService::AcquireArena() { return arenas_.Acquire(); }
 
 void PlannerService::Canonicalize(PlannerQuery* query) const {
   PX_CHECK(query != nullptr);
@@ -257,28 +238,57 @@ CachedPlan PlannerService::Search(const PlannerQuery& query) {
     return sim.MeasureIterationSeconds(query.options.warmup_iterations,
                                        query.options.measured_iterations);
   };
+  // Candidate batches fan out over the service's own pool and arena pool — whatever
+  // concurrency the query carried is replaced (a tenant's pool pointer means nothing
+  // service-side, and results do not depend on it). The substituted concurrency also
+  // sizes the searches' speculation waves. Under PlanMany the fan-out lane already
+  // occupies the pool, so the nested batch runs inline (thread_pool.h) — query-level
+  // and candidate-level parallelism share the same lanes.
+  PartitionSearchOptions options = query.options;
+  options.concurrency = SearchConcurrency{pool_.get(), 0};
+  ParallelMeasureSpec spec;
+  spec.cluster = query.cluster;
+  spec.apply_plan = [&query](const PartitionPlan& plan) {
+    return ApplyPlanToVariables(query.variables, plan);
+  };
+  spec.gpu_compute_seconds = query.gpu_compute_seconds;
+  spec.compute_chunks = query.compute_chunks;
+  spec.sim_config = query.sim_config;
+  spec.warmup_iterations = query.options.warmup_iterations;
+  spec.measured_iterations = query.options.measured_iterations;
+  PlanBatchMeasure measure_batch = MakeParallelPlanMeasure(
+      std::move(spec), SearchConcurrency{pool_.get(), 0}, &arenas_);
+
   CachedPlan cached;
+  BatchMeasureStats batch;
   if (!query.targets.empty()) {
     PartitionPlanSearchResult result =
-        SearchPartitionPlan(measure_plan, query.targets, query.options);
+        SearchPartitionPlan(measure_plan, measure_batch, query.targets, options);
     cached.plan = result.plan;
     cached.seconds = result.seconds;
     cached.uniform_seconds = result.uniform_seconds;
     cached.best_uniform_partitions = result.uniform.best_partitions;
     cached.evaluations = result.evaluations;
     cached.uniform = false;
+    batch = result.batch;
   } else {
     auto measure = [&](int partitions) {
       return measure_plan(PartitionPlan::Uniform(partitions));
     };
-    PartitionSearchResult result = SearchPartitions(measure, query.options);
+    PartitionSearchResult result = SearchPartitions(
+        measure, MakeUniformBatchMeasure(measure_batch), options);
     cached.plan = PartitionPlan::Uniform(result.best_partitions);
     cached.seconds = measure(result.best_partitions);
     cached.uniform_seconds = cached.seconds;
     cached.best_uniform_partitions = result.best_partitions;
     cached.evaluations = static_cast<int>(result.samples.size());
     cached.uniform = true;
+    batch = result.batch;
   }
+  batched_evaluations_.fetch_add(static_cast<uint64_t>(batch.batched_evaluations),
+                                 std::memory_order_relaxed);
+  speculative_waste_.fetch_add(static_cast<uint64_t>(batch.speculative_waste),
+                               std::memory_order_relaxed);
   return cached;
 }
 
@@ -354,29 +364,22 @@ std::vector<PlannerResult> PlannerService::PlanMany(const std::vector<PlannerQue
   for (const auto& [key, members] : groups) {
     representatives.push_back(members.front());
   }
-  // Fan the representatives across worker threads: each distinct key's candidate
-  // simulations run concurrently on its own leased arena.
-  const size_t workers = std::min<size_t>(
-      representatives.size(),
-      std::max<unsigned>(std::thread::hardware_concurrency(), 1));
-  std::atomic<size_t> next{0};
-  auto drain = [&] {
-    for (size_t i = next.fetch_add(1); i < representatives.size(); i = next.fetch_add(1)) {
-      const size_t index = representatives[i];
+  // Fan the representatives across the shared pool — no per-call thread spawn/join.
+  // Workers clamp to min(distinct queries, pool lanes) via the chunk grain; each
+  // lane's searches still run their own candidate batches (inline, thread_pool.h).
+  const int64_t total = static_cast<int64_t>(representatives.size());
+  auto plan_range = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const size_t index = representatives[static_cast<size_t>(i)];
       results[index] = Plan(canonical[index]);
     }
   };
+  const int64_t lanes = pool_ != nullptr ? pool_->num_threads() : 1;
+  const int64_t workers = std::min(total, lanes);
   if (workers <= 1) {
-    drain();
+    plan_range(0, total);
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      threads.emplace_back(drain);
-    }
-    for (std::thread& thread : threads) {
-      thread.join();
-    }
+    pool_->ParallelFor(total, (total + workers - 1) / workers, plan_range);
   }
   for (const auto& [key, members] : groups) {
     for (size_t m = 1; m < members.size(); ++m) {
@@ -396,11 +399,10 @@ PlannerServiceStats PlannerService::stats() const {
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.searches = searches_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(arena_mu_);
-    stats.pooled_arenas = free_arenas_.size();
-    stats.total_arenas = total_arenas_;
-  }
+  stats.pooled_arenas = arenas_.pooled();
+  stats.total_arenas = arenas_.total();
+  stats.batched_evaluations = batched_evaluations_.load(std::memory_order_relaxed);
+  stats.speculative_waste = speculative_waste_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -5,17 +5,25 @@
 // Three mechanisms make many concurrent tenants cheap:
 //
 //   1. Arena pool — SimulationArena is single-threaded state, so each query checks one
-//      out RAII-style (ArenaLease). Checkout never blocks on a busy arena: the pool
-//      grows on demand and retains up to max_pooled_arenas when idle, so concurrent
-//      searches are contention-free while steady-state queries reuse warm task storage
-//      and collective-schedule caches.
+//      out RAII-style (ArenaPool::Lease, src/sim/arena_pool.h). Checkout never blocks
+//      on a busy arena: the pool grows on demand and retains up to max_pooled_arenas
+//      when idle, so concurrent searches are contention-free while steady-state
+//      queries reuse warm task storage and collective-schedule caches.
 //   2. PlanCache — searches are deterministic, so results are memoized under
 //      (model, resources, options) fingerprints plus the quantized alpha vector. A hit
 //      returns a plan byte-identical to a fresh search at the same key, because
 //      searches run AT the bucket-representative alphas (Canonicalize).
 //   3. Coalescing — duplicate in-flight queries (same key) wait on the one running
 //      search instead of simulating again; PlanMany batches a whole query set, running
-//      one search per distinct key across worker threads and fanning results back out.
+//      one search per distinct key across the service's shared ThreadPool and fanning
+//      results back out.
+//   4. Intra-search parallelism — every cache miss (single Plan or PlanMany alike)
+//      runs the batched partition search: candidate layouts are simulated concurrently
+//      on the shared pool, one leased arena per worker, and the serial adoption logic
+//      replays over the results, so the answer stays bit-identical to a serial search
+//      (cost_model.h). A query's own options.concurrency is ignored — the service
+//      substitutes its pool, and since concurrency never changes results it is
+//      excluded from the options fingerprint.
 //
 // Runners opt in with RunnerBuilder::WithPlanner(service). The private-arena path
 // remains the default and the bit-for-bit oracle the service is tested against.
@@ -30,10 +38,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/thread_pool.h"
 #include "src/core/cost_model.h"
 #include "src/core/iteration_sim.h"
 #include "src/core/sync_engine.h"
 #include "src/service/plan_cache.h"
+#include "src/sim/arena_pool.h"
 #include "src/sim/cluster.h"
 
 namespace parallax {
@@ -48,6 +58,11 @@ struct PlannerServiceOptions {
   // Arenas retained in the free pool when idle. Checkout past this still succeeds (the
   // pool grows on demand); the excess is dropped on release instead of pooled.
   size_t max_pooled_arenas = 16;
+  // Lanes of the service's shared ThreadPool — PlanMany's query fan-out and every
+  // search's candidate batches both run on it (min(queries, lanes) workers for the
+  // former; a fan-out lane's nested candidate batch runs inline, thread_pool.h).
+  // 0 = DefaultWorkerCount(); 1 = fully serial (no pool is created).
+  int max_workers = 0;
 };
 
 // One variable of the querying model, as the simulator will see it. `sync` carries the
@@ -92,33 +107,23 @@ struct PlannerServiceStats {
   uint64_t coalesced = 0;  // queries that piggybacked on another query's search
   size_t pooled_arenas = 0;
   size_t total_arenas = 0;  // pooled + checked out
+  // Intra-search parallelism observability, summed over every search performed:
+  // candidates simulated speculatively in batches, and how many of them the serial
+  // replay never consumed (cost_model.h BatchMeasureStats). Zero when max_workers
+  // leaves the service serial.
+  uint64_t batched_evaluations = 0;
+  uint64_t speculative_waste = 0;
 };
 
 class PlannerService {
  public:
   explicit PlannerService(PlannerServiceOptions options = {});
 
-  // RAII checkout of a pooled SimulationArena. The lease (and the service) must
+  // RAII checkout of a pooled SimulationArena (the extracted ArenaPool's lease; the
+  // historical nested-class spelling still works). The lease — and the service — must
   // outlive any simulator constructed over the arena; destruction returns the arena
-  // to the pool. Move-only.
-  class ArenaLease {
-   public:
-    ArenaLease(ArenaLease&& other) noexcept = default;
-    ArenaLease& operator=(ArenaLease&& other) noexcept = default;
-    ArenaLease(const ArenaLease&) = delete;
-    ArenaLease& operator=(const ArenaLease&) = delete;
-    ~ArenaLease();
-
-    SimulationArena* get() const { return arena_.get(); }
-
-   private:
-    friend class PlannerService;
-    ArenaLease(PlannerService* service, std::unique_ptr<SimulationArena> arena)
-        : service_(service), arena_(std::move(arena)) {}
-
-    PlannerService* service_ = nullptr;
-    std::unique_ptr<SimulationArena> arena_;
-  };
+  // to the pool.
+  using ArenaLease = ArenaPool::Lease;
 
   // Answers one planning query: canonicalize, consult the cache, coalesce with any
   // identical in-flight search, otherwise search on a leased arena and memoize.
@@ -156,10 +161,9 @@ class PlannerService {
   };
 
   // Runs the actual (per-variable or uniform) search for a canonicalized query on a
-  // leased arena. Pure compute: takes no service lock.
+  // leased arena, with candidate batches fanned across pool_ (serial when the service
+  // has no pool). Pure compute: takes no service lock.
   CachedPlan Search(const PlannerQuery& query);
-
-  void ReleaseArena(std::unique_ptr<SimulationArena> arena);
 
   const PlannerServiceOptions options_;
 
@@ -170,14 +174,18 @@ class PlannerService {
       in_flight_;  // guarded by mu_
   PlanCache cache_;  // internally synchronized
 
-  // Arena pool, under its own lock so checkouts never contend with the query path.
-  mutable std::mutex arena_mu_;
-  std::vector<std::unique_ptr<SimulationArena>> free_arenas_;  // guarded by arena_mu_
-  size_t total_arenas_ = 0;                                    // guarded by arena_mu_
+  // Arena pool (internally synchronized) — checkouts never contend with the query
+  // path's lock.
+  ArenaPool arenas_;
+  // Shared worker pool for PlanMany fan-out and intra-search candidate batches.
+  // Null when options_.max_workers resolves to one lane (fully serial service).
+  std::unique_ptr<ThreadPool> pool_;
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> searches_{0};
   std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> batched_evaluations_{0};
+  std::atomic<uint64_t> speculative_waste_{0};
 };
 
 // Applies a searched plan to the query's base variables: partitioner-controlled

@@ -1,0 +1,68 @@
+#include "src/sim/arena_pool.h"
+
+#include <utility>
+
+#include "src/core/iteration_sim.h"
+
+namespace parallax {
+
+ArenaPool::ArenaPool(size_t max_pooled) : max_pooled_(max_pooled) {}
+
+ArenaPool::~ArenaPool() = default;
+
+ArenaPool::Lease::Lease(ArenaPool* pool, std::unique_ptr<SimulationArena> arena)
+    : pool_(pool), arena_(std::move(arena)) {}
+
+ArenaPool::Lease::Lease(Lease&& other) noexcept = default;
+
+ArenaPool::Lease& ArenaPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && arena_ != nullptr) {
+      pool_->Release(std::move(arena_));
+    }
+    pool_ = other.pool_;
+    arena_ = std::move(other.arena_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ArenaPool::Lease::~Lease() {
+  if (pool_ != nullptr && arena_ != nullptr) {
+    pool_->Release(std::move(arena_));
+  }
+}
+
+ArenaPool::Lease ArenaPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<SimulationArena> arena = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(arena));
+    }
+    ++total_;
+  }
+  return Lease(this, std::make_unique<SimulationArena>());
+}
+
+void ArenaPool::Release(std::unique_ptr<SimulationArena> arena) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() < max_pooled_) {
+    free_.push_back(std::move(arena));
+  } else {
+    --total_;  // dropped instead of pooled
+  }
+}
+
+size_t ArenaPool::pooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+size_t ArenaPool::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace parallax
