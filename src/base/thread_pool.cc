@@ -10,8 +10,9 @@ namespace parallax {
 namespace {
 
 // The pool this thread is currently draining a batch for (caller lane or worker lane).
-// A nested ParallelFor on the same pool detects itself here and runs inline — the
-// submission lock is held by the outer call, so queueing would deadlock.
+// A nested ParallelFor on the same pool detects itself here and runs inline — the lane
+// is already one of the pool's, so queueing the nested range would only add work
+// behind lanes that are busy running the outer batch.
 thread_local const ThreadPool* tls_active_pool = nullptr;
 
 class ActivePoolScope {
@@ -46,23 +47,33 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+std::shared_ptr<ThreadPool::Batch> ThreadPool::NextClaimableLocked() {
+  while (!batches_.empty()) {
+    std::shared_ptr<Batch>& front = batches_.front();
+    if (front->next_chunk.load(std::memory_order_relaxed) >= front->chunks) {
+      // Fully claimed: no lane can pick up new work here. The submitter holds its own
+      // reference and waits on remaining_chunks, so dropping the queue's is safe.
+      batches_.pop_front();
+      continue;
+    }
+    return front;
+  }
+  return nullptr;
+}
+
 void ThreadPool::WorkerLoop() {
-  uint64_t seen_epoch = 0;
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || (batch = NextClaimableLocked()) != nullptr; });
       if (shutdown_) {
         return;
       }
-      seen_epoch = epoch_;
-      batch = batch_;
     }
-    if (batch != nullptr) {
-      ActivePoolScope scope(this);
-      RunChunks(*batch, done_cv_, mu_);
-    }
+    ActivePoolScope scope(this);
+    RunChunks(*batch, done_cv_, mu_);
   }
 }
 
@@ -92,18 +103,20 @@ void ThreadPool::ParallelFor(int64_t total, int64_t grain,
     fn(0, total);
     return;
   }
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->total = total;
   batch->grain = grain;
+  batch->chunks = chunks;
   batch->remaining_chunks.store(chunks, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_ = batch;
-    ++epoch_;
+    batches_.push_back(batch);
   }
   work_cv_.notify_all();
+  // The submitter always drains its own batch, so the call completes even when every
+  // worker lane is busy or blocked elsewhere — concurrent submitters make independent
+  // progress instead of serializing behind one another's execution.
   {
     ActivePoolScope scope(this);
     RunChunks(*batch, done_cv_, mu_);
@@ -112,6 +125,12 @@ void ThreadPool::ParallelFor(int64_t total, int64_t grain,
   done_cv_.wait(lock, [&] {
     return batch->remaining_chunks.load(std::memory_order_acquire) == 0;
   });
+  // Prune eagerly (workers also prune lazily in NextClaimableLocked) so the queue
+  // never accumulates drained batches across quiet periods.
+  auto it = std::find(batches_.begin(), batches_.end(), batch);
+  if (it != batches_.end()) {
+    batches_.erase(it);
+  }
 }
 
 int DefaultWorkerCount(int cap) {

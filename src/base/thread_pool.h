@@ -11,19 +11,28 @@
 // bit-identical for every pool size, because no float accumulation order ever crosses a
 // shard boundary (see docs/perf.md).
 //
+// Concurrent ParallelFor calls from different threads overlap: each call publishes
+// its batch to a FIFO queue and then participates in draining it, so a call completes
+// even when every worker lane is busy — or blocked — on other batches. No lock is held
+// across a batch's execution; one caller's long batch never gates another caller's
+// submission, and a caller whose body blocks on external state (e.g. a planner lane
+// waiting out another tenant's in-flight search) cannot deadlock a ParallelFor that
+// that external work needs to finish. Idle workers drain queued batches oldest-first.
+//
 // Nested ParallelFor on the same pool runs inline: a body that calls ParallelFor on
 // the pool it is already running on executes the nested range serially on the calling
-// lane instead of deadlocking on the submission lock. Under the disjoint-shard
-// contract this preserves bit-identity (serial order is the reference order), so one
-// pool can serve both an outer fan-out (e.g. the planner's query batch) and inner
-// candidate batches. Keep kernel code at one level of parallelism regardless — the
-// inline fallback forfeits the inner level's speedup.
+// lane instead of queueing more work onto lanes that are already occupied. Under the
+// disjoint-shard contract this preserves bit-identity (serial order is the reference
+// order), so one pool can serve both an outer fan-out (e.g. the planner's query batch)
+// and inner candidate batches. Keep kernel code at one level of parallelism
+// regardless — the inline fallback forfeits the inner level's speedup.
 #ifndef PARALLAX_SRC_BASE_THREAD_POOL_H_
 #define PARALLAX_SRC_BASE_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -50,29 +59,32 @@ class ThreadPool {
                    const std::function<void(int64_t, int64_t)>& fn);
 
  private:
-  // One ParallelFor invocation. Workers snapshot the shared_ptr, so a worker that wakes
-  // late only ever drains its own (already exhausted) batch, never a successor's.
+  // One ParallelFor invocation. Lives in the queue while it still has unclaimed
+  // chunks; workers and the submitter hold their own shared_ptr while draining, so
+  // pruning a fully-claimed batch from the queue never invalidates a running lane.
   struct Batch {
     const std::function<void(int64_t, int64_t)>* fn = nullptr;
     int64_t total = 0;
     int64_t grain = 0;
+    int64_t chunks = 0;
     std::atomic<int64_t> next_chunk{0};
     std::atomic<int64_t> remaining_chunks{0};
   };
 
   void WorkerLoop();
   static void RunChunks(Batch& batch, std::condition_variable& done_cv, std::mutex& mu);
+  // Oldest queued batch with unclaimed chunks, pruning fully-claimed batches along
+  // the way; null when the queue holds no claimable work. Requires mu_.
+  std::shared_ptr<Batch> NextClaimableLocked();
 
   const int num_threads_;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a new batch or shutdown
-  std::condition_variable done_cv_;  // caller: batch drained
-  std::mutex submit_mu_;             // serializes concurrent ParallelFor callers
+  std::condition_variable work_cv_;  // workers: claimable work or shutdown
+  std::condition_variable done_cv_;  // submitters: some batch fully drained
 
-  std::shared_ptr<Batch> batch_;  // guarded by mu_
-  uint64_t epoch_ = 0;
+  std::deque<std::shared_ptr<Batch>> batches_;  // guarded by mu_; FIFO of live batches
   bool shutdown_ = false;
 };
 

@@ -189,7 +189,10 @@ PartitionSearchResult SearchPartitions(const std::function<double(int)>& measure
 PartitionSearchResult SearchPartitions(const std::function<double(int)>& measure,
                                        const UniformBatchMeasure& measure_batch,
                                        const PartitionSearchOptions& options) {
-  if (!measure_batch) {
+  // Degrade to the serial sweep when there is no batch measure — or when the
+  // configured concurrency yields single-candidate waves, which would pay the batch
+  // path's overhead (wave assembly, one batch call per memo miss) for no parallelism.
+  if (!measure_batch || SpeculationLookahead(options.concurrency) <= 1) {
     return SearchPartitions(measure, options);
   }
   PX_CHECK_GE(options.min_partitions, 1);
@@ -279,6 +282,12 @@ PartitionPlanSearchResult SearchPartitionPlan(
     const PlanBatchMeasure& measure_batch,
     const std::vector<PartitionSearchVariable>& variables,
     const PartitionSearchOptions& options) {
+  if (measure_batch && SpeculationLookahead(options.concurrency) <= 1) {
+    // Single-candidate waves buy nothing: drop the batch measure and run the plain
+    // serial search (the in-tree factories already return a null measure for one-lane
+    // concurrency; this guards direct callers of the batched overload).
+    return SearchPartitionPlan(measure, PlanBatchMeasure(), variables, options);
+  }
   PX_CHECK(!variables.empty()) << "per-variable search needs at least one variable";
   PX_CHECK_GE(options.min_partitions, 1);
   PX_CHECK_GE(options.max_partitions, options.min_partitions);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <string_view>
 #include <utility>
 
@@ -187,8 +188,11 @@ PlannerService::PlannerService(PlannerServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity),
       arenas_(options.max_pooled_arenas) {
-  const int lanes =
-      options_.max_workers > 0 ? options_.max_workers : DefaultWorkerCount();
+  // Uncapped: the planner's fan-out has always scaled to the full machine
+  // (DefaultWorkerCount's default 16-lane ceiling is sized for sparse kernels).
+  const int lanes = options_.max_workers > 0
+                        ? options_.max_workers
+                        : DefaultWorkerCount(std::numeric_limits<int>::max());
   if (lanes > 1) {
     pool_ = std::make_unique<ThreadPool>(lanes);
   }
@@ -323,6 +327,10 @@ PlannerResult PlannerService::Plan(const PlannerQuery& original) {
 
   if (!owner) {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
+    // Safe to block here even from a PlanMany pool lane: the owner is by definition
+    // already executing on some thread, never coalesces itself, and its candidate
+    // batches always make progress because a ParallelFor submitter drains its own
+    // batch regardless of how many pool lanes sit blocked here (thread_pool.h).
     std::unique_lock<std::mutex> lock(flight->mu);
     flight->cv.wait(lock, [&] { return flight->done; });
     PlannerResult result = ResultFrom(flight->result);

@@ -61,7 +61,8 @@ struct PlannerServiceOptions {
   // Lanes of the service's shared ThreadPool — PlanMany's query fan-out and every
   // search's candidate batches both run on it (min(queries, lanes) workers for the
   // former; a fan-out lane's nested candidate batch runs inline, thread_pool.h).
-  // 0 = DefaultWorkerCount(); 1 = fully serial (no pool is created).
+  // 0 = one lane per hardware thread (uncapped — the fan-out scales to the machine);
+  // 1 = fully serial (no pool is created).
   int max_workers = 0;
 };
 

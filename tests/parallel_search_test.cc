@@ -23,10 +23,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/base/thread_pool.h"
@@ -496,6 +499,50 @@ TEST(ThreadPoolTest, NestedParallelForOnSamePoolRunsInline) {
   for (int i = 0; i < kOuter * kInner; ++i) {
     ASSERT_EQ(values[i], i);
   }
+}
+
+// Regression for the PlanMany/Plan coalescing deadlock: a ParallelFor body that
+// blocks waiting on work another thread can only finish via its own ParallelFor on
+// the same pool. Submission must not serialize behind a running batch — the second
+// submitter has to drain its own batch even with pool lanes occupied/blocked.
+TEST(ThreadPoolTest, BlockedBatchDoesNotGateConcurrentSubmitters) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool outer_running = false;  // guarded by mu
+  bool release = false;        // guarded by mu
+  std::thread blocked([&] {
+    pool.ParallelFor(2, 1, [&](int64_t begin, int64_t) {
+      if (begin == 0) {
+        std::unique_lock<std::mutex> lock(mu);
+        outer_running = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+      }
+    });
+  });
+  {
+    // Make sure the blocked batch is published and occupying a lane before the
+    // second submission — the old design held the submission lock across execution
+    // and would deadlock from here on.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outer_running; });
+  }
+  std::vector<int> out(8, 0);
+  pool.ParallelFor(8, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[i] = static_cast<int>(i) + 1;
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i], i + 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  blocked.join();
 }
 
 TEST(ThreadPoolTest, DefaultWorkerCountFallsBackAndClamps) {
